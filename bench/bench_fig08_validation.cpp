@@ -1,0 +1,92 @@
+// Fig. 8 reproduction: validation of the domain decomposition and triple
+// encoding. Two engines evolve the same random Fe-Cu box with the same
+// seed — the TensorKMC fast path (CET/NET/VET + vacancy cache) and the
+// direct OpenKMC-style evaluation that re-reads the global lattice for
+// every energy — and the isolated-Cu-atom count is compared block by
+// block. The paper's criterion is that both runs give identical results.
+//
+// Scale note: the paper uses a 100^3 a^3 box over 1 ms; this harness runs
+// a reduced box so the direct (deliberately slow) reference finishes in
+// seconds. Identity is exact at any scale.
+
+#include <cstdio>
+
+#include "analysis/cluster_analysis.hpp"
+#include "common/table_writer.hpp"
+#include "kmc/direct_energy_model.hpp"
+#include "kmc/nnp_energy_model.hpp"
+#include "kmc/serial_engine.hpp"
+#include "tabulation/feature_table.hpp"
+
+using namespace tkmc;
+
+int main() {
+  constexpr double kCutoff = 4.0;
+  constexpr int kCells = 16;
+  constexpr int kVacancies = 4;
+  constexpr int kBlocks = 8;
+  constexpr int kStepsPerBlock = 40;
+
+  std::printf(
+      "Fig. 8 — triple-encoding + vacancy-cache validation\n"
+      "box %d^3 cells, Cu 1.34 at.%%, %d vacancies, identical seeds\n\n",
+      kCells, kVacancies);
+
+  const Cet cet(2.87, kCutoff);
+  const Net net(cet);
+  const FeatureTable table(net.distances(), standardPqSets());
+  Network network({64, 16, 16, 1});
+  Rng initRng(99);
+  network.initHe(initRng);
+
+  auto makeState = [] {
+    LatticeState s(BccLattice(kCells, kCells, kCells, 2.87));
+    Rng rng(1234);
+    s.randomAlloy(0.0134, kVacancies, rng);
+    return s;
+  };
+  LatticeState fastState = makeState();
+  LatticeState directState = makeState();
+
+  NnpEnergyModel fastModel(cet, net, table, network);
+  DirectEnergyModel directModel(2.87, kCutoff, network);
+
+  KmcConfig fastCfg;
+  fastCfg.seed = 4242;
+  fastCfg.tEnd = 1e300;
+  KmcConfig directCfg = fastCfg;
+  directCfg.useVacancyCache = false;
+
+  SerialEngine fastEngine(fastState, fastModel, cet, fastCfg);
+  SerialEngine directEngine(directState, directModel, cet, directCfg);
+
+  TableWriter out({"events", "time (s)", "isolated Cu (TET+cache)",
+                   "isolated Cu (direct)", "identical"});
+  bool allIdentical = true;
+  for (int block = 0; block <= kBlocks; ++block) {
+    if (block > 0) {
+      for (int i = 0; i < kStepsPerBlock; ++i) {
+        fastEngine.step();
+        directEngine.step();
+      }
+    }
+    const auto fastStats = analyzeClusters(fastState, Species::kCu);
+    const auto directStats = analyzeClusters(directState, Species::kCu);
+    const bool identical = fastStats.sizes == directStats.sizes &&
+                           fastState.raw() == directState.raw();
+    allIdentical = allIdentical && identical;
+    out.addRow({std::to_string(fastEngine.steps()),
+                TableWriter::num(fastEngine.time(), 10),
+                std::to_string(fastStats.isolatedCount),
+                std::to_string(directStats.isolatedCount),
+                identical ? "yes" : "NO"});
+  }
+  out.print();
+  std::printf("\nresult: %s (paper: both runs give identical results)\n",
+              allIdentical ? "IDENTICAL — validation passed"
+                           : "MISMATCH — validation FAILED");
+  std::printf("energy evaluations: fast %llu vs direct %llu\n",
+              static_cast<unsigned long long>(fastEngine.energyEvaluations()),
+              static_cast<unsigned long long>(directEngine.energyEvaluations()));
+  return allIdentical ? 0 : 1;
+}

@@ -1,0 +1,148 @@
+// Fig. 11 reproduction: serial per-step performance of TensorKMC under
+// the three software configurations of the paper, at both cutoffs.
+//
+//   x86     — features computed sequentially (MPE-style loop, double),
+//             energies through the layer-wise FusedConv2D path.
+//   SW      — features sequential, energies through the per-layer fused
+//             operator (TensorFlow + SWDNN analogue).
+//   SW(opt) — features on the CPE grid (fast feature operator), energies
+//             through the big-fusion operator.
+//
+// The unit of work is one full vacancy propensity refresh: gather VET,
+// build features for 1 + 8 states, evaluate all region-atom energies.
+// Paper headline: SW(opt) ~ 11x faster than x86 overall, features ~14x,
+// energies ~15x; shorter cutoff (5.8 A) shrinks every component.
+
+#include <cstdio>
+
+#include "common/stopwatch.hpp"
+#include "common/table_writer.hpp"
+#include "nnp/conv_stack.hpp"
+#include "sunway/bigfusion_operator.hpp"
+#include "sunway/feature_operator.hpp"
+#include "sunway/perf_model.hpp"
+#include "tabulation/region_features.hpp"
+
+using namespace tkmc;
+
+namespace {
+
+struct Timings {
+  double featureMs = 0.0;
+  double energyMs = 0.0;
+  double totalMs() const { return featureMs + energyMs; }
+};
+
+Timings measure(const Cet& cet, const Net& net, const FeatureTable& table,
+                const Network::Snapshot& snapshot, const LatticeState& state,
+                Vec3i center, int mode, int reps) {
+  const int numStates = 1 + kNumJumpDirections;
+  const int m = numStates * cet.nRegion();
+  const ConvStack stack(snapshot);
+  CpeGrid grid;
+  FeatureOperator featureOp(net, table, grid);
+  BigFusionOperator fusionOp(snapshot, grid, 32);
+  if (mode == 2) fusionOp.loadModel();
+  const RegionFeatures serialFeatures(net, table);
+
+  std::vector<float> featuresF(static_cast<std::size_t>(m) * 64);
+  std::vector<double> featuresD;
+  std::vector<float> energiesF(static_cast<std::size_t>(m));
+
+  Timings t;
+  Vet vet = Vet::gather(cet, state, center);
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch sw;
+    if (mode == 2) {
+      featureOp.compute(vet, kNumJumpDirections, featuresF);
+    } else {
+      serialFeatures.computeStates(vet, kNumJumpDirections, featuresD);
+      for (std::size_t i = 0; i < featuresD.size(); ++i)
+        featuresF[i] = static_cast<float>(featuresD[i]);
+    }
+    t.featureMs += sw.milliseconds();
+    sw.reset();
+    if (mode == 2) {
+      fusionOp.forward(featuresF.data(), m, energiesF.data());
+    } else if (mode == 1) {
+      // SWDNN-style FusedConv2D per layer.
+      stack.forward(ConvStack::Mode::kFusedLayer, featuresF.data(), m,
+                    energiesF.data());
+    } else {
+      // libtensorflow on the host CPU: vectorized GEMM, separate
+      // bias/ReLU passes.
+      stack.forward(ConvStack::Mode::kMatmulSimd, featuresF.data(), m,
+                    energiesF.data());
+    }
+    t.energyMs += sw.milliseconds();
+  }
+  t.featureMs /= reps;
+  t.energyMs /= reps;
+  return t;
+}
+
+void runCutoff(double cutoff, const Network::Snapshot& snapshot) {
+  const Cet cet(2.87, cutoff);
+  const Net net(cet);
+  const FeatureTable table(net.distances(), standardPqSets());
+  const int boxCells = 24;
+  LatticeState state(BccLattice(boxCells, boxCells, boxCells, 2.87));
+  Rng rng(11);
+  state.randomAlloy(0.0134, 0, rng);
+  const Vec3i center{boxCells, boxCells, boxCells};
+  state.setSpeciesAt(center, Species::kVacancy);
+
+  const int reps = 4;
+  const Timings x86 = measure(cet, net, table, snapshot, state, center, 0, reps);
+  const Timings sw = measure(cet, net, table, snapshot, state, center, 1, reps);
+  const Timings swOpt =
+      measure(cet, net, table, snapshot, state, center, 2, reps);
+
+  std::printf("\nr_cut = %.1f A (N_region = %d, N_local = %d)\n", cutoff,
+              cet.nRegion(), cet.nLocal());
+  TableWriter out({"configuration", "feature (ms)", "energy (ms)",
+                   "overall (ms)", "overall speedup vs x86"});
+  auto row = [&](const char* name, const Timings& t) {
+    out.addRow({name, TableWriter::num(t.featureMs, 3),
+                TableWriter::num(t.energyMs, 3),
+                TableWriter::num(t.totalMs(), 3),
+                TableWriter::num(x86.totalMs() / t.totalMs(), 2) + "x"});
+  };
+  row("x86 (serial feat + layerwise)", x86);
+  row("SW (serial feat + fused op)", sw);
+  row("SW(opt) (CPE feat + big-fusion)", swOpt);
+  out.print();
+
+  // Roofline-modeled CG times for the two energy operators, from their
+  // measured traffic — the hardware asymmetry a single host core cannot
+  // exhibit directly (see Fig. 9/10 benches for the operator analysis).
+  const int m = (1 + kNumJumpDirections) * cet.nRegion();
+  const ConvStack stack(snapshot);
+  Traffic layerwise;
+  for (int layer = 0; layer < stack.numLayers(); ++layer)
+    layerwise += stack.layerTraffic(layer, m, /*fused=*/true);
+  Traffic fused;
+  fused.mainReadBytes = static_cast<std::uint64_t>(m) * 64 * sizeof(float);
+  fused.mainWriteBytes = static_cast<std::uint64_t>(m) * sizeof(float);
+  fused.flops = layerwise.flops;
+  const PerfModel perf;
+  std::printf("roofline-modeled CG energy time: fused %.3f ms vs big-fusion "
+              "%.3f ms (%.1fx)\n",
+              perf.modeledSeconds(layerwise) * 1e3,
+              perf.modeledSeconds(fused) * 1e3,
+              perf.modeledSeconds(layerwise) / perf.modeledSeconds(fused));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 11 — serial TensorKMC configurations "
+              "(per propensity refresh; paper: SW(opt) ~= 11x x86)\n");
+  Network network({64, 128, 128, 128, 64, 1});
+  Rng rng(5);
+  network.initHe(rng);
+  const auto snapshot = network.foldedSnapshot();
+  runCutoff(kDefaultCutoff, snapshot);
+  runCutoff(kShortCutoff, snapshot);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Cu precipitation in a thermally aged Fe-Cu alloy (paper Sec. 5 /
+// Fig. 14, at workstation scale).
+//
+// The paper evolves 2.5e8 atoms at 573 K for one second and observes Cu
+// cluster precipitation: isolated Cu atoms are consumed, the largest
+// cluster grows to ~40 atoms, and the cluster number density stabilizes
+// near 1.71e26 m^-3. This example reproduces the *mechanism* in a box a
+// workstation can evolve: vacancy-mediated Cu transport with a demixing
+// alloy drives isolated-Cu depletion and cluster growth. A slightly
+// Cu-rich matrix and extra vacancies accelerate the kinetics so the
+// trend is visible within ~10^4 events.
+
+#include <cstdio>
+
+#include "core/simulation.hpp"
+
+int main() {
+  tkmc::SimulationConfig config;
+  config.cells = 16;
+  config.cutoff = 4.0;
+  config.cuFraction = 0.05;    // enriched vs 1.34 at.% to shorten the demo
+  config.vacancyCount = 8;     // elevated vacancy population (irradiation)
+  config.temperature = 573.0;
+  config.potential = tkmc::SimulationConfig::Potential::kEam;
+  config.seed = 14;
+
+  tkmc::Simulation sim(config);
+  const double a = config.latticeConstant;
+  const double volumeA3 = config.cells * a * config.cells * a *
+                          config.cells * a;
+
+  std::printf("Cu precipitation, %d^3 cells, %.1f at.%% Cu, %d vacancies, "
+              "573 K\n\n",
+              config.cells, config.cuFraction * 100, config.vacancyCount);
+  std::printf("%10s %14s %12s %12s %12s %16s\n", "events", "time (s)",
+              "isolated Cu", "clusters>=2", "max size", "density (1/m^3)");
+
+  const auto report = [&] {
+    const auto stats = sim.cuClusters();
+    std::printf("%10llu %14.4e %12lld %12lld %12lld %16.3e\n",
+                static_cast<unsigned long long>(sim.steps()), sim.time(),
+                static_cast<long long>(stats.isolatedCount),
+                static_cast<long long>(stats.clusterCount),
+                static_cast<long long>(stats.maxSize),
+                stats.numberDensity(volumeA3));
+  };
+
+  report();
+  const auto initialIsolated = sim.cuClusters().isolatedCount;
+  for (int block = 0; block < 10; ++block) {
+    sim.run(1e300, 1500);
+    report();
+  }
+  const auto finalStats = sim.cuClusters();
+
+  std::printf("\nisolated Cu: %lld -> %lld (paper: significantly reduced)\n",
+              static_cast<long long>(initialIsolated),
+              static_cast<long long>(finalStats.isolatedCount));
+  std::printf("largest precipitate: %lld atoms (paper, 2.5e8-atom box: ~40)\n",
+              static_cast<long long>(finalStats.maxSize));
+  std::printf("cluster number density: %.3e 1/m^3 (paper: 1.71e26)\n",
+              finalStats.numberDensity(volumeA3));
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Parallel AKMC demonstration: domain decomposition + the Shim-Amar
+// synchronous sublattice schedule (paper Sec. 2.2 / Fig. 2) on the
+// in-process message-passing runtime.
+//
+// Eight simulated ranks (2 x 2 x 2) evolve one Fe-Cu box. Each cycle
+// activates one octant per rank for t_stop, folds boundary hops back to
+// their owners, and re-broadcasts ghost shells. The demo prints per-cycle
+// progress and verifies after every cycle that no ghost disagrees with
+// its owner — the invariant that makes the schedule conflict-free.
+
+#include <cstdio>
+
+#include "analysis/cluster_analysis.hpp"
+#include "kmc/eam_energy_model.hpp"
+#include "parallel/parallel_engine.hpp"
+
+using namespace tkmc;
+
+int main() {
+  constexpr double kCutoff = 4.0;
+  constexpr int kCells = 20;
+
+  const Cet cet(2.87, kCutoff);
+  const Net net(cet);
+  const EamPotential eam(kCutoff);
+  EamEnergyModel model(cet, net, eam);
+
+  BccLattice lattice(kCells, kCells, kCells, 2.87);
+  LatticeState initial(lattice);
+  Rng rng(7);
+  initial.randomAlloy(0.0134, 8, rng);
+
+  ParallelConfig config;
+  config.rankGrid = {2, 2, 2};
+  config.tStop = 5e-8;
+  config.seed = 404;
+
+  ParallelEngine engine(initial, model, cet, config);
+  std::printf("parallel AKMC: %d ranks, %d^3 cells, ghost shell %d cells, "
+              "t_stop = %.1e s\n\n",
+              engine.rankCount(), kCells, requiredGhostCells(cet),
+              config.tStop);
+  std::printf("%6s %8s %12s %10s %12s %14s %8s\n", "cycle", "sector",
+              "time (s)", "events", "vacancies", "comm bytes", "ghosts");
+
+  for (int cycle = 0; cycle < 16; ++cycle) {
+    const int sector = static_cast<int>(engine.cycles() % 8);
+    engine.runCycle();
+    std::printf("%6llu %8d %12.3e %10llu %12lld %14llu %8s\n",
+                static_cast<unsigned long long>(engine.cycles()), sector,
+                engine.time(),
+                static_cast<unsigned long long>(engine.totalEvents()),
+                static_cast<long long>(engine.vacancyCount()),
+                static_cast<unsigned long long>(engine.comm().totalBytesSent()),
+                engine.ghostsConsistent() ? "ok" : "BROKEN");
+  }
+
+  const LatticeState global = engine.assembleGlobalState();
+  const auto stats = analyzeClusters(global, Species::kCu);
+  std::printf("\nfinal assembled state: %lld Cu atoms, %lld vacancies, "
+              "%lld isolated Cu, largest cluster %lld\n",
+              static_cast<long long>(stats.totalAtoms),
+              static_cast<long long>(global.countSpecies(Species::kVacancy)),
+              static_cast<long long>(stats.isolatedCount),
+              static_cast<long long>(stats.maxSize));
+  std::printf("discarded window-crossing events: %llu (Shim-Amar rule)\n",
+              static_cast<unsigned long long>(engine.discardedEvents()));
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Temperature scan of vacancy kinetics in Fe-Cu.
+//
+// AKMC's defining capability (paper Sec. 1) is reaching long time scales:
+// the residence-time algorithm makes the simulated time per event scale
+// with exp(E_a / k_B T), so a 473 K run covers orders of magnitude more
+// physical time per hop than a 773 K run. This scan measures, per
+// temperature: the total propensity, the mean time step, the simulated
+// time after a fixed event budget, and the Cu microstructure response.
+
+#include <cstdio>
+
+#include "core/simulation.hpp"
+
+int main() {
+  std::printf("Thermal aging scan — Fe-1.34at.%%Cu, 3 vacancies, fixed "
+              "2000-event budget\n\n");
+  std::printf("%8s %14s %14s %14s %12s %10s\n", "T (K)", "propensity (1/s)",
+              "mean dt (s)", "sim time (s)", "isolated Cu", "max size");
+
+  for (double temperature : {473.0, 573.0, 673.0, 773.0}) {
+    tkmc::SimulationConfig config;
+    config.cells = 12;
+    config.cutoff = 4.0;
+    config.cuFraction = 0.0134;
+    config.vacancyCount = 3;
+    config.temperature = temperature;
+    config.potential = tkmc::SimulationConfig::Potential::kEam;
+    config.seed = 99;  // same alloy in every run; only T differs
+
+    tkmc::Simulation sim(config);
+    const std::uint64_t executed = sim.run(1e300, 2000);
+    const auto stats = sim.cuClusters();
+    std::printf("%8.0f %14.4e %14.4e %14.4e %12lld %10lld\n", temperature,
+                sim.engine().totalPropensity(),
+                executed > 0 ? sim.time() / static_cast<double>(executed) : 0.0,
+                sim.time(), static_cast<long long>(stats.isolatedCount),
+                static_cast<long long>(stats.maxSize));
+  }
+
+  std::printf("\nexpected trend: propensity rises ~exp(-E_a/kT) with T; the\n"
+              "same event budget therefore spans far more physical time at\n"
+              "low temperature — the scale bridge KMC provides over MD.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Vacancy clustering / void nucleation under a high vacancy population.
+//
+// The paper lists void formation alongside Cu precipitation (Fig. 14
+// shows both) and names helium-bubble/void problems as direct extension
+// targets (Sec. 3.6). The same engine covers them: vacancies are
+// first-class lattice species here, multiple vacancies interact through
+// the potential (a missing neighbour lowers the local density), and the
+// cluster analysis applies to Species::kVacancy exactly as it does to Cu.
+//
+// This run seeds a quenched-in vacancy supersaturation in pure Fe at
+// elevated temperature and tracks how mono-vacancies find each other and
+// form di-/multi-vacancy clusters (void nuclei).
+
+#include <cstdio>
+
+#include "analysis/cluster_analysis.hpp"
+#include "core/simulation.hpp"
+
+int main() {
+  tkmc::SimulationConfig config;
+  config.cells = 14;
+  config.cutoff = 4.0;
+  config.cuFraction = 0.0;       // pure Fe: isolate the vacancy kinetics
+  config.vacancyCount = 24;      // strong supersaturation (quench/irradiation)
+  config.temperature = 800.0;    // annealing temperature
+  config.potential = tkmc::SimulationConfig::Potential::kEam;
+  config.seed = 77;
+
+  tkmc::Simulation sim(config);
+  std::printf("void formation: %d^3 cells of pure Fe, %d quenched-in "
+              "vacancies, %.0f K\n\n",
+              config.cells, config.vacancyCount, config.temperature);
+  std::printf("%10s %14s %14s %14s %12s\n", "events", "time (s)",
+              "mono-vacancies", "clusters>=2", "largest");
+
+  const auto report = [&] {
+    const auto stats = analyzeClusters(sim.state(), tkmc::Species::kVacancy);
+    std::printf("%10llu %14.4e %14lld %14lld %12lld\n",
+                static_cast<unsigned long long>(sim.steps()), sim.time(),
+                static_cast<long long>(stats.isolatedCount),
+                static_cast<long long>(stats.clusterCount),
+                static_cast<long long>(stats.maxSize));
+  };
+
+  report();
+  const auto initial = analyzeClusters(sim.state(), tkmc::Species::kVacancy);
+  for (int block = 0; block < 8; ++block) {
+    sim.run(1e300, 2500);
+    report();
+  }
+  const auto final = analyzeClusters(sim.state(), tkmc::Species::kVacancy);
+
+  std::printf("\nvacancies conserved: %lld -> %lld\n",
+              static_cast<long long>(initial.totalAtoms),
+              static_cast<long long>(final.totalAtoms));
+  std::printf("largest void nucleus: %lld vacancies\n",
+              static_cast<long long>(final.maxSize));
+  std::printf("(divacancies and larger are bound through the reduced local "
+              "electron density;\n the same pipeline extends to He-bubble "
+              "studies by adding a third species)\n");
+  return 0;
+}

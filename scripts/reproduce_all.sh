@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Reproduces everything: build, test suite, every table/figure bench, and
+# the example applications. Outputs land in test_output.txt,
+# bench_output.txt, and examples_output.txt at the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+      echo "===== $(basename "$b") ====="
+      "$b"
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+{
+  for e in build/examples/*; do
+    if [ -f "$e" ] && [ -x "$e" ]; then
+      echo "===== $(basename "$e") ====="
+      "$e"
+    fi
+  done
+} 2>&1 | tee examples_output.txt
+
+echo "reproduction complete: see test_output.txt, bench_output.txt,"
+echo "examples_output.txt, and EXPERIMENTS.md for the paper comparison."

@@ -1,0 +1,107 @@
+#include "analysis/cluster_analysis.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace tkmc {
+namespace {
+
+/// Disjoint-set forest with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::int64_t> size_;
+};
+
+// 1NN (8 offsets, (+-1,+-1,+-1)) and 2NN (6 offsets, (+-2,0,0) family)
+// connectivity in doubled-integer coordinates.
+std::vector<Vec3i> bondOffsets() {
+  std::vector<Vec3i> v = BccLattice::firstNeighborOffsets();
+  v.push_back({2, 0, 0});
+  v.push_back({-2, 0, 0});
+  v.push_back({0, 2, 0});
+  v.push_back({0, -2, 0});
+  v.push_back({0, 0, 2});
+  v.push_back({0, 0, -2});
+  return v;
+}
+
+}  // namespace
+
+ClusterStats analyzeClusters(const LatticeState& state, Species species) {
+  const BccLattice& lat = state.lattice();
+  // Compact index over solute sites.
+  std::vector<BccLattice::SiteId> soluteSites;
+  std::unordered_map<std::int64_t, std::size_t> indexOf;
+  for (BccLattice::SiteId id = 0; id < lat.siteCount(); ++id) {
+    if (state.species(id) == species) {
+      indexOf.emplace(id, soluteSites.size());
+      soluteSites.push_back(id);
+    }
+  }
+  UnionFind uf(soluteSites.size());
+  const std::vector<Vec3i> bonds = bondOffsets();
+  for (std::size_t i = 0; i < soluteSites.size(); ++i) {
+    const Vec3i p = lat.coordinate(soluteSites[i]);
+    for (const Vec3i& d : bonds) {
+      const BccLattice::SiteId nb = lat.siteId(p + d);
+      auto it = indexOf.find(nb);
+      if (it != indexOf.end()) uf.unite(i, it->second);
+    }
+  }
+  std::unordered_map<std::size_t, std::int64_t> rootSizes;
+  for (std::size_t i = 0; i < soluteSites.size(); ++i) ++rootSizes[uf.find(i)];
+
+  ClusterStats stats;
+  stats.totalAtoms = static_cast<std::int64_t>(soluteSites.size());
+  stats.sizes.reserve(rootSizes.size());
+  for (const auto& [root, size] : rootSizes) stats.sizes.push_back(size);
+  std::sort(stats.sizes.begin(), stats.sizes.end(), std::greater<>());
+  for (std::int64_t s : stats.sizes) {
+    if (s == 1) ++stats.isolatedCount;
+    if (s >= 2) ++stats.clusterCount;
+  }
+  stats.maxSize = stats.sizes.empty() ? 0 : stats.sizes.front();
+  return stats;
+}
+
+double ClusterStats::numberDensity(double boxVolumeA3,
+                                   std::int64_t minSize) const {
+  std::int64_t count = 0;
+  for (std::int64_t s : sizes)
+    if (s >= minSize) ++count;
+  // 1 angstrom^3 = 1e-30 m^3.
+  return static_cast<double>(count) / (boxVolumeA3 * 1e-30);
+}
+
+std::vector<std::int64_t> sizeHistogram(const ClusterStats& stats) {
+  std::vector<std::int64_t> hist(
+      static_cast<std::size_t>(stats.maxSize) + 1, 0);
+  for (std::int64_t s : stats.sizes) ++hist[static_cast<std::size_t>(s)];
+  return hist;
+}
+
+}  // namespace tkmc

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/lattice_state.hpp"
+
+namespace tkmc {
+
+/// Result of a solute-cluster decomposition.
+struct ClusterStats {
+  std::vector<std::int64_t> sizes;   // one entry per cluster, descending
+  std::int64_t totalAtoms = 0;       // solute atoms considered
+  std::int64_t isolatedCount = 0;    // clusters of size 1 (Fig. 8 metric)
+  std::int64_t maxSize = 0;          // largest precipitate (Fig. 14)
+  std::int64_t clusterCount = 0;     // clusters of size >= 2
+
+  /// Number density (1/m^3) of clusters of at least `minSize` atoms in a
+  /// box of the given volume (angstrom^3) — Fig. 14's 1.71e26 m^-3 metric.
+  double numberDensity(double boxVolumeA3, std::int64_t minSize = 2) const;
+};
+
+/// Union-find decomposition of the atoms of `species` into clusters.
+/// Two atoms belong to the same cluster when separated by a 1NN or 2NN
+/// lattice step (the standard bcc precipitate criterion).
+ClusterStats analyzeClusters(const LatticeState& state, Species species);
+
+/// Histogram of cluster sizes: result[k] = number of clusters of size k
+/// (index 0 unused).
+std::vector<std::int64_t> sizeHistogram(const ClusterStats& stats);
+
+}  // namespace tkmc

@@ -1,0 +1,39 @@
+#include "analysis/diffusion.hpp"
+
+#include "common/error.hpp"
+
+namespace tkmc {
+
+DiffusionTracker::DiffusionTracker(const BccLattice& lattice, int walkers)
+    : lattice_(lattice), displacements_(static_cast<std::size_t>(walkers)) {
+  require(walkers > 0, "tracker needs at least one walker");
+}
+
+void DiffusionTracker::recordHop(int index, Vec3i from, Vec3i to) {
+  require(index >= 0 && index < walkerCount(), "walker index out of range");
+  const Vec3i d = lattice_.minimumImage(lattice_.wrap(from), lattice_.wrap(to));
+  const double half = lattice_.latticeConstant() / 2.0;
+  auto& r = displacements_[static_cast<std::size_t>(index)];
+  r = r + Vec3d{d.x * half, d.y * half, d.z * half};
+  ++hops_;
+}
+
+Vec3d DiffusionTracker::displacement(int index) const {
+  require(index >= 0 && index < walkerCount(), "walker index out of range");
+  return displacements_[static_cast<std::size_t>(index)];
+}
+
+double DiffusionTracker::meanSquaredDisplacement() const {
+  double sum = 0.0;
+  for (const Vec3d& r : displacements_)
+    sum += r.x * r.x + r.y * r.y + r.z * r.z;
+  return sum / static_cast<double>(displacements_.size());
+}
+
+double DiffusionTracker::diffusionCoefficient(double elapsedSeconds) const {
+  if (elapsedSeconds <= 0.0) return 0.0;
+  // angstrom^2/s -> cm^2/s: 1 A^2 = 1e-16 cm^2.
+  return meanSquaredDisplacement() / (6.0 * elapsedSeconds) * 1e-16;
+}
+
+}  // namespace tkmc

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/bcc_lattice.hpp"
+#include "lattice/vec3.hpp"
+
+namespace tkmc {
+
+/// Unwrapped-displacement tracker for tracer diffusion analysis.
+///
+/// KMC coordinates live on a periodic box, so diffusivities must be
+/// computed from *unwrapped* trajectories: feed every hop through
+/// recordHop() and the tracker accumulates per-walker displacement.
+/// The tracer diffusion coefficient follows the Einstein relation
+/// D = <R^2> / (6 t).
+class DiffusionTracker {
+ public:
+  /// `walkers` is the number of tracked particles (e.g. vacancies).
+  DiffusionTracker(const BccLattice& lattice, int walkers);
+
+  /// Records one hop of walker `index` (wrapped coordinates; the tracker
+  /// applies the minimum-image convention to unwrap).
+  void recordHop(int index, Vec3i from, Vec3i to);
+
+  /// Unwrapped displacement of one walker, angstrom.
+  Vec3d displacement(int index) const;
+
+  /// Mean squared displacement over all walkers, angstrom^2.
+  double meanSquaredDisplacement() const;
+
+  /// Einstein diffusion coefficient in cm^2/s given the elapsed
+  /// simulated time (seconds). Returns 0 for t <= 0.
+  double diffusionCoefficient(double elapsedSeconds) const;
+
+  /// Total hops recorded.
+  std::uint64_t hopCount() const { return hops_; }
+
+  int walkerCount() const { return static_cast<int>(displacements_.size()); }
+
+ private:
+  BccLattice lattice_;
+  std::vector<Vec3d> displacements_;
+  std::uint64_t hops_ = 0;
+};
+
+}  // namespace tkmc

@@ -1,0 +1,38 @@
+#include "analysis/xyz_writer.hpp"
+
+#include <iomanip>
+
+namespace tkmc {
+
+const char* XyzWriter::label(Species s) {
+  switch (s) {
+    case Species::kFe: return "Fe";
+    case Species::kCu: return "Cu";
+    case Species::kVacancy: return "X";
+  }
+  return "?";
+}
+
+std::int64_t XyzWriter::frameAtomCount(const LatticeState& state,
+                                       bool includeMatrix) {
+  if (includeMatrix) return state.lattice().siteCount();
+  return state.lattice().siteCount() - state.countSpecies(Species::kFe);
+}
+
+void XyzWriter::writeFrame(std::ostream& out, const LatticeState& state,
+                           const std::string& comment, bool includeMatrix) {
+  const BccLattice& lat = state.lattice();
+  out << frameAtomCount(state, includeMatrix) << '\n';
+  out << "Lattice=\"" << lat.cellsX() * lat.latticeConstant() << " 0 0 0 "
+      << lat.cellsY() * lat.latticeConstant() << " 0 0 0 "
+      << lat.cellsZ() * lat.latticeConstant() << "\" " << comment << '\n';
+  out << std::fixed << std::setprecision(5);
+  for (BccLattice::SiteId id = 0; id < lat.siteCount(); ++id) {
+    const Species s = state.species(id);
+    if (!includeMatrix && s == Species::kFe) continue;
+    const Vec3d p = lat.position(lat.coordinate(id));
+    out << label(s) << ' ' << p.x << ' ' << p.y << ' ' << p.z << '\n';
+  }
+}
+
+}  // namespace tkmc

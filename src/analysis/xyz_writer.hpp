@@ -1,0 +1,31 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "lattice/lattice_state.hpp"
+
+namespace tkmc {
+
+/// Extended-XYZ trajectory output for visualization (the Fig. 14
+/// rendering pipeline: OVITO and friends read this directly).
+///
+/// By default a frame lists only solutes and vacancies (the species that
+/// carry the microstructural signal); `includeMatrix` additionally emits
+/// the Fe matrix. Vacancies are written as the pseudo-element "X".
+class XyzWriter {
+ public:
+  /// Writes one frame. `comment` lands on the XYZ comment line together
+  /// with the box lattice vector.
+  static void writeFrame(std::ostream& out, const LatticeState& state,
+                         const std::string& comment, bool includeMatrix = false);
+
+  /// Number of atoms a frame would contain.
+  static std::int64_t frameAtomCount(const LatticeState& state,
+                                     bool includeMatrix = false);
+
+  /// Element label used for a species ("Fe", "Cu", "X").
+  static const char* label(Species s);
+};
+
+}  // namespace tkmc

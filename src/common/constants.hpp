@@ -1,0 +1,47 @@
+#pragma once
+
+// Physical constants and model parameters shared across TensorKMC.
+// Units follow the paper: lengths in angstrom, energies in eV, times in
+// seconds, temperatures in kelvin.
+
+namespace tkmc {
+
+/// Boltzmann constant in eV/K.
+inline constexpr double kBoltzmannEv = 8.617333262e-5;
+
+/// Attempt frequency Gamma_0 of Eq. (1), in 1/s.
+inline constexpr double kAttemptFrequency = 6.0e12;
+
+/// BCC Fe lattice constant in angstrom.
+inline constexpr double kLatticeConstantFe = 2.87;
+
+/// Default interaction cutoff radius in angstrom (paper Sec. 4.1.1).
+inline constexpr double kDefaultCutoff = 6.5;
+
+/// Shorter cutoff used in the Fig. 11 serial comparison.
+inline constexpr double kShortCutoff = 5.8;
+
+/// Reference activation energies E_a^0 of Eq. (2), in eV.
+inline constexpr double kActivationFe = 0.65;
+inline constexpr double kActivationCu = 0.56;
+
+/// Atom species on the lattice. kVacancy marks an empty site.
+enum class Species : unsigned char {
+  kFe = 0,
+  kCu = 1,
+  kVacancy = 2,
+};
+
+/// Number of real (non-vacancy) element types in the Fe-Cu system.
+inline constexpr int kNumElements = 2;
+
+/// Number of first-nearest-neighbor jump directions on a BCC lattice.
+inline constexpr int kNumJumpDirections = 8;
+
+/// Returns the reference activation energy for the species that migrates
+/// into the vacancy (Eq. 2).
+inline constexpr double referenceActivation(Species s) {
+  return s == Species::kCu ? kActivationCu : kActivationFe;
+}
+
+}  // namespace tkmc

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace tkmc {
+
+/// Error thrown for violated preconditions and invariants.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws tkmc::Error when `condition` is false. Used at API boundaries;
+/// hot loops rely on asserts instead.
+inline void require(bool condition, const std::string& message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw Error(std::string(loc.file_name()) + ":" +
+                std::to_string(loc.line()) + ": " + message);
+  }
+}
+
+}  // namespace tkmc

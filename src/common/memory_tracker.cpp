@@ -1,0 +1,42 @@
+#include "common/memory_tracker.hpp"
+
+#include <cstdio>
+
+namespace tkmc {
+
+void MemoryTracker::set(const std::string& name, std::size_t bytes) {
+  entries_[name] = bytes;
+}
+
+void MemoryTracker::add(const std::string& name, std::size_t bytes) {
+  entries_[name] += bytes;
+}
+
+std::size_t MemoryTracker::bytes(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second;
+}
+
+std::size_t MemoryTracker::totalBytes() const {
+  std::size_t total = 0;
+  for (const auto& [name, bytes] : entries_) total += bytes;
+  return total;
+}
+
+std::vector<std::string> MemoryTracker::names() const {
+  std::vector<std::string> result;
+  result.reserve(entries_.size());
+  for (const auto& [name, bytes] : entries_) result.push_back(name);
+  return result;
+}
+
+void MemoryTracker::clear() { entries_.clear(); }
+
+std::string MemoryTracker::toMiB(std::size_t bytes) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buffer;
+}
+
+}  // namespace tkmc

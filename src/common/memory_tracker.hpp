@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tkmc {
+
+/// Named byte-accounting registry.
+///
+/// Table 1 of the paper reports per-array memory for simulation sizes (up
+/// to 128 M atoms) that cannot be physically allocated on a test host, so
+/// engines register the *sizes* of their arrays here. For sizes that are
+/// actually allocated the tracker doubles as a cross-check: tests compare
+/// registered bytes against real container footprints.
+class MemoryTracker {
+ public:
+  /// Registers (or overwrites) the size in bytes of a named array.
+  void set(const std::string& name, std::size_t bytes);
+
+  /// Adds bytes to a named entry (creates it at zero if absent).
+  void add(const std::string& name, std::size_t bytes);
+
+  /// Bytes recorded for `name`; zero when absent.
+  std::size_t bytes(const std::string& name) const;
+
+  /// Sum of all recorded entries.
+  std::size_t totalBytes() const;
+
+  /// Entry names in lexicographic order.
+  std::vector<std::string> names() const;
+
+  void clear();
+
+  /// Formats a byte count as mebibytes with two decimals, e.g. "4014.00".
+  static std::string toMiB(std::size_t bytes);
+
+ private:
+  std::map<std::string, std::size_t> entries_;
+};
+
+}  // namespace tkmc

@@ -1,0 +1,52 @@
+#include "common/rng.hpp"
+
+namespace tkmc {
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniformOpenLeft() {
+  // (0, 1]: shift the half-open interval by one ulp step.
+  return 1.0 - uniform();
+}
+
+std::uint64_t Rng::uniformBelow(std::uint64_t bound) {
+  if (bound <= 1) return 0;
+  // Rejection sampling over the largest multiple of `bound`.
+  const std::uint64_t limit = ~0ULL - (~0ULL % bound);
+  std::uint64_t x = next();
+  while (x >= limit) x = next();
+  return x % bound;
+}
+
+Rng Rng::split() {
+  return Rng(next() ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace tkmc

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace tkmc {
+
+/// SplitMix64 generator, used for seeding and as a cheap stateless mixer.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Deterministic xoshiro256++ PRNG.
+///
+/// KMC trajectories must be exactly reproducible across the serial engine,
+/// the triple-encoding engine, and simulated parallel ranks, so every
+/// consumer draws from an explicitly seeded Rng. `split()` derives an
+/// independent stream (used to give each simulated rank and each vacancy
+/// its own stream without correlation).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1234abcdULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in (0, 1]; safe as the argument of log() in the
+  /// residence-time algorithm (Eq. 3).
+  double uniformOpenLeft();
+
+  /// Uniform integer in [0, bound) without modulo bias.
+  std::uint64_t uniformBelow(std::uint64_t bound);
+
+  /// Derives an independent child stream; advances this stream once.
+  Rng split();
+
+  /// Raw generator state, for checkpoint/restart. Restoring the state
+  /// resumes the stream bit-exactly.
+  std::array<std::uint64_t, 4> state() const { return s_; }
+  void setState(const std::array<std::uint64_t, 4>& s) { s_ = s; }
+
+  // UniformRandomBitGenerator interface for <random> compatibility.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace tkmc

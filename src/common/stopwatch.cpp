@@ -1,0 +1,4 @@
+#include "common/stopwatch.hpp"
+
+// Header-only today; the translation unit anchors the target and keeps a
+// stable place for future platform-specific timing backends.

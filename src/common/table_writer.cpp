@@ -1,0 +1,69 @@
+#include "common/table_writer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  require(!header_.empty(), "table header must not be empty");
+}
+
+void TableWriter::addRow(std::vector<std::string> row) {
+  require(row.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TableWriter::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells, std::string& out) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += cells[c];
+      if (c + 1 < cells.size())
+        out.append(widths[c] - cells[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit(header_, out);
+  std::size_t ruleWidth = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    ruleWidth += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  out.append(ruleWidth, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit(row, out);
+  return out;
+}
+
+std::string TableWriter::renderCsv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += cells[c];
+      if (c + 1 < cells.size()) out += ',';
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+void TableWriter::print() const { std::fputs(render().c_str(), stdout); }
+
+std::string TableWriter::num(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+}  // namespace tkmc

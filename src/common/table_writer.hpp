@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tkmc {
+
+/// Fixed-width console table used by the bench harnesses to print the
+/// rows of each paper table/figure. Columns are sized to their widest
+/// cell; an optional rule separates the header.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+
+  /// Renders the table to a string (header, rule, rows).
+  std::string render() const;
+
+  /// Renders as comma-separated values (for downstream plotting).
+  std::string renderCsv() const;
+
+  /// Convenience: renders to stdout.
+  void print() const;
+
+  /// Formats a double with `digits` significant decimals.
+  static std::string num(double value, int digits = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tkmc

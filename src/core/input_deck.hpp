@@ -1,0 +1,86 @@
+#pragma once
+
+#include <istream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+
+namespace tkmc {
+
+/// Key-value input deck for the command-line driver.
+///
+/// The paper's artifact runs `tensorkmc -in input`; this parser accepts
+/// the same style of plain-text deck: one `key value` pair per line,
+/// `#` comments, blank lines ignored. Unknown keys are an error (decks
+/// with typos should fail loudly, not silently fall back to defaults).
+///
+/// Recognized keys (defaults in parentheses):
+///   cells <int>                 box edge in unit cells (20)
+///   lattice_constant <float>    angstrom (2.87)
+///   cutoff <float>              angstrom (6.5)
+///   cu_fraction <float>         atomic fraction (0.0134)
+///   vacancy_count <int>         explicit count; overrides concentration
+///   vacancy_concentration <f>   site fraction (8e-6)
+///   temperature <float>         kelvin (573)
+///   seed <uint>                 RNG seed (2021)
+///   potential eam|nnp           energy backend (nnp)
+///   model_path <path>           NNP weights file (train if absent)
+///   channels <c0,c1,...>        network widths (64,32,32,1)
+///   train_structures <int>      self-training set size (96)
+///   train_epochs <int>          self-training epochs (60)
+///   use_cache on|off            vacancy cache (on)
+///   use_tree on|off             tree propensity selection (on)
+///   t_end <float>               simulated seconds (1e-6)
+///   max_steps <int>             event cap (unlimited)
+///   report_interval <int>       events between progress reports (1000)
+///   dump_xyz <path>             trajectory output (off)
+///   dump_interval <int>         events between dump frames (1000)
+///   checkpoint_write <path>     periodic checkpoint output (off)
+///   checkpoint_interval <int>   events between checkpoints (10000)
+///   checkpoint_read <path>      resume from a checkpoint (off)
+class InputDeck {
+ public:
+  /// Parses a deck from a stream. Throws tkmc::Error on malformed lines,
+  /// unknown keys, or invalid values.
+  static InputDeck parse(std::istream& in);
+
+  /// Parses a deck from a file path.
+  static InputDeck parseFile(const std::string& path);
+
+  /// The SimulationConfig encoded by the deck.
+  SimulationConfig simulationConfig() const;
+
+  // Run-control settings beyond SimulationConfig.
+  double tEnd() const { return tEnd_; }
+  std::uint64_t maxSteps() const { return maxSteps_; }
+  std::uint64_t reportInterval() const { return reportInterval_; }
+  const std::string& dumpPath() const { return dumpPath_; }
+  std::uint64_t dumpInterval() const { return dumpInterval_; }
+  const std::string& checkpointWritePath() const { return checkpointWrite_; }
+  std::uint64_t checkpointInterval() const { return checkpointInterval_; }
+  const std::string& checkpointReadPath() const { return checkpointRead_; }
+
+  /// True when the deck set `key` explicitly.
+  bool has(const std::string& key) const { return raw_.count(key) > 0; }
+
+  /// Raw value of a key ("" when absent).
+  std::string rawValue(const std::string& key) const;
+
+ private:
+  void apply(const std::string& key, const std::string& value);
+
+  std::map<std::string, std::string> raw_;
+  SimulationConfig config_;
+  double tEnd_ = 1e-6;
+  std::uint64_t maxSteps_ = ~0ULL;
+  std::uint64_t reportInterval_ = 1000;
+  std::string dumpPath_;
+  std::uint64_t dumpInterval_ = 1000;
+  std::string checkpointWrite_;
+  std::uint64_t checkpointInterval_ = 10000;
+  std::string checkpointRead_;
+};
+
+}  // namespace tkmc

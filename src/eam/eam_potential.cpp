@@ -1,0 +1,165 @@
+#include "eam/eam_potential.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+EamPotential::EamPotential(double cutoff) : cutoff_(cutoff) {
+  require(cutoff > 3.0, "EAM cutoff must cover at least first neighbours");
+  switchStart_ = cutoff_ - 1.0;
+  // Morse parameters (eV, 1/A, A). r0 sits near the BCC 1NN distance
+  // (2.485 A at a = 2.87 A). The Fe-Cu cross well is shallower than the
+  // arithmetic mean of Fe-Fe and Cu-Cu, giving the positive heat of
+  // mixing that drives Cu precipitation.
+  pairs_[pairIndex(Species::kFe, Species::kFe)] = {0.42, 1.45, 2.50};
+  pairs_[pairIndex(Species::kFe, Species::kCu)] = {0.33, 1.40, 2.55};
+  pairs_[pairIndex(Species::kCu, Species::kCu)] = {0.38, 1.35, 2.56};
+  // Density/embedding: Fe binds slightly stronger in the many-body term.
+  elements_[0] = {1.00, 1.30, 0.85};  // Fe
+  elements_[1] = {0.90, 1.25, 0.72};  // Cu
+}
+
+int EamPotential::pairIndex(Species a, Species b) {
+  const int ia = static_cast<int>(a);
+  const int ib = static_cast<int>(b);
+  require(ia < kNumElements && ib < kNumElements,
+          "EAM pair requested for a vacancy");
+  return ia + ib;  // FeFe = 0, FeCu/CuFe = 1, CuCu = 2
+}
+
+double EamPotential::smooth(double r) const {
+  if (r >= cutoff_) return 0.0;
+  if (r <= switchStart_) return 1.0;
+  const double t = (r - switchStart_) / (cutoff_ - switchStart_);
+  return 0.5 * (1.0 + std::cos(kPi * t));
+}
+
+double EamPotential::smoothDerivative(double r) const {
+  if (r >= cutoff_ || r <= switchStart_) return 0.0;
+  const double w = cutoff_ - switchStart_;
+  const double t = (r - switchStart_) / w;
+  return -0.5 * kPi / w * std::sin(kPi * t);
+}
+
+double EamPotential::pair(Species a, Species b, double r) const {
+  if (r >= cutoff_) return 0.0;
+  const PairParams& p = pairs_[static_cast<std::size_t>(pairIndex(a, b))];
+  const double e = 1.0 - std::exp(-p.alpha * (r - p.r0));
+  return p.depth * (e * e - 1.0) * smooth(r);
+}
+
+double EamPotential::pairDerivative(Species a, Species b, double r) const {
+  if (r >= cutoff_) return 0.0;
+  const PairParams& p = pairs_[static_cast<std::size_t>(pairIndex(a, b))];
+  const double ex = std::exp(-p.alpha * (r - p.r0));
+  const double e = 1.0 - ex;
+  const double morse = p.depth * (e * e - 1.0);
+  const double dMorse = 2.0 * p.depth * e * p.alpha * ex;
+  return dMorse * smooth(r) + morse * smoothDerivative(r);
+}
+
+double EamPotential::density(Species b, double r) const {
+  if (r >= cutoff_) return 0.0;
+  const ElementParams& e = elements_[static_cast<std::size_t>(b)];
+  return e.rho0 * std::exp(-e.beta * (r - 2.5)) * smooth(r);
+}
+
+double EamPotential::densityDerivative(Species b, double r) const {
+  if (r >= cutoff_) return 0.0;
+  const ElementParams& e = elements_[static_cast<std::size_t>(b)];
+  const double base = e.rho0 * std::exp(-e.beta * (r - 2.5));
+  return -e.beta * base * smooth(r) + base * smoothDerivative(r);
+}
+
+double EamPotential::embedding(Species a, double rho) const {
+  const ElementParams& e = elements_[static_cast<std::size_t>(a)];
+  return -e.embed * std::sqrt(std::max(rho, 0.0));
+}
+
+double EamPotential::embeddingDerivative(Species a, double rho) const {
+  const ElementParams& e = elements_[static_cast<std::size_t>(a)];
+  if (rho <= 1e-12) return 0.0;
+  return -0.5 * e.embed / std::sqrt(rho);
+}
+
+EamPotential::PairDensity EamPotential::pairDensity(
+    Species self, const std::vector<std::pair<Species, double>>& neighbors) const {
+  PairDensity pd;
+  for (const auto& [sp, r] : neighbors) {
+    if (sp == Species::kVacancy) continue;
+    pd.pairSum += pair(self, sp, r);
+    pd.densitySum += density(sp, r);
+  }
+  return pd;
+}
+
+double EamPotential::atomEnergy(
+    Species self, const std::vector<std::pair<Species, double>>& neighbors) const {
+  if (self == Species::kVacancy) return 0.0;
+  const PairDensity pd = pairDensity(self, neighbors);
+  return 0.5 * pd.pairSum + embedding(self, pd.densitySum);
+}
+
+std::vector<double> EamPotential::atomEnergies(const Structure& s) const {
+  const std::size_t n = s.size();
+  std::vector<double> energies(n, 0.0);
+  std::vector<std::pair<Species, double>> neighbors;
+  for (std::size_t i = 0; i < n; ++i) {
+    neighbors.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double r = s.displacement(i, j).norm();
+      if (r < cutoff_) neighbors.emplace_back(s.species[j], r);
+    }
+    energies[i] = atomEnergy(s.species[i], neighbors);
+  }
+  return energies;
+}
+
+double EamPotential::totalEnergy(const Structure& s) const {
+  double total = 0.0;
+  for (double e : atomEnergies(s)) total += e;
+  return total;
+}
+
+std::vector<Vec3d> EamPotential::forces(const Structure& s) const {
+  const std::size_t n = s.size();
+  // Precompute densities to evaluate the embedding derivatives.
+  std::vector<double> rho(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double r = s.displacement(i, j).norm();
+      if (r < cutoff_) rho[i] += density(s.species[j], r);
+    }
+  std::vector<Vec3d> f(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const Vec3d d = s.displacement(i, j);  // from i to j
+      const double r = d.norm();
+      if (r >= cutoff_) continue;
+      // dE/dr for the (i, j) interaction as r_ij varies:
+      //   pair term (counted once per ordered pair via the 1/2 factors)
+      //   + F'(rho_i) drho_j/dr + F'(rho_j) drho_i/dr.
+      const double dPair = pairDerivative(s.species[i], s.species[j], r);
+      const double dEmbed =
+          embeddingDerivative(s.species[i], rho[i]) * densityDerivative(s.species[j], r) +
+          embeddingDerivative(s.species[j], rho[j]) * densityDerivative(s.species[i], r);
+      const double dEdr = dPair + dEmbed;
+      // Force on atom i is -dE/dx_i; moving i away from j increases r.
+      const double scale = dEdr / r;
+      f[i] = f[i] + d * scale;
+    }
+  }
+  return f;
+}
+
+}  // namespace tkmc

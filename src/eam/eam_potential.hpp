@@ -1,0 +1,100 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "lattice/structure.hpp"
+
+namespace tkmc {
+
+/// Embedded-atom-method potential for the Fe-Cu system.
+///
+/// Serves two roles in this reproduction:
+///  1. Ground-truth oracle replacing the paper's FHI-aims DFT reference:
+///     training data for the neural network potential is generated from
+///     EAM energies and forces (see DESIGN.md, substitution table).
+///  2. The potential of the OpenKMC baseline, whose per-atom pair sum
+///     E_V and electron density E_R arrays appear in Table 1 (Eq. 7):
+///     E(i) = 1/2 * E_V[i] + F_rho(E_R[i]).
+///
+/// Functional forms: Morse pair interaction, exponential electron
+/// density, square-root (Finnis-Sinclair) embedding, all smoothed to zero
+/// at the cutoff by a cosine switching function. Parameters are chosen so
+/// that Cu weakly demixes in Fe (positive heat of mixing), reproducing
+/// the precipitation thermodynamics driving the paper's application.
+class EamPotential {
+ public:
+  struct PairParams {
+    double depth;    // Morse well depth, eV
+    double alpha;    // Morse width, 1/angstrom
+    double r0;       // Morse equilibrium distance, angstrom
+  };
+
+  struct ElementParams {
+    double rho0;     // density prefactor
+    double beta;     // density decay, 1/angstrom
+    double embed;    // embedding strength A in F(rho) = -A * sqrt(rho), eV
+  };
+
+  /// Constructs the default Fe-Cu parameterization at the given cutoff.
+  explicit EamPotential(double cutoff = kDefaultCutoff);
+
+  double cutoff() const { return cutoff_; }
+
+  /// Pair interaction phi_ab(r) in eV; zero at and beyond the cutoff.
+  double pair(Species a, Species b, double r) const;
+
+  /// d(phi_ab)/dr.
+  double pairDerivative(Species a, Species b, double r) const;
+
+  /// Electron density contribution rho_b(r) of a neighbour of species b.
+  double density(Species b, double r) const;
+
+  /// d(rho_b)/dr.
+  double densityDerivative(Species b, double r) const;
+
+  /// Embedding energy F_a(rho) in eV.
+  double embedding(Species a, double rho) const;
+
+  /// dF_a/drho.
+  double embeddingDerivative(Species a, double rho) const;
+
+  /// Per-atom energy given the atom's species and its neighbour
+  /// (species, distance) list: F(rho_i) + 1/2 sum phi.
+  double atomEnergy(Species self,
+                    const std::vector<std::pair<Species, double>>& neighbors) const;
+
+  /// Total energy of an off-lattice structure (O(N^2) neighbour search;
+  /// intended for the small training cells).
+  double totalEnergy(const Structure& s) const;
+
+  /// Per-atom energies of a structure, same convention as atomEnergy().
+  std::vector<double> atomEnergies(const Structure& s) const;
+
+  /// Analytic forces, eV/angstrom.
+  std::vector<Vec3d> forces(const Structure& s) const;
+
+  /// The Eq. 7 decomposition for one atom: E_V (pair sum) and E_R
+  /// (density sum), from which E = 1/2 E_V + F(E_R).
+  struct PairDensity {
+    double pairSum = 0.0;
+    double densitySum = 0.0;
+  };
+  PairDensity pairDensity(Species self,
+                          const std::vector<std::pair<Species, double>>& neighbors) const;
+
+ private:
+  /// Cosine switching function: 1 well inside, 0 at the cutoff.
+  double smooth(double r) const;
+  double smoothDerivative(double r) const;
+
+  static int pairIndex(Species a, Species b);
+
+  double cutoff_;
+  double switchStart_;  // smoothing begins here
+  std::array<PairParams, 3> pairs_;       // FeFe, FeCu, CuCu
+  std::array<ElementParams, 2> elements_; // Fe, Cu
+};
+
+}  // namespace tkmc

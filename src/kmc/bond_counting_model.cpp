@@ -1,0 +1,74 @@
+#include "kmc/bond_counting_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "kmc/nnp_energy_model.hpp"
+
+namespace tkmc {
+namespace {
+
+int pairSlot(Species a, Species b) {
+  return static_cast<int>(a) + static_cast<int>(b);  // FeFe=0 FeCu=1 CuCu=2
+}
+
+}  // namespace
+
+BondCountingModel::BondCountingModel(const Cet& cet, const Net& net,
+                                     Parameters params)
+    : cet_(cet), net_(net), params_(params) {
+  // Identify the 1NN and 2NN shells among the NET's discrete distances.
+  const double a = cet.latticeConstant();
+  const double d1 = a * std::sqrt(3.0) / 2.0;
+  for (std::size_t i = 0; i < net.distances().size(); ++i) {
+    if (std::abs(net.distances()[i] - d1) < 1e-9)
+      firstShellIndex_ = static_cast<int>(i);
+    if (std::abs(net.distances()[i] - a) < 1e-9)
+      secondShellIndex_ = static_cast<int>(i);
+  }
+  require(firstShellIndex_ >= 0 && secondShellIndex_ >= 0,
+          "bond counting needs a cutoff covering 1NN and 2NN shells");
+}
+
+double BondCountingModel::bondEnergy(int distIndex, Species a, Species b) const {
+  if (distIndex == firstShellIndex_)
+    return params_.eps1[static_cast<std::size_t>(pairSlot(a, b))];
+  if (distIndex == secondShellIndex_)
+    return params_.eps2[static_cast<std::size_t>(pairSlot(a, b))];
+  return 0.0;  // bonds beyond 2NN carry no energy in this model
+}
+
+double BondCountingModel::regionEnergy(const Vet& vet, int state) const {
+  double total = 0.0;
+  for (int site = 0; site < cet_.nRegion(); ++site) {
+    const Species self = stateSpecies(vet, state, site);
+    if (self == Species::kVacancy) continue;
+    double bonds = 0.0;
+    for (const Net::Entry& e : net_.neighbors(site)) {
+      if (e.distIndex != firstShellIndex_ && e.distIndex != secondShellIndex_)
+        continue;
+      const Species nb = stateSpecies(vet, state, e.siteId);
+      if (nb == Species::kVacancy) continue;
+      bonds += bondEnergy(e.distIndex, self, nb);
+    }
+    total += 0.5 * bonds;
+  }
+  return total;
+}
+
+std::vector<double> BondCountingModel::stateEnergies(const LatticeState& state,
+                                                     Vec3i center,
+                                                     int numFinal) {
+  Vet vet = Vet::gather(cet_, state, center);
+  return stateEnergiesFromVet(vet, numFinal);
+}
+
+std::vector<double> BondCountingModel::stateEnergiesFromVet(Vet& vet,
+                                                            int numFinal) {
+  std::vector<double> energies(1 + static_cast<std::size_t>(numFinal));
+  for (int s = 0; s <= numFinal; ++s)
+    energies[static_cast<std::size_t>(s)] = regionEnergy(vet, s);
+  return energies;
+}
+
+}  // namespace tkmc

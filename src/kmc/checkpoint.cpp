@@ -1,0 +1,108 @@
+#include "kmc/checkpoint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+
+LatticeState CheckpointData::restoreState() const {
+  LatticeState state(BccLattice(cellsX, cellsY, cellsZ, latticeConstant));
+  require(species.size() == static_cast<std::size_t>(state.lattice().siteCount()),
+          "checkpoint species array does not match the box");
+  // Atoms first, then vacancies in their recorded list order (the engine
+  // addresses vacancies by index).
+  for (std::size_t id = 0; id < species.size(); ++id)
+    if (species[id] != Species::kVacancy)
+      state.setSpecies(static_cast<BccLattice::SiteId>(id), species[id]);
+  for (const Vec3i& v : vacancyOrder) {
+    require(species[static_cast<std::size_t>(state.lattice().siteId(v))] ==
+                Species::kVacancy,
+            "checkpoint vacancy list disagrees with the occupation");
+    state.setSpeciesAt(v, Species::kVacancy);
+  }
+  require(state.vacancies().size() == vacancyOrder.size(),
+          "checkpoint vacancy count mismatch");
+  return state;
+}
+
+void saveCheckpoint(const std::string& path, const LatticeState& state,
+                    const SerialEngine& engine) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  require(f != nullptr, "cannot open checkpoint for writing: " + path);
+  const BccLattice& lat = state.lattice();
+  const SerialEngine::Checkpoint cp = engine.checkpoint();
+  std::fprintf(f, "tensorkmc-checkpoint 1\n");
+  std::fprintf(f, "%d %d %d %.17g\n", lat.cellsX(), lat.cellsY(), lat.cellsZ(),
+               lat.latticeConstant());
+  std::fprintf(f, "%.17g %" PRIu64 "\n", cp.time, cp.steps);
+  std::fprintf(f, "%" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+               cp.rngState[0], cp.rngState[1], cp.rngState[2], cp.rngState[3]);
+  std::fprintf(f, "%zu\n", state.vacancies().size());
+  for (const Vec3i& v : state.vacancies())
+    std::fprintf(f, "%d %d %d\n", v.x, v.y, v.z);
+  // Occupation as one digit per site (0=Fe, 1=Cu, 2=vacancy), 80/line.
+  const auto& raw = state.raw();
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    std::fputc('0' + static_cast<int>(raw[i]), f);
+    if ((i + 1) % 80 == 0) std::fputc('\n', f);
+  }
+  if (raw.size() % 80 != 0) std::fputc('\n', f);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  require(ok, "failed writing checkpoint: " + path);
+}
+
+CheckpointData loadCheckpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  require(f != nullptr, "cannot open checkpoint: " + path);
+  CheckpointData data;
+  char magic[64] = {0};
+  int version = 0;
+  bool ok = std::fscanf(f, "%63s %d", magic, &version) == 2 &&
+            std::string(magic) == "tensorkmc-checkpoint" && version == 1;
+  ok = ok && std::fscanf(f, "%d %d %d %lg", &data.cellsX, &data.cellsY,
+                         &data.cellsZ, &data.latticeConstant) == 4;
+  ok = ok && std::fscanf(f, "%lg %" SCNu64, &data.engine.time,
+                         &data.engine.steps) == 2;
+  ok = ok &&
+       std::fscanf(f, "%" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64,
+                   &data.engine.rngState[0], &data.engine.rngState[1],
+                   &data.engine.rngState[2], &data.engine.rngState[3]) == 4;
+  std::size_t vacancyCount = 0;
+  ok = ok && std::fscanf(f, "%zu", &vacancyCount) == 1 &&
+       vacancyCount < (1ULL << 32);
+  for (std::size_t v = 0; ok && v < vacancyCount; ++v) {
+    Vec3i p;
+    ok = std::fscanf(f, "%d %d %d", &p.x, &p.y, &p.z) == 3;
+    if (ok) data.vacancyOrder.push_back(p);
+  }
+  // The digit-block reader below skips newlines, so no separator
+  // handling is needed here.
+  if (ok && data.cellsX > 0 && data.cellsY > 0 && data.cellsZ > 0) {
+    const std::size_t sites =
+        2ULL * static_cast<std::size_t>(data.cellsX) * data.cellsY * data.cellsZ;
+    data.species.reserve(sites);
+    while (data.species.size() < sites) {
+      const int c = std::fgetc(f);
+      if (c == EOF) {
+        ok = false;
+        break;
+      }
+      if (c == '\n' || c == '\r') continue;
+      if (c < '0' || c > '2') {
+        ok = false;
+        break;
+      }
+      data.species.push_back(static_cast<Species>(c - '0'));
+    }
+  } else {
+    ok = false;
+  }
+  std::fclose(f);
+  require(ok, "malformed checkpoint file: " + path);
+  return data;
+}
+
+}  // namespace tkmc

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+#include "kmc/serial_engine.hpp"
+#include "lattice/lattice_state.hpp"
+
+namespace tkmc {
+
+/// Checkpoint/restart for serial AKMC runs.
+///
+/// A checkpoint file carries the full lattice occupation plus the
+/// engine's time, step count, and RNG state. Because propensities, the
+/// vacancy cache, and the triple-encoding tables are pure functions of
+/// the lattice, restarting from a checkpoint continues the original
+/// trajectory *bit-exactly* (tested) — the property that makes
+/// long-running mesoscale campaigns restartable after machine failures.
+struct CheckpointData {
+  int cellsX = 0;
+  int cellsY = 0;
+  int cellsZ = 0;
+  double latticeConstant = 0.0;
+  std::vector<Species> species;
+  // Vacancy coordinates in the engine's list order. The selection RNG
+  // maps to vacancies *by index*, so bit-exact resume requires restoring
+  // the exact ordering, not just the occupation.
+  std::vector<Vec3i> vacancyOrder;
+  SerialEngine::Checkpoint engine;
+
+  /// Reconstructs the lattice occupation.
+  LatticeState restoreState() const;
+};
+
+/// Writes a checkpoint of `state` and `engine` to `path`.
+void saveCheckpoint(const std::string& path, const LatticeState& state,
+                    const SerialEngine& engine);
+
+/// Reads a checkpoint written by saveCheckpoint(). Throws tkmc::Error on
+/// format problems.
+CheckpointData loadCheckpoint(const std::string& path);
+
+}  // namespace tkmc

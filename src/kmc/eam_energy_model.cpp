@@ -1,0 +1,63 @@
+#include "kmc/eam_energy_model.hpp"
+
+namespace tkmc {
+
+EamEnergyModel::EamEnergyModel(const Cet& cet, const Net& net,
+                               const EamPotential& potential)
+    : cet_(cet), net_(net), potential_(potential) {
+  numDist_ = static_cast<int>(net.distances().size());
+  pairTable_.resize(static_cast<std::size_t>(kNumElements) * kNumElements *
+                    numDist_);
+  densityTable_.resize(static_cast<std::size_t>(kNumElements) * numDist_);
+  for (int a = 0; a < kNumElements; ++a)
+    for (int b = 0; b < kNumElements; ++b)
+      for (int d = 0; d < numDist_; ++d)
+        pairTable_[(static_cast<std::size_t>(a) * kNumElements + b) * numDist_ + d] =
+            potential.pair(static_cast<Species>(a), static_cast<Species>(b),
+                           net.distances()[static_cast<std::size_t>(d)]);
+  for (int b = 0; b < kNumElements; ++b)
+    for (int d = 0; d < numDist_; ++d)
+      densityTable_[static_cast<std::size_t>(b) * numDist_ + d] =
+          potential.density(static_cast<Species>(b),
+                            net.distances()[static_cast<std::size_t>(d)]);
+}
+
+double EamEnergyModel::regionEnergy(const Vet& vet, int state) const {
+  double total = 0.0;
+  for (int site = 0; site < cet_.nRegion(); ++site) {
+    const Species self = stateSpecies(vet, state, site);
+    if (self == Species::kVacancy) continue;
+    double pairSum = 0.0;
+    double density = 0.0;
+    for (const Net::Entry& e : net_.neighbors(site)) {
+      const Species nb = stateSpecies(vet, state, e.siteId);
+      if (nb == Species::kVacancy) continue;
+      pairSum += pairTable_[(static_cast<std::size_t>(static_cast<int>(self)) *
+                                 kNumElements +
+                             static_cast<int>(nb)) *
+                                numDist_ +
+                            e.distIndex];
+      density += densityTable_[static_cast<std::size_t>(static_cast<int>(nb)) *
+                                   numDist_ +
+                               e.distIndex];
+    }
+    total += 0.5 * pairSum + potential_.embedding(self, density);
+  }
+  return total;
+}
+
+std::vector<double> EamEnergyModel::stateEnergies(const LatticeState& state,
+                                                  Vec3i center, int numFinal) {
+  Vet vet = Vet::gather(cet_, state, center);
+  return stateEnergiesFromVet(vet, numFinal);
+}
+
+std::vector<double> EamEnergyModel::stateEnergiesFromVet(Vet& vet,
+                                                         int numFinal) {
+  std::vector<double> energies(1 + static_cast<std::size_t>(numFinal));
+  for (int s = 0; s <= numFinal; ++s)
+    energies[static_cast<std::size_t>(s)] = regionEnergy(vet, s);
+  return energies;
+}
+
+}  // namespace tkmc

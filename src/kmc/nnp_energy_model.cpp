@@ -1,0 +1,44 @@
+#include "kmc/nnp_energy_model.hpp"
+
+#include "common/error.hpp"
+
+namespace tkmc {
+
+NnpEnergyModel::NnpEnergyModel(const Cet& cet, const Net& net,
+                               const FeatureTable& table,
+                               const Network& network)
+    : cet_(cet), net_(net), network_(network), features_(net, table) {
+  require(network.inputDim() == table.numPq() * kNumElements,
+          "network input dimension must match the descriptor");
+}
+
+std::vector<double> NnpEnergyModel::stateEnergies(const LatticeState& state,
+                                                  Vec3i center, int numFinal) {
+  Vet vet = Vet::gather(cet_, state, center);
+  return stateEnergiesFromVet(vet, numFinal);
+}
+
+std::vector<double> NnpEnergyModel::stateEnergiesFromVet(Vet& vet,
+                                                         int numFinal) {
+  const int nRegion = cet_.nRegion();
+  features_.computeStates(vet, numFinal, featureBuffer_);
+  const int numStates = 1 + numFinal;
+  energyBuffer_.resize(static_cast<std::size_t>(numStates) *
+                       static_cast<std::size_t>(nRegion));
+  network_.forwardBatch(featureBuffer_.data(), numStates * nRegion,
+                        energyBuffer_.data());
+  std::vector<double> energies(static_cast<std::size_t>(numStates), 0.0);
+  for (int s = 0; s < numStates; ++s) {
+    double total = 0.0;
+    const double* atomE =
+        energyBuffer_.data() + static_cast<std::size_t>(s) * nRegion;
+    for (int site = 0; site < nRegion; ++site) {
+      if (stateSpecies(vet, s, site) == Species::kVacancy) continue;
+      total += atomE[site];
+    }
+    energies[static_cast<std::size_t>(s)] = total;
+  }
+  return energies;
+}
+
+}  // namespace tkmc

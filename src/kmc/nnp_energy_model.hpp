@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "kmc/energy_model.hpp"
+#include "nnp/network.hpp"
+#include "tabulation/cet.hpp"
+#include "tabulation/net.hpp"
+#include "tabulation/region_features.hpp"
+#include "tabulation/vet.hpp"
+
+namespace tkmc {
+
+/// The TensorKMC energy backend: triple-encoding tabulation feeding the
+/// neural network potential.
+///
+/// Per call: one VET gather (the only access to the big lattice array),
+/// tabulated feature evaluation for the initial and final states (Eq. 6),
+/// a batched network forward, and per-state sums over the jumping region
+/// with vacancy sites masked out.
+class NnpEnergyModel : public EnergyModel {
+ public:
+  /// All references must outlive the model.
+  NnpEnergyModel(const Cet& cet, const Net& net, const FeatureTable& table,
+                 const Network& network);
+
+  std::vector<double> stateEnergies(const LatticeState& state, Vec3i center,
+                                    int numFinal) override;
+
+  /// Energy evaluation from an already-gathered VET (used by engines that
+  /// maintain VETs incrementally through the vacancy cache).
+  std::vector<double> stateEnergiesFromVet(Vet& vet, int numFinal) override;
+
+  bool supportsVet() const override { return true; }
+
+  const char* name() const override { return "nnp-tet"; }
+
+  const Cet& cet() const { return cet_; }
+
+ private:
+  const Cet& cet_;
+  const Net& net_;
+  const Network& network_;
+  RegionFeatures features_;
+  // Scratch reused across calls.
+  std::vector<double> featureBuffer_;
+  std::vector<double> energyBuffer_;
+};
+
+/// Species of CET site `siteId` in state `state` (0 = initial, k > 0 =
+/// after the hop to jump target k), given the initial-state VET. Shared
+/// by every backend so masking logic cannot diverge.
+inline Species stateSpecies(const Vet& vet, int state, int siteId) {
+  if (state == 0) return vet[siteId];
+  const int target = Cet::jumpTargetId(state - 1);
+  if (siteId == 0) return vet[target];
+  if (siteId == target) return vet[0];
+  return vet[siteId];
+}
+
+}  // namespace tkmc

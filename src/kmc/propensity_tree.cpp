@@ -1,0 +1,71 @@
+#include "kmc/propensity_tree.hpp"
+
+#include "common/error.hpp"
+
+namespace tkmc {
+
+PropensityTree::PropensityTree(int leaves) { resize(leaves); }
+
+void PropensityTree::resize(int leaves) {
+  require(leaves >= 0, "leaf count must be non-negative");
+  leaves_ = leaves;
+  base_ = 1;
+  while (base_ < leaves) base_ <<= 1;
+  if (leaves == 0) base_ = 1;
+  nodes_.assign(static_cast<std::size_t>(2 * base_), 0.0);
+}
+
+void PropensityTree::update(int index, double value) {
+  require(index >= 0 && index < leaves_, "leaf index out of range");
+  std::size_t node = static_cast<std::size_t>(base_ + index);
+  nodes_[node] = value;
+  while (node > 1) {
+    node >>= 1;
+    nodes_[node] = nodes_[2 * node] + nodes_[2 * node + 1];
+  }
+}
+
+double PropensityTree::leaf(int index) const {
+  require(index >= 0 && index < leaves_, "leaf index out of range");
+  return nodes_[static_cast<std::size_t>(base_ + index)];
+}
+
+double PropensityTree::total() const { return nodes_.size() > 1 ? nodes_[1] : 0.0; }
+
+int PropensityTree::select(double target) const {
+  require(leaves_ > 0, "cannot select from an empty tree");
+  require(target >= 0.0, "selection target must be non-negative");
+  std::size_t node = 1;
+  while (node < static_cast<std::size_t>(base_)) {
+    const double left = nodes_[2 * node];
+    if (target < left) {
+      node = 2 * node;
+    } else {
+      target -= left;
+      node = 2 * node + 1;
+    }
+  }
+  int index = static_cast<int>(node) - base_;
+  // Guard against target == total() (can happen at the fp boundary):
+  // walk back to the last non-empty leaf.
+  if (index >= leaves_) index = leaves_ - 1;
+  while (index > 0 && nodes_[static_cast<std::size_t>(base_ + index)] == 0.0)
+    --index;
+  return index;
+}
+
+int PropensityTree::selectLinear(double target) const {
+  require(leaves_ > 0, "cannot select from an empty tree");
+  double cumulative = 0.0;
+  for (int i = 0; i < leaves_; ++i) {
+    cumulative += nodes_[static_cast<std::size_t>(base_ + i)];
+    if (target < cumulative) return i;
+  }
+  // target fell beyond the last cumulative due to rounding; return the
+  // last non-empty leaf.
+  for (int i = leaves_ - 1; i >= 0; --i)
+    if (nodes_[static_cast<std::size_t>(base_ + i)] > 0.0) return i;
+  return leaves_ - 1;
+}
+
+}  // namespace tkmc

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tkmc {
+
+/// Binary sum tree over per-vacancy total propensities — the paper's
+/// "tree strategy for propensity update" (Sec. 4.4).
+///
+/// update() is O(log n) and select() walks the tree in O(log n), against
+/// the O(n) linear alternative kept for the ablation bench. Internal node
+/// values are always recomputed as the sum of their two children, so the
+/// stored partial sums are a pure function of the leaf values regardless
+/// of update order — a property the bit-identical trajectory tests rely
+/// on.
+class PropensityTree {
+ public:
+  explicit PropensityTree(int leaves = 0);
+
+  /// Re-sizes to `leaves` leaves, all zero.
+  void resize(int leaves);
+
+  int leafCount() const { return leaves_; }
+
+  /// Sets leaf `index` and repairs the path to the root.
+  void update(int index, double value);
+
+  double leaf(int index) const;
+
+  /// Total propensity (root value).
+  double total() const;
+
+  /// Finds the leaf containing cumulative position `target` in
+  /// [0, total()). Deterministic left-to-right walk.
+  int select(double target) const;
+
+  /// Linear-scan equivalent over the same leaves (ablation baseline).
+  int selectLinear(double target) const;
+
+ private:
+  int leaves_ = 0;
+  int base_ = 0;                // first leaf slot (power-of-two layout)
+  std::vector<double> nodes_;   // 1-indexed heap layout
+};
+
+}  // namespace tkmc

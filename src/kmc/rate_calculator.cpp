@@ -1,0 +1,40 @@
+#include "kmc/rate_calculator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+
+JumpRates computeRates(const Vet& vet, const std::vector<double>& energies,
+                       double temperature) {
+  require(static_cast<int>(energies.size()) >= 1 + kNumJumpDirections,
+          "need initial plus eight final-state energies");
+  require(temperature > 0.0, "temperature must be positive");
+  JumpRates rates;
+  const double initial = energies[0];
+  const double kt = kBoltzmannEv * temperature;
+  for (int k = 0; k < kNumJumpDirections; ++k) {
+    const Species migrating = vet[Cet::jumpTargetId(k)];
+    if (migrating == Species::kVacancy) {
+      rates.rate[static_cast<std::size_t>(k)] = 0.0;
+      continue;
+    }
+    const double deltaE = energies[static_cast<std::size_t>(k) + 1] - initial;
+    const double barrier =
+        std::max(referenceActivation(migrating) + 0.5 * deltaE, 0.0);
+    rates.rate[static_cast<std::size_t>(k)] =
+        kAttemptFrequency * std::exp(-barrier / kt);
+  }
+  for (double r : rates.rate) rates.total += r;
+  return rates;
+}
+
+double residenceTime(double r, double totalPropensity) {
+  require(r > 0.0 && r <= 1.0, "residence-time draw must be in (0, 1]");
+  require(totalPropensity > 0.0, "total propensity must be positive");
+  return -std::log(r) / totalPropensity;
+}
+
+}  // namespace tkmc

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "tabulation/vet.hpp"
+
+namespace tkmc {
+
+/// Transition rates of one vacancy's eight candidate hops.
+struct JumpRates {
+  std::array<double, kNumJumpDirections> rate{};
+  double total = 0.0;
+};
+
+/// Rate law of Eqs. (1)-(2): Gamma = Gamma_0 exp(-E_a / k_B T) with
+/// E_a = E_a^0(migrating species) + (E_f - E_i) / 2, clamped at zero
+/// (a barrier cannot be negative). Jumps whose target holds another
+/// vacancy are forbidden (rate zero).
+///
+/// `energies` is the stateEnergies() output: [E_i, E_f(0..numFinal-1)].
+/// The migrating species for direction k is the atom at jump target k
+/// (VET id 1 + k) in the initial state.
+JumpRates computeRates(const Vet& vet, const std::vector<double>& energies,
+                       double temperature);
+
+/// Residence-time increment of Eq. (3): dt = -ln(r) / totalPropensity,
+/// with r in (0, 1].
+double residenceTime(double r, double totalPropensity);
+
+}  // namespace tkmc

@@ -1,0 +1,129 @@
+#include "kmc/serial_engine.hpp"
+
+#include "common/error.hpp"
+
+namespace tkmc {
+
+SerialEngine::SerialEngine(LatticeState& state, EnergyModel& model,
+                           const Cet& cet, KmcConfig config)
+    : state_(state), model_(model), cet_(cet), config_(config),
+      rng_(config.seed), cache_(cet, state.lattice()) {
+  require(!state.vacancies().empty(),
+          "AKMC needs at least one vacancy to evolve");
+  if (config_.useVacancyCache) {
+    require(model.supportsVet(),
+            "vacancy cache requires a VET-capable energy backend");
+  }
+  const int n = static_cast<int>(state.vacancies().size());
+  rates_.resize(static_cast<std::size_t>(n));
+  tree_.resize(n);
+  if (config_.useVacancyCache) {
+    cache_.rebuild(state);
+  } else {
+    dirtyNoCache_.assign(static_cast<std::size_t>(n), true);
+  }
+}
+
+void SerialEngine::refreshDirty() {
+  const int n = static_cast<int>(state_.vacancies().size());
+  for (int v = 0; v < n; ++v) {
+    std::vector<double> energies;
+    if (config_.useVacancyCache) {
+      if (!cache_.isDirty(v)) continue;
+      energies = model_.stateEnergiesFromVet(cache_.vet(v), kNumJumpDirections);
+      rates_[static_cast<std::size_t>(v)] = computeRates(
+          cache_.vet(v), energies, config_.temperature);
+      cache_.clearDirty(v);
+    } else {
+      if (!dirtyNoCache_[static_cast<std::size_t>(v)]) continue;
+      const Vec3i center = state_.lattice().wrap(state_.vacancies()[static_cast<std::size_t>(v)]);
+      energies = model_.stateEnergies(state_, center, kNumJumpDirections);
+      // Rates need the migrating species per direction; build a one-shot
+      // VET view for that lookup (geometry only, species from lattice).
+      Vet vet = Vet::gather(cet_, state_, center);
+      rates_[static_cast<std::size_t>(v)] =
+          computeRates(vet, energies, config_.temperature);
+      dirtyNoCache_[static_cast<std::size_t>(v)] = false;
+    }
+    tree_.update(v, rates_[static_cast<std::size_t>(v)].total);
+    ++energyEvals_;
+  }
+}
+
+SerialEngine::StepResult SerialEngine::step() {
+  StepResult result;
+  refreshDirty();
+  const double total = tree_.total();
+  if (total <= 0.0) return result;
+
+  // Draw order is fixed (vacancy, direction, time) so that engines with
+  // different caching strategies consume the stream identically.
+  const double u1 = rng_.uniform();
+  const int v = config_.useTree ? tree_.select(u1 * total)
+                                : tree_.selectLinear(u1 * total);
+  const JumpRates& jr = rates_[static_cast<std::size_t>(v)];
+  const double u2 = rng_.uniform();
+  double target = u2 * jr.total;
+  int direction = 0;
+  for (; direction < kNumJumpDirections - 1; ++direction) {
+    target -= jr.rate[static_cast<std::size_t>(direction)];
+    if (target < 0.0) break;
+  }
+  // Guard: u2 may land on a zero-rate tail slot; back up to a feasible one.
+  while (direction > 0 && jr.rate[static_cast<std::size_t>(direction)] == 0.0)
+    --direction;
+  const double dt = residenceTime(rng_.uniformOpenLeft(), total);
+
+  const Vec3i from = state_.lattice().wrap(
+      state_.vacancies()[static_cast<std::size_t>(v)]);
+  const Vec3i to = state_.lattice().wrap(
+      from + BccLattice::firstNeighborOffsets()[static_cast<std::size_t>(direction)]);
+  state_.hopVacancy(from, to);
+
+  if (config_.useVacancyCache) {
+    cache_.applyHop(state_, v, from, to);
+  } else {
+    // Everything within interaction range of the changed sites is stale;
+    // without the cache we simply refresh all vacancies next step.
+    std::fill(dirtyNoCache_.begin(), dirtyNoCache_.end(), true);
+  }
+
+  time_ += dt;
+  ++steps_;
+  result.advanced = true;
+  result.dt = dt;
+  result.from = from;
+  result.to = to;
+  result.vacancyIndex = v;
+  result.direction = direction;
+  if (observer_) observer_(*this, result);
+  return result;
+}
+
+void SerialEngine::restore(const Checkpoint& cp) {
+  time_ = cp.time;
+  steps_ = cp.steps;
+  rng_.setState(cp.rngState);
+  // Propensities and the vacancy cache derive from the (restored)
+  // lattice; rebuild them from scratch.
+  const int n = static_cast<int>(state_.vacancies().size());
+  rates_.assign(static_cast<std::size_t>(n), JumpRates{});
+  tree_.resize(n);
+  if (config_.useVacancyCache) {
+    cache_.rebuild(state_);
+  } else {
+    dirtyNoCache_.assign(static_cast<std::size_t>(n), true);
+  }
+}
+
+std::uint64_t SerialEngine::run() {
+  std::uint64_t executed = 0;
+  while (time_ < config_.tEnd && steps_ < config_.maxSteps) {
+    const StepResult r = step();
+    if (!r.advanced) break;
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace tkmc

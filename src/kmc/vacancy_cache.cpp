@@ -1,0 +1,63 @@
+#include "kmc/vacancy_cache.hpp"
+
+#include "common/error.hpp"
+
+namespace tkmc {
+
+VacancyCache::VacancyCache(const Cet& cet, const BccLattice& lattice)
+    : cet_(cet), lattice_(lattice) {}
+
+void VacancyCache::rebuild(const LatticeState& state) {
+  entries_.clear();
+  entries_.reserve(state.vacancies().size());
+  for (const Vec3i& v : state.vacancies()) {
+    Entry e;
+    e.center = state.lattice().wrap(v);
+    e.vet = Vet::gather(cet_, state, e.center);
+    e.dirty = true;
+    entries_.push_back(std::move(e));
+    ++gathers_;
+  }
+}
+
+void VacancyCache::applyHop(const LatticeState& state, int vacIndex,
+                            Vec3i from, Vec3i to) {
+  require(vacIndex >= 0 && vacIndex < size(), "vacancy index out of range");
+  const Vec3i fromW = lattice_.wrap(from);
+  const Vec3i toW = lattice_.wrap(to);
+  const Species atFrom = state.speciesAt(fromW);  // the migrated atom
+
+  for (int i = 0; i < size(); ++i) {
+    Entry& e = entries_[static_cast<std::size_t>(i)];
+    if (i == vacIndex) {
+      // The hopped vacancy's whole neighbourhood shifted: re-gather.
+      e.center = toW;
+      e.vet = Vet::gather(cet_, state, e.center);
+      e.dirty = true;
+      ++gathers_;
+      continue;
+    }
+    // Patch the two changed sites into any system that contains them.
+    bool touched = false;
+    const int idFrom = cet_.idOf(lattice_.minimumImage(e.center, fromW));
+    if (idFrom >= 0) {
+      e.vet.set(idFrom, atFrom);
+      touched = true;
+    }
+    const int idTo = cet_.idOf(lattice_.minimumImage(e.center, toW));
+    if (idTo >= 0) {
+      e.vet.set(idTo, Species::kVacancy);
+      touched = true;
+    }
+    if (touched) e.dirty = true;
+  }
+}
+
+std::size_t VacancyCache::memoryBytes() const {
+  // Per CET slot: one species byte in the VET plus a 4-byte cached global
+  // site id (the layout the paper's Table 1 "VAC Cache" row reflects).
+  return entries_.size() *
+         static_cast<std::size_t>(cet_.nAll()) * (sizeof(Species) + 4);
+}
+
+}  // namespace tkmc

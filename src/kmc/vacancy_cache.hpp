@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/lattice_state.hpp"
+#include "tabulation/cet.hpp"
+#include "tabulation/vet.hpp"
+
+namespace tkmc {
+
+/// Vacancy-cache mechanism (paper Sec. 3.2).
+///
+/// Instead of the OpenKMC "cache all" strategy (per-atom property arrays
+/// spanning the whole domain), only vacancy systems are cached: one VET
+/// per vacancy. After a hop, the two changed sites are pushed into every
+/// cached VET they appear in, and those systems are flagged dirty so the
+/// next propensity calculation refreshes their rates. Full gathers from
+/// the big lattice array happen only at initialization and for the hopped
+/// vacancy itself.
+class VacancyCache {
+ public:
+  VacancyCache(const Cet& cet, const BccLattice& lattice);
+
+  /// Discards everything and gathers a VET for every vacancy of `state`.
+  /// All entries start dirty.
+  void rebuild(const LatticeState& state);
+
+  int size() const { return static_cast<int>(entries_.size()); }
+
+  Vet& vet(int index) { return entries_[static_cast<std::size_t>(index)].vet; }
+  Vec3i center(int index) const {
+    return entries_[static_cast<std::size_t>(index)].center;
+  }
+
+  bool isDirty(int index) const {
+    return entries_[static_cast<std::size_t>(index)].dirty;
+  }
+  void clearDirty(int index) {
+    entries_[static_cast<std::size_t>(index)].dirty = false;
+  }
+  void markDirty(int index) {
+    entries_[static_cast<std::size_t>(index)].dirty = true;
+  }
+
+  /// Propagates an applied hop: `state` must already reflect the move of
+  /// vacancy `vacIndex` from `from` to `to`. The hopped vacancy's system
+  /// is re-gathered; every other cached system containing either site is
+  /// patched in place and marked dirty.
+  void applyHop(const LatticeState& state, int vacIndex, Vec3i from, Vec3i to);
+
+  /// Number of full VET gathers performed (instrumentation).
+  std::uint64_t gatherCount() const { return gathers_; }
+
+  /// Bytes held by the cache (the paper's "VAC Cache" Table 1 entry:
+  /// species byte + 4-byte global site id per CET slot, per vacancy).
+  std::size_t memoryBytes() const;
+
+ private:
+  struct Entry {
+    Vec3i center;  // wrapped vacancy coordinate
+    Vet vet;
+    bool dirty = true;
+  };
+
+  const Cet& cet_;
+  const BccLattice& lattice_;
+  std::vector<Entry> entries_;
+  std::uint64_t gathers_ = 0;
+};
+
+}  // namespace tkmc

@@ -1,0 +1,105 @@
+#include "lattice/bcc_lattice.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+namespace {
+
+int wrapComponent(int value, int period) {
+  int r = value % period;
+  if (r < 0) r += period;
+  return r;
+}
+
+// Wraps a displacement component to the nearest image in (-period/2, period/2].
+int wrapDisplacement(int value, int period) {
+  int r = wrapComponent(value, period);
+  if (r * 2 > period) r -= period;
+  return r;
+}
+
+}  // namespace
+
+BccLattice::BccLattice(int cellsX, int cellsY, int cellsZ, double latticeConstant)
+    : cellsX_(cellsX), cellsY_(cellsY), cellsZ_(cellsZ), a_(latticeConstant) {
+  require(cellsX > 0 && cellsY > 0 && cellsZ > 0,
+          "lattice must have positive extent");
+  require(latticeConstant > 0.0, "lattice constant must be positive");
+}
+
+Vec3i BccLattice::wrap(Vec3i p) const {
+  return {wrapComponent(p.x, 2 * cellsX_), wrapComponent(p.y, 2 * cellsY_),
+          wrapComponent(p.z, 2 * cellsZ_)};
+}
+
+BccLattice::SiteId BccLattice::siteId(Vec3i p) const {
+  const Vec3i w = wrap(p);
+  require(isLatticeSite(w), "coordinate is not a BCC lattice site");
+  const int sub = w.x & 1;  // 0 = corner sublattice, 1 = body-centre.
+  const int cx = w.x >> 1;
+  const int cy = w.y >> 1;
+  const int cz = w.z >> 1;
+  const SiteId cell = cx + static_cast<SiteId>(cellsX_) *
+                               (cy + static_cast<SiteId>(cellsY_) * cz);
+  return cell * 2 + sub;
+}
+
+Vec3i BccLattice::coordinate(SiteId id) const {
+  require(id >= 0 && id < siteCount(), "site id out of range");
+  const int sub = static_cast<int>(id & 1);
+  SiteId cell = id >> 1;
+  const int cx = static_cast<int>(cell % cellsX_);
+  cell /= cellsX_;
+  const int cy = static_cast<int>(cell % cellsY_);
+  const int cz = static_cast<int>(cell / cellsY_);
+  return {2 * cx + sub, 2 * cy + sub, 2 * cz + sub};
+}
+
+const std::vector<Vec3i>& BccLattice::firstNeighborOffsets() {
+  static const std::vector<Vec3i> offsets = [] {
+    std::vector<Vec3i> v;
+    for (int sx : {-1, 1})
+      for (int sy : {-1, 1})
+        for (int sz : {-1, 1}) v.push_back({sx, sy, sz});
+    return v;
+  }();
+  return offsets;
+}
+
+std::vector<Vec3i> BccLattice::offsetsWithinCutoff(double cutoff) const {
+  require(cutoff > 0.0, "cutoff must be positive");
+  // Enumerate same-parity offsets inside the bounding cube and keep those
+  // within the Euclidean cutoff.
+  const int maxStep = static_cast<int>(std::floor(2.0 * cutoff / a_));
+  const double cutoff2Steps = (2.0 * cutoff / a_) * (2.0 * cutoff / a_);
+  std::vector<Vec3i> result;
+  for (int x = -maxStep; x <= maxStep; ++x)
+    for (int y = -maxStep; y <= maxStep; ++y)
+      for (int z = -maxStep; z <= maxStep; ++z) {
+        const Vec3i d{x, y, z};
+        if (d == Vec3i{}) continue;
+        if (!isLatticeSite(d)) continue;
+        // Use a tiny tolerance so sites exactly at the cutoff are kept,
+        // matching the shell counts quoted in the paper.
+        if (static_cast<double>(d.norm2()) <= cutoff2Steps * (1.0 + 1e-12))
+          result.push_back(d);
+      }
+  std::sort(result.begin(), result.end(), [](Vec3i a, Vec3i b) {
+    if (a.norm2() != b.norm2()) return a.norm2() < b.norm2();
+    if (a.x != b.x) return a.x < b.x;
+    if (a.y != b.y) return a.y < b.y;
+    return a.z < b.z;
+  });
+  return result;
+}
+
+Vec3i BccLattice::minimumImage(Vec3i from, Vec3i to) const {
+  const Vec3i d = to - from;
+  return {wrapDisplacement(d.x, 2 * cellsX_), wrapDisplacement(d.y, 2 * cellsY_),
+          wrapDisplacement(d.z, 2 * cellsZ_)};
+}
+
+}  // namespace tkmc

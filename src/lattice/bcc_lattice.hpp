@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/vec3.hpp"
+
+namespace tkmc {
+
+/// Body-centred-cubic lattice on a periodic box of Lx x Ly x Lz unit
+/// cells (2 sites per cell).
+///
+/// Sites use doubled-integer coordinates: valid sites have x, y, z all
+/// even (corner sublattice) or all odd (body-centre sublattice), with
+/// 0 <= x < 2*Lx and so on. A doubled-integer step of 1 corresponds to
+/// a/2 angstrom. First nearest neighbours sit at offsets (+-1, +-1, +-1).
+class BccLattice {
+ public:
+  using SiteId = std::int64_t;
+
+  BccLattice(int cellsX, int cellsY, int cellsZ, double latticeConstant);
+
+  int cellsX() const { return cellsX_; }
+  int cellsY() const { return cellsY_; }
+  int cellsZ() const { return cellsZ_; }
+  double latticeConstant() const { return a_; }
+
+  /// Total number of lattice sites (2 per unit cell).
+  SiteId siteCount() const { return 2LL * cellsX_ * cellsY_ * cellsZ_; }
+
+  /// True when the doubled-integer triple lies on the BCC lattice
+  /// (same parity in all components). Coordinates may be outside the box.
+  static bool isLatticeSite(Vec3i p) {
+    const int parity = p.x & 1;
+    return (p.y & 1) == parity && (p.z & 1) == parity;
+  }
+
+  /// Wraps a doubled-integer coordinate into the periodic box.
+  Vec3i wrap(Vec3i p) const;
+
+  /// Linear site id of an (already wrapped or unwrapped) coordinate.
+  SiteId siteId(Vec3i p) const;
+
+  /// Inverse of siteId().
+  Vec3i coordinate(SiteId id) const;
+
+  /// Physical position in angstrom of an (unwrapped) coordinate.
+  Vec3d position(Vec3i p) const { return {p.x * a_ / 2, p.y * a_ / 2, p.z * a_ / 2}; }
+
+  /// Physical distance corresponding to a doubled-integer offset.
+  double offsetDistance(Vec3i offset) const {
+    return std::sqrt(static_cast<double>(offset.norm2())) * a_ / 2;
+  }
+
+  /// The eight first-nearest-neighbour offsets (+-1, +-1, +-1) in a fixed,
+  /// reproducible order.
+  static const std::vector<Vec3i>& firstNeighborOffsets();
+
+  /// All lattice offsets with 0 < |offset| * a/2 <= cutoff, ordered by
+  /// squared distance then lexicographically. Deterministic; shared by
+  /// CET construction and brute-force reference paths.
+  std::vector<Vec3i> offsetsWithinCutoff(double cutoff) const;
+
+  /// Minimum-image doubled-integer displacement from p to q.
+  Vec3i minimumImage(Vec3i from, Vec3i to) const;
+
+ private:
+  int cellsX_;
+  int cellsY_;
+  int cellsZ_;
+  double a_;
+};
+
+}  // namespace tkmc

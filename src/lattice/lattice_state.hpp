@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "common/rng.hpp"
+#include "lattice/bcc_lattice.hpp"
+
+namespace tkmc {
+
+/// Occupation state of a periodic BCC box: one Species per site plus an
+/// explicit list of vacancy locations (vacancies drive all AKMC kinetics,
+/// so they are tracked directly rather than rediscovered by scanning).
+class LatticeState {
+ public:
+  using SiteId = BccLattice::SiteId;
+
+  explicit LatticeState(BccLattice lattice);
+
+  const BccLattice& lattice() const { return lattice_; }
+
+  Species species(SiteId id) const { return species_[static_cast<std::size_t>(id)]; }
+  Species speciesAt(Vec3i p) const { return species(lattice_.siteId(p)); }
+
+  /// Overwrites every site with `s` and clears the vacancy list.
+  void fill(Species s);
+
+  /// Sets a site's species, maintaining the vacancy list.
+  void setSpecies(SiteId id, Species s);
+  void setSpeciesAt(Vec3i p, Species s) { setSpecies(lattice_.siteId(p), s); }
+
+  /// Exchanges a vacancy with the atom at `to`. `from` must hold a
+  /// vacancy. Vacancy list entries are updated in place, preserving
+  /// vacancy ordering (required for trajectory reproducibility).
+  void hopVacancy(Vec3i from, Vec3i to);
+
+  /// Vacancy coordinates in creation order.
+  const std::vector<Vec3i>& vacancies() const { return vacancies_; }
+
+  /// Number of sites holding a given species (O(sites); for tests and
+  /// analysis, not hot paths).
+  std::int64_t countSpecies(Species s) const;
+
+  /// Populates the box as a random Fe matrix with `cuFraction` Cu atoms
+  /// and `vacancyCount` vacancies, deterministically from `rng`.
+  void randomAlloy(double cuFraction, std::int64_t vacancyCount, Rng& rng);
+
+  /// Raw species array (local ids follow BccLattice::siteId order).
+  const std::vector<Species>& raw() const { return species_; }
+
+ private:
+  BccLattice lattice_;
+  std::vector<Species> species_;
+  std::vector<Vec3i> vacancies_;
+};
+
+}  // namespace tkmc

@@ -1,0 +1,115 @@
+#include "lattice/site_indexer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "lattice/bcc_lattice.hpp"
+
+namespace tkmc {
+namespace {
+
+// Clamps v into [0, n].
+std::int64_t clampCount(std::int64_t v, std::int64_t n) {
+  return std::max<std::int64_t>(0, std::min(v, n));
+}
+
+}  // namespace
+
+SiteIndexer::SiteIndexer(Vec3i originCells, Vec3i extentCells, int ghostCells)
+    : originCells_(originCells), extentCells_(extentCells), ghost_(ghostCells) {
+  require(extentCells.x > 0 && extentCells.y > 0 && extentCells.z > 0,
+          "subdomain extent must be positive");
+  require(ghostCells >= 0, "ghost width must be non-negative");
+  extOriginCells_ = {originCells.x - ghostCells, originCells.y - ghostCells,
+                     originCells.z - ghostCells};
+  extExtentCells_ = {extentCells.x + 2 * ghostCells,
+                     extentCells.y + 2 * ghostCells,
+                     extentCells.z + 2 * ghostCells};
+  localSites_ = 2LL * extentCells.x * extentCells.y * extentCells.z;
+  extendedSites_ =
+      2LL * extExtentCells_.x * extExtentCells_.y * extExtentCells_.z;
+}
+
+bool SiteIndexer::contains(Vec3i p) const {
+  if (!BccLattice::isLatticeSite(p)) return false;
+  const int cx = p.x >> 1, cy = p.y >> 1, cz = p.z >> 1;
+  // For odd coordinates, x >> 1 floors correctly for non-negative values;
+  // doubled coordinates may be negative in the ghost shell, and C++ >> on
+  // negative ints floors as well on all supported platforms (arithmetic
+  // shift), which is the behaviour we need.
+  return cx >= extOriginCells_.x && cx < extOriginCells_.x + extExtentCells_.x &&
+         cy >= extOriginCells_.y && cy < extOriginCells_.y + extExtentCells_.y &&
+         cz >= extOriginCells_.z && cz < extOriginCells_.z + extExtentCells_.z;
+}
+
+bool SiteIndexer::isLocal(Vec3i p) const {
+  if (!BccLattice::isLatticeSite(p)) return false;
+  const int cx = p.x >> 1, cy = p.y >> 1, cz = p.z >> 1;
+  return cx >= originCells_.x && cx < originCells_.x + extentCells_.x &&
+         cy >= originCells_.y && cy < originCells_.y + extentCells_.y &&
+         cz >= originCells_.z && cz < originCells_.z + extentCells_.z;
+}
+
+std::int64_t SiteIndexer::extId(Vec3i p) const {
+  const std::int64_t cx = (p.x >> 1) - extOriginCells_.x;
+  const std::int64_t cy = (p.y >> 1) - extOriginCells_.y;
+  const std::int64_t cz = (p.z >> 1) - extOriginCells_.z;
+  const int sub = p.x & 1;
+  const std::int64_t cell =
+      cx + extExtentCells_.x * (cy + static_cast<std::int64_t>(extExtentCells_.y) * cz);
+  return cell * 2 + sub;
+}
+
+std::int64_t SiteIndexer::localsBefore(Vec3i p) const {
+  const std::int64_t cx = (p.x >> 1) - extOriginCells_.x;
+  const std::int64_t cy = (p.y >> 1) - extOriginCells_.y;
+  const std::int64_t cz = (p.z >> 1) - extOriginCells_.z;
+  const std::int64_t g = ghost_;
+  const std::int64_t nx = extentCells_.x, ny = extentCells_.y, nz = extentCells_.z;
+
+  // Whole extended-z slabs below cz that intersect the local cuboid.
+  std::int64_t count = clampCount(cz - g, nz) * nx * ny * 2;
+  if (cz >= g && cz < g + nz) {
+    // Whole rows below cy within the current slab.
+    count += clampCount(cy - g, ny) * nx * 2;
+    if (cy >= g && cy < g + ny) {
+      // Cells strictly before cx within the current row.
+      count += clampCount(cx - g, nx) * 2;
+      // Sites before this one within the current cell.
+      if (cx >= g && cx < g + nx) count += (p.x & 1);
+    }
+  }
+  return count;
+}
+
+std::int64_t SiteIndexer::indexOf(Vec3i p) const {
+  require(contains(p), "coordinate outside extended subdomain");
+  const std::int64_t ext = extId(p);
+  const std::int64_t localsBeforeP = localsBefore(p);
+  const std::int64_t ghostsBeforeP = ext - localsBeforeP;
+  if (isLocal(p)) return ext - ghostsBeforeP;  // == localsBeforeP
+  return localSites_ + ghostsBeforeP;
+}
+
+Vec3i SiteIndexer::coordinateOf(std::int64_t index) const {
+  require(index >= 0 && index < extendedSites_, "site index out of range");
+  // Walk the extended box in traversal order, counting locals and ghosts.
+  // O(extended box) — acceptable for tests and diagnostics only.
+  const bool wantLocal = index < localSites_;
+  std::int64_t target = wantLocal ? index : index - localSites_;
+  for (std::int64_t cz = 0; cz < extExtentCells_.z; ++cz)
+    for (std::int64_t cy = 0; cy < extExtentCells_.y; ++cy)
+      for (std::int64_t cx = 0; cx < extExtentCells_.x; ++cx)
+        for (int sub = 0; sub < 2; ++sub) {
+          const Vec3i p{static_cast<int>(2 * (cx + extOriginCells_.x) + sub),
+                        static_cast<int>(2 * (cy + extOriginCells_.y) + sub),
+                        static_cast<int>(2 * (cz + extOriginCells_.z) + sub)};
+          if (isLocal(p) == wantLocal) {
+            if (target == 0) return p;
+            --target;
+          }
+        }
+  throw Error("coordinateOf: unreachable");
+}
+
+}  // namespace tkmc

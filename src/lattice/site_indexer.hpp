@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+
+#include "lattice/vec3.hpp"
+
+namespace tkmc {
+
+/// Direct local/ghost index computation (paper Eq. 4).
+///
+/// OpenKMC resolves a lattice coordinate to an array slot through a
+/// POS_ID lookup array covering the whole extended (local + ghost)
+/// subdomain, which costs O(sites) memory. TensorKMC instead computes the
+/// slot arithmetically: local sites occupy [0, N) of the lattice array in
+/// traversal order, ghost sites occupy [N, N + G). For a coordinate p,
+///
+///   index = extId(p) - nghostBefore(p)      if p is local
+///   index = N + nghostBefore(p)             if p is ghost
+///
+/// where extId is the traversal id over the extended box and
+/// nghostBefore(p) = extId(p) - nlocalBefore(p) is evaluated in O(1) from
+/// cuboid prefix arithmetic.
+///
+/// The subdomain owns unit cells [origin, origin + extent) of the global
+/// lattice and carries a ghost shell of `ghostCells` unit cells on every
+/// face. Coordinates passed in are doubled-integer lattice coordinates in
+/// the subdomain's unwrapped frame.
+class SiteIndexer {
+ public:
+  SiteIndexer(Vec3i originCells, Vec3i extentCells, int ghostCells);
+
+  /// Sites owned by this subdomain (2 per owned unit cell).
+  std::int64_t localSiteCount() const { return localSites_; }
+
+  /// Sites in the ghost shell.
+  std::int64_t ghostSiteCount() const { return extendedSites_ - localSites_; }
+
+  /// All sites of the extended box.
+  std::int64_t extendedSiteCount() const { return extendedSites_; }
+
+  /// True when the doubled coordinate lies inside the extended box.
+  bool contains(Vec3i p) const;
+
+  /// True when the doubled coordinate lies inside the owned region.
+  bool isLocal(Vec3i p) const;
+
+  /// Array slot of a coordinate: locals in [0, N), ghosts in [N, N + G).
+  std::int64_t indexOf(Vec3i p) const;
+
+  /// Inverse of indexOf() (used by tests and trajectory dumps).
+  Vec3i coordinateOf(std::int64_t index) const;
+
+  Vec3i originCells() const { return originCells_; }
+  Vec3i extentCells() const { return extentCells_; }
+  int ghostCells() const { return ghost_; }
+
+ private:
+  // Traversal id over the extended box: cells x-fastest, 2 sites per cell.
+  std::int64_t extId(Vec3i p) const;
+  // Number of *local* sites with traversal id < extId.
+  std::int64_t localsBefore(Vec3i p) const;
+
+  Vec3i originCells_;
+  Vec3i extentCells_;
+  int ghost_;
+  Vec3i extOriginCells_;  // origin - ghost
+  Vec3i extExtentCells_;  // extent + 2*ghost
+  std::int64_t localSites_;
+  std::int64_t extendedSites_;
+};
+
+}  // namespace tkmc

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "common/constants.hpp"
+#include "lattice/vec3.hpp"
+
+namespace tkmc {
+
+/// Off-lattice atomic structure with an orthorhombic periodic box.
+///
+/// Used by the potential-fitting pipeline (training structures carry small
+/// positional jitter, like the relaxed DFT cells of the paper) and by the
+/// force validation path. AKMC proper works on LatticeState instead.
+struct Structure {
+  std::vector<Vec3d> positions;  // angstrom
+  std::vector<Species> species;  // same length as positions; no vacancies
+  Vec3d box;                     // periodic box lengths, angstrom
+
+  std::size_t size() const { return positions.size(); }
+
+  /// Minimum-image displacement from atom i to atom j.
+  Vec3d displacement(std::size_t i, std::size_t j) const {
+    Vec3d d = positions[j] - positions[i];
+    auto wrap = [](double v, double period) {
+      while (v > period / 2) v -= period;
+      while (v < -period / 2) v += period;
+      return v;
+    };
+    return {wrap(d.x, box.x), wrap(d.y, box.y), wrap(d.z, box.z)};
+  }
+};
+
+}  // namespace tkmc

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+
+namespace tkmc {
+
+/// Integer triple. BCC sites live on a doubled-integer grid: a site
+/// (x, y, z) is valid when x, y, z share parity; physical position is
+/// (x, y, z) * a/2.
+struct Vec3i {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  friend Vec3i operator+(Vec3i a, Vec3i b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend Vec3i operator-(Vec3i a, Vec3i b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend bool operator==(Vec3i a, Vec3i b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+  friend bool operator!=(Vec3i a, Vec3i b) { return !(a == b); }
+
+  /// Squared Euclidean norm in grid units.
+  std::int64_t norm2() const {
+    return static_cast<std::int64_t>(x) * x +
+           static_cast<std::int64_t>(y) * y +
+           static_cast<std::int64_t>(z) * z;
+  }
+};
+
+/// Double-precision triple for physical positions (angstrom).
+struct Vec3d {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend Vec3d operator+(Vec3d a, Vec3d b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend Vec3d operator-(Vec3d a, Vec3d b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend Vec3d operator*(Vec3d a, double s) {
+    return {a.x * s, a.y * s, a.z * s};
+  }
+  double norm() const { return std::sqrt(x * x + y * y + z * z); }
+};
+
+struct Vec3iHash {
+  std::size_t operator()(const Vec3i& v) const {
+    std::uint64_t h = static_cast<std::uint32_t>(v.x);
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint32_t>(v.y);
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint32_t>(v.z);
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h * 0xbf58476d1ce4e5b9ULL);
+  }
+};
+
+}  // namespace tkmc

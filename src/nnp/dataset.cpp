@@ -1,0 +1,65 @@
+#include "nnp/dataset.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+namespace {
+
+double gaussian(Rng& rng, double sigma) {
+  const double u1 = rng.uniformOpenLeft();
+  const double u2 = rng.uniform();
+  return sigma * std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace
+
+Structure randomCell(const DatasetConfig& config, Rng& rng) {
+  Structure s;
+  const double a = config.latticeConstant;
+  s.box = {config.cellsX * a, config.cellsY * a, config.cellsZ * a};
+  const double cuFraction = rng.uniform() * config.maxCuFraction;
+  const int vacancies = static_cast<int>(
+      rng.uniformBelow(static_cast<std::uint64_t>(config.maxVacancies + 1)));
+
+  // Enumerate BCC sites, drop `vacancies` of them at random.
+  std::vector<Vec3d> sites;
+  for (int cx = 0; cx < config.cellsX; ++cx)
+    for (int cy = 0; cy < config.cellsY; ++cy)
+      for (int cz = 0; cz < config.cellsZ; ++cz) {
+        sites.push_back({cx * a, cy * a, cz * a});
+        sites.push_back({(cx + 0.5) * a, (cy + 0.5) * a, (cz + 0.5) * a});
+      }
+  for (int v = 0; v < vacancies && !sites.empty(); ++v) {
+    const std::size_t k = rng.uniformBelow(sites.size());
+    sites.erase(sites.begin() + static_cast<std::ptrdiff_t>(k));
+  }
+
+  for (const Vec3d& p : sites) {
+    s.positions.push_back({p.x + gaussian(rng, config.jitterSigma),
+                           p.y + gaussian(rng, config.jitterSigma),
+                           p.z + gaussian(rng, config.jitterSigma)});
+    s.species.push_back(rng.uniform() < cuFraction ? Species::kCu : Species::kFe);
+  }
+  return s;
+}
+
+std::vector<LabeledStructure> generateDataset(const EamPotential& oracle,
+                                              const DatasetConfig& config,
+                                              Rng& rng) {
+  require(config.count > 0, "dataset must contain structures");
+  std::vector<LabeledStructure> out;
+  out.reserve(static_cast<std::size_t>(config.count));
+  for (int i = 0; i < config.count; ++i) {
+    LabeledStructure ls;
+    ls.structure = randomCell(config, rng);
+    ls.energy = oracle.totalEnergy(ls.structure);
+    ls.forces = oracle.forces(ls.structure);
+    out.push_back(std::move(ls));
+  }
+  return out;
+}
+
+}  // namespace tkmc

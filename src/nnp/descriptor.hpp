@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "lattice/structure.hpp"
+#include "tabulation/feature_table.hpp"
+
+namespace tkmc {
+
+/// Exponential atomic descriptor of Eq. 5 (Oganov style), evaluated
+/// directly on continuous interatomic distances.
+///
+/// For atom i, the feature block for neighbour element e and
+/// hyperparameter set k is  f[e][k] = sum_{j in e, r_ij < r_cut}
+/// exp(-(r_ij / p_k)^q_k). Feature dimension = numPq * kNumElements.
+/// This is the off-lattice path used for training-set generation and
+/// force validation; the AKMC hot path uses the tabulated Eq. 6 form
+/// (FeatureTable + NET + VET) which agrees exactly at lattice distances.
+class Descriptor {
+ public:
+  Descriptor(std::vector<PqSet> pqSets, double cutoff);
+
+  int numPq() const { return static_cast<int>(pq_.size()); }
+  int dim() const { return numPq() * kNumElements; }
+  double cutoff() const { return cutoff_; }
+  const std::vector<PqSet>& pqSets() const { return pq_; }
+
+  /// Features of every atom of a structure: [nAtoms][dim()] row-major.
+  std::vector<double> compute(const Structure& s) const;
+
+  /// Derivative of one descriptor term with respect to distance.
+  double termDerivative(double r, int pqIndex) const;
+
+  /// Forces from the chain rule: given per-atom gradients dE_i/dfeat_i
+  /// ([nAtoms][dim()], e.g. from Network::inputGradient), accumulates
+  /// -dE/dx. Returns eV/angstrom.
+  std::vector<Vec3d> forces(const Structure& s,
+                            const std::vector<double>& featureGradients) const;
+
+ private:
+  std::vector<PqSet> pq_;
+  double cutoff_;
+};
+
+}  // namespace tkmc

@@ -1,0 +1,344 @@
+#include "nnp/force_trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+
+ForceTrainer::ForceTrainer(Network& network, const Descriptor& descriptor,
+                           Config config)
+    : network_(network), descriptor_(descriptor), config_(config),
+      rng_(config.seed), lr_(config.learningRate) {
+  require(network.inputDim() == descriptor.dim(),
+          "network input width must match the descriptor");
+  const int numLayers = network.numLayers();
+  weightGrads_.resize(static_cast<std::size_t>(numLayers));
+  biasGrads_.resize(static_cast<std::size_t>(numLayers));
+  weightM_.resize(static_cast<std::size_t>(numLayers));
+  weightV_.resize(static_cast<std::size_t>(numLayers));
+  biasM_.resize(static_cast<std::size_t>(numLayers));
+  biasV_.resize(static_cast<std::size_t>(numLayers));
+  for (int li = 0; li < numLayers; ++li) {
+    const auto& l = network.layer(li);
+    weightGrads_[static_cast<std::size_t>(li)].assign(l.weights.size(), 0.0);
+    biasGrads_[static_cast<std::size_t>(li)].assign(l.bias.size(), 0.0);
+    weightM_[static_cast<std::size_t>(li)].assign(l.weights.size(), 0.0);
+    weightV_[static_cast<std::size_t>(li)].assign(l.weights.size(), 0.0);
+    biasM_[static_cast<std::size_t>(li)].assign(l.bias.size(), 0.0);
+    biasV_[static_cast<std::size_t>(li)].assign(l.bias.size(), 0.0);
+  }
+}
+
+ForceSample ForceTrainer::makeSample(const LabeledStructure& ls,
+                                     const SpeciesBaseline* baseline) const {
+  ForceSample s;
+  s.features = descriptor_.compute(ls.structure);
+  s.nAtoms = static_cast<int>(ls.structure.size());
+  s.baseline = baseline ? baseline->evaluate(ls.structure) : 0.0;
+  s.energy = ls.energy - s.baseline;
+  s.refForces = ls.forces;
+  const double cutoff = descriptor_.cutoff();
+  const int numPq = descriptor_.numPq();
+  for (int i = 0; i < s.nAtoms; ++i)
+    for (int j = 0; j < s.nAtoms; ++j) {
+      if (i == j) continue;
+      const Vec3d d = ls.structure.displacement(static_cast<std::size_t>(i),
+                                                static_cast<std::size_t>(j));
+      const double r = d.norm();
+      if (r >= cutoff) continue;
+      s.pairs.push_back(
+          {i, j,
+           static_cast<int>(ls.structure.species[static_cast<std::size_t>(i)]) *
+               numPq,
+           static_cast<int>(ls.structure.species[static_cast<std::size_t>(j)]) *
+               numPq,
+           d, r});
+      for (int k = 0; k < numPq; ++k)
+        s.dTerm.push_back(descriptor_.termDerivative(r, k));
+    }
+  return s;
+}
+
+double ForceTrainer::forwardAtom(const double* raw,
+                                 std::vector<std::vector<double>>& acts) const {
+  const int d = network_.inputDim();
+  const int numLayers = network_.numLayers();
+  const auto& shift = network_.inputShift();
+  const auto& scale = network_.inputScale();
+  acts.resize(static_cast<std::size_t>(numLayers) + 1);
+  acts[0].resize(static_cast<std::size_t>(d));
+  for (int c = 0; c < d; ++c)
+    acts[0][static_cast<std::size_t>(c)] =
+        (raw[c] - shift[static_cast<std::size_t>(c)]) *
+        scale[static_cast<std::size_t>(c)];
+  for (int li = 0; li < numLayers; ++li) {
+    const auto& l = network_.layer(li);
+    const bool last = li + 1 == numLayers;
+    acts[static_cast<std::size_t>(li) + 1].resize(static_cast<std::size_t>(l.out));
+    for (int o = 0; o < l.out; ++o) {
+      const double* w = l.weights.data() + static_cast<std::size_t>(o) * l.in;
+      double acc = l.bias[static_cast<std::size_t>(o)];
+      for (int c = 0; c < l.in; ++c)
+        acc += w[c] * acts[static_cast<std::size_t>(li)][static_cast<std::size_t>(c)];
+      acts[static_cast<std::size_t>(li) + 1][static_cast<std::size_t>(o)] =
+          last ? acc : std::max(acc, 0.0);
+    }
+  }
+  return acts[static_cast<std::size_t>(numLayers)][0];
+}
+
+void ForceTrainer::backwardAtom(const std::vector<std::vector<double>>& acts,
+                                std::vector<std::vector<double>>& deltas,
+                                std::vector<double>& gRaw) const {
+  const int numLayers = network_.numLayers();
+  const auto& scale = network_.inputScale();
+  deltas.resize(static_cast<std::size_t>(numLayers));
+  std::vector<double> grad{1.0};  // dE/dx_L
+  for (int li = numLayers - 1; li >= 0; --li) {
+    const auto& l = network_.layer(li);
+    const bool last = li + 1 == numLayers;
+    auto& delta = deltas[static_cast<std::size_t>(li)];
+    delta.assign(static_cast<std::size_t>(l.out), 0.0);
+    for (int o = 0; o < l.out; ++o) {
+      double g = grad[static_cast<std::size_t>(o)];
+      if (!last &&
+          acts[static_cast<std::size_t>(li) + 1][static_cast<std::size_t>(o)] <= 0.0)
+        g = 0.0;
+      delta[static_cast<std::size_t>(o)] = g;
+    }
+    std::vector<double> prev(static_cast<std::size_t>(l.in), 0.0);
+    for (int o = 0; o < l.out; ++o) {
+      const double g = delta[static_cast<std::size_t>(o)];
+      if (g == 0.0) continue;
+      const double* w = l.weights.data() + static_cast<std::size_t>(o) * l.in;
+      for (int c = 0; c < l.in; ++c) prev[static_cast<std::size_t>(c)] += g * w[c];
+    }
+    grad = std::move(prev);
+  }
+  gRaw.resize(grad.size());
+  for (std::size_t c = 0; c < grad.size(); ++c) gRaw[c] = grad[c] * scale[c];
+}
+
+std::vector<Vec3d> ForceTrainer::predictForces(const ForceSample& s) const {
+  const int d = network_.inputDim();
+  const int numPq = descriptor_.numPq();
+  std::vector<double> g(static_cast<std::size_t>(s.nAtoms) * d);
+  for (int a = 0; a < s.nAtoms; ++a)
+    network_.inputGradient(
+        {s.features.data() + static_cast<std::size_t>(a) * d,
+         static_cast<std::size_t>(d)},
+        {g.data() + static_cast<std::size_t>(a) * d, static_cast<std::size_t>(d)});
+  std::vector<Vec3d> f(static_cast<std::size_t>(s.nAtoms));
+  for (std::size_t p = 0; p < s.pairs.size(); ++p) {
+    const auto& pr = s.pairs[p];
+    const double* gi = g.data() + static_cast<std::size_t>(pr.i) * d;
+    const double* gj = g.data() + static_cast<std::size_t>(pr.j) * d;
+    const double* dT = s.dTerm.data() + p * static_cast<std::size_t>(numPq);
+    double dEdr = 0.0;
+    for (int k = 0; k < numPq; ++k)
+      dEdr += (gi[pr.blockJ + k] + gj[pr.blockI + k]) * dT[k];
+    const double scale = dEdr / pr.r;
+    f[static_cast<std::size_t>(pr.i)] =
+        f[static_cast<std::size_t>(pr.i)] + pr.dvec * scale;
+  }
+  return f;
+}
+
+double ForceTrainer::lossAndGradients(const ForceSample& s) {
+  const int d = network_.inputDim();
+  const int numLayers = network_.numLayers();
+  const int numPq = descriptor_.numPq();
+  const double n = static_cast<double>(s.nAtoms);
+  const auto& scale = network_.inputScale();
+
+  for (int li = 0; li < numLayers; ++li) {
+    std::fill(weightGrads_[static_cast<std::size_t>(li)].begin(),
+              weightGrads_[static_cast<std::size_t>(li)].end(), 0.0);
+    std::fill(biasGrads_[static_cast<std::size_t>(li)].begin(),
+              biasGrads_[static_cast<std::size_t>(li)].end(), 0.0);
+  }
+
+  // Pass 1: forward + backward per atom, caching everything.
+  std::vector<std::vector<std::vector<double>>> acts(
+      static_cast<std::size_t>(s.nAtoms));
+  std::vector<std::vector<std::vector<double>>> deltas(
+      static_cast<std::size_t>(s.nAtoms));
+  std::vector<double> g(static_cast<std::size_t>(s.nAtoms) * d);
+  double predicted = 0.0;
+  for (int a = 0; a < s.nAtoms; ++a) {
+    predicted += forwardAtom(
+        s.features.data() + static_cast<std::size_t>(a) * d,
+        acts[static_cast<std::size_t>(a)]);
+    std::vector<double> gRaw;
+    backwardAtom(acts[static_cast<std::size_t>(a)],
+                 deltas[static_cast<std::size_t>(a)], gRaw);
+    std::copy(gRaw.begin(), gRaw.end(),
+              g.begin() + static_cast<std::size_t>(a) * d);
+  }
+
+  // Forces and residuals.
+  std::vector<Vec3d> forces(static_cast<std::size_t>(s.nAtoms));
+  for (std::size_t p = 0; p < s.pairs.size(); ++p) {
+    const auto& pr = s.pairs[p];
+    const double* gi = g.data() + static_cast<std::size_t>(pr.i) * d;
+    const double* gj = g.data() + static_cast<std::size_t>(pr.j) * d;
+    const double* dT = s.dTerm.data() + p * static_cast<std::size_t>(numPq);
+    double dEdr = 0.0;
+    for (int k = 0; k < numPq; ++k)
+      dEdr += (gi[pr.blockJ + k] + gj[pr.blockI + k]) * dT[k];
+    forces[static_cast<std::size_t>(pr.i)] =
+        forces[static_cast<std::size_t>(pr.i)] + pr.dvec * (dEdr / pr.r);
+  }
+
+  const double perAtomError = (predicted - s.energy) / n;
+  double forceSq = 0.0;
+  std::vector<Vec3d> rF(static_cast<std::size_t>(s.nAtoms));
+  for (int a = 0; a < s.nAtoms; ++a) {
+    const Vec3d resid = forces[static_cast<std::size_t>(a)] -
+                        s.refForces[static_cast<std::size_t>(a)];
+    rF[static_cast<std::size_t>(a)] = resid;
+    forceSq += resid.x * resid.x + resid.y * resid.y + resid.z * resid.z;
+  }
+  const double loss = config_.energyWeight * perAtomError * perAtomError +
+                      config_.forceWeight / (3.0 * n) * forceSq;
+
+  // Adjoint on the raw input gradients: v_raw[i] = dL_F / dg_i.
+  std::vector<double> v(static_cast<std::size_t>(s.nAtoms) * d, 0.0);
+  const double fScale = 2.0 * config_.forceWeight / (3.0 * n);
+  for (std::size_t p = 0; p < s.pairs.size(); ++p) {
+    const auto& pr = s.pairs[p];
+    const Vec3d& r = rF[static_cast<std::size_t>(pr.i)];
+    const double proj =
+        fScale * (r.x * pr.dvec.x + r.y * pr.dvec.y + r.z * pr.dvec.z) / pr.r;
+    const double* dT = s.dTerm.data() + p * static_cast<std::size_t>(numPq);
+    double* vi = v.data() + static_cast<std::size_t>(pr.i) * d;
+    double* vj = v.data() + static_cast<std::size_t>(pr.j) * d;
+    for (int k = 0; k < numPq; ++k) {
+      vi[pr.blockJ + k] += proj * dT[k];
+      vj[pr.blockI + k] += proj * dT[k];
+    }
+  }
+
+  // Pass 2: accumulate weight gradients.
+  const double eUp = 2.0 * config_.energyWeight * perAtomError / n;
+  std::vector<double> tangent;
+  std::vector<double> nextTangent;
+  for (int a = 0; a < s.nAtoms; ++a) {
+    const auto& atomActs = acts[static_cast<std::size_t>(a)];
+    const auto& atomDeltas = deltas[static_cast<std::size_t>(a)];
+    // Energy term: eUp * delta_l (x) x_{l-1}; bias picks up eUp * delta_l.
+    for (int li = 0; li < numLayers; ++li) {
+      const auto& l = network_.layer(li);
+      auto& wg = weightGrads_[static_cast<std::size_t>(li)];
+      auto& bg = biasGrads_[static_cast<std::size_t>(li)];
+      const auto& input = atomActs[static_cast<std::size_t>(li)];
+      const auto& delta = atomDeltas[static_cast<std::size_t>(li)];
+      for (int o = 0; o < l.out; ++o) {
+        const double gd = delta[static_cast<std::size_t>(o)];
+        if (gd == 0.0) continue;
+        bg[static_cast<std::size_t>(o)] += eUp * gd;
+        double* row = wg.data() + static_cast<std::size_t>(o) * l.in;
+        const double coeff = eUp * gd;
+        for (int c = 0; c < l.in; ++c)
+          row[c] += coeff * input[static_cast<std::size_t>(c)];
+      }
+    }
+    // Force term: tangent pass seeded with v~ = v * scale; grads are
+    // delta_l (x) t_{l-1} (no bias contribution a.e.).
+    tangent.assign(static_cast<std::size_t>(d), 0.0);
+    const double* va = v.data() + static_cast<std::size_t>(a) * d;
+    bool anyTangent = false;
+    for (int c = 0; c < d; ++c) {
+      tangent[static_cast<std::size_t>(c)] =
+          va[c] * scale[static_cast<std::size_t>(c)];
+      anyTangent = anyTangent || tangent[static_cast<std::size_t>(c)] != 0.0;
+    }
+    if (!anyTangent) continue;
+    for (int li = 0; li < numLayers; ++li) {
+      const auto& l = network_.layer(li);
+      auto& wg = weightGrads_[static_cast<std::size_t>(li)];
+      const auto& delta = atomDeltas[static_cast<std::size_t>(li)];
+      // Accumulate delta_l (x) t_{l-1} BEFORE advancing the tangent.
+      for (int o = 0; o < l.out; ++o) {
+        const double gd = delta[static_cast<std::size_t>(o)];
+        if (gd == 0.0) continue;
+        double* row = wg.data() + static_cast<std::size_t>(o) * l.in;
+        for (int c = 0; c < l.in; ++c)
+          row[c] += gd * tangent[static_cast<std::size_t>(c)];
+      }
+      // Advance: t_l = mask_l (W_l t_{l-1}); the last layer is linear.
+      const bool last = li + 1 == numLayers;
+      nextTangent.assign(static_cast<std::size_t>(l.out), 0.0);
+      for (int o = 0; o < l.out; ++o) {
+        if (!last &&
+            atomActs[static_cast<std::size_t>(li) + 1][static_cast<std::size_t>(o)] <=
+                0.0)
+          continue;
+        const double* w = l.weights.data() + static_cast<std::size_t>(o) * l.in;
+        double acc = 0.0;
+        for (int c = 0; c < l.in; ++c)
+          acc += w[c] * tangent[static_cast<std::size_t>(c)];
+        nextTangent[static_cast<std::size_t>(o)] = acc;
+      }
+      tangent = nextTangent;
+    }
+  }
+  return loss;
+}
+
+double ForceTrainer::epoch(const std::vector<ForceSample>& samples) {
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng_.uniformBelow(i)]);
+  double total = 0.0;
+  constexpr double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  for (std::size_t idx : order) {
+    total += lossAndGradients(samples[idx]);
+    ++steps_;
+    const double c1 = 1.0 - std::pow(beta1, static_cast<double>(steps_));
+    const double c2 = 1.0 - std::pow(beta2, static_cast<double>(steps_));
+    for (int li = 0; li < network_.numLayers(); ++li) {
+      auto& l = network_.layer(li);
+      auto& wg = weightGrads_[static_cast<std::size_t>(li)];
+      auto& bg = biasGrads_[static_cast<std::size_t>(li)];
+      auto& wm = weightM_[static_cast<std::size_t>(li)];
+      auto& wv = weightV_[static_cast<std::size_t>(li)];
+      auto& bm = biasM_[static_cast<std::size_t>(li)];
+      auto& bv = biasV_[static_cast<std::size_t>(li)];
+      for (std::size_t i = 0; i < l.weights.size(); ++i) {
+        wm[i] = beta1 * wm[i] + (1 - beta1) * wg[i];
+        wv[i] = beta2 * wv[i] + (1 - beta2) * wg[i] * wg[i];
+        l.weights[i] -= lr_ * (wm[i] / c1) / (std::sqrt(wv[i] / c2) + eps);
+      }
+      for (std::size_t i = 0; i < l.bias.size(); ++i) {
+        bm[i] = beta1 * bm[i] + (1 - beta1) * bg[i];
+        bv[i] = beta2 * bv[i] + (1 - beta2) * bg[i] * bg[i];
+        l.bias[i] -= lr_ * (bm[i] / c1) / (std::sqrt(bv[i] / c2) + eps);
+      }
+    }
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+double ForceTrainer::train(const std::vector<ForceSample>& samples) {
+  require(!samples.empty(), "cannot train on an empty sample set");
+  double last = 0.0;
+  for (int e = 0; e < config_.epochs; ++e) {
+    last = epoch(samples);
+    lr_ *= config_.decay;
+  }
+  return last;
+}
+
+std::vector<double> ForceTrainer::flatWeightGradients() const {
+  std::vector<double> flat;
+  for (const auto& wg : weightGrads_)
+    flat.insert(flat.end(), wg.begin(), wg.end());
+  return flat;
+}
+
+}  // namespace tkmc

@@ -1,0 +1,59 @@
+#include "nnp/model_io.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+
+void saveNetwork(const Network& network, const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "cannot open model file for writing: " + path);
+  out.precision(17);
+  out << "tensorkmc-nnp 1\n";
+  out << network.channels().size();
+  for (int c : network.channels()) out << ' ' << c;
+  out << '\n';
+  for (double v : network.inputShift()) out << v << ' ';
+  out << '\n';
+  for (double v : network.inputScale()) out << v << ' ';
+  out << '\n';
+  for (int li = 0; li < network.numLayers(); ++li) {
+    const auto& l = network.layer(li);
+    for (double w : l.weights) out << w << ' ';
+    out << '\n';
+    for (double b : l.bias) out << b << ' ';
+    out << '\n';
+  }
+  require(out.good(), "failed writing model file: " + path);
+}
+
+Network loadNetwork(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open model file: " + path);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  require(magic == "tensorkmc-nnp" && version == 1,
+          "unrecognized model file format: " + path);
+  std::size_t numChannels = 0;
+  in >> numChannels;
+  require(numChannels >= 2 && numChannels < 64, "bad channel count");
+  std::vector<int> channels(numChannels);
+  for (int& c : channels) in >> c;
+  Network network(channels);
+  std::vector<double> shift(static_cast<std::size_t>(network.inputDim()));
+  std::vector<double> scale(static_cast<std::size_t>(network.inputDim()));
+  for (double& v : shift) in >> v;
+  for (double& v : scale) in >> v;
+  network.setInputTransform(std::move(shift), std::move(scale));
+  for (int li = 0; li < network.numLayers(); ++li) {
+    auto& l = network.layer(li);
+    for (double& w : l.weights) in >> w;
+    for (double& b : l.bias) in >> b;
+  }
+  require(in.good(), "model file truncated: " + path);
+  return network;
+}
+
+}  // namespace tkmc

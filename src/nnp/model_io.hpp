@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "nnp/network.hpp"
+
+namespace tkmc {
+
+/// Saves a network (channels, input transform, weights, biases) to a
+/// plain-text file with full double precision.
+void saveNetwork(const Network& network, const std::string& path);
+
+/// Loads a network saved by saveNetwork(). Throws tkmc::Error on format
+/// problems.
+Network loadNetwork(const std::string& path);
+
+}  // namespace tkmc

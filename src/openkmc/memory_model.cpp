@@ -1,0 +1,50 @@
+#include "openkmc/memory_model.hpp"
+
+#include <cmath>
+
+namespace tkmc {
+
+std::int64_t MemoryModel::cellsForAtoms(std::int64_t atoms) {
+  // 2 sites per BCC unit cell, cubic box.
+  return static_cast<std::int64_t>(
+      std::llround(std::cbrt(static_cast<double>(atoms) / 2.0)));
+}
+
+std::int64_t MemoryModel::extendedSites(std::int64_t cells) const {
+  const std::int64_t ext = cells + 2 * ghostCells;
+  return 2 * ext * ext * ext;
+}
+
+MemoryModel::OpenKmcBreakdown MemoryModel::openKmc(std::int64_t atoms) const {
+  const std::int64_t cells = cellsForAtoms(atoms);
+  const auto ext = static_cast<std::size_t>(extendedSites(cells));
+  OpenKmcBreakdown b{};
+  b.t = 32 * ext;
+  b.posId = 16 * ext;
+  b.eV = 32 * ext;
+  b.eR = 32 * ext;
+  // Runtime: headline arrays + lattice occupancy (8 B/ext site) +
+  // neighbour/event bookkeeping (~62 B/atom) + program base (~96 MiB).
+  b.runtime = b.t + b.posId + b.eV + b.eR + 8 * ext +
+              static_cast<std::size_t>(62) * static_cast<std::size_t>(atoms) +
+              (96ULL << 20);
+  return b;
+}
+
+MemoryModel::TensorKmcBreakdown MemoryModel::tensorKmc(std::int64_t atoms) const {
+  const std::int64_t cells = cellsForAtoms(atoms);
+  const auto ext = static_cast<std::size_t>(extendedSites(cells));
+  const auto vacancies = static_cast<std::size_t>(
+      std::llround(static_cast<double>(atoms) * vacancyConcentration));
+  TensorKmcBreakdown b{};
+  // Species byte + 4-byte cached global site id per CET slot per vacancy.
+  b.vacCache = vacancies * static_cast<std::size_t>(cetSlots) * 5;
+  // Lattice occupancy (1 B/ext site), per-site sector/flag byte, event
+  // and propensity bookkeeping (~62 B/atom), vacancy cache, program base.
+  b.runtime = 2 * ext +
+              static_cast<std::size_t>(62) * static_cast<std::size_t>(atoms) +
+              b.vacCache + (16ULL << 20);
+  return b;
+}
+
+}  // namespace tkmc

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tkmc {
+
+/// Analytic per-process memory model reproducing Table 1 of the paper.
+///
+/// Simulation sizes up to 128 M atoms per process cannot be allocated on
+/// a test host, so this model computes the byte counts of each engine's
+/// array inventory from the box geometry. Calibration (see DESIGN.md):
+///
+///  * extended sites = local sites x ghost factor, ghost shell of 2 unit
+///    cells per face (matches the Table 1 scaling of T across box sizes);
+///  * OpenKMC:   T = 32 B/ext site, POS_ID = 16 B/ext site,
+///               E_V = E_R = 32 B/ext site (Eq. 7 feature arrays),
+///    plus lattice occupancy, neighbour/event bookkeeping and a fixed
+///    program base for the Runtime row;
+///  * TensorKMC: VAC cache = (1 + 4) B per CET slot per vacancy
+///    (species byte + global id), lattice occupancy, event bookkeeping.
+struct MemoryModel {
+  double latticeConstant = 2.87;
+  int ghostCells = 2;
+  int cetSlots = 1181;            // N_all for r_cut = 6.5 A
+  double vacancyConcentration = 8e-6;  // 8e-4 at.%
+
+  /// Local box edge (unit cells) for a given atom count (cubic box).
+  static std::int64_t cellsForAtoms(std::int64_t atoms);
+
+  /// Extended (local + ghost) site count for a cubic box of `cells`^3.
+  std::int64_t extendedSites(std::int64_t cells) const;
+
+  struct OpenKmcBreakdown {
+    std::size_t t;        // per-atom type/property array
+    std::size_t posId;    // coordinate -> id lookup array
+    std::size_t eV;       // pair-sum feature array (Eq. 7)
+    std::size_t eR;       // density feature array (Eq. 7)
+    std::size_t runtime;  // total resident during iterations
+  };
+  OpenKmcBreakdown openKmc(std::int64_t atoms) const;
+
+  struct TensorKmcBreakdown {
+    std::size_t vacCache;  // Sec. 3.2 vacancy cache
+    std::size_t runtime;
+  };
+  TensorKmcBreakdown tensorKmc(std::int64_t atoms) const;
+
+  /// Per-CG capacity on the new Sunway (16 GB); OpenKMC exceeds it at
+  /// 128 M atoms, TensorKMC does not — the Table 1 headline.
+  static constexpr std::size_t kCgCapacityBytes = 16ULL << 30;
+};
+
+}  // namespace tkmc

@@ -1,0 +1,215 @@
+#include "openkmc/openkmc_engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "tabulation/cet.hpp"
+
+namespace tkmc {
+
+OpenKmcEngine::OpenKmcEngine(LatticeState& state, const EamPotential& potential,
+                             Config config)
+    : state_(state), potential_(potential), config_(config), rng_(config.seed) {
+  require(!state.vacancies().empty(), "AKMC needs at least one vacancy");
+  const BccLattice& lat = state.lattice();
+  offsets_ = lat.offsetsWithinCutoff(potential.cutoff());
+  offsetDist_.reserve(offsets_.size());
+  for (const Vec3i& d : offsets_) offsetDist_.push_back(lat.offsetDistance(d));
+  // Jumping region in the same canonical order the CET uses.
+  const Cet cet(lat.latticeConstant(), potential.cutoff());
+  regionSites_.assign(cet.sites().begin(), cet.sites().begin() + cet.nRegion());
+
+  rebuildArrays();
+  const int n = static_cast<int>(state.vacancies().size());
+  rates_.resize(static_cast<std::size_t>(n));
+  stale_.assign(static_cast<std::size_t>(n), true);
+  tree_.resize(n);
+}
+
+void OpenKmcEngine::rebuildArrays() {
+  const BccLattice& lat = state_.lattice();
+  // POS_ID over the full doubled-coordinate grid: (2Lx)(2Ly)(2Lz) slots,
+  // -1 in the wasted (off-lattice-parity) cells.
+  const std::size_t gridSlots = static_cast<std::size_t>(2 * lat.cellsX()) *
+                                (2 * lat.cellsY()) * (2 * lat.cellsZ());
+  posId_.assign(gridSlots, -1);
+  const std::size_t strideY = static_cast<std::size_t>(2 * lat.cellsX());
+  const std::size_t strideZ = strideY * static_cast<std::size_t>(2 * lat.cellsY());
+  for (BccLattice::SiteId id = 0; id < lat.siteCount(); ++id) {
+    const Vec3i p = lat.coordinate(id);
+    posId_[static_cast<std::size_t>(p.x) + strideY * static_cast<std::size_t>(p.y) +
+           strideZ * static_cast<std::size_t>(p.z)] = id;
+  }
+  // Per-atom property arrays for the whole domain.
+  eV_.assign(static_cast<std::size_t>(lat.siteCount()), 0.0);
+  eR_.assign(static_cast<std::size_t>(lat.siteCount()), 0.0);
+  for (BccLattice::SiteId id = 0; id < lat.siteCount(); ++id)
+    refreshSiteProperties(lat.coordinate(id));
+}
+
+void OpenKmcEngine::refreshSiteProperties(Vec3i site) {
+  const BccLattice& lat = state_.lattice();
+  const BccLattice::SiteId id = lat.siteId(site);
+  const Species self = state_.species(id);
+  double pairSum = 0.0;
+  double density = 0.0;
+  if (self != Species::kVacancy) {
+    for (std::size_t o = 0; o < offsets_.size(); ++o) {
+      const Species nb = state_.speciesAt(site + offsets_[o]);
+      if (nb == Species::kVacancy) continue;
+      pairSum += potential_.pair(self, nb, offsetDist_[o]);
+      density += potential_.density(nb, offsetDist_[o]);
+    }
+  }
+  eV_[static_cast<std::size_t>(id)] = pairSum;
+  eR_[static_cast<std::size_t>(id)] = density;
+}
+
+void OpenKmcEngine::refreshAround(Vec3i site) {
+  refreshSiteProperties(site);
+  for (const Vec3i& d : offsets_) refreshSiteProperties(state_.lattice().wrap(site + d));
+}
+
+double OpenKmcEngine::cachedAtomEnergy(BccLattice::SiteId id) const {
+  const Species self = state_.species(id);
+  if (self == Species::kVacancy) return 0.0;
+  return 0.5 * eV_[static_cast<std::size_t>(id)] +
+         potential_.embedding(self, eR_[static_cast<std::size_t>(id)]);
+}
+
+double OpenKmcEngine::regionEnergyInitial(Vec3i center) const {
+  // Initial-state energy straight from the cached per-atom arrays.
+  const BccLattice& lat = state_.lattice();
+  double total = 0.0;
+  for (const Vec3i& rel : regionSites_)
+    total += cachedAtomEnergy(lat.siteId(center + rel));
+  return total;
+}
+
+double OpenKmcEngine::regionEnergyFinal(Vec3i center, int direction) const {
+  // Candidate-state energy with a hop overlay; properties recomputed on
+  // the fly since the arrays describe the current state only.
+  const BccLattice& lat = state_.lattice();
+  const Vec3i target =
+      center + BccLattice::firstNeighborOffsets()[static_cast<std::size_t>(direction)];
+  const Vec3i centerW = lat.wrap(center);
+  const Vec3i targetW = lat.wrap(target);
+  auto overlay = [&](Vec3i p) {
+    const Vec3i pw = lat.wrap(p);
+    if (pw == centerW) return state_.speciesAt(targetW);
+    if (pw == targetW) return Species::kVacancy;
+    return state_.speciesAt(pw);
+  };
+  double total = 0.0;
+  for (const Vec3i& rel : regionSites_) {
+    const Vec3i abs = center + rel;
+    const Species self = overlay(abs);
+    if (self == Species::kVacancy) continue;
+    double pairSum = 0.0;
+    double density = 0.0;
+    for (std::size_t o = 0; o < offsets_.size(); ++o) {
+      const Species nb = overlay(abs + offsets_[o]);
+      if (nb == Species::kVacancy) continue;
+      pairSum += potential_.pair(self, nb, offsetDist_[o]);
+      density += potential_.density(nb, offsetDist_[o]);
+    }
+    total += 0.5 * pairSum + potential_.embedding(self, density);
+  }
+  return total;
+}
+
+void OpenKmcEngine::refreshVacancy(int v) {
+  const BccLattice& lat = state_.lattice();
+  const Vec3i center = lat.wrap(state_.vacancies()[static_cast<std::size_t>(v)]);
+  const double initial = regionEnergyInitial(center);
+  JumpRates jr;
+  const double kt = kBoltzmannEv * config_.temperature;
+  for (int k = 0; k < kNumJumpDirections; ++k) {
+    const Vec3i target =
+        center + BccLattice::firstNeighborOffsets()[static_cast<std::size_t>(k)];
+    const Species migrating = state_.speciesAt(target);
+    if (migrating == Species::kVacancy) {
+      jr.rate[static_cast<std::size_t>(k)] = 0.0;
+      continue;
+    }
+    const double deltaE = regionEnergyFinal(center, k) - initial;
+    const double barrier =
+        std::max(referenceActivation(migrating) + 0.5 * deltaE, 0.0);
+    jr.rate[static_cast<std::size_t>(k)] =
+        kAttemptFrequency * std::exp(-barrier / kt);
+  }
+  for (double r : jr.rate) jr.total += r;
+  rates_[static_cast<std::size_t>(v)] = jr;
+  tree_.update(v, jr.total);
+  stale_[static_cast<std::size_t>(v)] = false;
+}
+
+void OpenKmcEngine::markStaleNear(Vec3i site) {
+  const BccLattice& lat = state_.lattice();
+  // A vacancy's rates depend on sites within the region radius + cutoff;
+  // conservatively use twice the interaction span.
+  const double radius = 2.0 * potential_.cutoff() + lat.latticeConstant();
+  for (std::size_t v = 0; v < state_.vacancies().size(); ++v) {
+    const Vec3i d = lat.minimumImage(lat.wrap(state_.vacancies()[v]), lat.wrap(site));
+    if (lat.offsetDistance(d) <= radius) stale_[v] = true;
+  }
+}
+
+OpenKmcEngine::StepResult OpenKmcEngine::step() {
+  StepResult result;
+  for (std::size_t v = 0; v < stale_.size(); ++v)
+    if (stale_[v]) refreshVacancy(static_cast<int>(v));
+  const double total = tree_.total();
+  if (total <= 0.0) return result;
+
+  const double u1 = rng_.uniform();
+  const int v = tree_.select(u1 * total);
+  const JumpRates& jr = rates_[static_cast<std::size_t>(v)];
+  const double u2 = rng_.uniform();
+  double target = u2 * jr.total;
+  int direction = 0;
+  for (; direction < kNumJumpDirections - 1; ++direction) {
+    target -= jr.rate[static_cast<std::size_t>(direction)];
+    if (target < 0.0) break;
+  }
+  while (direction > 0 && jr.rate[static_cast<std::size_t>(direction)] == 0.0)
+    --direction;
+  const double dt = residenceTime(rng_.uniformOpenLeft(), total);
+
+  const BccLattice& lat = state_.lattice();
+  const Vec3i from = lat.wrap(state_.vacancies()[static_cast<std::size_t>(v)]);
+  const Vec3i to = lat.wrap(
+      from + BccLattice::firstNeighborOffsets()[static_cast<std::size_t>(direction)]);
+  state_.hopVacancy(from, to);
+
+  // Cache-all bookkeeping: every atom near the changed sites gets fresh
+  // E_V / E_R values; every vacancy in range gets fresh rates next step.
+  refreshAround(from);
+  refreshAround(to);
+  markStaleNear(from);
+  markStaleNear(to);
+
+  time_ += dt;
+  ++steps_;
+  result.advanced = true;
+  result.dt = dt;
+  result.from = from;
+  result.to = to;
+  return result;
+}
+
+std::uint64_t OpenKmcEngine::run() {
+  std::uint64_t executed = 0;
+  while (time_ < config_.tEnd && steps_ < config_.maxSteps) {
+    if (!step().advanced) break;
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t OpenKmcEngine::arrayBytes() const {
+  return posId_.size() * sizeof(std::int64_t) + eV_.size() * sizeof(double) +
+         eR_.size() * sizeof(double);
+}
+
+}  // namespace tkmc

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "lattice/vec3.hpp"
+
+namespace tkmc {
+
+/// Regular 3-D spatial decomposition of a periodic box of unit cells
+/// across a grid of ranks (paper Fig. 2a). Extents must divide evenly so
+/// every subdomain is congruent (a requirement of the synchronous
+/// sublattice schedule).
+class Decomposition {
+ public:
+  Decomposition(Vec3i globalCells, Vec3i rankGrid);
+
+  Vec3i globalCells() const { return globalCells_; }
+  Vec3i rankGrid() const { return rankGrid_; }
+  int rankCount() const { return rankGrid_.x * rankGrid_.y * rankGrid_.z; }
+
+  /// Per-rank subdomain extent in unit cells (same for every rank).
+  Vec3i extentCells() const {
+    return {globalCells_.x / rankGrid_.x, globalCells_.y / rankGrid_.y,
+            globalCells_.z / rankGrid_.z};
+  }
+
+  Vec3i rankCoord(int rank) const;
+  int rankAt(Vec3i coord) const;  // wraps periodically
+
+  Vec3i originCells(int rank) const;
+
+  /// Rank owning a (wrapped) doubled-integer lattice coordinate.
+  int ownerOfSite(Vec3i doubledCoord) const;
+
+  /// Neighbour rank in direction `dir` (components in {-1, 0, 1}).
+  int neighborRank(int rank, Vec3i dir) const;
+
+ private:
+  Vec3i globalCells_;
+  Vec3i rankGrid_;
+};
+
+}  // namespace tkmc

@@ -1,0 +1,117 @@
+#include "parallel/ghost_exchange.hpp"
+
+#include "common/error.hpp"
+
+namespace tkmc {
+namespace {
+
+constexpr int kTagBase = 100;
+
+int axisOf(Vec3i v, int axis) {
+  return axis == 0 ? v.x : (axis == 1 ? v.y : v.z);
+}
+
+void setAxis(Vec3i& v, int axis, int value) {
+  if (axis == 0)
+    v.x = value;
+  else if (axis == 1)
+    v.y = value;
+  else
+    v.z = value;
+}
+
+}  // namespace
+
+GhostExchange::GhostExchange(const Decomposition& decomp, SimComm& comm)
+    : decomp_(decomp), comm_(comm) {
+  require(decomp.rankGrid().x >= 2 && decomp.rankGrid().y >= 2 &&
+              decomp.rankGrid().z >= 2,
+          "ghost exchange needs at least two ranks per axis");
+}
+
+GhostExchange::Box GhostExchange::sendBox(const Subdomain& sd, int axis,
+                                          int dir) const {
+  const Vec3i e = sd.extentCells();
+  const int g = sd.ghostCells();
+  Box box;
+  // Axes exchanged after `axis` (lower axis index = later stage) span the
+  // owned range; axes already exchanged span the full extended range.
+  // Stage order is z (2), y (1), x (0).
+  for (int a = 0; a < 3; ++a) {
+    if (a == axis) continue;
+    if (a > axis) {
+      // Already exchanged: extended range.
+      setAxis(box.lo, a, 0);
+      setAxis(box.hi, a, axisOf(e, a) + 2 * g);
+    } else {
+      // Not yet exchanged: owned range only.
+      setAxis(box.lo, a, g);
+      setAxis(box.hi, a, g + axisOf(e, a));
+    }
+  }
+  if (dir > 0) {
+    setAxis(box.lo, axis, axisOf(e, axis));          // top g owned cells
+    setAxis(box.hi, axis, axisOf(e, axis) + g);
+  } else {
+    setAxis(box.lo, axis, g);                        // bottom g owned cells
+    setAxis(box.hi, axis, 2 * g);
+  }
+  return box;
+}
+
+GhostExchange::Box GhostExchange::recvBox(const Subdomain& sd, int axis,
+                                          int dir) const {
+  // The slab received from direction `dir` fills the ghost cells on the
+  // opposite... same side the data came from: data sent toward +1 lands
+  // in the receiver's low-side ghost.
+  Box box = sendBox(sd, axis, dir);
+  const Vec3i e = sd.extentCells();
+  const int g = sd.ghostCells();
+  if (dir > 0) {
+    setAxis(box.lo, axis, 0);  // receiver's low ghost
+    setAxis(box.hi, axis, g);
+  } else {
+    setAxis(box.lo, axis, g + axisOf(e, axis));  // receiver's high ghost
+    setAxis(box.hi, axis, 2 * g + axisOf(e, axis));
+  }
+  return box;
+}
+
+void GhostExchange::sendSlabs(int rank, Subdomain& sd, int axis) {
+  for (int dir : {-1, +1}) {
+    Vec3i dirVec{};
+    setAxis(dirVec, axis, dir);
+    const int neighbor = decomp_.neighborRank(rank, dirVec);
+    const Box box = sendBox(sd, axis, dir);
+    comm_.send(rank, neighbor, kTagBase + axis * 2 + (dir > 0 ? 1 : 0),
+               sd.packCellBox(box.lo, box.hi));
+  }
+}
+
+void GhostExchange::receiveSlabs(int rank, Subdomain& sd, int axis) {
+  // `dir` is the direction the data travelled: a slab sent toward +1
+  // arrives from the -1 neighbour and fills the receiver's low-side
+  // ghost (the side facing the sender).
+  for (int dir : {-1, +1}) {
+    Vec3i dirVec{};
+    setAxis(dirVec, axis, -dir);
+    const int source = decomp_.neighborRank(rank, dirVec);
+    const Box box = recvBox(sd, axis, dir);
+    const auto payload =
+        comm_.receive(rank, source, kTagBase + axis * 2 + (dir > 0 ? 1 : 0));
+    sd.unpackCellBox(box.lo, box.hi, payload);
+  }
+}
+
+void GhostExchange::exchangeAll(std::vector<Subdomain>& domains) {
+  require(static_cast<int>(domains.size()) == decomp_.rankCount(),
+          "one subdomain per rank required");
+  for (int axis : {2, 1, 0}) {
+    for (int r = 0; r < decomp_.rankCount(); ++r)
+      sendSlabs(r, domains[static_cast<std::size_t>(r)], axis);
+    for (int r = 0; r < decomp_.rankCount(); ++r)
+      receiveSlabs(r, domains[static_cast<std::size_t>(r)], axis);
+  }
+}
+
+}  // namespace tkmc

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "parallel/decomposition.hpp"
+#include "parallel/sim_comm.hpp"
+#include "parallel/subdomain.hpp"
+
+namespace tkmc {
+
+/// Staged ghost-region broadcast (paper Fig. 2a, grey regions).
+///
+/// Owned boundary slabs are exchanged one axis at a time (z, then y, then
+/// x); each stage's slabs span the extended range of the axes already
+/// completed, so corner and edge ghosts arrive without dedicated diagonal
+/// messages. Every rank must have at least two subdomains per axis for
+/// the periodic image mapping to stay unique (enforced by Subdomain).
+///
+/// The driver is bulk-synchronous: sendGhostSlabs() for every rank, then
+/// receiveGhostSlabs() for every rank, per axis.
+class GhostExchange {
+ public:
+  GhostExchange(const Decomposition& decomp, SimComm& comm);
+
+  /// Runs the full three-stage exchange across all subdomains (driver
+  /// convenience; `domains[r]` belongs to rank r).
+  void exchangeAll(std::vector<Subdomain>& domains);
+
+ private:
+  // Axis: 0 = x, 1 = y, 2 = z (exchange order is 2, 1, 0).
+  void sendSlabs(int rank, Subdomain& sd, int axis);
+  void receiveSlabs(int rank, Subdomain& sd, int axis);
+
+  // Cell box (extended-frame coordinates) of the slab sent toward
+  // direction `dir` (+1/-1) along `axis`, given which axes are complete.
+  struct Box {
+    Vec3i lo;
+    Vec3i hi;
+  };
+  Box sendBox(const Subdomain& sd, int axis, int dir) const;
+  Box recvBox(const Subdomain& sd, int axis, int dir) const;
+
+  const Decomposition& decomp_;
+  SimComm& comm_;
+};
+
+}  // namespace tkmc

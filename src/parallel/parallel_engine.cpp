@@ -1,0 +1,296 @@
+#include "parallel/parallel_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+namespace {
+
+constexpr int kTagFold = 50;
+
+Vet gatherVet(const Cet& cet, const Subdomain& sd, Vec3i center) {
+  Vet vet(cet.nAll());
+  for (int id = 0; id < cet.nAll(); ++id)
+    vet.set(id, sd.at(center + cet.site(id)));
+  return vet;
+}
+
+int wrapMod(int v, int n) {
+  int r = v % n;
+  if (r < 0) r += n;
+  return r;
+}
+
+}  // namespace
+
+int requiredGhostCells(const Cet& cet) {
+  int maxComp = 0;
+  for (const Vec3i& s : cet.sites()) {
+    maxComp = std::max({maxComp, std::abs(s.x), std::abs(s.y), std::abs(s.z)});
+  }
+  return (maxComp + 1) / 2;  // doubled units -> unit cells, rounded up
+}
+
+ParallelEngine::ParallelEngine(const LatticeState& initial, EnergyModel& model,
+                               const Cet& cet, ParallelConfig config)
+    : lattice_(initial.lattice()), cet_(cet), model_(model), config_(config),
+      decomp_({initial.lattice().cellsX(), initial.lattice().cellsY(),
+               initial.lattice().cellsZ()},
+              config.rankGrid),
+      comm_(decomp_.rankCount()), exchange_(decomp_, comm_),
+      interactionRadius_(0.0) {
+  require(model.supportsVet(),
+          "parallel engine requires a VET-capable energy backend");
+  const int ghost = requiredGhostCells(cet);
+  const Vec3i extent = decomp_.extentCells();
+  require(extent.x % 2 == 0 && extent.y % 2 == 0 && extent.z % 2 == 0,
+          "subdomain extents must be even (octant sectors)");
+  // Sector separation: concurrently active octants of neighbouring ranks
+  // are one sector width apart; that width must exceed the span a sector
+  // window can influence (vacancy-system radius plus one hop).
+  int maxComp = 0;
+  for (const Vec3i& s : cet.sites())
+    maxComp = std::max({maxComp, std::abs(s.x), std::abs(s.y), std::abs(s.z)});
+  const int minSectorDoubled = maxComp + 2;
+  require(extent.x >= minSectorDoubled && extent.y >= minSectorDoubled &&
+              extent.z >= minSectorDoubled,
+          "subdomains too small for conflict-free sublattice sectors at "
+          "this cutoff");
+
+  domains_.reserve(static_cast<std::size_t>(decomp_.rankCount()));
+  Rng master(config.seed);
+  for (int r = 0; r < decomp_.rankCount(); ++r) {
+    domains_.emplace_back(lattice_, decomp_.originCells(r), extent, ghost);
+    domains_.back().loadFrom(initial);
+    rngs_.push_back(master.split());
+  }
+  pendingChanges_.resize(static_cast<std::size_t>(decomp_.rankCount()));
+  // Rates become stale within the vacancy-system radius of a changed site.
+  interactionRadius_ =
+      (maxComp + 2) * lattice_.latticeConstant() / 2.0;
+}
+
+Vec3i ParallelEngine::localCell(int rank, Vec3i p) const {
+  const Vec3i w = lattice_.wrap(p);
+  const Vec3i origin = decomp_.originCells(rank);
+  const Vec3i e = decomp_.extentCells();
+  const int cx = wrapMod((w.x >> 1) - origin.x, lattice_.cellsX());
+  const int cy = wrapMod((w.y >> 1) - origin.y, lattice_.cellsY());
+  const int cz = wrapMod((w.z >> 1) - origin.z, lattice_.cellsZ());
+  return {cx < e.x ? cx : -1, cy < e.y ? cy : -1, cz < e.z ? cz : -1};
+}
+
+bool ParallelEngine::inSector(int rank, Vec3i p, int sector) const {
+  const Vec3i cell = localCell(rank, p);
+  if (cell.x < 0 || cell.y < 0 || cell.z < 0) return false;
+  const Vec3i e = decomp_.extentCells();
+  const bool hx = cell.x >= e.x / 2;
+  const bool hy = cell.y >= e.y / 2;
+  const bool hz = cell.z >= e.z / 2;
+  return (static_cast<int>(hx) | (static_cast<int>(hy) << 1) |
+          (static_cast<int>(hz) << 2)) == sector;
+}
+
+void ParallelEngine::runSector(int rank, int sector) {
+  Subdomain& sd = domains_[static_cast<std::size_t>(rank)];
+  Rng& rng = rngs_[static_cast<std::size_t>(rank)];
+  auto& changes = pendingChanges_[static_cast<std::size_t>(rank)];
+
+  // Per-vacancy rates, refreshed lazily via stale flags.
+  std::vector<JumpRates> rates(sd.vacancies().size());
+  std::vector<bool> stale(sd.vacancies().size(), true);
+  std::vector<bool> active(sd.vacancies().size());
+  for (std::size_t v = 0; v < sd.vacancies().size(); ++v)
+    active[v] = inSector(rank, sd.vacancies()[v], sector);
+
+  double tLocal = 0.0;
+  while (true) {
+    double total = 0.0;
+    for (std::size_t v = 0; v < sd.vacancies().size(); ++v) {
+      if (!active[v]) continue;
+      if (stale[v]) {
+        Vet vet = gatherVet(cet_, sd, sd.vacancies()[v]);
+        const auto energies =
+            model_.stateEnergiesFromVet(vet, kNumJumpDirections);
+        rates[v] = computeRates(vet, energies, config_.temperature);
+        stale[v] = false;
+      }
+      total += rates[v].total;
+    }
+    if (total <= 0.0) break;
+
+    const double u1 = rng.uniform();
+    double target = u1 * total;
+    std::size_t chosen = 0;
+    bool found = false;
+    for (std::size_t v = 0; v < sd.vacancies().size(); ++v) {
+      if (!active[v]) continue;
+      chosen = v;
+      target -= rates[v].total;
+      if (target < 0.0) {
+        found = true;
+        break;
+      }
+    }
+    require(found || target < 1e-9 * total, "event selection overflow");
+
+    const JumpRates& jr = rates[chosen];
+    const double u2 = rng.uniform();
+    double dirTarget = u2 * jr.total;
+    int direction = 0;
+    for (; direction < kNumJumpDirections - 1; ++direction) {
+      dirTarget -= jr.rate[static_cast<std::size_t>(direction)];
+      if (dirTarget < 0.0) break;
+    }
+    while (direction > 0 && jr.rate[static_cast<std::size_t>(direction)] == 0.0)
+      --direction;
+
+    const double dt = residenceTime(rng.uniformOpenLeft(), total);
+    if (tLocal + dt > config_.tStop) {
+      // Event beyond the window: discard and stop (Shim-Amar rule).
+      ++discarded_;
+      break;
+    }
+    tLocal += dt;
+
+    const Vec3i from = lattice_.wrap(sd.vacancies()[chosen]);
+    const Vec3i to = lattice_.wrap(
+        from +
+        BccLattice::firstNeighborOffsets()[static_cast<std::size_t>(direction)]);
+    const Species migrating = sd.at(to);
+    require(migrating != Species::kVacancy, "parallel hop into a vacancy");
+    sd.set(from, migrating);
+    sd.set(to, Species::kVacancy);
+    changes.push_back({from, migrating});
+    changes.push_back({to, Species::kVacancy});
+    ++events_;
+
+    // Vacancy list maintenance.
+    if (sd.owns(to)) {
+      sd.vacancies()[chosen] = to;
+      active[chosen] = inSector(rank, to, sector);
+    } else {
+      sd.vacancies().erase(sd.vacancies().begin() +
+                           static_cast<std::ptrdiff_t>(chosen));
+      rates.erase(rates.begin() + static_cast<std::ptrdiff_t>(chosen));
+      stale.erase(stale.begin() + static_cast<std::ptrdiff_t>(chosen));
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(chosen));
+    }
+
+    // Invalidate rates of vacancies near the changed sites.
+    for (std::size_t v = 0; v < sd.vacancies().size(); ++v) {
+      for (const Vec3i& site : {from, to}) {
+        const Vec3i d =
+            lattice_.minimumImage(lattice_.wrap(sd.vacancies()[v]), site);
+        if (lattice_.offsetDistance(d) <= interactionRadius_) {
+          stale[v] = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void ParallelEngine::foldChanges() {
+  // Phase 1: route boundary modifications to their owners.
+  for (int r = 0; r < decomp_.rankCount(); ++r) {
+    std::vector<std::vector<std::uint8_t>> outbound(
+        static_cast<std::size_t>(decomp_.rankCount()));
+    for (const Change& c : pendingChanges_[static_cast<std::size_t>(r)]) {
+      const int owner = decomp_.ownerOfSite(c.site);
+      if (owner == r) continue;
+      auto& buf = outbound[static_cast<std::size_t>(owner)];
+      const std::int32_t coords[3] = {c.site.x, c.site.y, c.site.z};
+      const std::size_t at = buf.size();
+      buf.resize(at + sizeof(coords) + 1);
+      std::memcpy(buf.data() + at, coords, sizeof(coords));
+      buf[at + sizeof(coords)] = static_cast<std::uint8_t>(c.species);
+    }
+    for (int to = 0; to < decomp_.rankCount(); ++to)
+      comm_.send(r, to, kTagFold,
+                 std::move(outbound[static_cast<std::size_t>(to)]));
+  }
+  // Phase 2: owners apply the folded changes.
+  for (int r = 0; r < decomp_.rankCount(); ++r) {
+    Subdomain& sd = domains_[static_cast<std::size_t>(r)];
+    for (auto& [from, payload] : comm_.receiveAll(r, kTagFold)) {
+      const std::size_t stride = 3 * sizeof(std::int32_t) + 1;
+      require(payload.size() % stride == 0, "malformed fold payload");
+      for (std::size_t off = 0; off < payload.size(); off += stride) {
+        std::int32_t coords[3];
+        std::memcpy(coords, payload.data() + off, sizeof(coords));
+        const Vec3i site{coords[0], coords[1], coords[2]};
+        const auto species =
+            static_cast<Species>(payload[off + sizeof(coords)]);
+        require(sd.owns(site), "fold routed to wrong owner");
+        const Species before = sd.at(site);
+        sd.set(site, species);
+        if (species == Species::kVacancy && before != Species::kVacancy)
+          sd.vacancies().push_back(lattice_.wrap(site));
+      }
+    }
+    pendingChanges_[static_cast<std::size_t>(r)].clear();
+  }
+}
+
+void ParallelEngine::runCycle() {
+  const int sector = static_cast<int>(cycles_ % 8);
+  for (int r = 0; r < decomp_.rankCount(); ++r) runSector(r, sector);
+  foldChanges();
+  exchange_.exchangeAll(domains_);
+  time_ += config_.tStop;
+  ++cycles_;
+}
+
+void ParallelEngine::run(double tEnd) {
+  while (time_ < tEnd) runCycle();
+}
+
+std::int64_t ParallelEngine::vacancyCount() const {
+  std::int64_t total = 0;
+  for (const Subdomain& sd : domains_)
+    total += static_cast<std::int64_t>(sd.vacancies().size());
+  return total;
+}
+
+LatticeState ParallelEngine::assembleGlobalState() const {
+  LatticeState out(lattice_);
+  for (int r = 0; r < decomp_.rankCount(); ++r) {
+    const Subdomain& sd = domains_[static_cast<std::size_t>(r)];
+    const Vec3i origin = decomp_.originCells(r);
+    const Vec3i e = decomp_.extentCells();
+    for (int cz = 0; cz < e.z; ++cz)
+      for (int cy = 0; cy < e.y; ++cy)
+        for (int cx = 0; cx < e.x; ++cx)
+          for (int sub = 0; sub < 2; ++sub) {
+            const Vec3i p{2 * (origin.x + cx) + sub, 2 * (origin.y + cy) + sub,
+                          2 * (origin.z + cz) + sub};
+            out.setSpeciesAt(lattice_.wrap(p), sd.at(p));
+          }
+  }
+  return out;
+}
+
+bool ParallelEngine::ghostsConsistent() const {
+  const LatticeState global = assembleGlobalState();
+  for (int r = 0; r < decomp_.rankCount(); ++r) {
+    const Subdomain& sd = domains_[static_cast<std::size_t>(r)];
+    const Vec3i origin = decomp_.originCells(r);
+    const Vec3i e = decomp_.extentCells();
+    const int g = sd.ghostCells();
+    for (int cz = -g; cz < e.z + g; ++cz)
+      for (int cy = -g; cy < e.y + g; ++cy)
+        for (int cx = -g; cx < e.x + g; ++cx)
+          for (int sub = 0; sub < 2; ++sub) {
+            const Vec3i p{2 * (origin.x + cx) + sub, 2 * (origin.y + cy) + sub,
+                          2 * (origin.z + cz) + sub};
+            if (sd.at(p) != global.speciesAt(lattice_.wrap(p))) return false;
+          }
+  }
+  return true;
+}
+
+}  // namespace tkmc

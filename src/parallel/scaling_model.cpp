@@ -1,0 +1,101 @@
+#include "parallel/scaling_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+
+double ScalingModel::computeSeconds(double atomsPerCg, double simSeconds) const {
+  const double vacancies = atomsPerCg * params_.vacancyConcentration;
+  // Each vacancy hops hopRate * simSeconds times; each hop triggers
+  // refreshesPerEvent propensity evaluations. The sublattice schedule
+  // touches one octant per cycle, so per-cycle work is 1/8 of the rank's
+  // vacancies — but over 8 cycles the full population advances, leaving
+  // the total unchanged.
+  const double events = vacancies * params_.hopRatePerVacancy * simSeconds;
+  const double mean = events * params_.refreshesPerEvent * params_.secondsPerRefresh;
+  // Barrier imbalance: the cycle ends on the slowest rank. Relative
+  // spread of per-rank work scales like 1/sqrt(events per sector window).
+  const double eventsPerWindow = std::max(
+      vacancies / 8.0 * params_.hopRatePerVacancy * params_.tStop, 1.0);
+  return mean * (1.0 + params_.imbalanceCoefficient / std::sqrt(eventsPerWindow));
+}
+
+double ScalingModel::commSeconds(double atomsPerCg, std::int64_t coreGroups,
+                                 double simSeconds) const {
+  require(coreGroups > 0, "need at least one core group");
+  const double cycles = simSeconds / params_.tStop;
+  // Cubic subdomain: edge in unit cells, surface sites per face.
+  const double cells = std::cbrt(atomsPerCg / 2.0);
+  const double faceSites = 2.0 * cells * cells * params_.ghostCells;
+  const double bytesPerCycle =
+      6.0 * faceSites * params_.ghostBytesPerAtomSurface;
+  const double exchange =
+      6.0 * params_.linkLatency + bytesPerCycle / params_.linkBandwidth;
+  const double sync = params_.allreduceStageLatency *
+                      std::log2(static_cast<double>(coreGroups) + 1.0);
+  return cycles * (exchange + sync);
+}
+
+double ScalingModel::runSeconds(double atomsPerCg, std::int64_t coreGroups,
+                                double simSeconds) const {
+  return computeSeconds(atomsPerCg, simSeconds) +
+         commSeconds(atomsPerCg, coreGroups, simSeconds);
+}
+
+std::vector<ScalingPoint> ScalingModel::strongScaling(
+    double totalAtoms, const std::vector<std::int64_t>& cgs,
+    double simSeconds) const {
+  require(!cgs.empty(), "empty CG sweep");
+  std::vector<ScalingPoint> points;
+  points.reserve(cgs.size());
+  for (std::int64_t p : cgs) {
+    ScalingPoint pt;
+    pt.coreGroups = p;
+    pt.cores = p * 65;
+    pt.atomsPerCg = totalAtoms / static_cast<double>(p);
+    pt.computeSeconds = computeSeconds(pt.atomsPerCg, simSeconds);
+    pt.commSeconds = commSeconds(pt.atomsPerCg, p, simSeconds);
+    pt.totalSeconds = pt.computeSeconds + pt.commSeconds;
+    points.push_back(pt);
+  }
+  const ScalingPoint& base = points.front();
+  for (ScalingPoint& pt : points) {
+    pt.speedup = base.totalSeconds / pt.totalSeconds;
+    const double ideal =
+        static_cast<double>(pt.coreGroups) / static_cast<double>(base.coreGroups);
+    pt.efficiency = pt.speedup / ideal;
+  }
+  return points;
+}
+
+std::vector<ScalingPoint> ScalingModel::weakScaling(
+    double atomsPerCg, const std::vector<std::int64_t>& cgs,
+    double simSeconds) const {
+  require(!cgs.empty(), "empty CG sweep");
+  std::vector<ScalingPoint> points;
+  points.reserve(cgs.size());
+  for (std::int64_t p : cgs) {
+    ScalingPoint pt;
+    pt.coreGroups = p;
+    pt.cores = p * 65;
+    pt.atomsPerCg = atomsPerCg;
+    pt.computeSeconds = computeSeconds(atomsPerCg, simSeconds);
+    pt.commSeconds = commSeconds(atomsPerCg, p, simSeconds);
+    pt.totalSeconds = pt.computeSeconds + pt.commSeconds;
+    points.push_back(pt);
+  }
+  const ScalingPoint& base = points.front();
+  for (ScalingPoint& pt : points) {
+    // Weak scaling: efficiency is baseline time over this time (ideal is
+    // constant wall time).
+    pt.efficiency = base.totalSeconds / pt.totalSeconds;
+    pt.speedup = pt.efficiency * static_cast<double>(pt.coreGroups) /
+                 static_cast<double>(base.coreGroups);
+  }
+  return points;
+}
+
+}  // namespace tkmc

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tkmc {
+
+/// Analytic performance model for the Fig. 12 / Fig. 13 scalability
+/// studies.
+///
+/// The compute term is calibrated from a *measured* single-CG kernel cost
+/// (seconds per propensity refresh, i.e. one 9-state vacancy-system
+/// evaluation through the big-fusion pipeline); the communication term
+/// models the synchronous sublattice schedule: per cycle, one staged
+/// 6-neighbour ghost exchange plus a global time synchronization.
+/// Machine-independent shape (who wins, where efficiency falls off)
+/// follows from the ratios, not the absolute constants.
+struct ScalingParams {
+  double secondsPerRefresh = 2e-4;   // measured; one vacancy propensity calc
+  double refreshesPerEvent = 3.0;    // hop dirties ~this many systems
+  double hopRatePerVacancy = 1.0e8;  // 1/s at 573 K, Fe-dominated barrier
+  double vacancyConcentration = 8e-6;
+  double tStop = 2e-8;               // synchronization interval, seconds
+  double linkLatency = 3.0e-6;       // per neighbour message, seconds
+  double linkBandwidth = 20.0e9;     // bytes/s
+  double allreduceStageLatency = 2.5e-6;  // per log2(P) stage
+  double ghostBytesPerAtomSurface = 1.0;  // species byte per ghost site
+  int ghostCells = 5;
+  /// Sector-barrier load-imbalance amplitude: every cycle ends on a
+  /// global synchronization, so the wall time follows the *slowest*
+  /// rank. With few KMC events per sector window the Poisson spread of
+  /// per-rank work grows relatively like 1/sqrt(events), which is what
+  /// erodes strong-scaling efficiency once subdomains get small.
+  double imbalanceCoefficient = 0.7;
+};
+
+struct ScalingPoint {
+  std::int64_t coreGroups = 0;
+  std::int64_t cores = 0;            // CGs x 65
+  double atomsPerCg = 0.0;
+  double computeSeconds = 0.0;       // per full run
+  double commSeconds = 0.0;
+  double totalSeconds = 0.0;
+  double efficiency = 1.0;           // vs the sweep's first entry
+  double speedup = 1.0;
+};
+
+class ScalingModel {
+ public:
+  explicit ScalingModel(ScalingParams params = {}) : params_(params) {}
+
+  const ScalingParams& params() const { return params_; }
+
+  /// Wall seconds for one rank to simulate `simSeconds` of physical time
+  /// with `atomsPerCg` atoms per core group and `coreGroups` ranks.
+  double runSeconds(double atomsPerCg, std::int64_t coreGroups,
+                    double simSeconds) const;
+
+  double computeSeconds(double atomsPerCg, double simSeconds) const;
+  double commSeconds(double atomsPerCg, std::int64_t coreGroups,
+                     double simSeconds) const;
+
+  /// Strong-scaling sweep: fixed total atoms over increasing CG counts.
+  std::vector<ScalingPoint> strongScaling(double totalAtoms,
+                                          const std::vector<std::int64_t>& cgs,
+                                          double simSeconds) const;
+
+  /// Weak-scaling sweep: fixed atoms per CG.
+  std::vector<ScalingPoint> weakScaling(double atomsPerCg,
+                                        const std::vector<std::int64_t>& cgs,
+                                        double simSeconds) const;
+
+ private:
+  ScalingParams params_;
+};
+
+}  // namespace tkmc

@@ -1,0 +1,58 @@
+#include "parallel/sim_comm.hpp"
+
+#include "common/error.hpp"
+
+namespace tkmc {
+
+SimComm::SimComm(int ranks) : ranks_(ranks) {
+  require(ranks > 0, "communicator needs at least one rank");
+}
+
+void SimComm::send(int from, int to, int tag,
+                   std::vector<std::uint8_t> payload) {
+  require(from >= 0 && from < ranks_ && to >= 0 && to < ranks_,
+          "rank out of range");
+  bytesSent_ += payload.size();
+  ++messagesSent_;
+  mailboxes_[{from, to, tag}].push_back(std::move(payload));
+}
+
+std::vector<std::uint8_t> SimComm::receive(int to, int from, int tag) {
+  auto it = mailboxes_.find({from, to, tag});
+  require(it != mailboxes_.end() && !it->second.empty(),
+          "no pending message for (from,to,tag)");
+  std::vector<std::uint8_t> payload = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) mailboxes_.erase(it);
+  return payload;
+}
+
+bool SimComm::hasMessage(int to, int from, int tag) const {
+  auto it = mailboxes_.find({from, to, tag});
+  return it != mailboxes_.end() && !it->second.empty();
+}
+
+int SimComm::pendingCount(int to, int tag) const {
+  int count = 0;
+  for (const auto& [key, queue] : mailboxes_)
+    if (key.to == to && key.tag == tag)
+      count += static_cast<int>(queue.size());
+  return count;
+}
+
+std::vector<std::pair<int, std::vector<std::uint8_t>>> SimComm::receiveAll(
+    int to, int tag) {
+  std::vector<std::pair<int, std::vector<std::uint8_t>>> result;
+  for (int from = 0; from < ranks_; ++from) {
+    while (hasMessage(to, from, tag))
+      result.emplace_back(from, receive(to, from, tag));
+  }
+  return result;
+}
+
+void SimComm::resetStats() {
+  bytesSent_ = 0;
+  messagesSent_ = 0;
+}
+
+}  // namespace tkmc

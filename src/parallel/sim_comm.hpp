@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace tkmc {
+
+/// In-process message-passing runtime standing in for swmpi.
+///
+/// Ranks are driven sequentially by the engine (bulk-synchronous phases),
+/// so communication is mailbox-based: a phase posts sends, the next phase
+/// receives. Messages between a (source, destination, tag) triple are
+/// FIFO. Byte and message counters feed the scaling model's communication
+/// calibration.
+class SimComm {
+ public:
+  explicit SimComm(int ranks);
+
+  int rankCount() const { return ranks_; }
+
+  /// Posts a message. Payload bytes are owned by the mailbox until
+  /// received.
+  void send(int from, int to, int tag, std::vector<std::uint8_t> payload);
+
+  /// Pops the oldest message matching (from -> to, tag). Throws when none
+  /// is pending — phase protocols are deterministic, so a missing message
+  /// is a bug, not a wait condition.
+  std::vector<std::uint8_t> receive(int to, int from, int tag);
+
+  /// True when a matching message is pending.
+  bool hasMessage(int to, int from, int tag) const;
+
+  /// Number of pending messages addressed to `to` with `tag`, any source.
+  int pendingCount(int to, int tag) const;
+
+  /// Drains every pending (from -> to, tag) message in source order.
+  std::vector<std::pair<int, std::vector<std::uint8_t>>> receiveAll(int to,
+                                                                    int tag);
+
+  std::uint64_t totalBytesSent() const { return bytesSent_; }
+  std::uint64_t totalMessagesSent() const { return messagesSent_; }
+  void resetStats();
+
+ private:
+  struct Key {
+    int from;
+    int to;
+    int tag;
+    bool operator<(const Key& o) const {
+      if (from != o.from) return from < o.from;
+      if (to != o.to) return to < o.to;
+      return tag < o.tag;
+    }
+  };
+
+  int ranks_;
+  std::map<Key, std::deque<std::vector<std::uint8_t>>> mailboxes_;
+  std::uint64_t bytesSent_ = 0;
+  std::uint64_t messagesSent_ = 0;
+};
+
+}  // namespace tkmc

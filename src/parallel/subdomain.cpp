@@ -1,0 +1,139 @@
+#include "parallel/subdomain.hpp"
+
+#include "common/error.hpp"
+
+namespace tkmc {
+namespace {
+
+// Shifts v by multiples of `period` into [lo, lo + span); returns false
+// when impossible.
+bool shiftInto(int v, int lo, int span, int period, int& out) {
+  int shifted = v;
+  while (shifted < lo) shifted += period;
+  while (shifted >= lo + span) shifted -= period;
+  if (shifted < lo) return false;
+  out = shifted;
+  return true;
+}
+
+}  // namespace
+
+Subdomain::Subdomain(const BccLattice& global, Vec3i originCells,
+                     Vec3i extentCells, int ghostCells)
+    : global_(global), indexer_(originCells, extentCells, ghostCells) {
+  extOriginDoubled_ = {2 * (originCells.x - ghostCells),
+                       2 * (originCells.y - ghostCells),
+                       2 * (originCells.z - ghostCells)};
+  extSpanDoubled_ = {2 * (extentCells.x + 2 * ghostCells),
+                     2 * (extentCells.y + 2 * ghostCells),
+                     2 * (extentCells.z + 2 * ghostCells)};
+  require(extSpanDoubled_.x <= 2 * global.cellsX() &&
+              extSpanDoubled_.y <= 2 * global.cellsY() &&
+              extSpanDoubled_.z <= 2 * global.cellsZ(),
+          "extended subdomain must fit the global box (shrink the ghost "
+          "shell or enlarge the box)");
+  species_.assign(static_cast<std::size_t>(indexer_.extendedSiteCount()),
+                  Species::kFe);
+}
+
+std::pair<Vec3i, bool> Subdomain::toFrame(Vec3i p) const {
+  Vec3i f;
+  if (!shiftInto(p.x, extOriginDoubled_.x, extSpanDoubled_.x,
+                 2 * global_.cellsX(), f.x))
+    return {f, false};
+  if (!shiftInto(p.y, extOriginDoubled_.y, extSpanDoubled_.y,
+                 2 * global_.cellsY(), f.y))
+    return {f, false};
+  if (!shiftInto(p.z, extOriginDoubled_.z, extSpanDoubled_.z,
+                 2 * global_.cellsZ(), f.z))
+    return {f, false};
+  return {f, true};
+}
+
+bool Subdomain::covers(Vec3i p) const { return toFrame(p).second; }
+
+bool Subdomain::owns(Vec3i p) const {
+  const auto [f, ok] = toFrame(p);
+  return ok && indexer_.isLocal(f);
+}
+
+Species Subdomain::at(Vec3i p) const {
+  const auto [f, ok] = toFrame(p);
+  require(ok, "coordinate outside this subdomain's extended frame");
+  return species_[static_cast<std::size_t>(indexer_.indexOf(f))];
+}
+
+void Subdomain::set(Vec3i p, Species s) {
+  const auto [f, ok] = toFrame(p);
+  require(ok, "coordinate outside this subdomain's extended frame");
+  species_[static_cast<std::size_t>(indexer_.indexOf(f))] = s;
+}
+
+Vec3i Subdomain::frameSite(Vec3i cell, int sub) const {
+  return {extOriginDoubled_.x + 2 * cell.x + sub,
+          extOriginDoubled_.y + 2 * cell.y + sub,
+          extOriginDoubled_.z + 2 * cell.z + sub};
+}
+
+void Subdomain::loadFrom(const LatticeState& state) {
+  const Vec3i extCells{extentCells().x + 2 * ghostCells(),
+                       extentCells().y + 2 * ghostCells(),
+                       extentCells().z + 2 * ghostCells()};
+  for (int cz = 0; cz < extCells.z; ++cz)
+    for (int cy = 0; cy < extCells.y; ++cy)
+      for (int cx = 0; cx < extCells.x; ++cx)
+        for (int sub = 0; sub < 2; ++sub) {
+          const Vec3i f = frameSite({cx, cy, cz}, sub);
+          species_[static_cast<std::size_t>(indexer_.indexOf(f))] =
+              state.speciesAt(f);
+        }
+  rescanVacancies();
+}
+
+void Subdomain::rescanVacancies() {
+  vacancies_.clear();
+  const Vec3i e = extentCells();
+  const int g = ghostCells();
+  for (int cz = 0; cz < e.z; ++cz)
+    for (int cy = 0; cy < e.y; ++cy)
+      for (int cx = 0; cx < e.x; ++cx)
+        for (int sub = 0; sub < 2; ++sub) {
+          const Vec3i f = frameSite({cx + g, cy + g, cz + g}, sub);
+          if (species_[static_cast<std::size_t>(indexer_.indexOf(f))] ==
+              Species::kVacancy)
+            vacancies_.push_back(global_.wrap(f));
+        }
+}
+
+std::vector<std::uint8_t> Subdomain::packCellBox(Vec3i lo, Vec3i hi) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(hi.x - lo.x) * (hi.y - lo.y) *
+              (hi.z - lo.z) * 2);
+  for (int cz = lo.z; cz < hi.z; ++cz)
+    for (int cy = lo.y; cy < hi.y; ++cy)
+      for (int cx = lo.x; cx < hi.x; ++cx)
+        for (int sub = 0; sub < 2; ++sub) {
+          const Vec3i f = frameSite({cx, cy, cz}, sub);
+          out.push_back(static_cast<std::uint8_t>(
+              species_[static_cast<std::size_t>(indexer_.indexOf(f))]));
+        }
+  return out;
+}
+
+void Subdomain::unpackCellBox(Vec3i lo, Vec3i hi,
+                              const std::vector<std::uint8_t>& data) {
+  const std::size_t expected = static_cast<std::size_t>(hi.x - lo.x) *
+                               (hi.y - lo.y) * (hi.z - lo.z) * 2;
+  require(data.size() == expected, "ghost payload has wrong size");
+  std::size_t i = 0;
+  for (int cz = lo.z; cz < hi.z; ++cz)
+    for (int cy = lo.y; cy < hi.y; ++cy)
+      for (int cx = lo.x; cx < hi.x; ++cx)
+        for (int sub = 0; sub < 2; ++sub) {
+          const Vec3i f = frameSite({cx, cy, cz}, sub);
+          species_[static_cast<std::size_t>(indexer_.indexOf(f))] =
+              static_cast<Species>(data[i++]);
+        }
+}
+
+}  // namespace tkmc

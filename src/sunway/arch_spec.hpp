@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+namespace tkmc {
+
+/// Architectural parameters of one SW26010-pro core group (CG), as used
+/// by the functional simulator and the roofline performance model.
+///
+/// The paper quotes a roofline knee at 43.63 FLOP/byte and reports the
+/// big-fusion operator reaching 76.64% of single-precision peak. The
+/// absolute bandwidth below is chosen so that peak / bandwidth reproduces
+/// that knee; all derived figures (Fig. 9) depend only on the ratio.
+struct ArchSpec {
+  int cpesPerGroup = 64;          // 8 x 8 mesh
+  int cpeRows = 8;
+  int cpeCols = 8;
+  std::size_t ldmBytes = 256 * 1024;      // local device memory per CPE
+  double mainMemoryBandwidth = 51.2e9;    // bytes/s, DMA to main memory
+  double rmaBandwidth = 400.0e9;          // bytes/s aggregate CPE mesh
+  double rooflineKnee = 43.63;            // FLOP/byte (paper Fig. 9)
+  int coresPerGroup = 65;                 // 1 MPE + 64 CPEs
+  int groupsPerNode = 6;
+
+  /// Single-precision peak of one CG implied by the knee.
+  double peakSpFlops() const { return rooflineKnee * mainMemoryBandwidth; }
+
+  /// Roofline-attainable FLOP/s at a given arithmetic intensity.
+  double attainableFlops(double intensity) const {
+    const double bound = intensity * mainMemoryBandwidth;
+    const double peak = peakSpFlops();
+    return bound < peak ? bound : peak;
+  }
+};
+
+}  // namespace tkmc

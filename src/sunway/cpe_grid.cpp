@@ -1,0 +1,68 @@
+#include "sunway/cpe_grid.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+
+void CpeContext::dmaGet(void* ldmDst, const void* mainSrc, std::size_t bytes) {
+  std::memcpy(ldmDst, mainSrc, bytes);
+  traffic_.mainReadBytes += bytes;
+}
+
+void CpeContext::dmaPut(void* mainDst, const void* ldmSrc, std::size_t bytes) {
+  std::memcpy(mainDst, ldmSrc, bytes);
+  traffic_.mainWriteBytes += bytes;
+}
+
+void CpeContext::rmaGet(void* dst, const void* remoteSrc, std::size_t bytes) {
+  std::memcpy(dst, remoteSrc, bytes);
+  traffic_.rmaBytes += bytes;
+}
+
+CpeContext& CpeContext::peer(int row, int col) {
+  return grid_.cpe(row * grid_.spec().cpeCols + col);
+}
+
+CpeGrid::CpeGrid(ArchSpec spec) : spec_(spec) {
+  require(spec.cpeRows * spec.cpeCols == spec.cpesPerGroup,
+          "CPE mesh dimensions must multiply to the CPE count");
+  cpes_.reserve(static_cast<std::size_t>(spec.cpesPerGroup));
+  for (int id = 0; id < spec.cpesPerGroup; ++id)
+    cpes_.push_back(std::make_unique<CpeContext>(id, spec_, *this));
+}
+
+void CpeGrid::run(const std::function<void(CpeContext&)>& kernel) {
+  for (auto& cpe : cpes_) cpe->ldm().reset();
+  // SPMD execution: every CPE owns its scratchpad, traffic counter, and
+  // a disjoint slice of the output, so kernels may run concurrently.
+  // Results are bitwise independent of the thread count.
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (int i = 0; i < static_cast<int>(cpes_.size()); ++i)
+    kernel(*cpes_[static_cast<std::size_t>(i)]);
+}
+
+Traffic CpeGrid::collectTraffic() {
+  Traffic total;
+  for (auto& cpe : cpes_) {
+    total += cpe->traffic();
+    cpe->traffic() = Traffic{};
+  }
+  return total;
+}
+
+std::size_t CpeGrid::maxLdmHighWater() const {
+  std::size_t high = 0;
+  for (const auto& cpe : cpes_) {
+    // highWater() is const-safe; CpeContext exposes ldm() non-const only,
+    // so read through the stored pointer directly.
+    const std::size_t hw = const_cast<CpeContext&>(*cpe).ldm().highWater();
+    if (hw > high) high = hw;
+  }
+  return high;
+}
+
+}  // namespace tkmc

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sunway/arch_spec.hpp"
+#include "sunway/ldm.hpp"
+#include "sunway/traffic.hpp"
+
+namespace tkmc {
+
+class CpeGrid;
+
+/// Execution context handed to a kernel running on one simulated CPE.
+///
+/// Provides the CPE's identity in the 8x8 mesh, its scratchpad, and the
+/// two data-movement primitives of the architecture: DMA between main
+/// memory and LDM, and RMA between CPEs. Both move real bytes and charge
+/// the per-CPE traffic counter, so operator-level traffic statistics fall
+/// out of functional execution.
+class CpeContext {
+ public:
+  CpeContext(int id, const ArchSpec& spec, CpeGrid& grid)
+      : id_(id), row_(id / spec.cpeCols), col_(id % spec.cpeCols),
+        ldm_(spec.ldmBytes), grid_(grid) {}
+
+  int id() const { return id_; }
+  int row() const { return row_; }
+  int col() const { return col_; }
+  Ldm& ldm() { return ldm_; }
+  Traffic& traffic() { return traffic_; }
+
+  /// DMA get: main memory -> LDM buffer.
+  void dmaGet(void* ldmDst, const void* mainSrc, std::size_t bytes);
+
+  /// DMA put: LDM buffer -> main memory.
+  void dmaPut(void* mainDst, const void* ldmSrc, std::size_t bytes);
+
+  /// RMA read from another CPE's LDM into this CPE's buffer; stays on
+  /// the mesh (no main-memory traffic).
+  void rmaGet(void* dst, const void* remoteSrc, std::size_t bytes);
+
+  /// Access to a peer CPE in the same core group (for RMA sharing).
+  CpeContext& peer(int row, int col);
+
+ private:
+  int id_;
+  int row_;
+  int col_;
+  Ldm ldm_;
+  Traffic traffic_;
+  CpeGrid& grid_;
+};
+
+/// One core group's CPE cluster (8x8 mesh of scratchpad cores).
+///
+/// run() executes a kernel body once per CPE. Execution is sequential and
+/// deterministic — the simulator models the memory hierarchy, not timing
+/// races — but kernels are written exactly as SPMD bodies, so the mapping
+/// mirrors the paper's "CPEs as a micro parallel system" view.
+class CpeGrid {
+ public:
+  explicit CpeGrid(ArchSpec spec = {});
+
+  const ArchSpec& spec() const { return spec_; }
+  int size() const { return spec_.cpesPerGroup; }
+
+  CpeContext& cpe(int id) { return *cpes_[static_cast<std::size_t>(id)]; }
+
+  /// Runs `kernel` on every CPE (id order). Scratchpads are reset first;
+  /// traffic counters accumulate until collectTraffic().
+  void run(const std::function<void(CpeContext&)>& kernel);
+
+  /// Sums and clears all per-CPE traffic counters.
+  Traffic collectTraffic();
+
+  /// Largest scratchpad high-water mark across CPEs (bytes).
+  std::size_t maxLdmHighWater() const;
+
+ private:
+  ArchSpec spec_;
+  std::vector<std::unique_ptr<CpeContext>> cpes_;
+};
+
+}  // namespace tkmc

@@ -1,0 +1,128 @@
+#include "sunway/feature_operator.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "tabulation/cet.hpp"
+
+namespace tkmc {
+
+FeatureOperator::FeatureOperator(const Net& net, const FeatureTable& table,
+                                 CpeGrid& grid)
+    : net_(net), table_(table), grid_(grid) {
+  // Pack NET into the 4-byte-per-entry LDM encoding.
+  packedOffsets_.push_back(0);
+  for (int site = 0; site < net_.regionSites(); ++site) {
+    for (const Net::Entry& e : net_.neighbors(site)) {
+      require(e.siteId >= 0 && e.siteId < 65536 && e.distIndex >= 0 &&
+                  e.distIndex < 65536,
+              "NET entry does not fit the packed encoding");
+      packedEntries_.push_back({static_cast<std::uint16_t>(e.siteId),
+                                static_cast<std::uint16_t>(e.distIndex)});
+    }
+    packedOffsets_.push_back(packedEntries_.size());
+  }
+  tableF32_.resize(static_cast<std::size_t>(table_.numDistances()) * table_.numPq());
+  for (int d = 0; d < table_.numDistances(); ++d)
+    for (int k = 0; k < table_.numPq(); ++k)
+      tableF32_[static_cast<std::size_t>(d) * table_.numPq() + k] =
+          static_cast<float>(table_.value(d, k));
+}
+
+void FeatureOperator::compute(const Vet& vet, int numFinal,
+                              std::vector<float>& out) const {
+  require(numFinal >= 0 && numFinal <= kNumJumpDirections,
+          "invalid number of final states");
+  const int nRegion = net_.regionSites();
+  const int d = dim();
+  const int numPq = table_.numPq();
+  const int numStates = 1 + numFinal;
+  const std::size_t stateStride = static_cast<std::size_t>(nRegion) * d;
+  out.assign(stateStride * static_cast<std::size_t>(numStates), 0.0f);
+
+  const int numCpes = grid_.size();
+  grid_.run([&](CpeContext& cpe) {
+    Ldm& ldm = cpe.ldm();
+    // Sites handled by this CPE (circular assignment).
+    std::vector<int> mySites;
+    for (int s = cpe.id(); s < nRegion; s += numCpes) mySites.push_back(s);
+    if (mySites.empty()) return;
+
+    // LDM residents: feature TABLE, VET copy, this CPE's NET rows.
+    auto tableLdm = ldm.alloc<float>(tableF32_.size());
+    cpe.dmaGet(tableLdm.data(), tableF32_.data(),
+               tableF32_.size() * sizeof(float));
+    auto vetLdm = ldm.alloc<Species>(static_cast<std::size_t>(vet.size()));
+    cpe.dmaGet(vetLdm.data(), vet.data().data(),
+               static_cast<std::size_t>(vet.size()) * sizeof(Species));
+    std::size_t myEntryCount = 0;
+    for (int s : mySites)
+      myEntryCount += packedOffsets_[static_cast<std::size_t>(s) + 1] -
+                      packedOffsets_[static_cast<std::size_t>(s)];
+    auto netLdm = ldm.alloc<PackedEntry>(myEntryCount);
+    {
+      std::size_t cursor = 0;
+      for (int s : mySites) {
+        const std::size_t begin = packedOffsets_[static_cast<std::size_t>(s)];
+        const std::size_t count =
+            packedOffsets_[static_cast<std::size_t>(s) + 1] - begin;
+        cpe.dmaGet(netLdm.data() + cursor, packedEntries_.data() + begin,
+                   count * sizeof(PackedEntry));
+        cursor += count;
+      }
+    }
+
+    // All generated features stay in LDM until every state is done.
+    auto featLdm = ldm.alloc<float>(mySites.size() *
+                                    static_cast<std::size_t>(numStates) * d);
+    std::fill(featLdm.begin(), featLdm.end(), 0.0f);
+
+    for (int state = 0; state < numStates; ++state) {
+      // Simulate the hop for final state k by swapping the LDM VET copy.
+      if (state > 0) {
+        const int target = Cet::jumpTargetId(state - 1);
+        std::swap(vetLdm[0], vetLdm[static_cast<std::size_t>(target)]);
+      }
+      std::size_t cursor = 0;
+      for (std::size_t si = 0; si < mySites.size(); ++si) {
+        const int s = mySites[si];
+        const std::size_t count =
+            packedOffsets_[static_cast<std::size_t>(s) + 1] -
+            packedOffsets_[static_cast<std::size_t>(s)];
+        float* f = featLdm.data() +
+                   (static_cast<std::size_t>(state) * mySites.size() + si) * d;
+        for (std::size_t e = 0; e < count; ++e) {
+          const PackedEntry entry = netLdm[cursor + e];
+          const Species sp = vetLdm[entry.siteId];
+          if (sp == Species::kVacancy) continue;
+          const float* row =
+              tableLdm.data() + static_cast<std::size_t>(entry.distIndex) * numPq;
+          float* block = f + static_cast<int>(sp) * numPq;
+          for (int k = 0; k < numPq; ++k) block[k] += row[k];
+        }
+        cpe.traffic().flops += count * static_cast<std::uint64_t>(numPq);
+        cursor += count;
+      }
+      // Undo the swap so every state starts from the initial VET.
+      if (state > 0) {
+        const int target = Cet::jumpTargetId(state - 1);
+        std::swap(vetLdm[0], vetLdm[static_cast<std::size_t>(target)]);
+      }
+    }
+
+    // One DMA put of everything generated (paper: features kept in LDM
+    // until all states are done).
+    for (int state = 0; state < numStates; ++state)
+      for (std::size_t si = 0; si < mySites.size(); ++si) {
+        float* dst = out.data() + static_cast<std::size_t>(state) * stateStride +
+                     static_cast<std::size_t>(mySites[si]) * d;
+        const float* src =
+            featLdm.data() +
+            (static_cast<std::size_t>(state) * mySites.size() + si) * d;
+        cpe.dmaPut(dst, src, static_cast<std::size_t>(d) * sizeof(float));
+      }
+  });
+}
+
+}  // namespace tkmc

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sunway/cpe_grid.hpp"
+#include "tabulation/feature_table.hpp"
+#include "tabulation/net.hpp"
+#include "tabulation/vet.hpp"
+
+namespace tkmc {
+
+/// Fast feature operator (paper Sec. 3.4) on the simulated CPE cluster.
+///
+/// Region sites are assigned to CPEs circularly. Each CPE keeps a packed
+/// copy of its NET rows, the whole VET, and the precomputed feature TABLE
+/// in LDM, then evaluates the tabulated descriptor for the initial state
+/// and every final state (vacancy swap VET[0] <-> VET[1+k]) before a
+/// single DMA put of all generated features. Single precision, matching
+/// the CPE vector units.
+class FeatureOperator {
+ public:
+  FeatureOperator(const Net& net, const FeatureTable& table, CpeGrid& grid);
+
+  int dim() const { return table_.numPq() * kNumElements; }
+  int regionSites() const { return net_.regionSites(); }
+
+  /// Computes features for 1 + numFinal states. Output layout is
+  /// [state][regionSite][dim()] row-major floats (resized as needed).
+  /// Traffic is accumulated on the grid's CPE counters.
+  void compute(const Vet& vet, int numFinal, std::vector<float>& out) const;
+
+ private:
+  // Packed NET entry: neighbour id (fits 16 bits for standard cutoffs)
+  // and distance index. Mirrors the LDM-resident encoding.
+  struct PackedEntry {
+    std::uint16_t siteId;
+    std::uint16_t distIndex;
+  };
+
+  const Net& net_;
+  const FeatureTable& table_;
+  CpeGrid& grid_;
+  // Main-memory images the CPEs DMA from: packed NET rows with prefix
+  // offsets, and the float TABLE.
+  std::vector<std::size_t> packedOffsets_;
+  std::vector<PackedEntry> packedEntries_;
+  std::vector<float> tableF32_;
+};
+
+}  // namespace tkmc

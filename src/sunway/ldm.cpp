@@ -1,0 +1,27 @@
+#include "sunway/ldm.hpp"
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+
+Ldm::Ldm(std::size_t capacityBytes) : arena_(capacityBytes) {
+  require(capacityBytes > 0, "LDM capacity must be positive");
+}
+
+void* Ldm::allocBytes(std::size_t bytes, std::size_t alignment) {
+  // Align the absolute address (the vector's base is not necessarily
+  // 64-byte aligned), then charge the padding against the arena.
+  const auto base = reinterpret_cast<std::uintptr_t>(arena_.data());
+  const std::uintptr_t address =
+      (base + offset_ + alignment - 1) & ~(alignment - 1);
+  const std::size_t newOffset = (address - base) + bytes;
+  require(newOffset <= arena_.size(),
+          "LDM overflow: kernel working set exceeds scratchpad capacity");
+  offset_ = newOffset;
+  if (offset_ > highWater_) highWater_ = offset_;
+  return reinterpret_cast<void*>(address);
+}
+
+}  // namespace tkmc

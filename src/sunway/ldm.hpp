@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tkmc {
+
+/// Local device memory (scratchpad) of one simulated CPE.
+///
+/// A bump allocator over a fixed-capacity arena. Kernels allocate their
+/// working buffers here; exceeding the 256 KiB capacity throws, which is
+/// how the simulator enforces the same constraint the real hardware
+/// imposes on operator design (the reason big-fusion tiles its input and
+/// distributes model parameters across CPEs in the first place).
+class Ldm {
+ public:
+  explicit Ldm(std::size_t capacityBytes);
+
+  /// Allocates `count` elements of T, 64-byte aligned. Throws tkmc::Error
+  /// when the arena is exhausted.
+  template <typename T>
+  std::span<T> alloc(std::size_t count) {
+    void* p = allocBytes(count * sizeof(T), alignof(T) > 64 ? alignof(T) : 64);
+    return {static_cast<T*>(p), count};
+  }
+
+  /// Releases everything allocated since construction or the last reset.
+  void reset() { offset_ = 0; }
+
+  std::size_t capacity() const { return arena_.size(); }
+  std::size_t used() const { return offset_; }
+  std::size_t highWater() const { return highWater_; }
+
+ private:
+  void* allocBytes(std::size_t bytes, std::size_t alignment);
+
+  std::vector<std::uint8_t> arena_;
+  std::size_t offset_ = 0;
+  std::size_t highWater_ = 0;
+};
+
+}  // namespace tkmc

@@ -1,0 +1,31 @@
+#include "sunway/perf_model.hpp"
+
+#include <algorithm>
+
+namespace tkmc {
+
+RooflinePoint PerfModel::analyze(std::string name, const Traffic& traffic) const {
+  RooflinePoint point;
+  point.name = std::move(name);
+  point.flops = traffic.flops;
+  point.mainBytes = traffic.mainBytes();
+  point.intensity = traffic.arithmeticIntensity();
+  point.attainableFlops = spec_.attainableFlops(point.intensity);
+  point.peakFraction = point.attainableFlops / spec_.peakSpFlops();
+  point.modeledSeconds = modeledSeconds(traffic);
+  return point;
+}
+
+double PerfModel::modeledSeconds(const Traffic& traffic) const {
+  const double computeTime =
+      static_cast<double>(traffic.flops) / spec_.peakSpFlops();
+  const double memoryTime =
+      static_cast<double>(traffic.mainBytes()) / spec_.mainMemoryBandwidth;
+  const double rmaTime =
+      static_cast<double>(traffic.rmaBytes) / spec_.rmaBandwidth;
+  // DMA and RMA overlap with compute on the real hardware; the bound is
+  // the slowest of the three flows.
+  return std::max({computeTime, memoryTime, rmaTime});
+}
+
+}  // namespace tkmc

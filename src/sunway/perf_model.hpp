@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sunway/arch_spec.hpp"
+#include "sunway/traffic.hpp"
+
+namespace tkmc {
+
+/// One operator's placement on the roofline (paper Fig. 9).
+struct RooflinePoint {
+  std::string name;
+  double intensity = 0.0;        // FLOP/byte of main-memory traffic
+  double attainableFlops = 0.0;  // roofline-bounded FLOP/s
+  double peakFraction = 0.0;     // attainable / peak
+  double modeledSeconds = 0.0;   // max(compute time, memory time)
+  std::uint64_t flops = 0;
+  std::uint64_t mainBytes = 0;
+};
+
+/// Analytic roofline model of one SW26010-pro core group.
+///
+/// Converts measured operator traffic into the quantities the paper's
+/// Fig. 9 reports: arithmetic intensity, attainable performance, and
+/// whether the kernel is memory- or compute-bound.
+class PerfModel {
+ public:
+  explicit PerfModel(ArchSpec spec = {}) : spec_(spec) {}
+
+  const ArchSpec& spec() const { return spec_; }
+
+  RooflinePoint analyze(std::string name, const Traffic& traffic) const;
+
+  /// Modeled wall time of an operator execution on one CG.
+  double modeledSeconds(const Traffic& traffic) const;
+
+  /// True when the kernel sits right of the roofline knee.
+  bool computeBound(const Traffic& traffic) const {
+    return traffic.arithmeticIntensity() >= spec_.rooflineKnee;
+  }
+
+ private:
+  ArchSpec spec_;
+};
+
+}  // namespace tkmc

@@ -1,0 +1,49 @@
+#include "sunway/sunway_energy_model.hpp"
+
+#include "common/error.hpp"
+#include "kmc/nnp_energy_model.hpp"
+
+namespace tkmc {
+
+SunwayEnergyModel::SunwayEnergyModel(const Cet& cet, const Net& net,
+                                     const FeatureTable& table,
+                                     const Network& network, int mBlock)
+    : cet_(cet), features_(net, table, grid_),
+      fusion_(network.foldedSnapshot(), grid_, mBlock) {
+  require(network.inputDim() == table.numPq() * kNumElements,
+          "network input dimension must match the descriptor");
+  loadTraffic_ = fusion_.loadModel();
+}
+
+std::vector<double> SunwayEnergyModel::stateEnergies(const LatticeState& state,
+                                                     Vec3i center,
+                                                     int numFinal) {
+  Vet vet = Vet::gather(cet_, state, center);
+  return stateEnergiesFromVet(vet, numFinal);
+}
+
+std::vector<double> SunwayEnergyModel::stateEnergiesFromVet(Vet& vet,
+                                                            int numFinal) {
+  const int nRegion = cet_.nRegion();
+  const int numStates = 1 + numFinal;
+  features_.compute(vet, numFinal, featureBuffer_);
+  const int m = numStates * nRegion;
+  energyBuffer_.resize(static_cast<std::size_t>(m));
+  fusion_.forward(featureBuffer_.data(), m, energyBuffer_.data());
+  // Per-state reduction with vacancy masking; accumulate the float
+  // atomic energies in double (the MPE-side reduction of the paper).
+  std::vector<double> energies(static_cast<std::size_t>(numStates), 0.0);
+  for (int s = 0; s < numStates; ++s) {
+    double total = 0.0;
+    const float* atomE =
+        energyBuffer_.data() + static_cast<std::size_t>(s) * nRegion;
+    for (int site = 0; site < nRegion; ++site) {
+      if (stateSpecies(vet, s, site) == Species::kVacancy) continue;
+      total += static_cast<double>(atomE[site]);
+    }
+    energies[static_cast<std::size_t>(s)] = total;
+  }
+  return energies;
+}
+
+}  // namespace tkmc

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kmc/energy_model.hpp"
+#include "nnp/network.hpp"
+#include "sunway/bigfusion_operator.hpp"
+#include "sunway/feature_operator.hpp"
+#include "tabulation/cet.hpp"
+#include "tabulation/net.hpp"
+
+namespace tkmc {
+
+/// The production TensorKMC energy backend: triple-encoding tables feeding
+/// the fast feature operator and the big-fusion operator on the simulated
+/// SW26010-pro core group, in single precision (the paper's Sec. 3.4-3.5
+/// pipeline, end to end).
+///
+/// Numerically this is the float counterpart of NnpEnergyModel: same
+/// tables, same network (via the folded snapshot), so per-state energies
+/// agree to single-precision accumulation error. Trajectories driven by
+/// this backend are therefore statistically — not bitwise — equivalent to
+/// the double-precision path, exactly as on the real machine.
+class SunwayEnergyModel : public EnergyModel {
+ public:
+  SunwayEnergyModel(const Cet& cet, const Net& net, const FeatureTable& table,
+                    const Network& network, int mBlock = 32);
+
+  std::vector<double> stateEnergies(const LatticeState& state, Vec3i center,
+                                    int numFinal) override;
+
+  std::vector<double> stateEnergiesFromVet(Vet& vet, int numFinal) override;
+
+  bool supportsVet() const override { return true; }
+
+  const char* name() const override { return "nnp-tet-sunway"; }
+
+  /// Accumulated operator traffic since the last call (diagnostics).
+  Traffic collectTraffic() { return grid_.collectTraffic(); }
+
+  /// One-time model distribution cost (charged at construction).
+  const Traffic& modelLoadTraffic() const { return loadTraffic_; }
+
+ private:
+  const Cet& cet_;
+  CpeGrid grid_;
+  FeatureOperator features_;
+  BigFusionOperator fusion_;
+  Traffic loadTraffic_;
+  std::vector<float> featureBuffer_;
+  std::vector<float> energyBuffer_;
+};
+
+}  // namespace tkmc

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+namespace tkmc {
+
+/// Memory traffic and arithmetic accounting for one operator execution.
+///
+/// Counts are algorithm-level: every pass over a main-memory buffer adds
+/// its bytes, DMA transfers add theirs, RMA stays on the CPE mesh and is
+/// tracked separately (it does not touch main memory, which is exactly
+/// the point of the big-fusion design).
+struct Traffic {
+  std::uint64_t mainReadBytes = 0;
+  std::uint64_t mainWriteBytes = 0;
+  std::uint64_t rmaBytes = 0;
+  std::uint64_t flops = 0;
+
+  std::uint64_t mainBytes() const { return mainReadBytes + mainWriteBytes; }
+
+  /// FLOP per main-memory byte (the roofline x-axis).
+  double arithmeticIntensity() const {
+    const std::uint64_t bytes = mainBytes();
+    return bytes == 0 ? 0.0 : static_cast<double>(flops) / static_cast<double>(bytes);
+  }
+
+  Traffic& operator+=(const Traffic& other) {
+    mainReadBytes += other.mainReadBytes;
+    mainWriteBytes += other.mainWriteBytes;
+    rmaBytes += other.rmaBytes;
+    flops += other.flops;
+    return *this;
+  }
+};
+
+}  // namespace tkmc

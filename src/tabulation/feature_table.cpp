@@ -1,0 +1,35 @@
+#include "tabulation/feature_table.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+
+std::vector<PqSet> standardPqSets() {
+  std::vector<PqSet> sets;
+  sets.reserve(32);
+  for (int i = 0; i < 32; ++i)
+    sets.push_back({4.2 - 0.1 * i, 1.85 + 0.05 * i});
+  return sets;
+}
+
+double FeatureTable::term(double r, const PqSet& pq) {
+  return std::exp(-std::pow(r / pq.p, pq.q));
+}
+
+FeatureTable::FeatureTable(const std::vector<double>& distances,
+                           const std::vector<PqSet>& pqSets)
+    : numDistances_(static_cast<int>(distances.size())),
+      numPq_(static_cast<int>(pqSets.size())) {
+  require(numDistances_ > 0 && numPq_ > 0,
+          "feature table needs distances and (p,q) sets");
+  values_.resize(static_cast<std::size_t>(numDistances_) * numPq_);
+  for (int d = 0; d < numDistances_; ++d)
+    for (int k = 0; k < numPq_; ++k)
+      values_[static_cast<std::size_t>(d) * numPq_ + k] =
+          term(distances[static_cast<std::size_t>(d)],
+               pqSets[static_cast<std::size_t>(k)]);
+}
+
+}  // namespace tkmc

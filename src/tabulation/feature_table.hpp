@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+namespace tkmc {
+
+/// One (p, q) hyperparameter pair of the exponential descriptor (Eq. 5).
+struct PqSet {
+  double p;
+  double q;
+};
+
+/// The 32 (p, q) pairs of the paper (Sec. 4.1.1): p runs 4.2 -> 1.1 in
+/// steps of -0.1 while q runs 1.85 -> 3.4 in steps of +0.05.
+std::vector<PqSet> standardPqSets();
+
+/// Precomputed TABLE(r, p, q) of Eq. 6.
+///
+/// AKMC interatomic distances are discrete, so the descriptor term
+/// exp(-(r/p)^q) only ever needs the unique distances of the NET. The
+/// table stores one row per distance with all (p, q) values contiguous,
+/// turning feature evaluation into pure gather-accumulate.
+class FeatureTable {
+ public:
+  FeatureTable(const std::vector<double>& distances,
+               const std::vector<PqSet>& pqSets);
+
+  int numDistances() const { return numDistances_; }
+  int numPq() const { return numPq_; }
+
+  double value(int distIndex, int pqIndex) const {
+    return values_[static_cast<std::size_t>(distIndex) * numPq_ + pqIndex];
+  }
+
+  /// Contiguous (p, q) row for one distance.
+  const double* row(int distIndex) const {
+    return values_.data() + static_cast<std::size_t>(distIndex) * numPq_;
+  }
+
+  /// Direct evaluation of the descriptor term (Eq. 5); the table must
+  /// reproduce this exactly at its knots (tested).
+  static double term(double r, const PqSet& pq);
+
+  std::size_t sizeBytes() const { return values_.size() * sizeof(double); }
+
+ private:
+  int numDistances_;
+  int numPq_;
+  std::vector<double> values_;  // [distance][pq]
+};
+
+}  // namespace tkmc

@@ -1,0 +1,72 @@
+#include "tabulation/region_features.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+
+RegionFeatures::RegionFeatures(const Net& net, const FeatureTable& table)
+    : net_(net), table_(table) {}
+
+void RegionFeatures::compute(const Vet& vet, std::vector<double>& out) const {
+  const int nRegion = net_.regionSites();
+  const int d = dim();
+  const int numPq = table_.numPq();
+  out.assign(static_cast<std::size_t>(nRegion) * d, 0.0);
+  for (int site = 0; site < nRegion; ++site) {
+    double* f = out.data() + static_cast<std::size_t>(site) * d;
+    for (const Net::Entry& e : net_.neighbors(site)) {
+      const Species sp = vet[e.siteId];
+      if (sp == Species::kVacancy) continue;
+      const double* row = table_.row(e.distIndex);
+      double* block = f + static_cast<int>(sp) * numPq;
+      for (int k = 0; k < numPq; ++k) block[k] += row[k];
+    }
+  }
+}
+
+void RegionFeatures::computeDirect(const Vet& vet,
+                                   const std::vector<double>& distances,
+                                   const std::vector<PqSet>& pqSets,
+                                   std::vector<double>& out) const {
+  require(static_cast<int>(pqSets.size()) == table_.numPq(),
+          "pq set count must match the table");
+  const int nRegion = net_.regionSites();
+  const int d = dim();
+  const int numPq = table_.numPq();
+  out.assign(static_cast<std::size_t>(nRegion) * d, 0.0);
+  for (int site = 0; site < nRegion; ++site) {
+    double* f = out.data() + static_cast<std::size_t>(site) * d;
+    for (const Net::Entry& e : net_.neighbors(site)) {
+      const Species sp = vet[e.siteId];
+      if (sp == Species::kVacancy) continue;
+      const double r = distances[static_cast<std::size_t>(e.distIndex)];
+      double* block = f + static_cast<int>(sp) * numPq;
+      for (int k = 0; k < numPq; ++k)
+        block[k] += FeatureTable::term(r, pqSets[static_cast<std::size_t>(k)]);
+    }
+  }
+}
+
+void RegionFeatures::computeStates(Vet& vet, int numFinal,
+                                   std::vector<double>& out) const {
+  require(numFinal >= 0 && numFinal <= kNumJumpDirections,
+          "invalid number of final states");
+  const std::size_t stateStride =
+      static_cast<std::size_t>(net_.regionSites()) * dim();
+  out.resize(stateStride * (1 + static_cast<std::size_t>(numFinal)));
+  std::vector<double> scratch;
+  compute(vet, scratch);
+  std::copy(scratch.begin(), scratch.end(), out.begin());
+  for (int k = 0; k < numFinal; ++k) {
+    const int target = Cet::jumpTargetId(k);
+    vet.swap(0, target);
+    compute(vet, scratch);
+    std::copy(scratch.begin(), scratch.end(),
+              out.begin() + stateStride * (1 + static_cast<std::size_t>(k)));
+    vet.swap(0, target);
+  }
+}
+
+}  // namespace tkmc

@@ -1,0 +1,16 @@
+#include "tabulation/vet.hpp"
+
+#include "common/error.hpp"
+
+namespace tkmc {
+
+Vet Vet::gather(const Cet& cet, const LatticeState& state, Vec3i center) {
+  Vet vet(cet.nAll());
+  require(state.speciesAt(center) == Species::kVacancy,
+          "VET must be centred on a vacancy");
+  for (int id = 0; id < cet.nAll(); ++id)
+    vet.types_[static_cast<std::size_t>(id)] = state.speciesAt(center + cet.site(id));
+  return vet;
+}
+
+}  // namespace tkmc

@@ -1,0 +1,113 @@
+#include "tabulation/cet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/constants.hpp"
+
+namespace tkmc {
+namespace {
+
+TEST(Cet, PaperCountsAtStandardCutoff) {
+  const Cet cet(kLatticeConstantFe, kDefaultCutoff);
+  EXPECT_EQ(cet.nLocal(), 112);   // paper Sec. 4.1.1
+  EXPECT_EQ(cet.nRegion(), 253);  // paper Sec. 4.1.1
+  EXPECT_EQ(cet.nAll(), cet.nRegion() + cet.nOut());
+  EXPECT_GT(cet.nOut(), 0);
+}
+
+TEST(Cet, CenterIsFirstSite) {
+  const Cet cet(kLatticeConstantFe, kDefaultCutoff);
+  EXPECT_EQ(cet.site(0), (Vec3i{0, 0, 0}));
+}
+
+TEST(Cet, JumpTargetsFollowFirstNeighborOrder) {
+  const Cet cet(kLatticeConstantFe, kDefaultCutoff);
+  const auto& jumps = BccLattice::firstNeighborOffsets();
+  for (int k = 0; k < kNumJumpDirections; ++k)
+    EXPECT_EQ(cet.site(Cet::jumpTargetId(k)), jumps[static_cast<std::size_t>(k)]);
+}
+
+TEST(Cet, SitesAreUniqueAndOnLattice) {
+  const Cet cet(kLatticeConstantFe, kDefaultCutoff);
+  std::set<std::tuple<int, int, int>> seen;
+  for (int id = 0; id < cet.nAll(); ++id) {
+    const Vec3i s = cet.site(id);
+    EXPECT_TRUE(BccLattice::isLatticeSite(s));
+    EXPECT_TRUE(seen.insert({s.x, s.y, s.z}).second);
+  }
+}
+
+TEST(Cet, IdOfInvertsSite) {
+  const Cet cet(kLatticeConstantFe, kDefaultCutoff);
+  for (int id = 0; id < cet.nAll(); ++id) EXPECT_EQ(cet.idOf(cet.site(id)), id);
+  EXPECT_EQ(cet.idOf({99, 99, 99}), -1);
+}
+
+TEST(Cet, RegionContainsAllNeighborsOfCenterAnd1nnTargets) {
+  const Cet cet(kLatticeConstantFe, kDefaultCutoff);
+  const BccLattice geom(8, 8, 8, kLatticeConstantFe);
+  const auto within = geom.offsetsWithinCutoff(kDefaultCutoff);
+  std::set<std::tuple<int, int, int>> region;
+  for (int id = 0; id < cet.nRegion(); ++id) {
+    const Vec3i s = cet.site(id);
+    region.insert({s.x, s.y, s.z});
+  }
+  for (const Vec3i& d : within)
+    EXPECT_TRUE(region.count({d.x, d.y, d.z})) << "neighbour of centre missing";
+  for (const Vec3i& c : BccLattice::firstNeighborOffsets())
+    for (const Vec3i& d : within) {
+      const Vec3i t = c + d;
+      EXPECT_TRUE(region.count({t.x, t.y, t.z}))
+          << "neighbour of 1NN target missing";
+    }
+}
+
+TEST(Cet, EveryNeighborOfARegionSiteIsInTheSystem) {
+  const Cet cet(kLatticeConstantFe, kDefaultCutoff);
+  const BccLattice geom(8, 8, 8, kLatticeConstantFe);
+  const auto within = geom.offsetsWithinCutoff(kDefaultCutoff);
+  for (int id = 0; id < cet.nRegion(); ++id)
+    for (const Vec3i& d : within)
+      EXPECT_GE(cet.idOf(cet.site(id) + d), 0);
+}
+
+TEST(Cet, OuterSitesAreOutsideTheRegion) {
+  const Cet cet(kLatticeConstantFe, kDefaultCutoff);
+  // An outer site must be farther than the cutoff from the centre and
+  // from every 1NN target (otherwise it would be a region site).
+  const double cutSteps = 2.0 * kDefaultCutoff / kLatticeConstantFe;
+  const double cut2 = cutSteps * cutSteps * (1.0 + 1e-12);
+  for (int id = cet.nRegion(); id < cet.nAll(); ++id) {
+    const Vec3i s = cet.site(id);
+    EXPECT_GT(static_cast<double>(s.norm2()), cut2);
+    for (const Vec3i& c : BccLattice::firstNeighborOffsets())
+      EXPECT_GT(static_cast<double>((s - c).norm2()), cut2);
+  }
+}
+
+class CetCutoffSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CetCutoffSweep, StructuralInvariants) {
+  const Cet cet(kLatticeConstantFe, GetParam());
+  EXPECT_GE(cet.nRegion(), 9);  // centre + 8 targets at minimum
+  EXPECT_GT(cet.nAll(), cet.nRegion());
+  EXPECT_EQ(cet.site(0), (Vec3i{0, 0, 0}));
+  // Region sites sorted by distance after the fixed 9-site prefix.
+  for (int id = 10; id < cet.nRegion(); ++id)
+    EXPECT_LE(cet.site(id - 1).norm2(), cet.site(id).norm2());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, CetCutoffSweep,
+                         ::testing::Values(2.6, 4.0, 5.8, 6.5));
+
+TEST(Cet, ShortCutoffCountsAreConsistent) {
+  const Cet cet(kLatticeConstantFe, kShortCutoff);
+  EXPECT_EQ(cet.nLocal(), 64);
+  EXPECT_LT(cet.nRegion(), 253);
+  EXPECT_LT(cet.nAll(), 1181);
+}
+
+}  // namespace
+}  // namespace tkmc

@@ -1,0 +1,146 @@
+#include "kmc/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "kmc/eam_energy_model.hpp"
+
+namespace tkmc {
+namespace {
+
+constexpr double kCutoff = 4.0;
+
+std::string tempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+struct World {
+  explicit World(std::uint64_t seed)
+      : cet(2.87, kCutoff), net(cet), eam(kCutoff),
+        lattice(12, 12, 12, 2.87), state(lattice) {
+    Rng rng(seed);
+    state.randomAlloy(0.12, 3, rng);
+  }
+
+  Cet cet;
+  Net net;
+  EamPotential eam;
+  BccLattice lattice;
+  LatticeState state;
+};
+
+KmcConfig config(std::uint64_t seed) {
+  KmcConfig cfg;
+  cfg.seed = seed;
+  cfg.tEnd = 1e300;
+  return cfg;
+}
+
+TEST(Checkpoint, RoundTripPreservesEverything) {
+  World w(1);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  SerialEngine engine(w.state, model, w.cet, config(5));
+  for (int i = 0; i < 37; ++i) engine.step();
+
+  const std::string path = tempPath("tkmc_checkpoint_roundtrip.chk");
+  saveCheckpoint(path, w.state, engine);
+  const CheckpointData data = loadCheckpoint(path);
+  EXPECT_EQ(data.cellsX, 12);
+  EXPECT_DOUBLE_EQ(data.latticeConstant, 2.87);
+  EXPECT_DOUBLE_EQ(data.engine.time, engine.time());
+  EXPECT_EQ(data.engine.steps, 37u);
+  const LatticeState restored = data.restoreState();
+  EXPECT_EQ(restored.raw(), w.state.raw());
+  EXPECT_EQ(restored.vacancies(), w.state.vacancies());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumedTrajectoryIsBitExact) {
+  // Reference: one engine runs 60 steps straight through.
+  World ref(2);
+  EamEnergyModel refModel(ref.cet, ref.net, ref.eam);
+  SerialEngine refEngine(ref.state, refModel, ref.cet, config(9));
+  for (int i = 0; i < 30; ++i) refEngine.step();
+
+  // Checkpoint at step 30 and keep going to 60.
+  const std::string path = tempPath("tkmc_checkpoint_resume.chk");
+  saveCheckpoint(path, ref.state, refEngine);
+  std::vector<SerialEngine::StepResult> referenceTail;
+  for (int i = 0; i < 30; ++i) referenceTail.push_back(refEngine.step());
+
+  // Resume from the file in a fresh world and replay the tail.
+  const CheckpointData data = loadCheckpoint(path);
+  LatticeState resumedState = data.restoreState();
+  World scratch(3);  // only provides tables/potential
+  EamEnergyModel model(scratch.cet, scratch.net, scratch.eam);
+  SerialEngine resumed(resumedState, model, scratch.cet, config(777));
+  resumed.restore(data.engine);
+  EXPECT_DOUBLE_EQ(resumed.time(), data.engine.time);
+  for (int i = 0; i < 30; ++i) {
+    const auto r = resumed.step();
+    ASSERT_EQ(r.from, referenceTail[static_cast<std::size_t>(i)].from)
+        << "step " << i;
+    ASSERT_EQ(r.to, referenceTail[static_cast<std::size_t>(i)].to);
+    ASSERT_EQ(r.dt, referenceTail[static_cast<std::size_t>(i)].dt);
+  }
+  EXPECT_EQ(resumedState.raw(), ref.state.raw());
+  EXPECT_DOUBLE_EQ(resumed.time(), refEngine.time());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeWithoutCacheAlsoBitExact) {
+  World ref(4);
+  EamEnergyModel refModel(ref.cet, ref.net, ref.eam);
+  KmcConfig noCache = config(11);
+  noCache.useVacancyCache = false;
+  SerialEngine refEngine(ref.state, refModel, ref.cet, noCache);
+  for (int i = 0; i < 20; ++i) refEngine.step();
+  const std::string path = tempPath("tkmc_checkpoint_nocache.chk");
+  saveCheckpoint(path, ref.state, refEngine);
+  const auto tail = refEngine.step();
+
+  const CheckpointData data = loadCheckpoint(path);
+  LatticeState resumedState = data.restoreState();
+  World scratch(5);
+  EamEnergyModel model(scratch.cet, scratch.net, scratch.eam);
+  SerialEngine resumed(resumedState, model, scratch.cet, noCache);
+  resumed.restore(data.engine);
+  const auto r = resumed.step();
+  EXPECT_EQ(r.from, tail.from);
+  EXPECT_EQ(r.to, tail.to);
+  EXPECT_EQ(r.dt, tail.dt);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  EXPECT_THROW(loadCheckpoint("/no/such/file.chk"), Error);
+}
+
+TEST(Checkpoint, CorruptFileThrows) {
+  const std::string path = tempPath("tkmc_checkpoint_corrupt.chk");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("not-a-checkpoint 7\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(loadCheckpoint(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedOccupationThrows) {
+  World w(6);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  SerialEngine engine(w.state, model, w.cet, config(13));
+  const std::string path = tempPath("tkmc_checkpoint_trunc.chk");
+  saveCheckpoint(path, w.state, engine);
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 200);
+  EXPECT_THROW(loadCheckpoint(path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tkmc

@@ -1,0 +1,119 @@
+#include "analysis/cluster_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace tkmc {
+namespace {
+
+TEST(ClusterAnalysis, EmptyLatticeHasNoClusters) {
+  LatticeState state(BccLattice(6, 6, 6, 2.87));
+  const ClusterStats stats = analyzeClusters(state, Species::kCu);
+  EXPECT_EQ(stats.totalAtoms, 0);
+  EXPECT_EQ(stats.isolatedCount, 0);
+  EXPECT_EQ(stats.maxSize, 0);
+  EXPECT_TRUE(stats.sizes.empty());
+}
+
+TEST(ClusterAnalysis, SingleAtomIsIsolated) {
+  LatticeState state(BccLattice(6, 6, 6, 2.87));
+  state.setSpeciesAt({4, 4, 4}, Species::kCu);
+  const ClusterStats stats = analyzeClusters(state, Species::kCu);
+  EXPECT_EQ(stats.totalAtoms, 1);
+  EXPECT_EQ(stats.isolatedCount, 1);
+  EXPECT_EQ(stats.maxSize, 1);
+  EXPECT_EQ(stats.clusterCount, 0);
+}
+
+TEST(ClusterAnalysis, FirstNeighborsFormOneCluster) {
+  LatticeState state(BccLattice(6, 6, 6, 2.87));
+  state.setSpeciesAt({4, 4, 4}, Species::kCu);
+  state.setSpeciesAt({5, 5, 5}, Species::kCu);  // 1NN
+  state.setSpeciesAt({6, 6, 6}, Species::kCu);  // 1NN of previous
+  const ClusterStats stats = analyzeClusters(state, Species::kCu);
+  ASSERT_EQ(stats.sizes.size(), 1u);
+  EXPECT_EQ(stats.maxSize, 3);
+  EXPECT_EQ(stats.isolatedCount, 0);
+  EXPECT_EQ(stats.clusterCount, 1);
+}
+
+TEST(ClusterAnalysis, SecondNeighborsAreBonded) {
+  LatticeState state(BccLattice(6, 6, 6, 2.87));
+  state.setSpeciesAt({4, 4, 4}, Species::kCu);
+  state.setSpeciesAt({6, 4, 4}, Species::kCu);  // 2NN along x
+  const ClusterStats stats = analyzeClusters(state, Species::kCu);
+  EXPECT_EQ(stats.maxSize, 2);
+}
+
+TEST(ClusterAnalysis, ThirdNeighborsAreNotBonded) {
+  LatticeState state(BccLattice(6, 6, 6, 2.87));
+  state.setSpeciesAt({4, 4, 4}, Species::kCu);
+  state.setSpeciesAt({6, 6, 4}, Species::kCu);  // 3NN (a*sqrt(2))
+  const ClusterStats stats = analyzeClusters(state, Species::kCu);
+  EXPECT_EQ(stats.isolatedCount, 2);
+  EXPECT_EQ(stats.maxSize, 1);
+}
+
+TEST(ClusterAnalysis, ClustersWrapAroundPeriodicBoundary) {
+  LatticeState state(BccLattice(4, 4, 4, 2.87));
+  state.setSpeciesAt({0, 0, 0}, Species::kCu);
+  state.setSpeciesAt({7, 7, 7}, Species::kCu);  // 1NN via wrap
+  const ClusterStats stats = analyzeClusters(state, Species::kCu);
+  EXPECT_EQ(stats.maxSize, 2);
+}
+
+TEST(ClusterAnalysis, MixedPopulationCounts) {
+  LatticeState state(BccLattice(8, 8, 8, 2.87));
+  // One 4-cluster.
+  state.setSpeciesAt({4, 4, 4}, Species::kCu);
+  state.setSpeciesAt({5, 5, 5}, Species::kCu);
+  state.setSpeciesAt({6, 4, 4}, Species::kCu);
+  state.setSpeciesAt({5, 3, 3}, Species::kCu);
+  // Two isolated atoms, far from the cluster and each other.
+  state.setSpeciesAt({12, 12, 12}, Species::kCu);
+  state.setSpeciesAt({0, 8, 0}, Species::kCu);
+  const ClusterStats stats = analyzeClusters(state, Species::kCu);
+  EXPECT_EQ(stats.totalAtoms, 6);
+  EXPECT_EQ(stats.maxSize, 4);
+  EXPECT_EQ(stats.isolatedCount, 2);
+  EXPECT_EQ(stats.clusterCount, 1);
+  const auto hist = sizeHistogram(stats);
+  EXPECT_EQ(hist[1], 2);
+  EXPECT_EQ(hist[4], 1);
+}
+
+TEST(ClusterAnalysis, SizesAreSortedDescendingAndSumToTotal) {
+  LatticeState state(BccLattice(10, 10, 10, 2.87));
+  Rng rng(3);
+  state.randomAlloy(0.08, 0, rng);
+  const ClusterStats stats = analyzeClusters(state, Species::kCu);
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < stats.sizes.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LE(stats.sizes[i], stats.sizes[i - 1]);
+    }
+    sum += stats.sizes[i];
+  }
+  EXPECT_EQ(sum, stats.totalAtoms);
+  EXPECT_EQ(stats.totalAtoms, state.countSpecies(Species::kCu));
+}
+
+TEST(ClusterAnalysis, NumberDensityConvertsUnits) {
+  ClusterStats stats;
+  stats.sizes = {5, 3, 1};
+  // Two clusters >= 2 in a (100 A)^3 box = 1e-24 m^3.
+  EXPECT_NEAR(stats.numberDensity(1e6), 2.0e24, 1e12);
+  EXPECT_NEAR(stats.numberDensity(1e6, 4), 1.0e24, 1e12);
+}
+
+TEST(ClusterAnalysis, VacanciesCanBeClusteredToo) {
+  LatticeState state(BccLattice(6, 6, 6, 2.87));
+  state.setSpeciesAt({2, 2, 2}, Species::kVacancy);
+  state.setSpeciesAt({3, 3, 3}, Species::kVacancy);
+  const ClusterStats stats = analyzeClusters(state, Species::kVacancy);
+  EXPECT_EQ(stats.maxSize, 2);  // a divacancy (void nucleus)
+}
+
+}  // namespace
+}  // namespace tkmc

@@ -1,0 +1,130 @@
+#include "nnp/descriptor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nnp/dataset.hpp"
+#include "nnp/network.hpp"
+
+namespace tkmc {
+namespace {
+
+Structure dimer(double r, Species a, Species b) {
+  Structure s;
+  s.box = {50.0, 50.0, 50.0};
+  s.positions = {{10.0, 10.0, 10.0}, {10.0 + r, 10.0, 10.0}};
+  s.species = {a, b};
+  return s;
+}
+
+TEST(Descriptor, DimensionIsPqTimesElements) {
+  const Descriptor d(standardPqSets(), 6.5);
+  EXPECT_EQ(d.numPq(), 32);
+  EXPECT_EQ(d.dim(), 64);
+}
+
+TEST(Descriptor, DimerFeaturesLandInNeighborElementBlock) {
+  const Descriptor d(standardPqSets(), 6.5);
+  const Structure s = dimer(2.5, Species::kFe, Species::kCu);
+  const auto f = d.compute(s);
+  ASSERT_EQ(f.size(), 2u * 64u);
+  // Atom 0 (Fe) sees one Cu neighbour: Cu block populated, Fe block zero.
+  for (int k = 0; k < 32; ++k) {
+    EXPECT_DOUBLE_EQ(f[static_cast<std::size_t>(k)], 0.0);  // Fe block
+    EXPECT_NEAR(f[32 + static_cast<std::size_t>(k)],
+                FeatureTable::term(2.5, standardPqSets()[static_cast<std::size_t>(k)]),
+                1e-15);
+  }
+  // Atom 1 (Cu) sees one Fe neighbour.
+  for (int k = 0; k < 32; ++k) {
+    EXPECT_GT(f[64 + static_cast<std::size_t>(k)], 0.0);   // Fe block
+    EXPECT_DOUBLE_EQ(f[64 + 32 + static_cast<std::size_t>(k)], 0.0);
+  }
+}
+
+TEST(Descriptor, NeighborsBeyondCutoffIgnored) {
+  const Descriptor d(standardPqSets(), 6.5);
+  const auto f = d.compute(dimer(6.6, Species::kFe, Species::kFe));
+  for (double v : f) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Descriptor, FeaturesAdditiveOverNeighbors) {
+  const Descriptor d(standardPqSets(), 6.5);
+  Structure s = dimer(2.5, Species::kFe, Species::kFe);
+  s.positions.push_back({10.0 - 3.0, 10.0, 10.0});
+  s.species.push_back(Species::kFe);
+  const auto f = d.compute(s);
+  for (int k = 0; k < 32; ++k) {
+    const double expected =
+        FeatureTable::term(2.5, standardPqSets()[static_cast<std::size_t>(k)]) +
+        FeatureTable::term(3.0, standardPqSets()[static_cast<std::size_t>(k)]);
+    EXPECT_NEAR(f[static_cast<std::size_t>(k)], expected, 1e-14);
+  }
+}
+
+TEST(Descriptor, TermDerivativeMatchesFiniteDifference) {
+  const Descriptor d(standardPqSets(), 6.5);
+  const double h = 1e-6;
+  for (int k : {0, 7, 15, 31}) {
+    for (double r : {2.0, 2.5, 3.7, 5.5}) {
+      const PqSet pq = standardPqSets()[static_cast<std::size_t>(k)];
+      const double fd =
+          (FeatureTable::term(r + h, pq) - FeatureTable::term(r - h, pq)) /
+          (2 * h);
+      EXPECT_NEAR(d.termDerivative(r, k), fd, 1e-7) << "k=" << k << " r=" << r;
+    }
+  }
+}
+
+TEST(Descriptor, NnpForcesMatchFiniteDifferenceOfNetworkEnergy) {
+  const Descriptor d(standardPqSets(), 6.5);
+  Network net({64, 8, 1});
+  Rng rng(17);
+  net.initHe(rng);
+  DatasetConfig cfg;
+  cfg.cellsX = cfg.cellsY = cfg.cellsZ = 2;
+  Rng srng(23);
+  Structure s = randomCell(cfg, srng);
+
+  auto totalEnergy = [&](const Structure& st) {
+    const auto f = d.compute(st);
+    double e = 0.0;
+    for (std::size_t a = 0; a < st.size(); ++a)
+      e += net.atomEnergy({f.data() + a * static_cast<std::size_t>(d.dim()),
+                           static_cast<std::size_t>(d.dim())});
+    return e;
+  };
+
+  const auto f = d.compute(s);
+  std::vector<double> grads(f.size());
+  for (std::size_t a = 0; a < s.size(); ++a)
+    net.inputGradient({f.data() + a * static_cast<std::size_t>(d.dim()),
+                       static_cast<std::size_t>(d.dim())},
+                      {grads.data() + a * static_cast<std::size_t>(d.dim()),
+                       static_cast<std::size_t>(d.dim())});
+  const auto forces = d.forces(s, grads);
+
+  const double h = 1e-5;
+  for (std::size_t atom : {std::size_t{0}, s.size() / 3}) {
+    for (int axis = 0; axis < 3; ++axis) {
+      double* coord = axis == 0 ? &s.positions[atom].x
+                    : axis == 1 ? &s.positions[atom].y
+                                : &s.positions[atom].z;
+      const double orig = *coord;
+      *coord = orig + h;
+      const double ep = totalEnergy(s);
+      *coord = orig - h;
+      const double em = totalEnergy(s);
+      *coord = orig;
+      const double analytic = axis == 0 ? forces[atom].x
+                            : axis == 1 ? forces[atom].y
+                                        : forces[atom].z;
+      EXPECT_NEAR(analytic, -(ep - em) / (2 * h), 2e-4)
+          << "atom " << atom << " axis " << axis;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tkmc

@@ -1,0 +1,106 @@
+#include "analysis/diffusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "kmc/eam_energy_model.hpp"
+#include "kmc/serial_engine.hpp"
+
+namespace tkmc {
+namespace {
+
+TEST(DiffusionTracker, AccumulatesUnwrappedDisplacement) {
+  const BccLattice lat(4, 4, 4, 2.0);
+  DiffusionTracker tracker(lat, 1);
+  tracker.recordHop(0, {0, 0, 0}, {1, 1, 1});
+  tracker.recordHop(0, {1, 1, 1}, {2, 2, 2});
+  const Vec3d r = tracker.displacement(0);
+  EXPECT_DOUBLE_EQ(r.x, 2.0);
+  EXPECT_DOUBLE_EQ(r.y, 2.0);
+  EXPECT_DOUBLE_EQ(r.z, 2.0);
+  EXPECT_EQ(tracker.hopCount(), 2u);
+}
+
+TEST(DiffusionTracker, UnwrapsAcrossPeriodicBoundary) {
+  const BccLattice lat(4, 4, 4, 2.0);
+  DiffusionTracker tracker(lat, 1);
+  // Hop from (0,0,0) to (7,7,7) is one (-1,-1,-1) step via the boundary.
+  tracker.recordHop(0, {0, 0, 0}, {7, 7, 7});
+  const Vec3d r = tracker.displacement(0);
+  EXPECT_DOUBLE_EQ(r.x, -1.0);
+  EXPECT_DOUBLE_EQ(r.y, -1.0);
+  EXPECT_DOUBLE_EQ(r.z, -1.0);
+}
+
+TEST(DiffusionTracker, ReturningWalkerHasZeroDisplacement) {
+  const BccLattice lat(4, 4, 4, 2.87);
+  DiffusionTracker tracker(lat, 1);
+  tracker.recordHop(0, {0, 0, 0}, {1, 1, 1});
+  tracker.recordHop(0, {1, 1, 1}, {0, 0, 0});
+  EXPECT_NEAR(tracker.meanSquaredDisplacement(), 0.0, 1e-12);
+}
+
+TEST(DiffusionTracker, MsdAveragesOverWalkers) {
+  const BccLattice lat(4, 4, 4, 2.0);
+  DiffusionTracker tracker(lat, 2);
+  tracker.recordHop(0, {0, 0, 0}, {1, 1, 1});  // R^2 = 3
+  // Walker 1 stays put: MSD = 3 / 2.
+  EXPECT_DOUBLE_EQ(tracker.meanSquaredDisplacement(), 1.5);
+}
+
+TEST(DiffusionTracker, DiffusionCoefficientUnits) {
+  const BccLattice lat(4, 4, 4, 2.0);
+  DiffusionTracker tracker(lat, 1);
+  tracker.recordHop(0, {0, 0, 0}, {1, 1, 1});  // MSD = 3 A^2
+  // D = 3 / (6 * 1s) * 1e-16 cm^2/A^2.
+  EXPECT_NEAR(tracker.diffusionCoefficient(1.0), 0.5e-16, 1e-22);
+  EXPECT_DOUBLE_EQ(tracker.diffusionCoefficient(0.0), 0.0);
+}
+
+TEST(DiffusionTracker, InvalidWalkerThrows) {
+  const BccLattice lat(4, 4, 4, 2.0);
+  DiffusionTracker tracker(lat, 2);
+  EXPECT_THROW(tracker.recordHop(2, {0, 0, 0}, {1, 1, 1}), Error);
+  EXPECT_THROW(tracker.displacement(-1), Error);
+}
+
+TEST(DiffusionTracker, VacancyDiffusivityMatchesRateLaw) {
+  // Flat landscape: D = Gamma_total * l^2 / 6 with l^2 = 3 a^2 / 4 and
+  // Gamma_total = 8 Gamma_0 exp(-Ea/kT). The engine-integrated estimate
+  // must land on the analytic value.
+  const double a = 2.87;
+  const Cet cet(a, 4.0);
+  const Net net(cet);
+  const EamPotential eam(4.0);
+  EamEnergyModel model(cet, net, eam);
+
+  double sumD = 0.0;
+  const int runs = 30;
+  for (int run = 0; run < runs; ++run) {
+    BccLattice lat(12, 12, 12, a);
+    LatticeState state(lat);
+    state.fill(Species::kFe);
+    state.setSpeciesAt({12, 12, 12}, Species::kVacancy);
+    KmcConfig cfg;
+    cfg.seed = 400 + static_cast<std::uint64_t>(run);
+    cfg.tEnd = 1e300;
+    SerialEngine engine(state, model, cet, cfg);
+    DiffusionTracker tracker(lat, 1);
+    engine.setObserver(
+        [&](const SerialEngine&, const SerialEngine::StepResult& r) {
+          tracker.recordHop(0, r.from, r.to);
+        });
+    for (int i = 0; i < 400; ++i) engine.step();
+    sumD += tracker.diffusionCoefficient(engine.time());
+  }
+  const double measured = sumD / runs;
+  const double gammaTotal = 8.0 * kAttemptFrequency *
+                            std::exp(-kActivationFe / (kBoltzmannEv * 573.0));
+  const double expected = gammaTotal * (3.0 * a * a / 4.0) / 6.0 * 1e-16;
+  EXPECT_NEAR(measured, expected, expected * 0.2);
+}
+
+}  // namespace
+}  // namespace tkmc

@@ -1,0 +1,112 @@
+#include "sunway/feature_operator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tabulation/region_features.hpp"
+
+namespace tkmc {
+namespace {
+
+class FeatureOperatorTest : public ::testing::Test {
+ protected:
+  FeatureOperatorTest()
+      : cet_(2.87, 4.0), net_(cet_),
+        table_(net_.distances(), standardPqSets()),
+        lattice_(12, 12, 12, 2.87), state_(lattice_) {
+    Rng rng(55);
+    state_.randomAlloy(0.25, 0, rng);
+    state_.setSpeciesAt(center_, Species::kVacancy);
+  }
+
+  Cet cet_;
+  Net net_;
+  FeatureTable table_;
+  BccLattice lattice_;
+  LatticeState state_;
+  Vec3i center_{6, 6, 6};
+};
+
+TEST_F(FeatureOperatorTest, MatchesSerialReferenceForAllStates) {
+  CpeGrid grid;
+  const FeatureOperator op(net_, table_, grid);
+  const RegionFeatures reference(net_, table_);
+  Vet vet = Vet::gather(cet_, state_, center_);
+
+  std::vector<float> cpeOut;
+  op.compute(vet, kNumJumpDirections, cpeOut);
+  std::vector<double> refOut;
+  Vet refVet = vet;
+  reference.computeStates(refVet, kNumJumpDirections, refOut);
+
+  ASSERT_EQ(cpeOut.size(), refOut.size());
+  for (std::size_t i = 0; i < refOut.size(); ++i)
+    ASSERT_NEAR(cpeOut[i], refOut[i], 2e-4) << "index " << i;
+}
+
+TEST_F(FeatureOperatorTest, LeavesInputVetUntouched) {
+  CpeGrid grid;
+  const FeatureOperator op(net_, table_, grid);
+  const Vet vet = Vet::gather(cet_, state_, center_);
+  const std::vector<Species> snapshot = vet.data();
+  std::vector<float> out;
+  op.compute(vet, kNumJumpDirections, out);
+  EXPECT_EQ(vet.data(), snapshot);
+}
+
+TEST_F(FeatureOperatorTest, ChargesDmaTrafficAndFlops) {
+  CpeGrid grid;
+  const FeatureOperator op(net_, table_, grid);
+  const Vet vet = Vet::gather(cet_, state_, center_);
+  std::vector<float> out;
+  op.compute(vet, kNumJumpDirections, out);
+  const Traffic t = grid.collectTraffic();
+  EXPECT_GT(t.mainReadBytes, 0u);
+  // Output features must be written back exactly once.
+  EXPECT_EQ(t.mainWriteBytes, out.size() * sizeof(float));
+  EXPECT_GT(t.flops, 0u);
+}
+
+TEST_F(FeatureOperatorTest, WorkingSetFitsLdm) {
+  CpeGrid grid;
+  const FeatureOperator op(net_, table_, grid);
+  const Vet vet = Vet::gather(cet_, state_, center_);
+  std::vector<float> out;
+  op.compute(vet, kNumJumpDirections, out);
+  EXPECT_LE(grid.maxLdmHighWater(), grid.spec().ldmBytes);
+}
+
+TEST_F(FeatureOperatorTest, FewerFinalStatesProduceSmallerOutput) {
+  CpeGrid grid;
+  const FeatureOperator op(net_, table_, grid);
+  const Vet vet = Vet::gather(cet_, state_, center_);
+  std::vector<float> all, initialOnly;
+  op.compute(vet, kNumJumpDirections, all);
+  op.compute(vet, 0, initialOnly);
+  EXPECT_EQ(all.size(), initialOnly.size() * 9);
+  // Initial-state block identical.
+  for (std::size_t i = 0; i < initialOnly.size(); ++i)
+    EXPECT_EQ(all[i], initialOnly[i]);
+}
+
+TEST_F(FeatureOperatorTest, StandardCutoffAlsoFitsLdm) {
+  const Cet bigCet(2.87, kDefaultCutoff);
+  const Net bigNet(bigCet);
+  const FeatureTable bigTable(bigNet.distances(), standardPqSets());
+  // Need a box large enough for the 6.5 A vacancy system.
+  BccLattice lat(24, 24, 24, 2.87);
+  LatticeState st(lat);
+  Rng rng(66);
+  st.randomAlloy(0.1, 0, rng);
+  st.setSpeciesAt({12, 12, 12}, Species::kVacancy);
+  CpeGrid grid;
+  const FeatureOperator op(bigNet, bigTable, grid);
+  const Vet vet = Vet::gather(bigCet, st, {12, 12, 12});
+  std::vector<float> out;
+  op.compute(vet, kNumJumpDirections, out);
+  EXPECT_EQ(out.size(), 9u * 253u * 64u);
+  EXPECT_LE(grid.maxLdmHighWater(), grid.spec().ldmBytes);
+}
+
+}  // namespace
+}  // namespace tkmc

@@ -1,0 +1,80 @@
+#include "tabulation/feature_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tkmc {
+namespace {
+
+TEST(PqSets, PaperHyperparameterSchedule) {
+  const auto sets = standardPqSets();
+  ASSERT_EQ(sets.size(), 32u);  // Sec. 4.1.1: 32 (p,q) sets
+  EXPECT_NEAR(sets.front().p, 4.2, 1e-12);
+  EXPECT_NEAR(sets.front().q, 1.85, 1e-12);
+  EXPECT_NEAR(sets.back().p, 1.1, 1e-9);
+  EXPECT_NEAR(sets.back().q, 3.4, 1e-9);
+  for (std::size_t i = 1; i < sets.size(); ++i) {
+    EXPECT_NEAR(sets[i].p - sets[i - 1].p, -0.1, 1e-9);
+    EXPECT_NEAR(sets[i].q - sets[i - 1].q, 0.05, 1e-9);
+  }
+}
+
+TEST(FeatureTable, TermMatchesClosedForm) {
+  const PqSet pq{3.0, 2.0};
+  EXPECT_NEAR(FeatureTable::term(3.0, pq), std::exp(-1.0), 1e-15);
+  EXPECT_NEAR(FeatureTable::term(6.0, pq), std::exp(-4.0), 1e-15);
+}
+
+TEST(FeatureTable, TableReproducesTermAtKnots) {
+  const std::vector<double> distances = {2.485, 2.87, 4.06, 6.4};
+  const auto pq = standardPqSets();
+  const FeatureTable table(distances, pq);
+  ASSERT_EQ(table.numDistances(), 4);
+  ASSERT_EQ(table.numPq(), 32);
+  for (int d = 0; d < table.numDistances(); ++d)
+    for (int k = 0; k < table.numPq(); ++k)
+      EXPECT_DOUBLE_EQ(table.value(d, k),
+                       FeatureTable::term(distances[static_cast<std::size_t>(d)],
+                                          pq[static_cast<std::size_t>(k)]));
+}
+
+TEST(FeatureTable, RowIsContiguousPqOrder) {
+  const std::vector<double> distances = {2.485, 4.06};
+  const auto pq = standardPqSets();
+  const FeatureTable table(distances, pq);
+  const double* row = table.row(1);
+  for (int k = 0; k < table.numPq(); ++k)
+    EXPECT_DOUBLE_EQ(row[k], table.value(1, k));
+}
+
+TEST(FeatureTable, TermDecreasesWithDistance) {
+  const auto pq = standardPqSets();
+  for (const PqSet& set : pq) {
+    double prev = FeatureTable::term(1.5, set);
+    for (double r = 2.0; r < 7.0; r += 0.5) {
+      const double cur = FeatureTable::term(r, set);
+      EXPECT_LT(cur, prev);
+      prev = cur;
+    }
+  }
+}
+
+TEST(FeatureTable, ValuesAreInUnitInterval) {
+  const std::vector<double> distances = {2.485, 2.87, 4.06, 4.73, 5.74, 6.4};
+  const FeatureTable table(distances, standardPqSets());
+  for (int d = 0; d < table.numDistances(); ++d)
+    for (int k = 0; k < table.numPq(); ++k) {
+      EXPECT_GT(table.value(d, k), 0.0);
+      EXPECT_LT(table.value(d, k), 1.0);
+    }
+}
+
+TEST(FeatureTable, SizeBytesAccountsAllEntries) {
+  const std::vector<double> distances = {2.485, 2.87};
+  const FeatureTable table(distances, standardPqSets());
+  EXPECT_EQ(table.sizeBytes(), 2u * 32u * sizeof(double));
+}
+
+}  // namespace
+}  // namespace tkmc

@@ -1,0 +1,193 @@
+#include "nnp/force_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tkmc {
+namespace {
+
+// Small descriptor (2 (p,q) sets -> 4 features) keeps the
+// finite-difference sweeps cheap.
+Descriptor smallDescriptor() {
+  return Descriptor({{3.0, 2.0}, {2.0, 3.0}}, 5.0);
+}
+
+LabeledStructure smallStructure(std::uint64_t seed) {
+  const EamPotential oracle(5.0);
+  DatasetConfig cfg;
+  cfg.cellsX = cfg.cellsY = cfg.cellsZ = 2;  // 16 atoms
+  cfg.jitterSigma = 0.15;
+  Rng rng(seed);
+  LabeledStructure ls;
+  ls.structure = randomCell(cfg, rng);
+  ls.energy = oracle.totalEnergy(ls.structure);
+  ls.forces = oracle.forces(ls.structure);
+  return ls;
+}
+
+TEST(ForceTrainer, PredictedForcesMatchDescriptorChainRule) {
+  const Descriptor d = smallDescriptor();
+  Network net({4, 6, 1});
+  Rng rng(3);
+  net.initHe(rng);
+  ForceTrainer trainer(net, d, {});
+  const LabeledStructure ls = smallStructure(5);
+  const ForceSample sample = trainer.makeSample(ls);
+
+  // Reference: the descriptor's own chain rule on the raw structure.
+  const auto features = d.compute(ls.structure);
+  std::vector<double> grads(features.size());
+  for (std::size_t a = 0; a < ls.structure.size(); ++a)
+    net.inputGradient(
+        {features.data() + a * static_cast<std::size_t>(d.dim()),
+         static_cast<std::size_t>(d.dim())},
+        {grads.data() + a * static_cast<std::size_t>(d.dim()),
+         static_cast<std::size_t>(d.dim())});
+  const auto reference = d.forces(ls.structure, grads);
+  const auto predicted = trainer.predictForces(sample);
+  ASSERT_EQ(predicted.size(), reference.size());
+  for (std::size_t a = 0; a < reference.size(); ++a) {
+    EXPECT_NEAR(predicted[a].x, reference[a].x, 1e-10);
+    EXPECT_NEAR(predicted[a].y, reference[a].y, 1e-10);
+    EXPECT_NEAR(predicted[a].z, reference[a].z, 1e-10);
+  }
+}
+
+TEST(ForceTrainer, WeightGradientsMatchFiniteDifferences) {
+  // The decisive check: analytic d(loss)/dW — including the
+  // double-backprop force term — against central differences.
+  const Descriptor d = smallDescriptor();
+  Network net({4, 6, 1});
+  Rng rng(7);
+  net.initHe(rng);
+  net.setInputTransform({0.1, 0.2, 0.0, -0.1}, {1.2, 0.8, 1.0, 1.5});
+  ForceTrainer::Config cfg;
+  cfg.energyWeight = 1.0;
+  cfg.forceWeight = 0.3;
+  ForceTrainer trainer(net, d, cfg);
+  const ForceSample sample = trainer.makeSample(smallStructure(9));
+
+  trainer.lossAndGradients(sample);
+  const std::vector<double> analytic = trainer.flatWeightGradients();
+
+  const double h = 1e-6;
+  std::size_t flat = 0;
+  int checked = 0;
+  for (int li = 0; li < net.numLayers(); ++li) {
+    auto& weights = net.layer(li).weights;
+    for (std::size_t w = 0; w < weights.size(); ++w, ++flat) {
+      // Sample a subset of weights to keep the sweep fast but cover
+      // every layer.
+      if (w % 5 != 0) continue;
+      const double orig = weights[w];
+      weights[w] = orig + h;
+      const double lp = trainer.lossAndGradients(sample);
+      weights[w] = orig - h;
+      const double lm = trainer.lossAndGradients(sample);
+      weights[w] = orig;
+      const double fd = (lp - lm) / (2 * h);
+      EXPECT_NEAR(analytic[flat], fd, 1e-5 + 1e-4 * std::abs(fd))
+          << "layer " << li << " weight " << w;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 5);
+}
+
+TEST(ForceTrainer, EnergyOnlyGradientsMatchFiniteDifferencesToo) {
+  // forceWeight = 0 reduces to the plain energy objective.
+  const Descriptor d = smallDescriptor();
+  Network net({4, 5, 1});
+  Rng rng(11);
+  net.initHe(rng);
+  ForceTrainer::Config cfg;
+  cfg.forceWeight = 0.0;
+  ForceTrainer trainer(net, d, cfg);
+  const ForceSample sample = trainer.makeSample(smallStructure(13));
+  trainer.lossAndGradients(sample);
+  const auto analytic = trainer.flatWeightGradients();
+  const double h = 1e-6;
+  auto& weights = net.layer(0).weights;
+  for (std::size_t w = 0; w < weights.size(); w += 3) {
+    const double orig = weights[w];
+    weights[w] = orig + h;
+    const double lp = trainer.lossAndGradients(sample);
+    weights[w] = orig - h;
+    const double lm = trainer.lossAndGradients(sample);
+    weights[w] = orig;
+    EXPECT_NEAR(analytic[w], (lp - lm) / (2 * h), 1e-6 + 1e-5 * std::abs(analytic[w]));
+  }
+}
+
+TEST(ForceTrainer, TrainingReducesTheCombinedLoss) {
+  const Descriptor d = smallDescriptor();
+  Network net({4, 12, 1});
+  Rng rng(15);
+  net.initHe(rng);
+  std::vector<LabeledStructure> data;
+  for (int i = 0; i < 12; ++i) data.push_back(smallStructure(100 + i));
+  const SpeciesBaseline baseline = SpeciesBaseline::fit(data);
+
+  ForceTrainer::Config cfg;
+  cfg.epochs = 1;
+  cfg.learningRate = 3e-3;
+  cfg.forceWeight = 0.05;
+  ForceTrainer trainer(net, d, cfg);
+  std::vector<ForceSample> samples;
+  for (const auto& ls : data) samples.push_back(trainer.makeSample(ls, &baseline));
+
+  const double first = trainer.epoch(samples);
+  double last = first;
+  for (int e = 0; e < 40; ++e) last = trainer.epoch(samples);
+  EXPECT_LT(last, first * 0.5);
+}
+
+TEST(ForceTrainer, ForceMatchingImprovesForceFitOverEnergyOnly) {
+  // Fine-tuning with the force term must cut the force residual relative
+  // to continuing with the energy-only objective.
+  const Descriptor d = smallDescriptor();
+  std::vector<LabeledStructure> data;
+  for (int i = 0; i < 16; ++i) data.push_back(smallStructure(200 + i));
+  const SpeciesBaseline baseline = SpeciesBaseline::fit(data);
+
+  auto forceRmse = [&](Network& net, ForceTrainer& tr,
+                       const std::vector<ForceSample>& samples) {
+    double sq = 0.0;
+    std::size_t count = 0;
+    for (const auto& s : samples) {
+      const auto f = tr.predictForces(s);
+      for (int a = 0; a < s.nAtoms; ++a) {
+        const Vec3d r = f[static_cast<std::size_t>(a)] -
+                        s.refForces[static_cast<std::size_t>(a)];
+        sq += r.x * r.x + r.y * r.y + r.z * r.z;
+        count += 3;
+      }
+    }
+    (void)net;
+    return std::sqrt(sq / static_cast<double>(count));
+  };
+
+  auto runVariant = [&](double forceWeight) {
+    Network net({4, 12, 1});
+    Rng rng(17);
+    net.initHe(rng);
+    ForceTrainer::Config cfg;
+    cfg.epochs = 50;
+    cfg.learningRate = 3e-3;
+    cfg.forceWeight = forceWeight;
+    cfg.seed = 21;
+    ForceTrainer tr(net, d, cfg);
+    std::vector<ForceSample> samples;
+    for (const auto& ls : data) samples.push_back(tr.makeSample(ls, &baseline));
+    tr.train(samples);
+    return forceRmse(net, tr, samples);
+  };
+
+  const double energyOnly = runVariant(0.0);
+  const double withForces = runVariant(0.2);
+  EXPECT_LT(withForces, energyOnly);
+}
+
+}  // namespace
+}  // namespace tkmc

@@ -1,0 +1,112 @@
+#include "parallel/ghost_exchange.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace tkmc {
+namespace {
+
+// Builds one subdomain per rank, loads a random global state into the
+// owned regions only (ghosts deliberately wrong), exchanges, and checks
+// every ghost site against the global state.
+TEST(GhostExchange, FillsAllGhostsIncludingCornersAndEdges) {
+  const BccLattice lat(12, 12, 12, 2.87);
+  LatticeState global(lat);
+  Rng rng(5);
+  global.randomAlloy(0.3, 7, rng);
+
+  const Decomposition decomp({12, 12, 12}, {2, 2, 2});
+  SimComm comm(decomp.rankCount());
+  GhostExchange exchange(decomp, comm);
+
+  std::vector<Subdomain> domains;
+  for (int r = 0; r < decomp.rankCount(); ++r) {
+    domains.emplace_back(lat, decomp.originCells(r), decomp.extentCells(), 2);
+    Subdomain& sd = domains.back();
+    // Load owned data only; poison the ghosts.
+    sd.loadFrom(global);
+    const Vec3i e = sd.extentCells();
+    const int g = sd.ghostCells();
+    for (int cz = -g; cz < e.z + g; ++cz)
+      for (int cy = -g; cy < e.y + g; ++cy)
+        for (int cx = -g; cx < e.x + g; ++cx) {
+          const bool ghost = cx < 0 || cx >= e.x || cy < 0 || cy >= e.y ||
+                             cz < 0 || cz >= e.z;
+          if (!ghost) continue;
+          const Vec3i o = decomp.originCells(r);
+          for (int sub = 0; sub < 2; ++sub)
+            sd.set({2 * (o.x + cx) + sub, 2 * (o.y + cy) + sub,
+                    2 * (o.z + cz) + sub},
+                   Species::kCu);
+        }
+  }
+
+  exchange.exchangeAll(domains);
+
+  for (int r = 0; r < decomp.rankCount(); ++r) {
+    const Subdomain& sd = domains[static_cast<std::size_t>(r)];
+    const Vec3i o = decomp.originCells(r);
+    const Vec3i e = sd.extentCells();
+    const int g = sd.ghostCells();
+    for (int cz = -g; cz < e.z + g; ++cz)
+      for (int cy = -g; cy < e.y + g; ++cy)
+        for (int cx = -g; cx < e.x + g; ++cx)
+          for (int sub = 0; sub < 2; ++sub) {
+            const Vec3i p{2 * (o.x + cx) + sub, 2 * (o.y + cy) + sub,
+                          2 * (o.z + cz) + sub};
+            ASSERT_EQ(sd.at(p), global.speciesAt(p))
+                << "rank " << r << " cell (" << cx << "," << cy << "," << cz
+                << ") sub " << sub;
+          }
+  }
+}
+
+TEST(GhostExchange, PropagatesOwnedUpdatesToNeighbors) {
+  const BccLattice lat(12, 12, 12, 2.87);
+  LatticeState global(lat);
+  const Decomposition decomp({12, 12, 12}, {2, 2, 2});
+  SimComm comm(decomp.rankCount());
+  GhostExchange exchange(decomp, comm);
+  std::vector<Subdomain> domains;
+  for (int r = 0; r < decomp.rankCount(); ++r) {
+    domains.emplace_back(lat, decomp.originCells(r), decomp.extentCells(), 2);
+    domains.back().loadFrom(global);
+  }
+  // Rank 0 changes a site near its upper-x boundary.
+  const Vec3i site{11, 1, 1};  // cell (5,0,0), owned by rank 0
+  ASSERT_EQ(decomp.ownerOfSite(site), 0);
+  domains[0].set(site, Species::kCu);
+  exchange.exchangeAll(domains);
+  // Rank 1 (x-neighbour) must now see it in its ghost shell.
+  ASSERT_TRUE(domains[1].covers(site));
+  EXPECT_EQ(domains[1].at(site), Species::kCu);
+}
+
+TEST(GhostExchange, MessageCountIsSixPerRankPerRound) {
+  const BccLattice lat(12, 12, 12, 2.87);
+  LatticeState global(lat);
+  const Decomposition decomp({12, 12, 12}, {2, 2, 2});
+  SimComm comm(decomp.rankCount());
+  GhostExchange exchange(decomp, comm);
+  std::vector<Subdomain> domains;
+  for (int r = 0; r < decomp.rankCount(); ++r) {
+    domains.emplace_back(lat, decomp.originCells(r), decomp.extentCells(), 2);
+    domains.back().loadFrom(global);
+  }
+  comm.resetStats();
+  exchange.exchangeAll(domains);
+  EXPECT_EQ(comm.totalMessagesSent(),
+            static_cast<std::uint64_t>(6 * decomp.rankCount()));
+  EXPECT_GT(comm.totalBytesSent(), 0u);
+}
+
+TEST(GhostExchange, RequiresTwoRanksPerAxis) {
+  const Decomposition decomp({12, 12, 12}, {1, 2, 2});
+  SimComm comm(decomp.rankCount());
+  EXPECT_THROW(GhostExchange(decomp, comm), Error);
+}
+
+}  // namespace
+}  // namespace tkmc

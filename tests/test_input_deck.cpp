@@ -1,0 +1,141 @@
+#include "core/input_deck.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+namespace {
+
+InputDeck parse(const std::string& text) {
+  std::stringstream ss(text);
+  return InputDeck::parse(ss);
+}
+
+TEST(InputDeck, EmptyDeckYieldsDefaults) {
+  const InputDeck deck = parse("");
+  const SimulationConfig cfg = deck.simulationConfig();
+  EXPECT_EQ(cfg.cells, 20);
+  EXPECT_DOUBLE_EQ(cfg.cutoff, kDefaultCutoff);
+  EXPECT_EQ(cfg.potential, SimulationConfig::Potential::kNnp);
+  EXPECT_DOUBLE_EQ(deck.tEnd(), 1e-6);
+  EXPECT_TRUE(deck.dumpPath().empty());
+}
+
+TEST(InputDeck, ParsesAllCoreKeys) {
+  const InputDeck deck = parse(R"(
+cells 14
+lattice_constant 2.9
+cutoff 4.0
+cu_fraction 0.05
+vacancy_count 7
+temperature 673
+seed 99
+potential eam
+use_cache off
+use_tree off
+t_end 2e-5
+max_steps 5000
+report_interval 250
+dump_xyz out.xyz
+dump_interval 100
+)");
+  const SimulationConfig cfg = deck.simulationConfig();
+  EXPECT_EQ(cfg.cells, 14);
+  EXPECT_DOUBLE_EQ(cfg.latticeConstant, 2.9);
+  EXPECT_DOUBLE_EQ(cfg.cutoff, 4.0);
+  EXPECT_DOUBLE_EQ(cfg.cuFraction, 0.05);
+  EXPECT_EQ(cfg.vacancyCount, 7);
+  EXPECT_DOUBLE_EQ(cfg.temperature, 673.0);
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_EQ(cfg.potential, SimulationConfig::Potential::kEam);
+  EXPECT_FALSE(cfg.useVacancyCache);
+  EXPECT_FALSE(cfg.useTree);
+  EXPECT_DOUBLE_EQ(deck.tEnd(), 2e-5);
+  EXPECT_EQ(deck.maxSteps(), 5000u);
+  EXPECT_EQ(deck.reportInterval(), 250u);
+  EXPECT_EQ(deck.dumpPath(), "out.xyz");
+  EXPECT_EQ(deck.dumpInterval(), 100u);
+}
+
+TEST(InputDeck, CommentsAndBlankLinesIgnored) {
+  const InputDeck deck = parse(
+      "# full-line comment\n"
+      "\n"
+      "cells 10   # trailing comment\n"
+      "   \t \n");
+  EXPECT_EQ(deck.simulationConfig().cells, 10);
+}
+
+TEST(InputDeck, ChannelsAreCommaSeparated) {
+  const InputDeck deck = parse("channels 64,16,8,1\n");
+  EXPECT_EQ(deck.simulationConfig().channels,
+            (std::vector<int>{64, 16, 8, 1}));
+}
+
+TEST(InputDeck, UnknownKeyThrows) {
+  EXPECT_THROW(parse("celz 10\n"), Error);
+}
+
+TEST(InputDeck, DuplicateKeyThrows) {
+  EXPECT_THROW(parse("cells 10\ncells 12\n"), Error);
+}
+
+TEST(InputDeck, MissingValueThrows) {
+  EXPECT_THROW(parse("cells\n"), Error);
+}
+
+TEST(InputDeck, BadNumberThrows) {
+  EXPECT_THROW(parse("temperature warm\n"), Error);
+  EXPECT_THROW(parse("cells 10.5x\n"), Error);
+}
+
+TEST(InputDeck, InvalidValuesRejected) {
+  EXPECT_THROW(parse("cells -3\n"), Error);
+  EXPECT_THROW(parse("temperature -10\n"), Error);
+  EXPECT_THROW(parse("cu_fraction 1.5\n"), Error);
+  EXPECT_THROW(parse("potential dft\n"), Error);
+  EXPECT_THROW(parse("use_cache maybe\n"), Error);
+}
+
+TEST(InputDeck, SwitchAliases) {
+  EXPECT_TRUE(parse("use_cache on\n").simulationConfig().useVacancyCache);
+  EXPECT_TRUE(parse("use_cache true\n").simulationConfig().useVacancyCache);
+  EXPECT_TRUE(parse("use_cache 1\n").simulationConfig().useVacancyCache);
+  EXPECT_FALSE(parse("use_cache off\n").simulationConfig().useVacancyCache);
+  EXPECT_FALSE(parse("use_cache false\n").simulationConfig().useVacancyCache);
+}
+
+TEST(InputDeck, HasAndRawValue) {
+  const InputDeck deck = parse("model_path /tmp/model.txt\n");
+  EXPECT_TRUE(deck.has("model_path"));
+  EXPECT_FALSE(deck.has("cells"));
+  EXPECT_EQ(deck.rawValue("model_path"), "/tmp/model.txt");
+  EXPECT_EQ(deck.rawValue("cells"), "");
+}
+
+TEST(InputDeck, MissingFileThrows) {
+  EXPECT_THROW(InputDeck::parseFile("/no/such/deck.tkmc"), Error);
+}
+
+TEST(InputDeck, CheckpointKeys) {
+  const InputDeck deck = parse(
+      "checkpoint_write out.chk\ncheckpoint_interval 500\n"
+      "checkpoint_read in.chk\n");
+  EXPECT_EQ(deck.checkpointWritePath(), "out.chk");
+  EXPECT_EQ(deck.checkpointInterval(), 500u);
+  EXPECT_EQ(deck.checkpointReadPath(), "in.chk");
+  EXPECT_THROW(parse("checkpoint_interval 0\n"), Error);
+}
+
+TEST(InputDeck, DeckDrivesARunnableSimulation) {
+  const InputDeck deck = parse(
+      "cells 10\ncutoff 4.0\nvacancy_count 2\npotential eam\nmax_steps 20\n");
+  Simulation sim(deck.simulationConfig());
+  EXPECT_EQ(sim.run(deck.tEnd(), deck.maxSteps()), 20u);
+}
+
+}  // namespace
+}  // namespace tkmc

@@ -1,0 +1,152 @@
+#include "lattice/bcc_lattice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace tkmc {
+namespace {
+
+TEST(BccLattice, SiteCountIsTwoPerCell) {
+  const BccLattice lat(3, 4, 5, 2.87);
+  EXPECT_EQ(lat.siteCount(), 2 * 3 * 4 * 5);
+}
+
+TEST(BccLattice, SiteIdCoordinateRoundTrip) {
+  const BccLattice lat(4, 3, 5, 2.87);
+  for (BccLattice::SiteId id = 0; id < lat.siteCount(); ++id) {
+    const Vec3i p = lat.coordinate(id);
+    EXPECT_TRUE(BccLattice::isLatticeSite(p));
+    EXPECT_EQ(lat.siteId(p), id);
+  }
+}
+
+TEST(BccLattice, WrapIsPeriodic) {
+  const BccLattice lat(4, 4, 4, 2.87);
+  const Vec3i p{1, 1, 1};
+  EXPECT_EQ(lat.wrap({1 + 8, 1, 1 - 8}), p);
+  EXPECT_EQ(lat.wrap({1 - 16, 1 + 16, 1}), p);
+  EXPECT_EQ(lat.siteId({1 + 8, 1 - 8, 1 + 16}), lat.siteId(p));
+}
+
+TEST(BccLattice, ParityValidation) {
+  EXPECT_TRUE(BccLattice::isLatticeSite({0, 0, 0}));
+  EXPECT_TRUE(BccLattice::isLatticeSite({1, 1, 1}));
+  EXPECT_TRUE(BccLattice::isLatticeSite({2, 0, 4}));
+  EXPECT_TRUE(BccLattice::isLatticeSite({-1, 1, 3}));
+  EXPECT_FALSE(BccLattice::isLatticeSite({1, 0, 0}));
+  EXPECT_FALSE(BccLattice::isLatticeSite({2, 1, 0}));
+}
+
+TEST(BccLattice, FirstNeighborsAreEightUnitDiagonals) {
+  const auto& offsets = BccLattice::firstNeighborOffsets();
+  ASSERT_EQ(offsets.size(), 8u);
+  for (const Vec3i& d : offsets) {
+    EXPECT_EQ(d.norm2(), 3);
+    EXPECT_TRUE(BccLattice::isLatticeSite(d));
+  }
+}
+
+TEST(BccLattice, FirstNeighborDistanceIsSqrt3HalfA) {
+  const BccLattice lat(4, 4, 4, 2.87);
+  for (const Vec3i& d : BccLattice::firstNeighborOffsets())
+    EXPECT_NEAR(lat.offsetDistance(d), 2.87 * std::sqrt(3.0) / 2.0, 1e-12);
+}
+
+// Shell structure within the paper's standard cutoff: the counts the
+// triple-encoding relies on (N_local = 112 at r_cut = 6.5 A).
+TEST(BccLattice, NeighborCountAtPaperCutoff) {
+  const BccLattice lat(8, 8, 8, kLatticeConstantFe);
+  EXPECT_EQ(lat.offsetsWithinCutoff(kDefaultCutoff).size(), 112u);
+}
+
+TEST(BccLattice, NeighborShellsAtPaperCutoff) {
+  const BccLattice lat(8, 8, 8, kLatticeConstantFe);
+  std::map<std::int64_t, int> shells;
+  for (const Vec3i& d : lat.offsetsWithinCutoff(kDefaultCutoff))
+    ++shells[d.norm2()];
+  // 1NN..8NN populations on bcc: 8, 6, 12, 24, 8, 6, 24, 24.
+  ASSERT_EQ(shells.size(), 8u);
+  EXPECT_EQ(shells[3], 8);
+  EXPECT_EQ(shells[4], 6);
+  EXPECT_EQ(shells[8], 12);
+  EXPECT_EQ(shells[11], 24);
+  EXPECT_EQ(shells[12], 8);
+  EXPECT_EQ(shells[16], 6);
+  EXPECT_EQ(shells[19], 24);
+  EXPECT_EQ(shells[20], 24);
+}
+
+TEST(BccLattice, OffsetsSortedByDistance) {
+  const BccLattice lat(8, 8, 8, kLatticeConstantFe);
+  const auto offsets = lat.offsetsWithinCutoff(kDefaultCutoff);
+  for (std::size_t i = 1; i < offsets.size(); ++i)
+    EXPECT_LE(offsets[i - 1].norm2(), offsets[i].norm2());
+}
+
+struct CutoffCase {
+  double cutoff;
+  std::size_t expected;
+};
+
+class CutoffSweep : public ::testing::TestWithParam<CutoffCase> {};
+
+TEST_P(CutoffSweep, NeighborCounts) {
+  const BccLattice lat(10, 10, 10, kLatticeConstantFe);
+  EXPECT_EQ(lat.offsetsWithinCutoff(GetParam().cutoff).size(),
+            GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shells, CutoffSweep,
+    ::testing::Values(CutoffCase{2.6, 8u},      // 1NN only
+                      CutoffCase{2.9, 14u},     // +2NN
+                      CutoffCase{4.1, 26u},     // +3NN
+                      CutoffCase{5.8, 64u},     // paper's short cutoff
+                      CutoffCase{6.5, 112u}));  // paper's standard cutoff
+
+TEST(BccLattice, MinimumImageChoosesNearestCopy) {
+  const BccLattice lat(4, 4, 4, 2.87);
+  EXPECT_EQ(lat.minimumImage({0, 0, 0}, {7, 7, 7}), (Vec3i{-1, -1, -1}));
+  EXPECT_EQ(lat.minimumImage({0, 0, 0}, {1, 1, 1}), (Vec3i{1, 1, 1}));
+  EXPECT_EQ(lat.minimumImage({6, 6, 6}, {0, 0, 0}), (Vec3i{2, 2, 2}));
+}
+
+TEST(BccLattice, MinimumImageNormNeverExceedsHalfBox) {
+  const BccLattice lat(5, 5, 5, 2.87);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const Vec3i a = lat.coordinate(
+        static_cast<BccLattice::SiteId>(rng.uniformBelow(
+            static_cast<std::uint64_t>(lat.siteCount()))));
+    const Vec3i b = lat.coordinate(
+        static_cast<BccLattice::SiteId>(rng.uniformBelow(
+            static_cast<std::uint64_t>(lat.siteCount()))));
+    const Vec3i d = lat.minimumImage(a, b);
+    EXPECT_LE(std::abs(d.x), 5);
+    EXPECT_LE(std::abs(d.y), 5);
+    EXPECT_LE(std::abs(d.z), 5);
+    // Displacement must connect a to (an image of) b.
+    EXPECT_EQ(lat.wrap(a + d), lat.wrap(b));
+  }
+}
+
+TEST(BccLattice, InvalidConstructionThrows) {
+  EXPECT_THROW(BccLattice(0, 4, 4, 2.87), Error);
+  EXPECT_THROW(BccLattice(4, 4, 4, -1.0), Error);
+}
+
+TEST(BccLattice, PositionScalesWithLatticeConstant) {
+  const BccLattice lat(4, 4, 4, 3.0);
+  const Vec3d p = lat.position({1, 1, 1});
+  EXPECT_DOUBLE_EQ(p.x, 1.5);
+  EXPECT_DOUBLE_EQ(p.y, 1.5);
+  EXPECT_DOUBLE_EQ(p.z, 1.5);
+}
+
+}  // namespace
+}  // namespace tkmc

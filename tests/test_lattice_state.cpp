@@ -1,0 +1,111 @@
+#include "lattice/lattice_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+namespace {
+
+TEST(LatticeState, StartsAsAllIron) {
+  LatticeState s(BccLattice(3, 3, 3, 2.87));
+  EXPECT_EQ(s.countSpecies(Species::kFe), s.lattice().siteCount());
+  EXPECT_TRUE(s.vacancies().empty());
+}
+
+TEST(LatticeState, SetSpeciesMaintainsVacancyList) {
+  LatticeState s(BccLattice(3, 3, 3, 2.87));
+  s.setSpeciesAt({0, 0, 0}, Species::kVacancy);
+  s.setSpeciesAt({1, 1, 1}, Species::kVacancy);
+  ASSERT_EQ(s.vacancies().size(), 2u);
+  EXPECT_EQ(s.vacancies()[0], (Vec3i{0, 0, 0}));
+  s.setSpeciesAt({0, 0, 0}, Species::kCu);
+  ASSERT_EQ(s.vacancies().size(), 1u);
+  EXPECT_EQ(s.vacancies()[0], (Vec3i{1, 1, 1}));
+}
+
+TEST(LatticeState, HopVacancyExchangesSpecies) {
+  LatticeState s(BccLattice(4, 4, 4, 2.87));
+  s.setSpeciesAt({2, 2, 2}, Species::kCu);
+  s.setSpeciesAt({1, 1, 1}, Species::kVacancy);
+  s.hopVacancy({1, 1, 1}, {2, 2, 2});
+  EXPECT_EQ(s.speciesAt({1, 1, 1}), Species::kCu);
+  EXPECT_EQ(s.speciesAt({2, 2, 2}), Species::kVacancy);
+  ASSERT_EQ(s.vacancies().size(), 1u);
+  EXPECT_EQ(s.vacancies()[0], (Vec3i{2, 2, 2}));
+}
+
+TEST(LatticeState, HopAcrossPeriodicBoundary) {
+  LatticeState s(BccLattice(2, 2, 2, 2.87));
+  s.setSpeciesAt({0, 0, 0}, Species::kVacancy);
+  // Hop in direction (-1,-1,-1) wraps to (3,3,3).
+  s.hopVacancy({0, 0, 0}, {-1, -1, -1});
+  EXPECT_EQ(s.speciesAt({3, 3, 3}), Species::kVacancy);
+  EXPECT_EQ(s.vacancies()[0], (Vec3i{3, 3, 3}));
+}
+
+TEST(LatticeState, HopRequiresVacancySource) {
+  LatticeState s(BccLattice(3, 3, 3, 2.87));
+  EXPECT_THROW(s.hopVacancy({0, 0, 0}, {1, 1, 1}), Error);
+  s.setSpeciesAt({0, 0, 0}, Species::kVacancy);
+  s.setSpeciesAt({1, 1, 1}, Species::kVacancy);
+  EXPECT_THROW(s.hopVacancy({0, 0, 0}, {1, 1, 1}), Error);
+}
+
+TEST(LatticeState, VacancyOrderIsStableAcrossHops) {
+  LatticeState s(BccLattice(4, 4, 4, 2.87));
+  s.setSpeciesAt({0, 0, 0}, Species::kVacancy);
+  s.setSpeciesAt({4, 4, 4}, Species::kVacancy);
+  s.hopVacancy({0, 0, 0}, {1, 1, 1});
+  ASSERT_EQ(s.vacancies().size(), 2u);
+  EXPECT_EQ(s.vacancies()[0], (Vec3i{1, 1, 1}));
+  EXPECT_EQ(s.vacancies()[1], (Vec3i{4, 4, 4}));
+}
+
+TEST(LatticeState, RandomAlloyPlacesRequestedVacancies) {
+  LatticeState s(BccLattice(6, 6, 6, 2.87));
+  Rng rng(77);
+  s.randomAlloy(0.10, 5, rng);
+  EXPECT_EQ(s.countSpecies(Species::kVacancy), 5);
+  EXPECT_EQ(s.vacancies().size(), 5u);
+}
+
+TEST(LatticeState, RandomAlloyCuFractionIsApproximate) {
+  LatticeState s(BccLattice(10, 10, 10, 2.87));
+  Rng rng(78);
+  s.randomAlloy(0.20, 0, rng);
+  const double fraction =
+      static_cast<double>(s.countSpecies(Species::kCu)) /
+      static_cast<double>(s.lattice().siteCount());
+  EXPECT_NEAR(fraction, 0.20, 0.03);
+}
+
+TEST(LatticeState, RandomAlloyIsDeterministic) {
+  LatticeState a(BccLattice(5, 5, 5, 2.87)), b(BccLattice(5, 5, 5, 2.87));
+  Rng ra(9), rb(9);
+  a.randomAlloy(0.1, 3, ra);
+  b.randomAlloy(0.1, 3, rb);
+  EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(LatticeState, SpeciesConservedUnderManyHops) {
+  LatticeState s(BccLattice(5, 5, 5, 2.87));
+  Rng rng(13);
+  s.randomAlloy(0.15, 3, rng);
+  const auto fe = s.countSpecies(Species::kFe);
+  const auto cu = s.countSpecies(Species::kCu);
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t v = rng.uniformBelow(s.vacancies().size());
+    const Vec3i from = s.vacancies()[v];
+    const Vec3i to = s.lattice().wrap(
+        from + BccLattice::firstNeighborOffsets()[rng.uniformBelow(8)]);
+    if (s.speciesAt(to) == Species::kVacancy) continue;
+    s.hopVacancy(from, to);
+  }
+  EXPECT_EQ(s.countSpecies(Species::kFe), fe);
+  EXPECT_EQ(s.countSpecies(Species::kCu), cu);
+  EXPECT_EQ(s.countSpecies(Species::kVacancy), 3);
+}
+
+}  // namespace
+}  // namespace tkmc

@@ -1,0 +1,118 @@
+#include "openkmc/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tkmc {
+namespace {
+
+double toMb(std::size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+// Paper Table 1 rows (MB).
+struct Table1Row {
+  std::int64_t atoms;
+  double t, posId, eV, eR, openRuntime;  // openRuntime < 0 => OOM
+  double vacCache, tensorRuntime;
+};
+
+const Table1Row kTable1[] = {
+    {2'000'000, 68, 34, 68, 68, 467, 0.09, 133},
+    {16'000'000, 515, 258, 515, 515, 3038, 1.50, 1021},
+    {54'000'000, 1709, 856, 1709, 1709, 9964, 2.53, 3594},
+    {128'000'000, 4014, 2009, 4014, 4014, -1, 6.00, 8120},
+};
+
+class Table1Sweep : public ::testing::TestWithParam<Table1Row> {};
+
+TEST_P(Table1Sweep, HeadlineArraysWithinFivePercentOfPaper) {
+  const MemoryModel model;
+  const auto& row = GetParam();
+  const auto b = model.openKmc(row.atoms);
+  EXPECT_NEAR(toMb(b.t), row.t, row.t * 0.05);
+  EXPECT_NEAR(toMb(b.posId), row.posId, row.posId * 0.05);
+  EXPECT_NEAR(toMb(b.eV), row.eV, row.eV * 0.05);
+  EXPECT_NEAR(toMb(b.eR), row.eR, row.eR * 0.05);
+}
+
+TEST_P(Table1Sweep, RuntimeWithinFifteenPercentOfPaper) {
+  const MemoryModel model;
+  const auto& row = GetParam();
+  if (row.openRuntime > 0) {
+    EXPECT_NEAR(toMb(model.openKmc(row.atoms).runtime), row.openRuntime,
+                row.openRuntime * 0.15);
+  }
+  EXPECT_NEAR(toMb(model.tensorKmc(row.atoms).runtime), row.tensorRuntime,
+              row.tensorRuntime * 0.15);
+}
+
+TEST_P(Table1Sweep, VacancyCacheWithinTenPercentOfPaper) {
+  const MemoryModel model;
+  const auto& row = GetParam();
+  // The paper's 16 M row (1.50 MB) is inconsistent with its own
+  // per-vacancy footprint (~5.9 kB/vacancy, which the 2 M, 54 M and
+  // 128 M rows all follow); we reproduce the consistent layout and skip
+  // that row here. See EXPERIMENTS.md.
+  if (row.atoms == 16'000'000) {
+    GTEST_SKIP() << "paper row inconsistent with its own cache layout";
+  }
+  EXPECT_NEAR(toMb(model.tensorKmc(row.atoms).vacCache), row.vacCache,
+              row.vacCache * 0.10 + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRows, Table1Sweep, ::testing::ValuesIn(kTable1));
+
+TEST(MemoryModel, OpenKmcCannotFit128MAtomsInOneCg) {
+  const MemoryModel model;
+  EXPECT_GT(model.openKmc(128'000'000).runtime, MemoryModel::kCgCapacityBytes);
+}
+
+TEST(MemoryModel, TensorKmcFits128MAtomsInOneCg) {
+  const MemoryModel model;
+  EXPECT_LT(model.tensorKmc(128'000'000).runtime,
+            MemoryModel::kCgCapacityBytes);
+}
+
+TEST(MemoryModel, TensorKmcNeedsRoughlyAThirdOfOpenKmc) {
+  const MemoryModel model;
+  for (std::int64_t atoms : {2'000'000LL, 16'000'000LL, 54'000'000LL}) {
+    const double ratio =
+        static_cast<double>(model.tensorKmc(atoms).runtime) /
+        static_cast<double>(model.openKmc(atoms).runtime);
+    EXPECT_GT(ratio, 0.2);
+    EXPECT_LT(ratio, 0.45);
+  }
+}
+
+TEST(MemoryModel, PerAtomCostNearPaperFigure) {
+  // Strong-scaling setup: 160 M atoms/CG at ~0.10 kB per atom.
+  const MemoryModel model;
+  const double perAtom =
+      static_cast<double>(model.tensorKmc(160'000'000).runtime) / 160e6;
+  EXPECT_LT(perAtom, 100.0);
+  EXPECT_GT(perAtom, 30.0);
+}
+
+TEST(MemoryModel, BreakdownGrowsMonotonically) {
+  const MemoryModel model;
+  std::size_t prevOpen = 0, prevTensor = 0;
+  for (std::int64_t atoms : {2'000'000LL, 16'000'000LL, 54'000'000LL,
+                             128'000'000LL}) {
+    const auto open = model.openKmc(atoms).runtime;
+    const auto tensor = model.tensorKmc(atoms).runtime;
+    EXPECT_GT(open, prevOpen);
+    EXPECT_GT(tensor, prevTensor);
+    prevOpen = open;
+    prevTensor = tensor;
+  }
+}
+
+TEST(MemoryModel, CellsForAtomsInvertsCubicBox) {
+  EXPECT_EQ(MemoryModel::cellsForAtoms(2'000'000), 100);
+  EXPECT_EQ(MemoryModel::cellsForAtoms(16'000'000), 200);
+  EXPECT_EQ(MemoryModel::cellsForAtoms(54'000'000), 300);
+  EXPECT_EQ(MemoryModel::cellsForAtoms(128'000'000), 400);
+}
+
+}  // namespace
+}  // namespace tkmc

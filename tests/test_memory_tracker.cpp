@@ -1,0 +1,52 @@
+#include "common/memory_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tkmc {
+namespace {
+
+TEST(MemoryTracker, SetAndAddAccumulate) {
+  MemoryTracker t;
+  t.set("lattice", 1000);
+  t.add("lattice", 24);
+  t.add("cache", 512);
+  EXPECT_EQ(t.bytes("lattice"), 1024u);
+  EXPECT_EQ(t.bytes("cache"), 512u);
+  EXPECT_EQ(t.bytes("missing"), 0u);
+  EXPECT_EQ(t.totalBytes(), 1536u);
+}
+
+TEST(MemoryTracker, SetOverwrites) {
+  MemoryTracker t;
+  t.set("x", 100);
+  t.set("x", 7);
+  EXPECT_EQ(t.bytes("x"), 7u);
+}
+
+TEST(MemoryTracker, NamesAreSorted) {
+  MemoryTracker t;
+  t.set("zeta", 1);
+  t.set("alpha", 2);
+  t.set("mid", 3);
+  const auto names = t.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[2], "zeta");
+}
+
+TEST(MemoryTracker, ClearEmpties) {
+  MemoryTracker t;
+  t.set("a", 5);
+  t.clear();
+  EXPECT_EQ(t.totalBytes(), 0u);
+  EXPECT_TRUE(t.names().empty());
+}
+
+TEST(MemoryTracker, ToMiBFormatsTwoDecimals) {
+  EXPECT_EQ(MemoryTracker::toMiB(1024 * 1024), "1.00");
+  EXPECT_EQ(MemoryTracker::toMiB(1536 * 1024), "1.50");
+  EXPECT_EQ(MemoryTracker::toMiB(0), "0.00");
+}
+
+}  // namespace
+}  // namespace tkmc

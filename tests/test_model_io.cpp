@@ -1,0 +1,80 @@
+#include "nnp/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+namespace {
+
+std::string tempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(ModelIo, SaveLoadRoundTripIsExact) {
+  Network net({4, 8, 8, 1});
+  Rng rng(19);
+  net.initHe(rng);
+  net.setInputTransform({0.1, 0.2, 0.3, 0.4}, {1.0, 2.0, 3.0, 4.0});
+  const std::string path = tempPath("tkmc_model_roundtrip.txt");
+  saveNetwork(net, path);
+  const Network loaded = loadNetwork(path);
+  ASSERT_EQ(loaded.channels(), net.channels());
+  EXPECT_EQ(loaded.inputShift(), net.inputShift());
+  EXPECT_EQ(loaded.inputScale(), net.inputScale());
+  for (int li = 0; li < net.numLayers(); ++li) {
+    EXPECT_EQ(loaded.layer(li).weights, net.layer(li).weights);
+    EXPECT_EQ(loaded.layer(li).bias, net.layer(li).bias);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, LoadedNetworkPredictsIdentically) {
+  Network net({4, 16, 1});
+  Rng rng(20);
+  net.initHe(rng);
+  const std::string path = tempPath("tkmc_model_predict.txt");
+  saveNetwork(net, path);
+  const Network loaded = loadNetwork(path);
+  Rng frng(21);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> f{frng.uniform(), frng.uniform(), frng.uniform(),
+                          frng.uniform()};
+    EXPECT_DOUBLE_EQ(loaded.atomEnergy(f), net.atomEnergy(f));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, MissingFileThrows) {
+  EXPECT_THROW(loadNetwork("/nonexistent/path/model.txt"), Error);
+}
+
+TEST(ModelIo, CorruptHeaderThrows) {
+  const std::string path = tempPath("tkmc_model_corrupt.txt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("not-a-model 9\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(loadNetwork(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, TruncatedFileThrows) {
+  Network net({4, 8, 1});
+  Rng rng(22);
+  net.initHe(rng);
+  const std::string path = tempPath("tkmc_model_trunc.txt");
+  saveNetwork(net, path);
+  // Truncate to half size.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(loadNetwork(path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tkmc

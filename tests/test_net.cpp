@@ -1,0 +1,85 @@
+#include "tabulation/net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+
+namespace tkmc {
+namespace {
+
+TEST(Net, EveryRegionSiteHasNLocalNeighbors) {
+  const Cet cet(kLatticeConstantFe, kDefaultCutoff);
+  const Net net(cet);
+  ASSERT_EQ(net.regionSites(), cet.nRegion());
+  for (int s = 0; s < net.regionSites(); ++s)
+    EXPECT_EQ(net.neighbors(s).size(),
+              static_cast<std::size_t>(cet.nLocal()));
+  EXPECT_EQ(net.entryCount(),
+            static_cast<std::size_t>(cet.nRegion()) * cet.nLocal());
+}
+
+TEST(Net, EightUniqueDistancesAtStandardCutoff) {
+  const Cet cet(kLatticeConstantFe, kDefaultCutoff);
+  const Net net(cet);
+  ASSERT_EQ(net.distances().size(), 8u);  // 8 shells within 6.5 A
+  for (std::size_t i = 1; i < net.distances().size(); ++i)
+    EXPECT_LT(net.distances()[i - 1], net.distances()[i]);
+  EXPECT_NEAR(net.distances().front(),
+              kLatticeConstantFe * std::sqrt(3.0) / 2.0, 1e-12);  // 1NN
+  EXPECT_LE(net.distances().back(), kDefaultCutoff);
+}
+
+TEST(Net, EntriesReferenceValidCetIdsAndDistances) {
+  const Cet cet(kLatticeConstantFe, kDefaultCutoff);
+  const Net net(cet);
+  for (int s = 0; s < net.regionSites(); ++s)
+    for (const Net::Entry& e : net.neighbors(s)) {
+      ASSERT_GE(e.siteId, 0);
+      ASSERT_LT(e.siteId, cet.nAll());
+      ASSERT_GE(e.distIndex, 0);
+      ASSERT_LT(static_cast<std::size_t>(e.distIndex), net.distances().size());
+    }
+}
+
+TEST(Net, StoredDistanceMatchesGeometry) {
+  const Cet cet(kLatticeConstantFe, kDefaultCutoff);
+  const Net net(cet);
+  for (int s = 0; s < net.regionSites(); s += 17) {
+    for (const Net::Entry& e : net.neighbors(s)) {
+      const Vec3i d = cet.site(e.siteId) - cet.site(s);
+      const double r = std::sqrt(static_cast<double>(d.norm2())) *
+                       kLatticeConstantFe / 2.0;
+      EXPECT_NEAR(net.distances()[static_cast<std::size_t>(e.distIndex)], r,
+                  1e-12);
+    }
+  }
+}
+
+TEST(Net, NeighborRelationIsSymmetricWithinRegion) {
+  const Cet cet(kLatticeConstantFe, 4.0);
+  const Net net(cet);
+  for (int s = 0; s < net.regionSites(); ++s)
+    for (const Net::Entry& e : net.neighbors(s)) {
+      if (e.siteId >= cet.nRegion()) continue;  // outer sites have no rows
+      bool reciprocal = false;
+      for (const Net::Entry& back : net.neighbors(e.siteId))
+        if (back.siteId == s) {
+          reciprocal = true;
+          EXPECT_EQ(back.distIndex, e.distIndex);
+          break;
+        }
+      EXPECT_TRUE(reciprocal);
+    }
+}
+
+TEST(Net, NoSelfNeighbors) {
+  const Cet cet(kLatticeConstantFe, kDefaultCutoff);
+  const Net net(cet);
+  for (int s = 0; s < net.regionSites(); ++s)
+    for (const Net::Entry& e : net.neighbors(s)) EXPECT_NE(e.siteId, s);
+}
+
+}  // namespace
+}  // namespace tkmc

@@ -1,0 +1,113 @@
+#include "openkmc/openkmc_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace tkmc {
+namespace {
+
+constexpr double kCutoff = 4.0;
+
+LatticeState makeState(std::uint64_t seed, int cells = 12, int vacancies = 2) {
+  LatticeState state(BccLattice(cells, cells, cells, 2.87));
+  Rng rng(seed);
+  state.randomAlloy(0.12, vacancies, rng);
+  return state;
+}
+
+TEST(OpenKmcEngine, RunsAndConservesSpecies) {
+  LatticeState state = makeState(1);
+  const auto fe = state.countSpecies(Species::kFe);
+  const auto cu = state.countSpecies(Species::kCu);
+  const EamPotential eam(kCutoff);
+  OpenKmcEngine engine(state, eam, {});
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(engine.step().advanced);
+  EXPECT_EQ(state.countSpecies(Species::kFe), fe);
+  EXPECT_EQ(state.countSpecies(Species::kCu), cu);
+  EXPECT_EQ(state.countSpecies(Species::kVacancy), 2);
+}
+
+TEST(OpenKmcEngine, CachedPropertiesStayCoherent) {
+  // The cache-all arrays must always match a from-scratch recomputation.
+  LatticeState state = makeState(2);
+  const EamPotential eam(kCutoff);
+  OpenKmcEngine engine(state, eam, {});
+  const BccLattice& lat = state.lattice();
+  const auto offsets = lat.offsetsWithinCutoff(kCutoff);
+  auto freshEnergy = [&](BccLattice::SiteId id) {
+    const Vec3i p = lat.coordinate(id);
+    const Species self = state.species(id);
+    if (self == Species::kVacancy) return 0.0;
+    std::vector<std::pair<Species, double>> nb;
+    for (const Vec3i& d : offsets)
+      nb.emplace_back(state.speciesAt(p + d), lat.offsetDistance(d));
+    return eam.atomEnergy(self, nb);
+  };
+  for (int block = 0; block < 5; ++block) {
+    for (int i = 0; i < 20; ++i) engine.step();
+    Rng rng(1000 + block);
+    for (int probe = 0; probe < 30; ++probe) {
+      const auto id = static_cast<BccLattice::SiteId>(
+          rng.uniformBelow(static_cast<std::uint64_t>(lat.siteCount())));
+      ASSERT_NEAR(engine.cachedAtomEnergy(id), freshEnergy(id), 1e-10)
+          << "site " << id << " after block " << block;
+    }
+  }
+}
+
+TEST(OpenKmcEngine, ArrayBytesGrowWithTheBox) {
+  const EamPotential eam(kCutoff);
+  LatticeState small = makeState(3, 10);
+  LatticeState large = makeState(4, 14);
+  OpenKmcEngine a(small, eam, {});
+  OpenKmcEngine b(large, eam, {});
+  EXPECT_GT(b.arrayBytes(), a.arrayBytes());
+  // POS_ID over the doubled grid wastes 3/4 of its slots (Fig. 5), so the
+  // footprint is dominated by box volume, not atom count:
+  // (2L)^3 * 8 bytes for POS_ID + 2 * L^3 * 2 * 8 for E_V/E_R.
+  const std::size_t cells = 10 * 10 * 10;
+  const std::size_t posIdBytes = 8 * cells * 8;       // (2L)^3 slots x 8 B
+  const std::size_t propertyBytes = 2 * 2 * cells * 8;  // E_V + E_R doubles
+  EXPECT_EQ(a.arrayBytes(), posIdBytes + propertyBytes);
+}
+
+TEST(OpenKmcEngine, DeterministicForSameSeed) {
+  LatticeState a = makeState(5), b = makeState(5);
+  const EamPotential eam(kCutoff);
+  OpenKmcEngine::Config cfg;
+  cfg.seed = 44;
+  OpenKmcEngine ea(a, eam, cfg), eb(b, eam, cfg);
+  for (int i = 0; i < 60; ++i) {
+    const auto ra = ea.step();
+    const auto rb = eb.step();
+    ASSERT_EQ(ra.from, rb.from);
+    ASSERT_EQ(ra.to, rb.to);
+  }
+  EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(OpenKmcEngine, RunHonorsLimits) {
+  LatticeState state = makeState(6);
+  const EamPotential eam(kCutoff);
+  OpenKmcEngine::Config cfg;
+  cfg.maxSteps = 15;
+  OpenKmcEngine engine(state, eam, cfg);
+  EXPECT_EQ(engine.run(), 15u);
+  EXPECT_GT(engine.time(), 0.0);
+}
+
+TEST(OpenKmcEngine, TimeIncrementsArePositive) {
+  LatticeState state = makeState(7);
+  const EamPotential eam(kCutoff);
+  OpenKmcEngine engine(state, eam, {});
+  double last = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    engine.step();
+    EXPECT_GT(engine.time(), last);
+    last = engine.time();
+  }
+}
+
+}  // namespace
+}  // namespace tkmc

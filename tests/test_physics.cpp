@@ -1,0 +1,197 @@
+// Physics-level validation of the AKMC machinery: known closed-form
+// behaviour of the rate law and the residence-time algorithm on
+// analytically tractable systems.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kmc/eam_energy_model.hpp"
+#include "kmc/serial_engine.hpp"
+
+namespace tkmc {
+namespace {
+
+constexpr double kCutoff = 4.0;
+
+struct PureIronWorld {
+  explicit PureIronWorld(int cells = 12)
+      : cet(2.87, kCutoff), net(cet), eam(kCutoff),
+        lattice(cells, cells, cells, 2.87), state(lattice) {
+    state.fill(Species::kFe);
+    state.setSpeciesAt({cells, cells, cells}, Species::kVacancy);
+  }
+
+  Cet cet;
+  Net net;
+  EamPotential eam;
+  BccLattice lattice;
+  LatticeState state;
+};
+
+TEST(Physics, PureIronLandscapeIsFlat) {
+  // Every site of a pure Fe crystal is equivalent, so all eight jumps
+  // must carry exactly the reference barrier.
+  PureIronWorld w;
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  const auto energies =
+      model.stateEnergies(w.state, {12, 12, 12}, kNumJumpDirections);
+  for (int k = 1; k <= kNumJumpDirections; ++k)
+    EXPECT_NEAR(energies[static_cast<std::size_t>(k)], energies[0], 1e-9);
+}
+
+TEST(Physics, MeanResidenceTimeMatchesRateLaw) {
+  // Flat landscape: total propensity is exactly 8 * Gamma0 *
+  // exp(-Ea0(Fe)/kT); the average KMC time step must converge to its
+  // inverse.
+  PureIronWorld w;
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  KmcConfig cfg;
+  cfg.temperature = 573.0;
+  cfg.seed = 5;
+  cfg.tEnd = 1e300;
+  SerialEngine engine(w.state, model, w.cet, cfg);
+  const int steps = 4000;
+  for (int i = 0; i < steps; ++i) engine.step();
+  const double rate =
+      kAttemptFrequency * std::exp(-kActivationFe / (kBoltzmannEv * 573.0));
+  const double expectedMeanDt = 1.0 / (8.0 * rate);
+  const double meanDt = engine.time() / static_cast<double>(steps);
+  EXPECT_NEAR(meanDt, expectedMeanDt, expectedMeanDt * 0.05);
+}
+
+TEST(Physics, RandomWalkMeanSquaredDisplacement) {
+  // On the flat landscape the vacancy performs an isotropic random walk:
+  // <R^2> after n hops is n * (sqrt(3) a / 2)^2. Average over
+  // independent walks (different seeds).
+  const double a = 2.87;
+  const double hopLength2 = 3.0 * a * a / 4.0;
+  // R^2 at fixed n is heavy-tailed (chi^2_3-like), so the sample mean
+  // converges slowly; 200 walks put a 20% band at ~3.5 sigma.
+  const int hops = 150;
+  const int walks = 200;
+  double sumR2 = 0.0;
+  for (int walk = 0; walk < walks; ++walk) {
+    PureIronWorld w;
+    EamEnergyModel model(w.cet, w.net, w.eam);
+    KmcConfig cfg;
+    cfg.seed = 1000 + static_cast<std::uint64_t>(walk);
+    cfg.tEnd = 1e300;
+    SerialEngine engine(w.state, model, w.cet, cfg);
+    Vec3d displacement{};
+    engine.setObserver(
+        [&](const SerialEngine& e, const SerialEngine::StepResult& r) {
+          const Vec3i d = e.state().lattice().minimumImage(r.from, r.to);
+          displacement = displacement + Vec3d{d.x * a / 2, d.y * a / 2,
+                                              d.z * a / 2};
+        });
+    for (int i = 0; i < hops; ++i) engine.step();
+    sumR2 += displacement.x * displacement.x +
+             displacement.y * displacement.y +
+             displacement.z * displacement.z;
+  }
+  const double meanR2PerHop = sumR2 / walks / hops;
+  EXPECT_NEAR(meanR2PerHop, hopLength2, hopLength2 * 0.20);
+}
+
+TEST(Physics, ForwardAndReverseEnergyDifferencesAreOpposite) {
+  // The jumping region must contain every atom whose energy a hop can
+  // change; if it does, dE(forward) == -dE(reverse) exactly. Run the
+  // check along a trajectory through a disordered alloy.
+  const Cet cet(2.87, kCutoff);
+  const Net net(cet);
+  const EamPotential eam(kCutoff);
+  EamEnergyModel model(cet, net, eam);
+  LatticeState state(BccLattice(12, 12, 12, 2.87));
+  Rng rng(21);
+  state.randomAlloy(0.2, 1, rng);
+  const auto& jumps = BccLattice::firstNeighborOffsets();
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const Vec3i from = state.lattice().wrap(state.vacancies()[0]);
+    const auto before =
+        model.stateEnergies(state, from, kNumJumpDirections);
+    const int k = static_cast<int>(rng.uniformBelow(8));
+    const Vec3i to = state.lattice().wrap(from + jumps[static_cast<std::size_t>(k)]);
+    if (state.speciesAt(to) == Species::kVacancy) continue;
+    const double dForward = before[static_cast<std::size_t>(k) + 1] - before[0];
+
+    state.hopVacancy(from, to);
+    const auto after = model.stateEnergies(state, to, kNumJumpDirections);
+    // Find the reverse direction.
+    int reverse = -1;
+    for (int j = 0; j < kNumJumpDirections; ++j)
+      if (state.lattice().wrap(to + jumps[static_cast<std::size_t>(j)]) == from)
+        reverse = j;
+    ASSERT_GE(reverse, 0);
+    const double dReverse = after[static_cast<std::size_t>(reverse) + 1] - after[0];
+    EXPECT_NEAR(dForward, -dReverse, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Physics, DetailedBalanceRatioOfRates) {
+  // Gamma_fwd / Gamma_rev = exp(-dE / kT) whenever the same species
+  // migrates both ways and neither barrier clamps at zero (Eq. 1-2).
+  const Cet cet(2.87, kCutoff);
+  const Net net(cet);
+  const EamPotential eam(kCutoff);
+  EamEnergyModel model(cet, net, eam);
+  LatticeState state(BccLattice(12, 12, 12, 2.87));
+  Rng rng(31);
+  state.randomAlloy(0.2, 1, rng);
+  const auto& jumps = BccLattice::firstNeighborOffsets();
+  const double kt = kBoltzmannEv * 573.0;
+
+  int checked = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vec3i from = state.lattice().wrap(state.vacancies()[0]);
+    Vet vetBefore = Vet::gather(cet, state, from);
+    const auto before = model.stateEnergies(state, from, kNumJumpDirections);
+    const JumpRates ratesBefore = computeRates(vetBefore, before, 573.0);
+    const int k = static_cast<int>(rng.uniformBelow(8));
+    const Vec3i to = state.lattice().wrap(from + jumps[static_cast<std::size_t>(k)]);
+    if (state.speciesAt(to) == Species::kVacancy) continue;
+    const double dE = before[static_cast<std::size_t>(k) + 1] - before[0];
+    const Species migrating = state.speciesAt(to);
+    // Skip clamped barriers, where the ratio law does not apply.
+    if (referenceActivation(migrating) - std::abs(dE) / 2 <= 0) continue;
+
+    state.hopVacancy(from, to);
+    Vet vetAfter = Vet::gather(cet, state, to);
+    const auto after = model.stateEnergies(state, to, kNumJumpDirections);
+    const JumpRates ratesAfter = computeRates(vetAfter, after, 573.0);
+    int reverse = -1;
+    for (int j = 0; j < kNumJumpDirections; ++j)
+      if (state.lattice().wrap(to + jumps[static_cast<std::size_t>(j)]) == from)
+        reverse = j;
+    ASSERT_GE(reverse, 0);
+    const double ratio = ratesBefore.rate[static_cast<std::size_t>(k)] /
+                         ratesAfter.rate[static_cast<std::size_t>(reverse)];
+    EXPECT_NEAR(std::log(ratio), -dE / kt, 1e-6) << "trial " << trial;
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);  // the sweep must actually exercise the law
+}
+
+TEST(Physics, CopperDiffusesFasterThanIron) {
+  // Same flat-environment setup but the migrating atom is Cu: with
+  // E_a0(Cu) < E_a0(Fe), the Cu exchange dominates the propensity.
+  PureIronWorld w;
+  w.state.setSpeciesAt({13, 13, 13}, Species::kCu);  // 1NN of the vacancy
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  Vet vet = Vet::gather(w.cet, w.state, {12, 12, 12});
+  const auto energies = model.stateEnergiesFromVet(vet, kNumJumpDirections);
+  const JumpRates rates = computeRates(vet, energies, 573.0);
+  int cuDirection = -1;
+  for (int k = 0; k < kNumJumpDirections; ++k)
+    if (vet[Cet::jumpTargetId(k)] == Species::kCu) cuDirection = k;
+  ASSERT_GE(cuDirection, 0);
+  for (int k = 0; k < kNumJumpDirections; ++k) {
+    if (k == cuDirection) continue;
+    EXPECT_GT(rates.rate[static_cast<std::size_t>(cuDirection)],
+              rates.rate[static_cast<std::size_t>(k)]);
+  }
+}
+
+}  // namespace
+}  // namespace tkmc

@@ -1,0 +1,138 @@
+#include "kmc/propensity_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace tkmc {
+namespace {
+
+TEST(PropensityTree, TotalIsSumOfLeaves) {
+  PropensityTree tree(5);
+  const double values[5] = {1.0, 2.5, 0.0, 4.0, 0.5};
+  for (int i = 0; i < 5; ++i) tree.update(i, values[i]);
+  EXPECT_DOUBLE_EQ(tree.total(), 8.0);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(tree.leaf(i), values[i]);
+}
+
+TEST(PropensityTree, UpdateOverwritesLeaf) {
+  PropensityTree tree(3);
+  tree.update(1, 2.0);
+  tree.update(1, 5.0);
+  EXPECT_DOUBLE_EQ(tree.total(), 5.0);
+}
+
+TEST(PropensityTree, SelectFindsCorrectIntervals) {
+  PropensityTree tree(4);
+  tree.update(0, 1.0);
+  tree.update(1, 2.0);
+  tree.update(2, 3.0);
+  tree.update(3, 4.0);
+  EXPECT_EQ(tree.select(0.0), 0);
+  EXPECT_EQ(tree.select(0.999), 0);
+  EXPECT_EQ(tree.select(1.0), 1);
+  EXPECT_EQ(tree.select(2.999), 1);
+  EXPECT_EQ(tree.select(3.0), 2);
+  EXPECT_EQ(tree.select(5.999), 2);
+  EXPECT_EQ(tree.select(6.0), 3);
+  EXPECT_EQ(tree.select(9.999), 3);
+}
+
+TEST(PropensityTree, SelectSkipsZeroLeaves) {
+  PropensityTree tree(5);
+  tree.update(1, 2.0);
+  tree.update(3, 3.0);
+  EXPECT_EQ(tree.select(0.5), 1);
+  EXPECT_EQ(tree.select(1.999), 1);
+  EXPECT_EQ(tree.select(2.0), 3);
+  EXPECT_EQ(tree.select(4.999), 3);
+}
+
+TEST(PropensityTree, SelectAtTotalBoundaryReturnsValidLeaf) {
+  PropensityTree tree(3);
+  tree.update(0, 1.0);
+  tree.update(2, 1.0);
+  const int leaf = tree.select(tree.total());
+  EXPECT_GE(leaf, 0);
+  EXPECT_LT(leaf, 3);
+  EXPECT_GT(tree.leaf(leaf), 0.0);
+}
+
+TEST(PropensityTree, SelectAgreesWithLinearScan) {
+  Rng rng(91);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 1 + static_cast<int>(rng.uniformBelow(40));
+    PropensityTree tree(n);
+    for (int i = 0; i < n; ++i) {
+      const double v = rng.uniform() < 0.3 ? 0.0 : rng.uniform() * 10;
+      tree.update(i, v);
+    }
+    if (tree.total() <= 0.0) continue;
+    for (int q = 0; q < 100; ++q) {
+      const double target = rng.uniform() * tree.total();
+      EXPECT_EQ(tree.select(target), tree.selectLinear(target))
+          << "n=" << n << " target=" << target;
+    }
+  }
+}
+
+TEST(PropensityTree, SamplingFrequenciesMatchWeights) {
+  PropensityTree tree(3);
+  tree.update(0, 1.0);
+  tree.update(1, 3.0);
+  tree.update(2, 6.0);
+  Rng rng(17);
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    ++counts[static_cast<std::size_t>(tree.select(rng.uniform() * tree.total()))];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(PropensityTree, InternalSumsAreUpdateOrderIndependent) {
+  // The Fig. 8 bit-identity relies on tree sums depending only on leaf
+  // values, not on the order leaves were written.
+  PropensityTree a(7), b(7);
+  const double values[7] = {0.1, 2.0, 0.0, 5.5, 1.25, 0.75, 3.0};
+  for (int i = 0; i < 7; ++i) a.update(i, values[i]);
+  for (int i = 6; i >= 0; --i) b.update(i, values[i]);
+  b.update(3, 0.0);
+  b.update(3, values[3]);
+  EXPECT_EQ(a.total(), b.total());
+  for (double t = 0.0; t < a.total(); t += 0.37)
+    EXPECT_EQ(a.select(t), b.select(t));
+}
+
+TEST(PropensityTree, ResizeClearsState) {
+  PropensityTree tree(4);
+  tree.update(0, 3.0);
+  tree.resize(10);
+  EXPECT_EQ(tree.leafCount(), 10);
+  EXPECT_DOUBLE_EQ(tree.total(), 0.0);
+}
+
+TEST(PropensityTree, NonPowerOfTwoLeafCounts) {
+  for (int n : {1, 3, 5, 17, 33, 100}) {
+    PropensityTree tree(n);
+    for (int i = 0; i < n; ++i) tree.update(i, 1.0);
+    EXPECT_DOUBLE_EQ(tree.total(), static_cast<double>(n));
+    EXPECT_EQ(tree.select(static_cast<double>(n) - 0.5), n - 1);
+  }
+}
+
+TEST(PropensityTree, InvalidAccessThrows) {
+  PropensityTree tree(3);
+  EXPECT_THROW(tree.update(3, 1.0), Error);
+  EXPECT_THROW(tree.update(-1, 1.0), Error);
+  EXPECT_THROW(tree.leaf(5), Error);
+  PropensityTree empty(0);
+  EXPECT_THROW(empty.select(0.0), Error);
+}
+
+}  // namespace
+}  // namespace tkmc

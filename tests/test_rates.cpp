@@ -1,0 +1,114 @@
+#include "kmc/rate_calculator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+namespace {
+
+Vet uniformVet(Species fill, int n = 64) {
+  Vet vet(n);
+  for (int i = 0; i < n; ++i) vet.set(i, fill);
+  vet.set(0, Species::kVacancy);
+  return vet;
+}
+
+TEST(RateCalculator, FlatLandscapeGivesReferenceBarrierRate) {
+  const Vet vet = uniformVet(Species::kFe);
+  std::vector<double> energies(9, -100.0);  // E_f == E_i for all jumps
+  const JumpRates jr = computeRates(vet, energies, 573.0);
+  const double expected =
+      kAttemptFrequency * std::exp(-kActivationFe / (kBoltzmannEv * 573.0));
+  for (double r : jr.rate) EXPECT_NEAR(r, expected, expected * 1e-12);
+  EXPECT_NEAR(jr.total, 8 * expected, expected * 1e-9);
+}
+
+TEST(RateCalculator, CopperMigratesFasterThanIronOnFlatLandscape) {
+  Vet vet = uniformVet(Species::kFe);
+  vet.set(Cet::jumpTargetId(3), Species::kCu);
+  std::vector<double> energies(9, 0.0);
+  const JumpRates jr = computeRates(vet, energies, 573.0);
+  // Cu has the lower reference activation (0.56 vs 0.65 eV).
+  for (int k = 0; k < 8; ++k) {
+    if (k == 3) continue;
+    EXPECT_GT(jr.rate[3], jr.rate[static_cast<std::size_t>(k)]);
+  }
+}
+
+TEST(RateCalculator, EnergyDifferenceEntersWithHalfWeight) {
+  const Vet vet = uniformVet(Species::kFe);
+  std::vector<double> energies(9, 0.0);
+  energies[1] = 0.2;   // uphill jump: dE = +0.2
+  energies[2] = -0.2;  // downhill jump
+  const JumpRates jr = computeRates(vet, energies, 573.0);
+  const double kt = kBoltzmannEv * 573.0;
+  EXPECT_NEAR(jr.rate[0],
+              kAttemptFrequency * std::exp(-(kActivationFe + 0.1) / kt),
+              jr.rate[0] * 1e-9);
+  EXPECT_NEAR(jr.rate[1],
+              kAttemptFrequency * std::exp(-(kActivationFe - 0.1) / kt),
+              jr.rate[1] * 1e-9);
+  EXPECT_GT(jr.rate[1], jr.rate[0]);
+}
+
+TEST(RateCalculator, BarrierClampedAtZero) {
+  const Vet vet = uniformVet(Species::kFe);
+  std::vector<double> energies(9, 0.0);
+  energies[1] = -10.0;  // would drive E_a far below zero
+  const JumpRates jr = computeRates(vet, energies, 573.0);
+  EXPECT_NEAR(jr.rate[0], kAttemptFrequency, 1e-3);
+  EXPECT_LE(jr.rate[0], kAttemptFrequency);
+}
+
+TEST(RateCalculator, JumpIntoVacancyIsForbidden) {
+  Vet vet = uniformVet(Species::kFe);
+  vet.set(Cet::jumpTargetId(5), Species::kVacancy);
+  std::vector<double> energies(9, 0.0);
+  const JumpRates jr = computeRates(vet, energies, 573.0);
+  EXPECT_EQ(jr.rate[5], 0.0);
+  EXPECT_GT(jr.rate[0], 0.0);
+}
+
+TEST(RateCalculator, HigherTemperatureRaisesRates) {
+  const Vet vet = uniformVet(Species::kFe);
+  std::vector<double> energies(9, 0.0);
+  const JumpRates cold = computeRates(vet, energies, 300.0);
+  const JumpRates hot = computeRates(vet, energies, 900.0);
+  EXPECT_GT(hot.total, cold.total * 100.0);
+}
+
+TEST(RateCalculator, RejectsBadInputs) {
+  const Vet vet = uniformVet(Species::kFe);
+  std::vector<double> tooFew(5, 0.0);
+  EXPECT_THROW(computeRates(vet, tooFew, 573.0), Error);
+  std::vector<double> ok(9, 0.0);
+  EXPECT_THROW(computeRates(vet, ok, -1.0), Error);
+}
+
+TEST(ResidenceTime, MatchesEquationThree) {
+  EXPECT_DOUBLE_EQ(residenceTime(1.0, 2.0), 0.0);
+  EXPECT_NEAR(residenceTime(std::exp(-1.0), 4.0), 0.25, 1e-12);
+  EXPECT_GT(residenceTime(0.01, 1.0), residenceTime(0.5, 1.0));
+}
+
+TEST(ResidenceTime, RejectsBadDraws) {
+  EXPECT_THROW(residenceTime(0.0, 1.0), Error);
+  EXPECT_THROW(residenceTime(1.5, 1.0), Error);
+  EXPECT_THROW(residenceTime(0.5, 0.0), Error);
+}
+
+TEST(ResidenceTime, MeanMatchesInversePropensity) {
+  Rng rng(71);
+  const double propensity = 5.0e8;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i)
+    sum += residenceTime(rng.uniformOpenLeft(), propensity);
+  EXPECT_NEAR(sum / n, 1.0 / propensity, 0.01 / propensity);
+}
+
+}  // namespace
+}  // namespace tkmc

@@ -1,0 +1,139 @@
+#include "tabulation/region_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace tkmc {
+namespace {
+
+class RegionFeaturesTest : public ::testing::Test {
+ protected:
+  RegionFeaturesTest()
+      : cet_(2.87, 4.0), net_(cet_),
+        table_(net_.distances(), standardPqSets()),
+        lattice_(12, 12, 12, 2.87), state_(lattice_) {
+    Rng rng(21);
+    state_.randomAlloy(0.2, 0, rng);
+    state_.setSpeciesAt(center_, Species::kVacancy);
+  }
+
+  Cet cet_;
+  Net net_;
+  FeatureTable table_;
+  BccLattice lattice_;
+  LatticeState state_;
+  Vec3i center_{6, 6, 6};
+};
+
+TEST_F(RegionFeaturesTest, MatchesBruteForceAccumulation) {
+  const RegionFeatures rf(net_, table_);
+  Vet vet = Vet::gather(cet_, state_, center_);
+  std::vector<double> fast;
+  rf.compute(vet, fast);
+  const int d = rf.dim();
+  ASSERT_EQ(fast.size(), static_cast<std::size_t>(cet_.nRegion()) * d);
+  // Brute force: per region site, sum table terms over lattice neighbours.
+  const auto offsets = lattice_.offsetsWithinCutoff(4.0);
+  for (int site = 0; site < cet_.nRegion(); site += 7) {
+    std::vector<double> expected(static_cast<std::size_t>(d), 0.0);
+    const Vec3i abs = center_ + cet_.site(site);
+    for (const Vec3i& off : offsets) {
+      const Species sp = state_.speciesAt(abs + off);
+      if (sp == Species::kVacancy) continue;
+      // Find the distance index.
+      const double r = lattice_.offsetDistance(off);
+      int distIndex = -1;
+      for (std::size_t k = 0; k < net_.distances().size(); ++k)
+        if (std::abs(net_.distances()[k] - r) < 1e-9)
+          distIndex = static_cast<int>(k);
+      ASSERT_GE(distIndex, 0);
+      for (int k = 0; k < table_.numPq(); ++k)
+        expected[static_cast<std::size_t>(static_cast<int>(sp)) * table_.numPq() +
+                 k] += table_.value(distIndex, k);
+    }
+    for (int c = 0; c < d; ++c)
+      EXPECT_NEAR(fast[static_cast<std::size_t>(site) * d + c],
+                  expected[static_cast<std::size_t>(c)], 1e-12);
+  }
+}
+
+TEST_F(RegionFeaturesTest, VacancyNeighborsContributeNothing) {
+  const RegionFeatures rf(net_, table_);
+  Vet vet = Vet::gather(cet_, state_, center_);
+  std::vector<double> before;
+  rf.compute(vet, before);
+  // Turning a neighbour of site 0 into a vacancy must reduce (or keep)
+  // every component of site 0's features.
+  const int nbId = net_.neighbors(0)[0].siteId;
+  vet.set(nbId, Species::kVacancy);
+  std::vector<double> after;
+  rf.compute(vet, after);
+  for (int c = 0; c < rf.dim(); ++c)
+    EXPECT_LE(after[static_cast<std::size_t>(c)],
+              before[static_cast<std::size_t>(c)] + 1e-15);
+}
+
+TEST_F(RegionFeaturesTest, ComputeStatesRestoresVet) {
+  const RegionFeatures rf(net_, table_);
+  Vet vet = Vet::gather(cet_, state_, center_);
+  const std::vector<Species> snapshot = vet.data();
+  std::vector<double> out;
+  rf.computeStates(vet, kNumJumpDirections, out);
+  EXPECT_EQ(vet.data(), snapshot);
+}
+
+TEST_F(RegionFeaturesTest, StateZeroEqualsPlainCompute) {
+  const RegionFeatures rf(net_, table_);
+  Vet vet = Vet::gather(cet_, state_, center_);
+  std::vector<double> states, plain;
+  rf.computeStates(vet, kNumJumpDirections, states);
+  rf.compute(vet, plain);
+  for (std::size_t i = 0; i < plain.size(); ++i)
+    EXPECT_DOUBLE_EQ(states[i], plain[i]);
+}
+
+TEST_F(RegionFeaturesTest, FinalStateEqualsComputeOnSwappedVet) {
+  const RegionFeatures rf(net_, table_);
+  Vet vet = Vet::gather(cet_, state_, center_);
+  std::vector<double> states;
+  rf.computeStates(vet, kNumJumpDirections, states);
+  const std::size_t stride = static_cast<std::size_t>(cet_.nRegion()) * rf.dim();
+  for (int k = 0; k < kNumJumpDirections; ++k) {
+    Vet swapped = vet;
+    swapped.swap(0, Cet::jumpTargetId(k));
+    std::vector<double> expected;
+    rf.compute(swapped, expected);
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      ASSERT_DOUBLE_EQ(states[stride * (1 + static_cast<std::size_t>(k)) + i],
+                       expected[i])
+          << "state " << k;
+  }
+}
+
+TEST_F(RegionFeaturesTest, DirectExpEvaluationIsBitIdenticalToTable) {
+  // The Eq. 5 vs Eq. 6 ablation: evaluating exp(-(r/p)^q) on the fly
+  // must give bit-equal features (the table stores exactly those values
+  // and the accumulation order is shared).
+  const RegionFeatures rf(net_, table_);
+  const Vet vet = Vet::gather(cet_, state_, center_);
+  std::vector<double> tabulated, direct;
+  rf.compute(vet, tabulated);
+  rf.computeDirect(vet, net_.distances(), standardPqSets(), direct);
+  ASSERT_EQ(tabulated.size(), direct.size());
+  for (std::size_t i = 0; i < tabulated.size(); ++i)
+    ASSERT_EQ(tabulated[i], direct[i]);
+}
+
+TEST_F(RegionFeaturesTest, FeaturesDependOnlyOnVetContents) {
+  const RegionFeatures rf(net_, table_);
+  Vet a = Vet::gather(cet_, state_, center_);
+  Vet b = a;
+  std::vector<double> fa, fb;
+  rf.compute(a, fa);
+  rf.compute(b, fb);
+  EXPECT_EQ(fa, fb);
+}
+
+}  // namespace
+}  // namespace tkmc

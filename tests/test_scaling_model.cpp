@@ -1,0 +1,104 @@
+#include "parallel/scaling_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+namespace {
+
+// Paper sweep shapes: Fig. 12 strong scaling (1.92e12 atoms, 12k -> 384k
+// CGs), Fig. 13 weak scaling (128 M atoms per CG).
+const std::vector<std::int64_t> kStrongCgs = {12000, 24000, 48000, 96000,
+                                              192000, 384000};
+const std::vector<std::int64_t> kWeakCgs = {12000, 48000, 96000, 192000,
+                                            384000, 422400};
+
+TEST(ScalingModel, StrongScalingBaselineHasUnitEfficiency) {
+  const ScalingModel model;
+  const auto pts = model.strongScaling(1.92e12, kStrongCgs, 1e-7);
+  ASSERT_EQ(pts.size(), kStrongCgs.size());
+  EXPECT_DOUBLE_EQ(pts.front().efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(pts.front().speedup, 1.0);
+}
+
+TEST(ScalingModel, StrongScalingEfficiencyDecaysMonotonically) {
+  const ScalingModel model;
+  const auto pts = model.strongScaling(1.92e12, kStrongCgs, 1e-7);
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_LE(pts[i].efficiency, pts[i - 1].efficiency + 1e-12);
+}
+
+TEST(ScalingModel, StrongScalingStaysNearPaperEfficiencyAt32x) {
+  // Paper: 85% parallel efficiency at 384k CGs (32x the baseline).
+  const ScalingModel model;
+  const auto pts = model.strongScaling(1.92e12, kStrongCgs, 1e-7);
+  const double eff = pts.back().efficiency;
+  EXPECT_GT(eff, 0.70);
+  EXPECT_LT(eff, 0.98);
+}
+
+TEST(ScalingModel, StrongScalingTimeDecreasesWithRanks) {
+  const ScalingModel model;
+  const auto pts = model.strongScaling(1.92e12, kStrongCgs, 1e-7);
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_LT(pts[i].totalSeconds, pts[i - 1].totalSeconds);
+}
+
+TEST(ScalingModel, WeakScalingStaysNearlyFlat) {
+  const ScalingModel model;
+  const auto pts = model.weakScaling(1.28e8, kWeakCgs, 1e-7);
+  EXPECT_DOUBLE_EQ(pts.front().efficiency, 1.0);
+  for (const auto& pt : pts) {
+    EXPECT_GT(pt.efficiency, 0.85);  // paper: "excellent scaling"
+    EXPECT_LE(pt.efficiency, 1.0 + 1e-12);
+  }
+}
+
+TEST(ScalingModel, WeakScalingEfficiencyDeclinesOnlyViaSyncTerm) {
+  const ScalingModel model;
+  const auto pts = model.weakScaling(1.28e8, kWeakCgs, 1e-7);
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_LE(pts[i].efficiency, pts[i - 1].efficiency + 1e-12);
+}
+
+TEST(ScalingModel, ComputeScalesAlmostLinearlyWithAtoms) {
+  // Mean work is linear in the atom count; the barrier-imbalance factor
+  // shrinks with more events per window, so doubling the atoms costs
+  // slightly *less* than twice the time.
+  const ScalingModel model;
+  const double t1 = model.computeSeconds(1e8, 1e-7);
+  const double t2 = model.computeSeconds(2e8, 1e-7);
+  EXPECT_LT(t2, 2 * t1);
+  EXPECT_GT(t2, 1.8 * t1);
+}
+
+TEST(ScalingModel, CommGrowsWithRankCountViaAllreduce) {
+  const ScalingModel model;
+  EXPECT_LT(model.commSeconds(1e8, 100, 1e-7),
+            model.commSeconds(1e8, 1'000'000, 1e-7));
+}
+
+TEST(ScalingModel, CoresAreSixtyFivePerCg) {
+  const ScalingModel model;
+  const auto pts = model.strongScaling(1.92e12, {12000, 384000}, 1e-7);
+  EXPECT_EQ(pts.front().cores, 780000);     // paper: 780,000 cores baseline
+  EXPECT_EQ(pts.back().cores, 24960000);    // paper: 24,960,000 cores
+}
+
+TEST(ScalingModel, WeakScalingTopEndMatchesPaperScale) {
+  const ScalingModel model;
+  const auto pts = model.weakScaling(1.28e8, kWeakCgs, 1e-7);
+  EXPECT_EQ(pts.back().cores, 27456000);  // 422,400 CGs x 65
+  // 422,400 CGs x 128 M atoms = 54.067 trillion atoms.
+  EXPECT_NEAR(pts.back().atomsPerCg * 422400, 54.0672e12, 1e9);
+}
+
+TEST(ScalingModel, EmptySweepThrows) {
+  const ScalingModel model;
+  EXPECT_THROW(model.strongScaling(1e12, {}, 1e-7), Error);
+  EXPECT_THROW(model.commSeconds(1e8, 0, 1e-7), Error);
+}
+
+}  // namespace
+}  // namespace tkmc

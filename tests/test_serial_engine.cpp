@@ -1,0 +1,206 @@
+#include "kmc/serial_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "kmc/eam_energy_model.hpp"
+#include "kmc/nnp_energy_model.hpp"
+#include "tabulation/feature_table.hpp"
+
+namespace tkmc {
+namespace {
+
+constexpr double kCutoff = 4.0;
+
+struct World {
+  World(std::uint64_t seed, int cells = 14, int vacancies = 3)
+      : cet(2.87, kCutoff), net(cet), eam(kCutoff),
+        lattice(cells, cells, cells, 2.87), state(lattice) {
+    Rng rng(seed);
+    state.randomAlloy(0.15, vacancies, rng);
+  }
+
+  Cet cet;
+  Net net;
+  EamPotential eam;
+  BccLattice lattice;
+  LatticeState state;
+};
+
+KmcConfig fastConfig(std::uint64_t seed) {
+  KmcConfig cfg;
+  cfg.seed = seed;
+  cfg.tEnd = 1e300;
+  return cfg;
+}
+
+TEST(SerialEngine, AdvancesTimeAndExecutesSteps) {
+  World w(1);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  SerialEngine engine(w.state, model, w.cet, fastConfig(7));
+  for (int i = 0; i < 50; ++i) {
+    const auto r = engine.step();
+    ASSERT_TRUE(r.advanced);
+    EXPECT_GT(r.dt, 0.0);
+  }
+  EXPECT_EQ(engine.steps(), 50u);
+  EXPECT_GT(engine.time(), 0.0);
+}
+
+TEST(SerialEngine, ConservesSpecies) {
+  World w(2);
+  const auto fe = w.state.countSpecies(Species::kFe);
+  const auto cu = w.state.countSpecies(Species::kCu);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  SerialEngine engine(w.state, model, w.cet, fastConfig(8));
+  for (int i = 0; i < 200; ++i) engine.step();
+  EXPECT_EQ(w.state.countSpecies(Species::kFe), fe);
+  EXPECT_EQ(w.state.countSpecies(Species::kCu), cu);
+  EXPECT_EQ(w.state.countSpecies(Species::kVacancy), 3);
+}
+
+TEST(SerialEngine, HopsAreAlwaysFirstNeighborMoves) {
+  World w(3);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  SerialEngine engine(w.state, model, w.cet, fastConfig(9));
+  for (int i = 0; i < 100; ++i) {
+    const auto r = engine.step();
+    const Vec3i d = w.lattice.minimumImage(r.from, r.to);
+    EXPECT_EQ(d.norm2(), 3);
+  }
+}
+
+TEST(SerialEngine, RunHonorsMaxSteps) {
+  World w(4);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  KmcConfig cfg = fastConfig(10);
+  cfg.maxSteps = 25;
+  SerialEngine engine(w.state, model, w.cet, cfg);
+  EXPECT_EQ(engine.run(), 25u);
+}
+
+TEST(SerialEngine, RunHonorsTimeHorizon) {
+  World w(5);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  KmcConfig cfg = fastConfig(11);
+  cfg.tEnd = 1e-9;
+  SerialEngine engine(w.state, model, w.cet, cfg);
+  engine.run();
+  EXPECT_GE(engine.time(), 1e-9);
+}
+
+TEST(SerialEngine, ObserverSeesEveryEvent) {
+  World w(6);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  SerialEngine engine(w.state, model, w.cet, fastConfig(12));
+  int observed = 0;
+  engine.setObserver([&](const SerialEngine&, const SerialEngine::StepResult& r) {
+    EXPECT_TRUE(r.advanced);
+    ++observed;
+  });
+  for (int i = 0; i < 30; ++i) engine.step();
+  EXPECT_EQ(observed, 30);
+}
+
+TEST(SerialEngine, DeterministicForIdenticalSeeds) {
+  World a(7), b(7);
+  EamEnergyModel ma(a.cet, a.net, a.eam), mb(b.cet, b.net, b.eam);
+  SerialEngine ea(a.state, ma, a.cet, fastConfig(13));
+  SerialEngine eb(b.state, mb, b.cet, fastConfig(13));
+  for (int i = 0; i < 150; ++i) {
+    const auto ra = ea.step();
+    const auto rb = eb.step();
+    ASSERT_EQ(ra.from, rb.from);
+    ASSERT_EQ(ra.to, rb.to);
+    ASSERT_DOUBLE_EQ(ra.dt, rb.dt);
+  }
+  EXPECT_EQ(a.state.raw(), b.state.raw());
+}
+
+TEST(SerialEngine, CacheOnAndOffAreBitIdentical) {
+  // The vacancy cache is a pure optimization: trajectories must match
+  // the gather-everything configuration exactly.
+  World a(8), b(8);
+  EamEnergyModel ma(a.cet, a.net, a.eam), mb(b.cet, b.net, b.eam);
+  KmcConfig withCache = fastConfig(14);
+  KmcConfig without = fastConfig(14);
+  without.useVacancyCache = false;
+  SerialEngine ea(a.state, ma, a.cet, withCache);
+  SerialEngine eb(b.state, mb, b.cet, without);
+  for (int i = 0; i < 200; ++i) {
+    const auto ra = ea.step();
+    const auto rb = eb.step();
+    ASSERT_EQ(ra.from, rb.from) << "step " << i;
+    ASSERT_EQ(ra.to, rb.to) << "step " << i;
+    ASSERT_DOUBLE_EQ(ra.dt, rb.dt) << "step " << i;
+  }
+  EXPECT_EQ(a.state.raw(), b.state.raw());
+}
+
+TEST(SerialEngine, CacheCutsEnergyEvaluations) {
+  World a(9, 14, 6), b(9, 14, 6);
+  EamEnergyModel ma(a.cet, a.net, a.eam), mb(b.cet, b.net, b.eam);
+  KmcConfig without = fastConfig(15);
+  without.useVacancyCache = false;
+  SerialEngine cached(a.state, ma, a.cet, fastConfig(15));
+  SerialEngine uncached(b.state, mb, b.cet, without);
+  for (int i = 0; i < 100; ++i) {
+    cached.step();
+    uncached.step();
+  }
+  EXPECT_LT(cached.energyEvaluations(), uncached.energyEvaluations());
+}
+
+TEST(SerialEngine, TreeAndLinearSelectionAgree) {
+  World a(10), b(10);
+  EamEnergyModel ma(a.cet, a.net, a.eam), mb(b.cet, b.net, b.eam);
+  KmcConfig tree = fastConfig(16);
+  KmcConfig linear = fastConfig(16);
+  linear.useTree = false;
+  SerialEngine ea(a.state, ma, a.cet, tree);
+  SerialEngine eb(b.state, mb, b.cet, linear);
+  for (int i = 0; i < 150; ++i) {
+    const auto ra = ea.step();
+    const auto rb = eb.step();
+    ASSERT_EQ(ra.from, rb.from) << "step " << i;
+    ASSERT_EQ(ra.to, rb.to) << "step " << i;
+  }
+}
+
+TEST(SerialEngine, WorksWithNnpBackend) {
+  World w(11);
+  const FeatureTable table(w.net.distances(), standardPqSets());
+  Network network({64, 8, 1});
+  Rng rng(17);
+  network.initHe(rng);
+  NnpEnergyModel model(w.cet, w.net, table, network);
+  SerialEngine engine(w.state, model, w.cet, fastConfig(18));
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(engine.step().advanced);
+  EXPECT_EQ(w.state.countSpecies(Species::kVacancy), 3);
+}
+
+TEST(SerialEngine, RequiresAtLeastOneVacancy) {
+  World w(12, 14, 3);
+  w.state.fill(Species::kFe);  // removes all vacancies
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  EXPECT_THROW(SerialEngine(w.state, model, w.cet, fastConfig(19)), Error);
+}
+
+TEST(SerialEngine, SingleVacancyRandomWalkVisitsManySites) {
+  World w(13, 14, 1);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  SerialEngine engine(w.state, model, w.cet, fastConfig(20));
+  std::set<std::tuple<int, int, int>> visited;
+  for (int i = 0; i < 300; ++i) {
+    const auto r = engine.step();
+    visited.insert({r.to.x, r.to.y, r.to.z});
+  }
+  EXPECT_GT(visited.size(), 20u);
+}
+
+}  // namespace
+}  // namespace tkmc

@@ -1,0 +1,96 @@
+#include "parallel/sim_comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> values) {
+  std::vector<std::uint8_t> out;
+  for (int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+TEST(SimComm, DeliversMessageToRecipient) {
+  SimComm comm(4);
+  comm.send(0, 2, 7, bytes({1, 2, 3}));
+  EXPECT_TRUE(comm.hasMessage(2, 0, 7));
+  EXPECT_FALSE(comm.hasMessage(2, 1, 7));
+  EXPECT_EQ(comm.receive(2, 0, 7), bytes({1, 2, 3}));
+  EXPECT_FALSE(comm.hasMessage(2, 0, 7));
+}
+
+TEST(SimComm, FifoOrderPerChannel) {
+  SimComm comm(2);
+  comm.send(0, 1, 1, bytes({1}));
+  comm.send(0, 1, 1, bytes({2}));
+  comm.send(0, 1, 1, bytes({3}));
+  EXPECT_EQ(comm.receive(1, 0, 1), bytes({1}));
+  EXPECT_EQ(comm.receive(1, 0, 1), bytes({2}));
+  EXPECT_EQ(comm.receive(1, 0, 1), bytes({3}));
+}
+
+TEST(SimComm, TagsAreIndependentChannels) {
+  SimComm comm(2);
+  comm.send(0, 1, 1, bytes({10}));
+  comm.send(0, 1, 2, bytes({20}));
+  EXPECT_EQ(comm.receive(1, 0, 2), bytes({20}));
+  EXPECT_EQ(comm.receive(1, 0, 1), bytes({10}));
+}
+
+TEST(SimComm, SelfSendWorks) {
+  SimComm comm(3);
+  comm.send(1, 1, 5, bytes({9}));
+  EXPECT_EQ(comm.receive(1, 1, 5), bytes({9}));
+}
+
+TEST(SimComm, MissingMessageThrows) {
+  SimComm comm(2);
+  EXPECT_THROW(comm.receive(1, 0, 1), Error);
+}
+
+TEST(SimComm, OutOfRangeRanksThrow) {
+  SimComm comm(2);
+  EXPECT_THROW(comm.send(0, 5, 1, {}), Error);
+  EXPECT_THROW(comm.send(-1, 0, 1, {}), Error);
+}
+
+TEST(SimComm, ReceiveAllDrainsInSourceOrder) {
+  SimComm comm(4);
+  comm.send(3, 0, 9, bytes({3}));
+  comm.send(1, 0, 9, bytes({1}));
+  comm.send(1, 0, 9, bytes({11}));
+  const auto all = comm.receiveAll(0, 9);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].first, 1);
+  EXPECT_EQ(all[0].second, bytes({1}));
+  EXPECT_EQ(all[1].first, 1);
+  EXPECT_EQ(all[1].second, bytes({11}));
+  EXPECT_EQ(all[2].first, 3);
+  EXPECT_EQ(comm.pendingCount(0, 9), 0);
+}
+
+TEST(SimComm, StatsAccumulateAndReset) {
+  SimComm comm(2);
+  comm.send(0, 1, 1, bytes({1, 2, 3, 4}));
+  comm.send(1, 0, 1, bytes({5}));
+  EXPECT_EQ(comm.totalBytesSent(), 5u);
+  EXPECT_EQ(comm.totalMessagesSent(), 2u);
+  comm.resetStats();
+  EXPECT_EQ(comm.totalBytesSent(), 0u);
+  EXPECT_EQ(comm.totalMessagesSent(), 0u);
+}
+
+TEST(SimComm, PendingCountCountsAllSources) {
+  SimComm comm(3);
+  comm.send(0, 2, 4, bytes({1}));
+  comm.send(1, 2, 4, bytes({2}));
+  comm.send(1, 2, 5, bytes({3}));
+  EXPECT_EQ(comm.pendingCount(2, 4), 2);
+  EXPECT_EQ(comm.pendingCount(2, 5), 1);
+}
+
+}  // namespace
+}  // namespace tkmc

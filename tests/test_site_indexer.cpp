@@ -1,0 +1,136 @@
+#include "lattice/site_indexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "lattice/bcc_lattice.hpp"
+
+namespace tkmc {
+namespace {
+
+// Brute-force reference: the POS_ID construction the paper's Eq. 4
+// replaces. Enumerates the extended box in traversal order and assigns
+// locals [0, N) and ghosts [N, N + G) by first-seen order.
+std::map<std::tuple<int, int, int>, std::int64_t> buildPosId(
+    Vec3i origin, Vec3i extent, int ghost) {
+  std::map<std::tuple<int, int, int>, std::int64_t> posId;
+  std::int64_t nextLocal = 0;
+  std::int64_t nextGhost = 0;
+  const std::int64_t localCount = 2LL * extent.x * extent.y * extent.z;
+  auto isLocal = [&](int cx, int cy, int cz) {
+    return cx >= origin.x && cx < origin.x + extent.x && cy >= origin.y &&
+           cy < origin.y + extent.y && cz >= origin.z && cz < origin.z + extent.z;
+  };
+  for (int cz = origin.z - ghost; cz < origin.z + extent.z + ghost; ++cz)
+    for (int cy = origin.y - ghost; cy < origin.y + extent.y + ghost; ++cy)
+      for (int cx = origin.x - ghost; cx < origin.x + extent.x + ghost; ++cx)
+        for (int sub = 0; sub < 2; ++sub) {
+          const std::tuple<int, int, int> key{2 * cx + sub, 2 * cy + sub,
+                                              2 * cz + sub};
+          if (isLocal(cx, cy, cz))
+            posId[key] = nextLocal++;
+          else
+            posId[key] = localCount + nextGhost++;
+        }
+  EXPECT_EQ(nextLocal, localCount);
+  return posId;
+}
+
+struct IndexerCase {
+  Vec3i origin;
+  Vec3i extent;
+  int ghost;
+};
+
+class IndexerSweep : public ::testing::TestWithParam<IndexerCase> {};
+
+TEST_P(IndexerSweep, MatchesBruteForcePosId) {
+  const auto& c = GetParam();
+  const SiteIndexer idx(c.origin, c.extent, c.ghost);
+  const auto posId = buildPosId(c.origin, c.extent, c.ghost);
+  EXPECT_EQ(idx.extendedSiteCount(), static_cast<std::int64_t>(posId.size()));
+  for (const auto& [key, expected] : posId) {
+    const Vec3i p{std::get<0>(key), std::get<1>(key), std::get<2>(key)};
+    ASSERT_TRUE(idx.contains(p));
+    EXPECT_EQ(idx.indexOf(p), expected)
+        << "at (" << p.x << "," << p.y << "," << p.z << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, IndexerSweep,
+    ::testing::Values(IndexerCase{{0, 0, 0}, {2, 2, 2}, 1},
+                      IndexerCase{{0, 0, 0}, {3, 2, 4}, 2},
+                      IndexerCase{{5, 3, 1}, {4, 4, 4}, 2},
+                      IndexerCase{{2, 2, 2}, {1, 1, 1}, 1},
+                      IndexerCase{{0, 0, 0}, {4, 4, 4}, 0},
+                      IndexerCase{{-2, 0, 3}, {3, 3, 2}, 3}));
+
+TEST(SiteIndexer, LocalAndGhostCountsPartitionExtended) {
+  const SiteIndexer idx({0, 0, 0}, {3, 4, 2}, 2);
+  EXPECT_EQ(idx.localSiteCount(), 2 * 3 * 4 * 2);
+  EXPECT_EQ(idx.localSiteCount() + idx.ghostSiteCount(),
+            idx.extendedSiteCount());
+  EXPECT_EQ(idx.extendedSiteCount(), 2 * 7 * 8 * 6);
+}
+
+TEST(SiteIndexer, IndicesAreABijection) {
+  const SiteIndexer idx({1, 1, 1}, {3, 3, 3}, 1);
+  std::set<std::int64_t> seen;
+  for (int cz = 0; cz < 5; ++cz)
+    for (int cy = 0; cy < 5; ++cy)
+      for (int cx = 0; cx < 5; ++cx)
+        for (int sub = 0; sub < 2; ++sub) {
+          const Vec3i p{2 * cx + sub, 2 * cy + sub, 2 * cz + sub};
+          const std::int64_t i = idx.indexOf(p);
+          EXPECT_TRUE(seen.insert(i).second);
+          EXPECT_GE(i, 0);
+          EXPECT_LT(i, idx.extendedSiteCount());
+        }
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), idx.extendedSiteCount());
+}
+
+TEST(SiteIndexer, LocalsOccupyTheFrontOfTheArray) {
+  const SiteIndexer idx({0, 0, 0}, {2, 3, 2}, 2);
+  for (int cz = -2; cz < 4; ++cz)
+    for (int cy = -2; cy < 5; ++cy)
+      for (int cx = -2; cx < 4; ++cx)
+        for (int sub = 0; sub < 2; ++sub) {
+          const Vec3i p{2 * cx + sub, 2 * cy + sub, 2 * cz + sub};
+          const std::int64_t i = idx.indexOf(p);
+          if (idx.isLocal(p))
+            EXPECT_LT(i, idx.localSiteCount());
+          else
+            EXPECT_GE(i, idx.localSiteCount());
+        }
+}
+
+TEST(SiteIndexer, CoordinateOfInvertsIndexOf) {
+  const SiteIndexer idx({2, 0, 1}, {2, 2, 2}, 1);
+  for (std::int64_t i = 0; i < idx.extendedSiteCount(); ++i) {
+    const Vec3i p = idx.coordinateOf(i);
+    EXPECT_EQ(idx.indexOf(p), i);
+  }
+}
+
+TEST(SiteIndexer, RejectsCoordinatesOutsideExtendedBox) {
+  const SiteIndexer idx({0, 0, 0}, {2, 2, 2}, 1);
+  EXPECT_THROW(idx.indexOf({100, 100, 100}), Error);
+  EXPECT_FALSE(idx.contains({100, 100, 100}));
+  EXPECT_FALSE(idx.contains({1, 0, 0}));  // off-parity
+}
+
+TEST(SiteIndexer, NegativeGhostCoordinatesWork) {
+  const SiteIndexer idx({0, 0, 0}, {2, 2, 2}, 2);
+  EXPECT_TRUE(idx.contains({-4, -4, -4}));
+  EXPECT_TRUE(idx.contains({-3, -3, -3}));
+  EXPECT_FALSE(idx.isLocal({-1, -1, -1}));
+  EXPECT_GE(idx.indexOf({-1, -1, -1}), idx.localSiteCount());
+}
+
+}  // namespace
+}  // namespace tkmc

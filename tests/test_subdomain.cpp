@@ -1,0 +1,119 @@
+#include "parallel/subdomain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace tkmc {
+namespace {
+
+LatticeState randomGlobal(const BccLattice& lat, std::uint64_t seed) {
+  LatticeState state(lat);
+  Rng rng(seed);
+  state.randomAlloy(0.2, 5, rng);
+  return state;
+}
+
+TEST(Subdomain, LoadFromMirrorsGlobalState) {
+  const BccLattice lat(12, 12, 12, 2.87);
+  const LatticeState global = randomGlobal(lat, 1);
+  Subdomain sd(lat, {0, 0, 0}, {6, 6, 6}, 3);
+  sd.loadFrom(global);
+  // Every covered site (owned and ghost) must match the global lattice.
+  for (int cz = -3; cz < 9; ++cz)
+    for (int cy = -3; cy < 9; ++cy)
+      for (int cx = -3; cx < 9; ++cx)
+        for (int sub = 0; sub < 2; ++sub) {
+          const Vec3i p{2 * cx + sub, 2 * cy + sub, 2 * cz + sub};
+          ASSERT_EQ(sd.at(p), global.speciesAt(p));
+        }
+}
+
+TEST(Subdomain, OwnsOnlyItsCells) {
+  const BccLattice lat(12, 12, 12, 2.87);
+  Subdomain sd(lat, {6, 0, 0}, {6, 6, 6}, 2);
+  EXPECT_TRUE(sd.owns({12, 0, 0}));
+  EXPECT_TRUE(sd.owns({23, 11, 11}));
+  EXPECT_FALSE(sd.owns({10, 0, 0}));   // ghost (covered, not owned)
+  EXPECT_TRUE(sd.covers({10, 0, 0}));
+  // Cell x = 2 is outside the extended frame (owned cells 6..11 plus a
+  // 2-cell ghost shell reaching wrapped cells 4..13).
+  EXPECT_FALSE(sd.covers({4, 12, 12}));
+}
+
+TEST(Subdomain, CoversWrapsPeriodically) {
+  const BccLattice lat(12, 12, 12, 2.87);
+  Subdomain sd(lat, {0, 0, 0}, {6, 6, 6}, 2);
+  // Ghost cell at x = -1 corresponds to wrapped x-cell 11.
+  EXPECT_TRUE(sd.covers({22, 0, 0}));  // == -2 after unwrap
+  EXPECT_FALSE(sd.owns({22, 0, 0}));
+}
+
+TEST(Subdomain, SetAndGetRoundTrip) {
+  const BccLattice lat(12, 12, 12, 2.87);
+  Subdomain sd(lat, {0, 0, 0}, {6, 6, 6}, 2);
+  sd.set({4, 4, 4}, Species::kCu);
+  EXPECT_EQ(sd.at({4, 4, 4}), Species::kCu);
+  sd.set({-1, -1, -1}, Species::kVacancy);  // ghost write
+  EXPECT_EQ(sd.at({-1, -1, -1}), Species::kVacancy);
+}
+
+TEST(Subdomain, RescanFindsOwnedVacanciesOnly) {
+  const BccLattice lat(12, 12, 12, 2.87);
+  LatticeState global(lat);
+  global.setSpeciesAt({4, 4, 4}, Species::kVacancy);    // owned by (0,0,0)
+  global.setSpeciesAt({20, 20, 20}, Species::kVacancy);  // owned elsewhere
+  Subdomain sd(lat, {0, 0, 0}, {6, 6, 6}, 2);
+  sd.loadFrom(global);
+  ASSERT_EQ(sd.vacancies().size(), 1u);
+  EXPECT_EQ(sd.vacancies()[0], (Vec3i{4, 4, 4}));
+}
+
+TEST(Subdomain, PackUnpackRoundTrip) {
+  const BccLattice lat(12, 12, 12, 2.87);
+  const LatticeState global = randomGlobal(lat, 2);
+  Subdomain a(lat, {0, 0, 0}, {6, 6, 6}, 2);
+  a.loadFrom(global);
+  const Vec3i lo{2, 3, 1};
+  const Vec3i hi{5, 6, 4};
+  const auto payload = a.packCellBox(lo, hi);
+  EXPECT_EQ(payload.size(), 3u * 3u * 3u * 2u);
+  // Wipe the box, then restore it from the payload.
+  Subdomain b = a;
+  for (int cz = lo.z; cz < hi.z; ++cz)
+    for (int cy = lo.y; cy < hi.y; ++cy)
+      for (int cx = lo.x; cx < hi.x; ++cx)
+        for (int sub = 0; sub < 2; ++sub)
+          b.set({2 * (cx - 2) + sub, 2 * (cy - 2) + sub, 2 * (cz - 2) + sub},
+                Species::kFe);
+  b.unpackCellBox(lo, hi, payload);
+  for (int cz = -2; cz < 8; ++cz)
+    for (int cy = -2; cy < 8; ++cy)
+      for (int cx = -2; cx < 8; ++cx)
+        for (int sub = 0; sub < 2; ++sub) {
+          const Vec3i p{2 * cx + sub, 2 * cy + sub, 2 * cz + sub};
+          ASSERT_EQ(b.at(p), a.at(p));
+        }
+}
+
+TEST(Subdomain, UnpackRejectsWrongSize) {
+  const BccLattice lat(12, 12, 12, 2.87);
+  Subdomain sd(lat, {0, 0, 0}, {6, 6, 6}, 2);
+  EXPECT_THROW(sd.unpackCellBox({0, 0, 0}, {2, 2, 2}, {1, 2, 3}), Error);
+}
+
+TEST(Subdomain, OversizedExtendedFrameIsRejected) {
+  const BccLattice lat(8, 8, 8, 2.87);
+  // 6 + 2*2 = 10 > 8 cells: ambiguous periodic images.
+  EXPECT_THROW(Subdomain(lat, {0, 0, 0}, {6, 6, 6}, 2), Error);
+}
+
+TEST(Subdomain, AtOutsideFrameThrows) {
+  const BccLattice lat(12, 12, 12, 2.87);
+  Subdomain sd(lat, {0, 0, 0}, {4, 4, 4}, 2);
+  EXPECT_THROW(sd.at({16, 16, 16}), Error);
+}
+
+}  // namespace
+}  // namespace tkmc

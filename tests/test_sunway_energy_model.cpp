@@ -1,0 +1,115 @@
+#include "sunway/sunway_energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kmc/nnp_energy_model.hpp"
+#include "kmc/serial_engine.hpp"
+
+namespace tkmc {
+namespace {
+
+class SunwayModelTest : public ::testing::Test {
+ protected:
+  SunwayModelTest()
+      : cet_(2.87, 4.0), net_(cet_),
+        table_(net_.distances(), standardPqSets()), network_({64, 16, 16, 1}),
+        lattice_(14, 14, 14, 2.87), state_(lattice_) {
+    Rng rng(7);
+    network_.initHe(rng);
+    Rng arng(8);
+    state_.randomAlloy(0.15, 3, arng);
+  }
+
+  Cet cet_;
+  Net net_;
+  FeatureTable table_;
+  Network network_;
+  BccLattice lattice_;
+  LatticeState state_;
+};
+
+TEST_F(SunwayModelTest, AgreesWithDoublePrecisionBackend) {
+  SunwayEnergyModel sunway(cet_, net_, table_, network_);
+  NnpEnergyModel reference(cet_, net_, table_, network_);
+  for (const Vec3i& vac : state_.vacancies()) {
+    const Vec3i center = lattice_.wrap(vac);
+    const auto a = sunway.stateEnergies(state_, center, kNumJumpDirections);
+    const auto b = reference.stateEnergies(state_, center, kNumJumpDirections);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t s = 0; s < a.size(); ++s) {
+      // Single vs double precision: relative agreement, not bitwise.
+      const double scale = std::max(1.0, std::abs(b[s]));
+      EXPECT_NEAR(a[s], b[s], scale * 1e-4) << "state " << s;
+    }
+  }
+}
+
+TEST_F(SunwayModelTest, EnergyDifferencesAgreeTighter) {
+  // KMC only consumes dE = E_f - E_i; the absolute float error largely
+  // cancels in the difference.
+  SunwayEnergyModel sunway(cet_, net_, table_, network_);
+  NnpEnergyModel reference(cet_, net_, table_, network_);
+  const Vec3i center = lattice_.wrap(state_.vacancies()[0]);
+  const auto a = sunway.stateEnergies(state_, center, kNumJumpDirections);
+  const auto b = reference.stateEnergies(state_, center, kNumJumpDirections);
+  for (int k = 1; k <= kNumJumpDirections; ++k) {
+    const double dA = a[static_cast<std::size_t>(k)] - a[0];
+    const double dB = b[static_cast<std::size_t>(k)] - b[0];
+    EXPECT_NEAR(dA, dB, 1e-3 * std::max(1.0, std::abs(dB)));
+  }
+}
+
+TEST_F(SunwayModelTest, DrivesTheSerialEngine) {
+  SunwayEnergyModel model(cet_, net_, table_, network_);
+  KmcConfig cfg;
+  cfg.seed = 42;
+  cfg.tEnd = 1e300;
+  SerialEngine engine(state_, model, cet_, cfg);
+  const auto cu = state_.countSpecies(Species::kCu);
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(engine.step().advanced);
+  EXPECT_EQ(state_.countSpecies(Species::kCu), cu);
+  EXPECT_EQ(state_.countSpecies(Species::kVacancy), 3);
+}
+
+TEST_F(SunwayModelTest, DeterministicAcrossInstances) {
+  SunwayEnergyModel m1(cet_, net_, table_, network_);
+  SunwayEnergyModel m2(cet_, net_, table_, network_);
+  const Vec3i center = lattice_.wrap(state_.vacancies()[0]);
+  const auto a = m1.stateEnergies(state_, center, kNumJumpDirections);
+  const auto b = m2.stateEnergies(state_, center, kNumJumpDirections);
+  EXPECT_EQ(a, b);  // bitwise: same kernels, same order
+}
+
+TEST_F(SunwayModelTest, TrafficFlowsThroughTheSimulator) {
+  SunwayEnergyModel model(cet_, net_, table_, network_);
+  EXPECT_GT(model.modelLoadTraffic().mainReadBytes, 0u);
+  const Vec3i center = lattice_.wrap(state_.vacancies()[0]);
+  model.stateEnergies(state_, center, kNumJumpDirections);
+  const Traffic t = model.collectTraffic();
+  EXPECT_GT(t.mainReadBytes, 0u);
+  EXPECT_GT(t.flops, 0u);
+  EXPECT_GT(t.rmaBytes, 0u);
+  // Drained: a second collect sees nothing.
+  EXPECT_EQ(model.collectTraffic().mainBytes(), 0u);
+}
+
+TEST_F(SunwayModelTest, MultiVacancyMaskingMatchesReference) {
+  // Put two vacancies within one jumping region; masking must stay
+  // consistent between the float and double backends.
+  LatticeState crowded(lattice_);
+  Rng rng(9);
+  crowded.randomAlloy(0.1, 0, rng);
+  crowded.setSpeciesAt({6, 6, 6}, Species::kVacancy);
+  crowded.setSpeciesAt({8, 8, 6}, Species::kVacancy);
+  SunwayEnergyModel sunway(cet_, net_, table_, network_);
+  NnpEnergyModel reference(cet_, net_, table_, network_);
+  const auto a = sunway.stateEnergies(crowded, {6, 6, 6}, kNumJumpDirections);
+  const auto b = reference.stateEnergies(crowded, {6, 6, 6}, kNumJumpDirections);
+  for (std::size_t s = 0; s < a.size(); ++s)
+    EXPECT_NEAR(a[s], b[s], 1e-4 * std::max(1.0, std::abs(b[s])));
+}
+
+}  // namespace
+}  // namespace tkmc

@@ -1,0 +1,51 @@
+#include "common/table_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+namespace {
+
+TEST(TableWriter, RendersHeaderRuleAndRows) {
+  TableWriter t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRow({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Columns aligned: the second column starts at the same offset in the
+  // header line and in every data row.
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t nl = out.find('\n'); nl != std::string::npos;
+       nl = out.find('\n', start)) {
+    lines.push_back(out.substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_GE(lines.size(), 4u);  // header, rule, two rows
+  EXPECT_EQ(lines[0].find("value"), lines[2].find('1'));
+  EXPECT_EQ(lines[0].find("value"), lines[3].find("22"));
+}
+
+TEST(TableWriter, CsvOutputIsCommaSeparated) {
+  TableWriter t({"a", "b", "c"});
+  t.addRow({"1", "2", "3"});
+  EXPECT_EQ(t.renderCsv(), "a,b,c\n1,2,3\n");
+}
+
+TEST(TableWriter, RejectsMismatchedRows) {
+  TableWriter t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), Error);
+  EXPECT_THROW(TableWriter({}), Error);
+}
+
+TEST(TableWriter, NumFormatsSignificantDecimals) {
+  EXPECT_EQ(TableWriter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::num(1.0, 0), "1");
+  EXPECT_EQ(TableWriter::num(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace tkmc

@@ -1,0 +1,129 @@
+#include "nnp/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tkmc {
+namespace {
+
+// Synthetic regression task: energy is a fixed linear functional of the
+// per-atom features. A ReLU MLP must drive the loss near zero.
+std::vector<TrainSample> linearTask(int dim, int count, Rng& rng) {
+  std::vector<double> weights(static_cast<std::size_t>(dim));
+  for (double& w : weights) w = rng.uniform() * 2 - 1;
+  std::vector<TrainSample> samples;
+  for (int i = 0; i < count; ++i) {
+    TrainSample s;
+    s.nAtoms = 3 + static_cast<int>(rng.uniformBelow(4));
+    s.features.resize(static_cast<std::size_t>(s.nAtoms) * dim);
+    for (double& f : s.features) f = rng.uniform() * 2;
+    s.energy = 0.0;
+    for (int a = 0; a < s.nAtoms; ++a)
+      for (int c = 0; c < dim; ++c)
+        s.energy += weights[static_cast<std::size_t>(c)] *
+                    s.features[static_cast<std::size_t>(a) * dim + c];
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+TEST(Trainer, FitStandardizationCentersFeatures) {
+  Network net({2, 4, 1});
+  Trainer trainer(net, {});
+  std::vector<TrainSample> samples(1);
+  samples[0].nAtoms = 2;
+  samples[0].features = {1.0, 10.0, 3.0, 30.0};
+  samples[0].energy = 0.0;
+  trainer.fitStandardization(samples);
+  EXPECT_DOUBLE_EQ(net.inputShift()[0], 2.0);
+  EXPECT_DOUBLE_EQ(net.inputShift()[1], 20.0);
+  EXPECT_NEAR(net.inputScale()[0], 1.0, 1e-12);   // std = 1
+  EXPECT_NEAR(net.inputScale()[1], 0.1, 1e-12);   // std = 10
+}
+
+TEST(Trainer, LossDecreasesOnLinearTask) {
+  Rng rng(31);
+  const auto samples = linearTask(4, 32, rng);
+  Network net({4, 16, 1});
+  Rng init(32);
+  net.initHe(init);
+  Trainer::Config cfg;
+  cfg.epochs = 1;
+  cfg.learningRate = 1e-2;
+  Trainer trainer(net, cfg);
+  trainer.fitStandardization(samples);
+  const double first = trainer.epoch(samples);
+  double last = first;
+  for (int e = 0; e < 60; ++e) last = trainer.epoch(samples);
+  EXPECT_LT(last, first * 0.05);
+}
+
+TEST(Trainer, TrainRunsFullSchedule) {
+  Rng rng(41);
+  const auto samples = linearTask(3, 16, rng);
+  Network net({3, 8, 1});
+  Rng init(42);
+  net.initHe(init);
+  Trainer::Config cfg;
+  cfg.epochs = 80;
+  cfg.learningRate = 1e-2;
+  Trainer trainer(net, cfg);
+  trainer.fitStandardization(samples);
+  const double finalLoss = trainer.train(samples);
+  EXPECT_LT(finalLoss, 0.05);
+}
+
+TEST(Trainer, EvaluateEnergyPerfectPredictionHasUnitR2) {
+  Network net({2, 1});
+  net.layer(0).weights = {1.0, 2.0};
+  std::vector<TrainSample> samples;
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    TrainSample s;
+    s.nAtoms = 2;
+    s.features = {rng.uniform(), rng.uniform(), rng.uniform(), rng.uniform()};
+    s.energy = 0.0;
+    for (int a = 0; a < 2; ++a)
+      s.energy += s.features[static_cast<std::size_t>(a) * 2] +
+                  2.0 * s.features[static_cast<std::size_t>(a) * 2 + 1];
+    samples.push_back(std::move(s));
+  }
+  const Metrics m = Trainer::evaluateEnergy(net, samples);
+  EXPECT_NEAR(m.maePerAtom, 0.0, 1e-12);
+  EXPECT_NEAR(m.r2, 1.0, 1e-12);
+}
+
+TEST(Trainer, EvaluateEnergyPenalizesConstantPredictor) {
+  Network net({2, 1});  // all-zero weights -> predicts 0
+  std::vector<TrainSample> samples;
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) {
+    TrainSample s;
+    s.nAtoms = 1;
+    s.features = {rng.uniform(), rng.uniform()};
+    s.energy = 5.0 + rng.uniform();
+    samples.push_back(std::move(s));
+  }
+  const Metrics m = Trainer::evaluateEnergy(net, samples);
+  EXPECT_GT(m.maePerAtom, 4.0);
+  EXPECT_LT(m.r2, 0.0);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  Rng r1(55), r2(55);
+  const auto s1 = linearTask(3, 8, r1);
+  const auto s2 = linearTask(3, 8, r2);
+  Network n1({3, 8, 1}), n2({3, 8, 1});
+  Rng i1(56), i2(56);
+  n1.initHe(i1);
+  n2.initHe(i2);
+  Trainer::Config cfg;
+  cfg.epochs = 5;
+  Trainer t1(n1, cfg), t2(n2, cfg);
+  t1.fitStandardization(s1);
+  t2.fitStandardization(s2);
+  EXPECT_DOUBLE_EQ(t1.train(s1), t2.train(s2));
+  EXPECT_EQ(n1.layer(0).weights, n2.layer(0).weights);
+}
+
+}  // namespace
+}  // namespace tkmc

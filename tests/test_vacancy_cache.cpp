@@ -1,0 +1,108 @@
+#include "kmc/vacancy_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace tkmc {
+namespace {
+
+class VacancyCacheTest : public ::testing::Test {
+ protected:
+  VacancyCacheTest() : cet_(2.87, 4.0), lattice_(14, 14, 14, 2.87), state_(lattice_) {
+    Rng rng(81);
+    state_.randomAlloy(0.15, 4, rng);
+  }
+
+  Cet cet_;
+  BccLattice lattice_;
+  LatticeState state_;
+};
+
+TEST_F(VacancyCacheTest, RebuildGathersEveryVacancy) {
+  VacancyCache cache(cet_, lattice_);
+  cache.rebuild(state_);
+  ASSERT_EQ(cache.size(), 4);
+  for (int v = 0; v < cache.size(); ++v) {
+    EXPECT_TRUE(cache.isDirty(v));
+    const Vet fresh = Vet::gather(cet_, state_, cache.center(v));
+    EXPECT_EQ(cache.vet(v).data(), fresh.data());
+  }
+}
+
+TEST_F(VacancyCacheTest, CachedVetsStayCoherentUnderRandomHops) {
+  VacancyCache cache(cet_, lattice_);
+  cache.rebuild(state_);
+  Rng rng(82);
+  for (int step = 0; step < 300; ++step) {
+    const int v = static_cast<int>(rng.uniformBelow(
+        static_cast<std::uint64_t>(state_.vacancies().size())));
+    const Vec3i from = lattice_.wrap(state_.vacancies()[static_cast<std::size_t>(v)]);
+    const Vec3i to = lattice_.wrap(
+        from + BccLattice::firstNeighborOffsets()[rng.uniformBelow(8)]);
+    if (state_.speciesAt(to) == Species::kVacancy) continue;
+    state_.hopVacancy(from, to);
+    cache.applyHop(state_, v, from, to);
+    // Every cached VET must equal a fresh gather — the invariant that
+    // makes cache-on and cache-off trajectories bit-identical (Fig. 8).
+    for (int u = 0; u < cache.size(); ++u) {
+      const Vet fresh = Vet::gather(cet_, state_, cache.center(u));
+      ASSERT_EQ(cache.vet(u).data(), fresh.data())
+          << "step " << step << " vacancy " << u;
+    }
+  }
+}
+
+TEST_F(VacancyCacheTest, HopMarksOnlyNearbySystemsDirty) {
+  // Two vacancies far apart: hopping one must not dirty the other.
+  LatticeState isolated(lattice_);
+  isolated.setSpeciesAt({0, 0, 0}, Species::kVacancy);
+  isolated.setSpeciesAt({14, 14, 14}, Species::kVacancy);
+  VacancyCache cache(cet_, lattice_);
+  cache.rebuild(isolated);
+  cache.clearDirty(0);
+  cache.clearDirty(1);
+  isolated.hopVacancy({0, 0, 0}, {1, 1, 1});
+  cache.applyHop(isolated, 0, {0, 0, 0}, {1, 1, 1});
+  EXPECT_TRUE(cache.isDirty(0));   // the hopped vacancy itself
+  EXPECT_FALSE(cache.isDirty(1));  // far away, untouched
+}
+
+TEST_F(VacancyCacheTest, NeighborSystemIsPatchedAndDirty) {
+  LatticeState nearby(lattice_);
+  nearby.setSpeciesAt({6, 6, 6}, Species::kVacancy);
+  nearby.setSpeciesAt({10, 6, 6}, Species::kVacancy);  // within CET range
+  VacancyCache cache(cet_, lattice_);
+  cache.rebuild(nearby);
+  cache.clearDirty(0);
+  cache.clearDirty(1);
+  nearby.hopVacancy({6, 6, 6}, {7, 7, 7});
+  cache.applyHop(nearby, 0, {6, 6, 6}, {7, 7, 7});
+  EXPECT_TRUE(cache.isDirty(1));
+  const Vet fresh = Vet::gather(cet_, nearby, cache.center(1));
+  EXPECT_EQ(cache.vet(1).data(), fresh.data());
+}
+
+TEST_F(VacancyCacheTest, GatherCountStaysLowWithCache) {
+  VacancyCache cache(cet_, lattice_);
+  cache.rebuild(state_);
+  const std::uint64_t initialGathers = cache.gatherCount();
+  EXPECT_EQ(initialGathers, 4u);
+  state_.hopVacancy(lattice_.wrap(state_.vacancies()[0]),
+                    lattice_.wrap(state_.vacancies()[0] + Vec3i{1, 1, 1}));
+  cache.applyHop(state_, 0, lattice_.wrap(state_.vacancies()[0] - Vec3i{1, 1, 1}),
+                 lattice_.wrap(state_.vacancies()[0]));
+  // Exactly one additional gather: the hopped system only.
+  EXPECT_EQ(cache.gatherCount(), initialGathers + 1);
+}
+
+TEST_F(VacancyCacheTest, MemoryBytesMatchPaperLayout) {
+  VacancyCache cache(cet_, lattice_);
+  cache.rebuild(state_);
+  // 5 bytes per CET slot per vacancy (species + int32 global id).
+  EXPECT_EQ(cache.memoryBytes(),
+            4u * static_cast<std::size_t>(cet_.nAll()) * 5u);
+}
+
+}  // namespace
+}  // namespace tkmc

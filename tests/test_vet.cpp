@@ -1,0 +1,78 @@
+#include "tabulation/vet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tkmc {
+namespace {
+
+class VetTest : public ::testing::Test {
+ protected:
+  VetTest() : cet_(2.87, 4.0), lattice_(12, 12, 12, 2.87), state_(lattice_) {}
+
+  Cet cet_;
+  BccLattice lattice_;
+  LatticeState state_;
+};
+
+TEST_F(VetTest, GatherReadsSpeciesRelativeToCenter) {
+  const Vec3i center{6, 6, 6};
+  state_.setSpeciesAt(center, Species::kVacancy);
+  state_.setSpeciesAt(center + Vec3i{1, 1, 1}, Species::kCu);
+  state_.setSpeciesAt(center + Vec3i{2, 0, 0}, Species::kCu);
+  const Vet vet = Vet::gather(cet_, state_, center);
+  ASSERT_EQ(vet.size(), cet_.nAll());
+  EXPECT_EQ(vet[0], Species::kVacancy);
+  EXPECT_EQ(vet[cet_.idOf({1, 1, 1})], Species::kCu);
+  EXPECT_EQ(vet[cet_.idOf({2, 0, 0})], Species::kCu);
+  EXPECT_EQ(vet[cet_.idOf({-1, -1, -1})], Species::kFe);
+}
+
+TEST_F(VetTest, GatherWrapsAcrossPeriodicBoundary) {
+  const Vec3i center{0, 0, 0};
+  state_.setSpeciesAt(center, Species::kVacancy);
+  // (-1,-1,-1) wraps to (23,23,23).
+  state_.setSpeciesAt({23, 23, 23}, Species::kCu);
+  const Vet vet = Vet::gather(cet_, state_, center);
+  EXPECT_EQ(vet[cet_.idOf({-1, -1, -1})], Species::kCu);
+}
+
+TEST_F(VetTest, GatherRequiresVacancyAtCenter) {
+  EXPECT_THROW(Vet::gather(cet_, state_, {0, 0, 0}), Error);
+}
+
+TEST_F(VetTest, SwapExchangesEntries) {
+  const Vec3i center{6, 6, 6};
+  state_.setSpeciesAt(center, Species::kVacancy);
+  state_.setSpeciesAt(center + Vec3i{1, 1, 1}, Species::kCu);
+  Vet vet = Vet::gather(cet_, state_, center);
+  const int target = Cet::jumpTargetId(7);  // offset (1,1,1) is last in order
+  // Find the id whose site is (1,1,1) to be independent of ordering.
+  const int id = cet_.idOf({1, 1, 1});
+  vet.swap(0, id);
+  EXPECT_EQ(vet[0], Species::kCu);
+  EXPECT_EQ(vet[id], Species::kVacancy);
+  vet.swap(0, id);
+  EXPECT_EQ(vet[0], Species::kVacancy);
+  EXPECT_EQ(vet[id], Species::kCu);
+  (void)target;
+}
+
+TEST_F(VetTest, SetOverwritesEntry) {
+  Vet vet(cet_.nAll());
+  EXPECT_EQ(vet[5], Species::kFe);
+  vet.set(5, Species::kCu);
+  EXPECT_EQ(vet[5], Species::kCu);
+}
+
+TEST_F(VetTest, GatherSeesAllVacanciesInRange) {
+  const Vec3i center{6, 6, 6};
+  state_.setSpeciesAt(center, Species::kVacancy);
+  state_.setSpeciesAt(center + Vec3i{2, 2, 0}, Species::kVacancy);
+  const Vet vet = Vet::gather(cet_, state_, center);
+  EXPECT_EQ(vet[cet_.idOf({2, 2, 0})], Species::kVacancy);
+}
+
+}  // namespace
+}  // namespace tkmc

@@ -1,0 +1,71 @@
+#include "analysis/xyz_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tkmc {
+namespace {
+
+TEST(XyzWriter, LabelsPerSpecies) {
+  EXPECT_STREQ(XyzWriter::label(Species::kFe), "Fe");
+  EXPECT_STREQ(XyzWriter::label(Species::kCu), "Cu");
+  EXPECT_STREQ(XyzWriter::label(Species::kVacancy), "X");
+}
+
+TEST(XyzWriter, FrameCountsSolutesAndVacanciesByDefault) {
+  LatticeState state(BccLattice(4, 4, 4, 2.87));
+  state.setSpeciesAt({0, 0, 0}, Species::kCu);
+  state.setSpeciesAt({2, 2, 2}, Species::kVacancy);
+  EXPECT_EQ(XyzWriter::frameAtomCount(state), 2);
+  EXPECT_EQ(XyzWriter::frameAtomCount(state, /*includeMatrix=*/true),
+            state.lattice().siteCount());
+}
+
+TEST(XyzWriter, FrameFormatIsExtendedXyz) {
+  LatticeState state(BccLattice(3, 3, 3, 2.0));
+  state.setSpeciesAt({2, 2, 2}, Species::kCu);
+  std::stringstream out;
+  XyzWriter::writeFrame(out, state, "time=1");
+  std::string line;
+  std::getline(out, line);
+  EXPECT_EQ(line, "1");
+  std::getline(out, line);
+  EXPECT_NE(line.find("Lattice=\"6 0 0 0 6 0 0 0 6\""), std::string::npos);
+  EXPECT_NE(line.find("time=1"), std::string::npos);
+  std::getline(out, line);
+  EXPECT_EQ(line, "Cu 2.00000 2.00000 2.00000");
+  EXPECT_FALSE(std::getline(out, line));
+}
+
+TEST(XyzWriter, IncludeMatrixEmitsEverySite) {
+  LatticeState state(BccLattice(2, 2, 2, 2.87));
+  std::stringstream out;
+  XyzWriter::writeFrame(out, state, "", /*includeMatrix=*/true);
+  std::string line;
+  std::getline(out, line);
+  EXPECT_EQ(line, "16");
+  std::getline(out, line);  // comment
+  int feLines = 0;
+  while (std::getline(out, line))
+    if (line.rfind("Fe ", 0) == 0) ++feLines;
+  EXPECT_EQ(feLines, 16);
+}
+
+TEST(XyzWriter, MultipleFramesConcatenate) {
+  LatticeState state(BccLattice(3, 3, 3, 2.87));
+  state.setSpeciesAt({0, 0, 0}, Species::kVacancy);
+  std::stringstream out;
+  XyzWriter::writeFrame(out, state, "frame=0");
+  state.hopVacancy({0, 0, 0}, {1, 1, 1});
+  XyzWriter::writeFrame(out, state, "frame=1");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("frame=0"), std::string::npos);
+  EXPECT_NE(text.find("frame=1"), std::string::npos);
+  // Vacancy moved between frames.
+  EXPECT_NE(text.find("X 0.00000 0.00000 0.00000"), std::string::npos);
+  EXPECT_NE(text.find("X 1.43500 1.43500 1.43500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tkmc
