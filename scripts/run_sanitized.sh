@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds the tree under AddressSanitizer + UndefinedBehaviorSanitizer and
+# runs the fault-tolerance test suite there (the failure paths exercised
+# by fault injection are exactly where memory bugs like to hide).
+#
+# Usage:
+#   scripts/run_sanitized.sh          # fault-tolerance tests only
+#   scripts/run_sanitized.sh all      # the whole ctest suite
+#   scripts/run_sanitized.sh <regex>  # custom ctest -R filter
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-sanitized}
+FILTER=${1:-"fault_injection|checkpoint|sim_comm|ghost_exchange|parallel_engine"}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTKMC_SANITIZE="address;undefined" \
+  -DTKMC_BUILD_BENCH=OFF \
+  -DTKMC_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j
+
+cd "$BUILD_DIR"
+if [ "$FILTER" = "all" ]; then
+  ctest --output-on-failure -j
+else
+  ctest --output-on-failure -j -R "$FILTER"
+fi

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tkmc {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte
+/// range. Used to frame SimComm messages and to seal checkpoint files so
+/// corruption is detected instead of silently loaded. `seed` allows
+/// incremental computation: pass the previous result to continue a
+/// running checksum.
+std::uint32_t crc32(const void* data, std::size_t bytes,
+                    std::uint32_t seed = 0);
+
+}  // namespace tkmc

@@ -12,6 +12,31 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Filesystem and serialization failures: missing files, bad magic or
+/// version, truncated bodies, CRC mismatches. Usually recoverable by
+/// degrading to a backup replica (see loadCheckpointWithFallback()).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Message-passing integrity failures: lost, corrupted, or mis-sequenced
+/// messages. Recoverable by retrying the exchange (GhostExchange) or
+/// rolling back and replaying the cycle (ParallelEngine).
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what) : Error(what) {}
+};
+
+/// Violated physics or resource invariants: vacancy conservation, ghost
+/// consistency, propensity-sum sanity, scratchpad overflow. Signals that
+/// in-memory state can no longer be trusted; the parallel engine reacts
+/// by restoring its cycle snapshot.
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
 /// Throws tkmc::Error when `condition` is false. Used at API boundaries;
 /// hot loops rely on asserts instead.
 inline void require(bool condition, const std::string& message,

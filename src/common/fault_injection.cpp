@@ -1,0 +1,104 @@
+#include "common/fault_injection.hpp"
+
+#include "common/error.hpp"
+
+namespace tkmc {
+namespace {
+
+FaultInjector* g_active = nullptr;
+
+std::uint64_t hashName(const std::string& name) {
+  // FNV-1a; only needs to decorrelate per-point RNG streams.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+FaultInjector::Point& FaultInjector::point(const std::string& name) {
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    Point p;
+    p.rng = Rng(SplitMix64(seed_ ^ hashName(name)).next());
+    it = points_.emplace(name, std::move(p)).first;
+  }
+  return it->second;
+}
+
+void FaultInjector::armProbability(const std::string& name,
+                                   double probability) {
+  require(probability >= 0.0 && probability <= 1.0,
+          "fault probability must be in [0, 1]");
+  point(name).probability = probability;
+}
+
+void FaultInjector::armSchedule(const std::string& name,
+                                std::vector<std::uint64_t> hits) {
+  Point& p = point(name);
+  for (const std::uint64_t h : hits) {
+    require(h > 0, "schedule ordinals are 1-based");
+    p.schedule.insert(h);
+  }
+}
+
+void FaultInjector::armOnce(const std::string& name) {
+  Point& p = point(name);
+  p.schedule.insert(p.hits + 1);
+}
+
+void FaultInjector::disarm(const std::string& name) {
+  const auto it = points_.find(name);
+  if (it == points_.end()) return;
+  it->second.probability = 0.0;
+  it->second.schedule.clear();
+}
+
+void FaultInjector::disarmAll() {
+  for (auto& [name, p] : points_) {
+    p.probability = 0.0;
+    p.schedule.clear();
+  }
+}
+
+bool FaultInjector::shouldFire(const std::string& name) {
+  Point& p = point(name);
+  ++p.hits;
+  bool fire = false;
+  if (p.schedule.erase(p.hits) > 0) fire = true;
+  // The probability draw happens on every hit of an armed point so the
+  // firing pattern depends only on (seed, point, hit ordinal), not on
+  // when the schedule entries were consumed.
+  if (p.probability > 0.0 && p.rng.uniform() < p.probability) fire = true;
+  if (fire) ++p.fires;
+  return fire;
+}
+
+std::uint64_t FaultInjector::hitCount(const std::string& name) const {
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultInjector::fireCount(const std::string& name) const {
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+FaultScope::FaultScope(FaultInjector& injector) : previous_(g_active) {
+  g_active = &injector;
+}
+
+FaultScope::~FaultScope() { g_active = previous_; }
+
+FaultInjector* activeFaultInjector() { return g_active; }
+
+bool faultFires(const char* point) {
+  return g_active != nullptr && g_active->shouldFire(point);
+}
+
+}  // namespace tkmc

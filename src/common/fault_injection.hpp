@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace tkmc {
+
+/// Deterministic, seeded fault-injection registry.
+///
+/// Production code marks *fault points* — named places where a failure
+/// can be simulated — by calling faultFires("point"). Tests arm faults
+/// on a FaultInjector and install it with a FaultScope; outside any
+/// scope every fault point costs a null check and never fires, so the
+/// simulation hot path pays nothing.
+///
+/// Firing is deterministic: each point draws from its own RNG stream
+/// seeded from (injector seed, point name), so a run with a given seed
+/// and arming always fails at the same hits, which makes failure-path
+/// tests reproducible.
+///
+/// Fault-point catalog (see DESIGN.md "Fault tolerance"):
+///   comm.drop / comm.corrupt / comm.duplicate  SimComm::send()
+///   checkpoint.corrupt_write                   saveCheckpoint()
+///   engine.cycle                               ParallelEngine cycle start
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0);
+
+  /// Arms `point` to fire independently with probability `p` per hit.
+  void armProbability(const std::string& point, double probability);
+
+  /// Arms `point` to fire exactly on the given 1-based hit ordinals
+  /// (counted from the point's first-ever hit), once each.
+  void armSchedule(const std::string& point, std::vector<std::uint64_t> hits);
+
+  /// Arms `point` to fire on its next hit only.
+  void armOnce(const std::string& point);
+
+  void disarm(const std::string& point);
+  void disarmAll();
+
+  /// Registers a hit of `point`; true when the armed fault fires.
+  /// Unarmed points count hits but never fire.
+  bool shouldFire(const std::string& point);
+
+  std::uint64_t hitCount(const std::string& point) const;
+  std::uint64_t fireCount(const std::string& point) const;
+
+ private:
+  struct Point {
+    double probability = 0.0;
+    std::set<std::uint64_t> schedule;  // 1-based hit ordinals
+    Rng rng{0};
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  Point& point(const std::string& name);
+
+  std::uint64_t seed_;
+  std::map<std::string, Point> points_;
+};
+
+/// Installs `injector` as the process-wide active injector for the
+/// scope's lifetime and restores the previous one on destruction
+/// (scopes nest). Tests arm faults without plumbing an injector through
+/// every constructor.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultInjector& injector);
+  ~FaultScope();
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+/// The active injector, or nullptr outside any FaultScope.
+FaultInjector* activeFaultInjector();
+
+/// Fault-point probe used by production code: counts a hit and returns
+/// true when an armed fault fires; always false with no active injector.
+bool faultFires(const char* point);
+
+}  // namespace tkmc

@@ -90,9 +90,20 @@ Simulation::~Simulation() = default;
 
 std::uint64_t Simulation::run(double tEnd, std::uint64_t maxSteps) {
   std::uint64_t executed = 0;
+  const std::size_t expectedVacancies = state_->vacancies().size();
   while (engine_->time() < tEnd && executed < maxSteps) {
     if (!engine_->step().advanced) break;
     ++executed;
+    if (config_.invariantCadence > 0 &&
+        executed % config_.invariantCadence == 0 &&
+        state_->vacancies().size() != expectedVacancies)
+      throw InvariantError(
+          "vacancy conservation violated during run: expected " +
+          std::to_string(expectedVacancies) + ", counted " +
+          std::to_string(state_->vacancies().size()));
+    if (config_.checkpointInterval > 0 && !config_.checkpointPath.empty() &&
+        executed % config_.checkpointInterval == 0)
+      writeCheckpoint(config_.checkpointPath);
   }
   return executed;
 }
@@ -117,6 +128,12 @@ void Simulation::restoreCheckpoint(const CheckpointData& data) {
           "checkpoint box does not match the configured simulation");
   *state_ = data.restoreState();
   engine_->restore(data.engine);
+}
+
+bool Simulation::restoreCheckpointFromFile(const std::string& path) {
+  const CheckpointLoadResult result = loadCheckpointWithFallback(path);
+  restoreCheckpoint(result.data);
+  return result.usedBackup;
 }
 
 }  // namespace tkmc

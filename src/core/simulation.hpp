@@ -47,6 +47,16 @@ struct SimulationConfig {
   // Engine options (Sec. 3.2 cache, Sec. 4.4 tree strategy).
   bool useVacancyCache = true;
   bool useTree = true;
+
+  // Fault tolerance. When checkpointInterval > 0 and checkpointPath is
+  // set, run() writes a restartable checkpoint every that many events
+  // (atomic v2 format, previous file rotated to .bak). When
+  // invariantCadence > 0, run() verifies vacancy conservation every that
+  // many events and throws InvariantError on violation instead of
+  // silently continuing with corrupt state.
+  std::string checkpointPath;
+  std::uint64_t checkpointInterval = 0;
+  std::uint64_t invariantCadence = 0;
 };
 
 /// Facade wiring the whole TensorKMC stack: lattice construction, random
@@ -85,6 +95,11 @@ class Simulation {
   /// Restores a checkpoint written for the same box geometry; the
   /// trajectory continues bit-exactly from the saved point.
   void restoreCheckpoint(const CheckpointData& data);
+
+  /// Restores from a checkpoint file, degrading gracefully to
+  /// `<path>.bak` when the primary replica is missing or corrupt.
+  /// Returns true when the backup served the load.
+  bool restoreCheckpointFromFile(const std::string& path);
 
  private:
   SimulationConfig config_;

@@ -2,80 +2,130 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <system_error>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 
 namespace tkmc {
+namespace {
 
-LatticeState CheckpointData::restoreState() const {
-  LatticeState state(BccLattice(cellsX, cellsY, cellsZ, latticeConstant));
-  require(species.size() == static_cast<std::size_t>(state.lattice().siteCount()),
-          "checkpoint species array does not match the box");
-  // Atoms first, then vacancies in their recorded list order (the engine
-  // addresses vacancies by index).
-  for (std::size_t id = 0; id < species.size(); ++id)
-    if (species[id] != Species::kVacancy)
-      state.setSpecies(static_cast<BccLattice::SiteId>(id), species[id]);
-  for (const Vec3i& v : vacancyOrder) {
-    require(species[static_cast<std::size_t>(state.lattice().siteId(v))] ==
-                Species::kVacancy,
-            "checkpoint vacancy list disagrees with the occupation");
-    state.setSpeciesAt(v, Species::kVacancy);
-  }
-  require(state.vacancies().size() == vacancyOrder.size(),
-          "checkpoint vacancy count mismatch");
-  return state;
-}
+constexpr int kCurrentVersion = 2;
 
-void saveCheckpoint(const std::string& path, const LatticeState& state,
-                    const SerialEngine& engine) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  require(f != nullptr, "cannot open checkpoint for writing: " + path);
+std::string encodeBody(const LatticeState& state, const SerialEngine& engine,
+                       int version) {
   const BccLattice& lat = state.lattice();
   const SerialEngine::Checkpoint cp = engine.checkpoint();
-  std::fprintf(f, "tensorkmc-checkpoint 1\n");
-  std::fprintf(f, "%d %d %d %.17g\n", lat.cellsX(), lat.cellsY(), lat.cellsZ(),
-               lat.latticeConstant());
-  std::fprintf(f, "%.17g %" PRIu64 "\n", cp.time, cp.steps);
-  std::fprintf(f, "%" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
-               cp.rngState[0], cp.rngState[1], cp.rngState[2], cp.rngState[3]);
-  std::fprintf(f, "%zu\n", state.vacancies().size());
-  for (const Vec3i& v : state.vacancies())
-    std::fprintf(f, "%d %d %d\n", v.x, v.y, v.z);
+  std::string body;
+  body.reserve(static_cast<std::size_t>(lat.siteCount()) +
+               state.vacancies().size() * 12 + 256);
+  char line[256];
+  std::snprintf(line, sizeof(line), "tensorkmc-checkpoint %d\n", version);
+  body += line;
+  std::snprintf(line, sizeof(line), "%d %d %d %.17g\n", lat.cellsX(),
+                lat.cellsY(), lat.cellsZ(), lat.latticeConstant());
+  body += line;
+  std::snprintf(line, sizeof(line), "%.17g %" PRIu64 "\n", cp.time, cp.steps);
+  body += line;
+  std::snprintf(line, sizeof(line),
+                "%" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+                cp.rngState[0], cp.rngState[1], cp.rngState[2], cp.rngState[3]);
+  body += line;
+  std::snprintf(line, sizeof(line), "%zu\n", state.vacancies().size());
+  body += line;
+  for (const Vec3i& v : state.vacancies()) {
+    std::snprintf(line, sizeof(line), "%d %d %d\n", v.x, v.y, v.z);
+    body += line;
+  }
   // Occupation as one digit per site (0=Fe, 1=Cu, 2=vacancy), 80/line.
   const auto& raw = state.raw();
   for (std::size_t i = 0; i < raw.size(); ++i) {
-    std::fputc('0' + static_cast<int>(raw[i]), f);
-    if ((i + 1) % 80 == 0) std::fputc('\n', f);
+    body += static_cast<char>('0' + static_cast<int>(raw[i]));
+    if ((i + 1) % 80 == 0) body += '\n';
   }
-  if (raw.size() % 80 != 0) std::fputc('\n', f);
-  const bool ok = std::ferror(f) == 0;
-  std::fclose(f);
-  require(ok, "failed writing checkpoint: " + path);
+  if (raw.size() % 80 != 0) body += '\n';
+  return body;
 }
 
-CheckpointData loadCheckpoint(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  require(f != nullptr, "cannot open checkpoint: " + path);
-  CheckpointData data;
-  char magic[64] = {0};
+/// Durable write: contents go to `<path>.tmp`; an existing target is
+/// rotated to `<path>.bak`; the temp file is renamed over the target. A
+/// crash at any point leaves either the old file, the old file plus a
+/// stray .tmp, or the new file — never a torn file at the final path.
+void writeFileAtomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr)
+    throw IoError("cannot open checkpoint temp file for writing: " + tmp);
+  const std::size_t written =
+      std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool ok = written == contents.size() && std::fflush(f) == 0 &&
+                  std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw IoError("failed writing checkpoint temp file: " + tmp);
+  }
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec))
+    std::filesystem::rename(path, path + ".bak", ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw IoError("cannot rotate checkpoint backup for " + path + ": " +
+                  ec.message());
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw IoError("cannot move checkpoint into place at " + path + ": " +
+                  ec.message());
+  }
+}
+
+void saveWithVersion(const std::string& path, const LatticeState& state,
+                     const SerialEngine& engine, int version) {
+  std::string body = encodeBody(state, engine, version);
+  // Injectable torn/bit-rotted write: flips a body byte after the CRC is
+  // sealed (v2) or simply ships bad bytes (v1), exercising the load-time
+  // detection and the .bak fallback.
+  std::string footer;
+  if (version >= 2) {
+    char line[32];
+    std::snprintf(line, sizeof(line), "crc32 %08x\n",
+                  crc32(body.data(), body.size()));
+    footer = line;
+  }
+  if (faultFires("checkpoint.corrupt_write") && !body.empty())
+    body[body.size() / 2] ^= 0x01;
+  writeFileAtomic(path, body + footer);
+}
+
+CheckpointData parseCheckpoint(const std::string& contents,
+                               const std::string& path) {
+  std::istringstream in(contents);
+  std::string magic;
   int version = 0;
-  bool ok = std::fscanf(f, "%63s %d", magic, &version) == 2 &&
-            std::string(magic) == "tensorkmc-checkpoint" && version == 1;
-  ok = ok && std::fscanf(f, "%d %d %d %lg", &data.cellsX, &data.cellsY,
-                         &data.cellsZ, &data.latticeConstant) == 4;
-  ok = ok && std::fscanf(f, "%lg %" SCNu64, &data.engine.time,
-                         &data.engine.steps) == 2;
-  ok = ok &&
-       std::fscanf(f, "%" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64,
-                   &data.engine.rngState[0], &data.engine.rngState[1],
-                   &data.engine.rngState[2], &data.engine.rngState[3]) == 4;
+  bool ok = static_cast<bool>(in >> magic >> version) &&
+            magic == "tensorkmc-checkpoint";
+  if (!ok) throw IoError("not a tensorkmc checkpoint: " + path);
+  if (version != 1 && version != 2)
+    throw IoError("unsupported checkpoint version " +
+                  std::to_string(version) + ": " + path);
+  CheckpointData data;
+  ok = static_cast<bool>(in >> data.cellsX >> data.cellsY >> data.cellsZ >>
+                         data.latticeConstant);
+  ok = ok && static_cast<bool>(in >> data.engine.time >> data.engine.steps);
+  ok = ok && static_cast<bool>(
+                 in >> data.engine.rngState[0] >> data.engine.rngState[1] >>
+                 data.engine.rngState[2] >> data.engine.rngState[3]);
   std::size_t vacancyCount = 0;
-  ok = ok && std::fscanf(f, "%zu", &vacancyCount) == 1 &&
+  ok = ok && static_cast<bool>(in >> vacancyCount) &&
        vacancyCount < (1ULL << 32);
   for (std::size_t v = 0; ok && v < vacancyCount; ++v) {
     Vec3i p;
-    ok = std::fscanf(f, "%d %d %d", &p.x, &p.y, &p.z) == 3;
+    ok = static_cast<bool>(in >> p.x >> p.y >> p.z);
     if (ok) data.vacancyOrder.push_back(p);
   }
   // The digit-block reader below skips newlines, so no separator
@@ -85,8 +135,8 @@ CheckpointData loadCheckpoint(const std::string& path) {
         2ULL * static_cast<std::size_t>(data.cellsX) * data.cellsY * data.cellsZ;
     data.species.reserve(sites);
     while (data.species.size() < sites) {
-      const int c = std::fgetc(f);
-      if (c == EOF) {
+      const int c = in.get();
+      if (c == std::char_traits<char>::eof()) {
         ok = false;
         break;
       }
@@ -100,9 +150,94 @@ CheckpointData loadCheckpoint(const std::string& path) {
   } else {
     ok = false;
   }
-  std::fclose(f);
-  require(ok, "malformed checkpoint file: " + path);
+  if (!ok) throw IoError("malformed checkpoint file: " + path);
   return data;
+}
+
+}  // namespace
+
+LatticeState CheckpointData::restoreState() const {
+  LatticeState state(BccLattice(cellsX, cellsY, cellsZ, latticeConstant));
+  if (species.size() != static_cast<std::size_t>(state.lattice().siteCount()))
+    throw InvariantError("checkpoint species array does not match the box");
+  // Atoms first, then vacancies in their recorded list order (the engine
+  // addresses vacancies by index).
+  for (std::size_t id = 0; id < species.size(); ++id)
+    if (species[id] != Species::kVacancy)
+      state.setSpecies(static_cast<BccLattice::SiteId>(id), species[id]);
+  for (const Vec3i& v : vacancyOrder) {
+    if (species[static_cast<std::size_t>(state.lattice().siteId(v))] !=
+        Species::kVacancy)
+      throw InvariantError(
+          "checkpoint vacancy list disagrees with the occupation");
+    state.setSpeciesAt(v, Species::kVacancy);
+  }
+  if (state.vacancies().size() != vacancyOrder.size())
+    throw InvariantError("checkpoint vacancy count mismatch");
+  return state;
+}
+
+void saveCheckpoint(const std::string& path, const LatticeState& state,
+                    const SerialEngine& engine) {
+  saveWithVersion(path, state, engine, kCurrentVersion);
+}
+
+void saveCheckpointV1(const std::string& path, const LatticeState& state,
+                      const SerialEngine& engine) {
+  saveWithVersion(path, state, engine, 1);
+}
+
+CheckpointData loadCheckpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw IoError("cannot open checkpoint: " + path);
+  std::string contents;
+  char buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0)
+    contents.append(buffer, got);
+  const bool readOk = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!readOk) throw IoError("failed reading checkpoint: " + path);
+
+  // Version 2 files end with a "crc32 <hex>" footer sealing everything
+  // before it; verify integrity before parsing.
+  int version = 0;
+  if (std::sscanf(contents.c_str(), "tensorkmc-checkpoint %d", &version) == 1 &&
+      version >= 2) {
+    const std::string::size_type foot = contents.rfind("\ncrc32 ");
+    if (foot == std::string::npos)
+      throw IoError("checkpoint missing CRC32 footer (truncated?): " + path);
+    const std::string body = contents.substr(0, foot + 1);
+    unsigned stored = 0;
+    if (std::sscanf(contents.c_str() + foot + 1, "crc32 %8x", &stored) != 1)
+      throw IoError("checkpoint CRC32 footer unreadable: " + path);
+    const std::uint32_t computed = crc32(body.data(), body.size());
+    if (computed != stored) {
+      char detail[64];
+      std::snprintf(detail, sizeof(detail), "(stored %08x, computed %08x)",
+                    stored, computed);
+      throw IoError("checkpoint failed CRC32 check " + std::string(detail) +
+                    ": " + path);
+    }
+    return parseCheckpoint(body, path);
+  }
+  return parseCheckpoint(contents, path);
+}
+
+CheckpointLoadResult loadCheckpointWithFallback(const std::string& path) {
+  std::string primaryError;
+  try {
+    return {loadCheckpoint(path), false};
+  } catch (const Error& e) {
+    primaryError = e.what();
+  }
+  const std::string bak = path + ".bak";
+  try {
+    return {loadCheckpoint(bak), true};
+  } catch (const Error& e) {
+    throw IoError("checkpoint unrecoverable: primary failed (" + primaryError +
+                  "); backup failed (" + e.what() + ")");
+  }
 }
 
 }  // namespace tkmc

@@ -15,6 +15,13 @@ namespace tkmc {
 /// the lattice, restarting from a checkpoint continues the original
 /// trajectory *bit-exactly* (tested) — the property that makes
 /// long-running mesoscale campaigns restartable after machine failures.
+///
+/// Format v2 (current) seals the file with a `crc32 <hex>` footer
+/// computed over everything before it, so truncation and bit flips are
+/// detected at load instead of silently feeding the engine bad state.
+/// Writers are atomic: the body goes to `<path>.tmp` which is renamed
+/// over the target, and an existing good file is rotated to
+/// `<path>.bak` first. v1 files (no footer) still load read-only.
 struct CheckpointData {
   int cellsX = 0;
   int cellsY = 0;
@@ -27,16 +34,39 @@ struct CheckpointData {
   std::vector<Vec3i> vacancyOrder;
   SerialEngine::Checkpoint engine;
 
-  /// Reconstructs the lattice occupation.
+  /// Reconstructs the lattice occupation. Throws InvariantError when the
+  /// vacancy list disagrees with the occupation (corrupt or forged
+  /// checkpoint content that passed the format checks).
   LatticeState restoreState() const;
 };
 
-/// Writes a checkpoint of `state` and `engine` to `path`.
+/// Writes a format-v2 checkpoint of `state` and `engine` to `path`:
+/// CRC32 footer, atomic temp-file + rename, existing file rotated to
+/// `<path>.bak`. Throws IoError on filesystem failures.
 void saveCheckpoint(const std::string& path, const LatticeState& state,
                     const SerialEngine& engine);
 
-/// Reads a checkpoint written by saveCheckpoint(). Throws tkmc::Error on
-/// format problems.
+/// Legacy format-v1 writer (no CRC footer), kept for compatibility
+/// tooling. Shares the atomic temp-file + rename + `.bak` rotation path,
+/// so old callers can no longer tear a checkpoint mid-write.
+void saveCheckpointV1(const std::string& path, const LatticeState& state,
+                      const SerialEngine& engine);
+
+/// Reads a checkpoint written by saveCheckpoint() (v2, CRC-verified) or
+/// the v1 writer. Throws IoError on missing files, bad magic/version,
+/// truncation, or CRC mismatch.
 CheckpointData loadCheckpoint(const std::string& path);
+
+/// Result of a fallback-aware load: the data plus which replica served
+/// it.
+struct CheckpointLoadResult {
+  CheckpointData data;
+  bool usedBackup = false;
+};
+
+/// Loads `path`, degrading gracefully to `<path>.bak` when the primary
+/// is missing or corrupt. Throws IoError (with both causes) only when
+/// neither replica is loadable.
+CheckpointLoadResult loadCheckpointWithFallback(const std::string& path);
 
 }  // namespace tkmc

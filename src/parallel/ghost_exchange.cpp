@@ -88,19 +88,43 @@ void GhostExchange::sendSlabs(int rank, Subdomain& sd, int axis) {
   }
 }
 
-void GhostExchange::receiveSlabs(int rank, Subdomain& sd, int axis) {
+void GhostExchange::receiveSlabs(int rank, std::vector<Subdomain>& domains,
+                                 int axis) {
   // `dir` is the direction the data travelled: a slab sent toward +1
   // arrives from the -1 neighbour and fills the receiver's low-side
   // ghost (the side facing the sender).
+  Subdomain& sd = domains[static_cast<std::size_t>(rank)];
   for (int dir : {-1, +1}) {
     Vec3i dirVec{};
     setAxis(dirVec, axis, -dir);
     const int source = decomp_.neighborRank(rank, dirVec);
+    const int tag = kTagBase + axis * 2 + (dir > 0 ? 1 : 0);
     const Box box = recvBox(sd, axis, dir);
-    const auto payload =
-        comm_.receive(rank, source, kTagBase + axis * 2 + (dir > 0 ? 1 : 0));
-    sd.unpackCellBox(box.lo, box.hi, payload);
+    for (int attempt = 1;; ++attempt) {
+      try {
+        const auto payload = comm_.receive(rank, source, tag);
+        sd.unpackCellBox(box.lo, box.hi, payload);
+        break;
+      } catch (const CommError&) {
+        // Purge the failed channel so the retransmission gets a fresh
+        // sequence number, then re-pack the slab from the sender. The
+        // send box reads only owned cells along the stage axis while
+        // receives write only ghost cells along it, so the re-packed
+        // slab is bit-identical to the original.
+        comm_.resetChannel(source, rank, tag);
+        if (attempt >= maxAttempts_) throw;
+        ++retries_;
+        Subdomain& src = domains[static_cast<std::size_t>(source)];
+        const Box srcBox = sendBox(src, axis, dir);
+        comm_.send(source, rank, tag, src.packCellBox(srcBox.lo, srcBox.hi));
+      }
+    }
   }
+}
+
+void GhostExchange::setMaxAttempts(int attempts) {
+  require(attempts >= 1, "ghost exchange needs at least one attempt");
+  maxAttempts_ = attempts;
 }
 
 void GhostExchange::exchangeAll(std::vector<Subdomain>& domains) {
@@ -110,7 +134,7 @@ void GhostExchange::exchangeAll(std::vector<Subdomain>& domains) {
     for (int r = 0; r < decomp_.rankCount(); ++r)
       sendSlabs(r, domains[static_cast<std::size_t>(r)], axis);
     for (int r = 0; r < decomp_.rankCount(); ++r)
-      receiveSlabs(r, domains[static_cast<std::size_t>(r)], axis);
+      receiveSlabs(r, domains, axis);
   }
 }
 

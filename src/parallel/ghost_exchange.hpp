@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "parallel/decomposition.hpp"
@@ -18,18 +19,36 @@ namespace tkmc {
 ///
 /// The driver is bulk-synchronous: sendGhostSlabs() for every rank, then
 /// receiveGhostSlabs() for every rank, per axis.
+///
+/// A CRC or sequence failure detected by SimComm's framing triggers
+/// per-slab retransmission (ARQ): the receiver purges the failed
+/// channel and the sender re-packs and re-sends just that slab, up to
+/// maxAttempts() times, before the CommError surfaces to the engine.
+/// Re-packing mid-stage is safe because a stage's send boxes read only
+/// owned cells along the stage axis while its receives write only ghost
+/// cells along it — disjoint regions, so the retransmitted slab is
+/// bit-identical to the original. retries() counts the absorbed
+/// failures.
 class GhostExchange {
  public:
   GhostExchange(const Decomposition& decomp, SimComm& comm);
 
   /// Runs the full three-stage exchange across all subdomains (driver
-  /// convenience; `domains[r]` belongs to rank r).
+  /// convenience; `domains[r]` belongs to rank r), retransmitting slabs
+  /// whose frames fail message-integrity checks.
   void exchangeAll(std::vector<Subdomain>& domains);
+
+  /// Bounds the delivery attempts per slab (>= 1).
+  void setMaxAttempts(int attempts);
+  int maxAttempts() const { return maxAttempts_; }
+
+  /// Slab retransmissions after a detected integrity failure.
+  std::uint64_t retries() const { return retries_; }
 
  private:
   // Axis: 0 = x, 1 = y, 2 = z (exchange order is 2, 1, 0).
   void sendSlabs(int rank, Subdomain& sd, int axis);
-  void receiveSlabs(int rank, Subdomain& sd, int axis);
+  void receiveSlabs(int rank, std::vector<Subdomain>& domains, int axis);
 
   // Cell box (extended-frame coordinates) of the slab sent toward
   // direction `dir` (+1/-1) along `axis`, given which axes are complete.
@@ -42,6 +61,8 @@ class GhostExchange {
 
   const Decomposition& decomp_;
   SimComm& comm_;
+  int maxAttempts_ = 4;
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace tkmc

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 
 namespace tkmc {
 namespace {
@@ -71,6 +72,8 @@ ParallelEngine::ParallelEngine(const LatticeState& initial, EnergyModel& model,
   // Rates become stale within the vacancy-system radius of a changed site.
   interactionRadius_ =
       (maxComp + 2) * lattice_.latticeConstant() / 2.0;
+  expectedVacancies_ = vacancyCount();
+  exchange_.setMaxAttempts(config.commMaxAttempts);
 }
 
 Vec3i ParallelEngine::localCell(int rank, Vec3i p) const {
@@ -120,6 +123,9 @@ void ParallelEngine::runSector(int rank, int sector) {
       }
       total += rates[v].total;
     }
+    if (!std::isfinite(total) || total < 0.0)
+      throw InvariantError("propensity sum insane in sector window: " +
+                           std::to_string(total));
     if (total <= 0.0) break;
 
     const double u1 = rng.uniform();
@@ -195,31 +201,66 @@ void ParallelEngine::runSector(int rank, int sector) {
 }
 
 void ParallelEngine::foldChanges() {
-  // Phase 1: route boundary modifications to their owners.
-  for (int r = 0; r < decomp_.rankCount(); ++r) {
-    std::vector<std::vector<std::uint8_t>> outbound(
-        static_cast<std::size_t>(decomp_.rankCount()));
-    for (const Change& c : pendingChanges_[static_cast<std::size_t>(r)]) {
+  const auto ranks = static_cast<std::size_t>(decomp_.rankCount());
+  // Phase 1: serialize boundary modifications per (source, owner) pair.
+  // The buffers outlive the sends so a failed delivery can be
+  // retransmitted verbatim.
+  std::vector<std::vector<std::vector<std::uint8_t>>> outbound(
+      ranks, std::vector<std::vector<std::uint8_t>>(ranks));
+  for (std::size_t r = 0; r < ranks; ++r) {
+    for (const Change& c : pendingChanges_[r]) {
       const int owner = decomp_.ownerOfSite(c.site);
-      if (owner == r) continue;
-      auto& buf = outbound[static_cast<std::size_t>(owner)];
+      if (owner == static_cast<int>(r)) continue;
+      auto& buf = outbound[r][static_cast<std::size_t>(owner)];
       const std::int32_t coords[3] = {c.site.x, c.site.y, c.site.z};
       const std::size_t at = buf.size();
       buf.resize(at + sizeof(coords) + 1);
       std::memcpy(buf.data() + at, coords, sizeof(coords));
       buf[at + sizeof(coords)] = static_cast<std::uint8_t>(c.species);
     }
-    for (int to = 0; to < decomp_.rankCount(); ++to)
-      comm_.send(r, to, kTagFold,
-                 std::move(outbound[static_cast<std::size_t>(to)]));
   }
-  // Phase 2: owners apply the folded changes.
-  for (int r = 0; r < decomp_.rankCount(); ++r) {
-    Subdomain& sd = domains_[static_cast<std::size_t>(r)];
-    for (auto& [from, payload] : comm_.receiveAll(r, kTagFold)) {
-      const std::size_t stride = 3 * sizeof(std::int32_t) + 1;
-      require(payload.size() % stride == 0, "malformed fold payload");
-      for (std::size_t off = 0; off < payload.size(); off += stride) {
+  // Phase 2: transmit. Every rank sends exactly one fold message to
+  // every rank (possibly empty), so the receive side knows exactly what
+  // to expect on each channel.
+  for (std::size_t r = 0; r < ranks; ++r)
+    for (std::size_t to = 0; to < ranks; ++to)
+      comm_.send(static_cast<int>(r), static_cast<int>(to), kTagFold,
+                 outbound[r][to]);
+  // Phase 3: collect and validate every payload before applying any of
+  // them. Fold application mutates vacancy lists and is not idempotent,
+  // so a failed receive must not leave a half-applied fold behind; with
+  // application deferred, a lost or corrupt frame is handled by purging
+  // that one channel and retransmitting from the buffered copy (ARQ).
+  constexpr std::size_t kStride = 3 * sizeof(std::int32_t) + 1;
+  std::vector<std::vector<std::vector<std::uint8_t>>> inbound(
+      ranks, std::vector<std::vector<std::uint8_t>>(ranks));
+  for (std::size_t r = 0; r < ranks; ++r) {
+    for (std::size_t from = 0; from < ranks; ++from) {
+      for (int attempt = 1;; ++attempt) {
+        try {
+          inbound[r][from] = comm_.receive(static_cast<int>(r),
+                                           static_cast<int>(from), kTagFold);
+          break;
+        } catch (const CommError&) {
+          comm_.resetChannel(static_cast<int>(from), static_cast<int>(r),
+                             kTagFold);
+          if (attempt >= config_.commMaxAttempts) throw;
+          ++recovery_.foldRetries;
+          comm_.send(static_cast<int>(from), static_cast<int>(r), kTagFold,
+                     outbound[from][r]);
+        }
+      }
+      if (inbound[r][from].size() % kStride != 0)
+        throw CommError("malformed fold payload from rank " +
+                        std::to_string(from) + " to rank " + std::to_string(r));
+    }
+  }
+  // Phase 4: owners apply the folded changes.
+  for (std::size_t r = 0; r < ranks; ++r) {
+    Subdomain& sd = domains_[r];
+    for (std::size_t from = 0; from < ranks; ++from) {
+      const auto& payload = inbound[r][from];
+      for (std::size_t off = 0; off < payload.size(); off += kStride) {
         std::int32_t coords[3];
         std::memcpy(coords, payload.data() + off, sizeof(coords));
         const Vec3i site{coords[0], coords[1], coords[2]};
@@ -232,17 +273,90 @@ void ParallelEngine::foldChanges() {
           sd.vacancies().push_back(lattice_.wrap(site));
       }
     }
-    pendingChanges_[static_cast<std::size_t>(r)].clear();
+    pendingChanges_[r].clear();
   }
 }
 
-void ParallelEngine::runCycle() {
+void ParallelEngine::executeCycle() {
+  if (faultFires("engine.cycle"))
+    throw InvariantError("injected engine-cycle fault");
   const int sector = static_cast<int>(cycles_ % 8);
   for (int r = 0; r < decomp_.rankCount(); ++r) runSector(r, sector);
   foldChanges();
   exchange_.exchangeAll(domains_);
   time_ += config_.tStop;
   ++cycles_;
+}
+
+void ParallelEngine::verifyInvariants() {
+  if (vacancyCount() != expectedVacancies_) {
+    ++recovery_.invariantTrips;
+    throw InvariantError("vacancy conservation violated after cycle " +
+                         std::to_string(cycles_) + ": expected " +
+                         std::to_string(expectedVacancies_) + ", counted " +
+                         std::to_string(vacancyCount()));
+  }
+  if (config_.invariantCadence > 0 &&
+      cycles_ % static_cast<std::uint64_t>(config_.invariantCadence) == 0 &&
+      !ghostsConsistent()) {
+    ++recovery_.invariantTrips;
+    throw InvariantError("ghost shells inconsistent after cycle " +
+                         std::to_string(cycles_));
+  }
+}
+
+void ParallelEngine::takeSnapshot() {
+  snapshot_.domains = domains_;
+  snapshot_.rngStates.clear();
+  for (const Rng& r : rngs_) snapshot_.rngStates.push_back(r.state());
+  snapshot_.time = time_;
+  snapshot_.cycles = cycles_;
+  snapshot_.events = events_;
+  snapshot_.discarded = discarded_;
+}
+
+void ParallelEngine::restoreSnapshot() {
+  domains_ = snapshot_.domains;
+  for (std::size_t i = 0; i < rngs_.size(); ++i)
+    rngs_[i].setState(snapshot_.rngStates[i]);
+  time_ = snapshot_.time;
+  cycles_ = snapshot_.cycles;
+  events_ = snapshot_.events;
+  discarded_ = snapshot_.discarded;
+  for (auto& changes : pendingChanges_) changes.clear();
+  comm_.resetAllChannels();
+}
+
+void ParallelEngine::runCycle() {
+  if (!config_.enableRecovery) {
+    executeCycle();
+    return;
+  }
+  takeSnapshot();
+  for (int attempt = 1;; ++attempt) {
+    try {
+      executeCycle();
+      verifyInvariants();
+      return;
+    } catch (const CommError&) {
+      ++recovery_.commErrors;
+      if (attempt >= config_.maxReplays) throw;
+    } catch (const InvariantError&) {
+      if (attempt >= config_.maxReplays) throw;
+    }
+    // Roll back to the sync boundary and replay. The engine RNG streams
+    // rewind with the snapshot (so the physics replays identically) but
+    // the fault injector's streams advance, so an injected transient
+    // does not recur deterministically on the replay.
+    ++recovery_.rollbacks;
+    restoreSnapshot();
+  }
+}
+
+RecoveryStats ParallelEngine::recoveryStats() const {
+  RecoveryStats stats = recovery_;
+  stats.ghostRetries = exchange_.retries();
+  return stats;
 }
 
 void ParallelEngine::run(double tEnd) {

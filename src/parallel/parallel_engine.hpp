@@ -24,6 +24,28 @@ struct ParallelConfig {
   double tStop = 2e-8;   // synchronization interval (paper Sec. 4.4)
   std::uint64_t seed = 99;
   Vec3i rankGrid{2, 2, 2};
+
+  // Fault tolerance. With recovery enabled the engine snapshots its
+  // state (subdomains + RNG streams + clocks) at each sync boundary and,
+  // when a cycle trips a comm-integrity failure or an invariant monitor,
+  // rolls back and replays the cycle. Disarmed fault injection makes the
+  // recovery path free of side effects: trajectories are bit-identical
+  // with recovery on or off.
+  bool enableRecovery = true;
+  int maxReplays = 3;       // replays per cycle before the error surfaces
+  int commMaxAttempts = 4;  // per-message delivery attempts (ghost + fold)
+  int invariantCadence = 0; // full ghost-consistency sweep every N cycles
+                            // (0 = off; vacancy conservation and
+                            // propensity sanity are always monitored)
+};
+
+/// Counters of absorbed failures (engine stats).
+struct RecoveryStats {
+  std::uint64_t rollbacks = 0;       // cycles rolled back and replayed
+  std::uint64_t invariantTrips = 0;  // invariant-monitor failures observed
+  std::uint64_t commErrors = 0;      // comm failures that reached the engine
+  std::uint64_t ghostRetries = 0;    // retransmissions inside GhostExchange
+  std::uint64_t foldRetries = 0;     // retransmissions in the fold phase
 };
 
 /// Parallel AKMC with the Shim-Amar synchronous sublattice schedule
@@ -42,7 +64,10 @@ class ParallelEngine {
   ParallelEngine(const LatticeState& initial, EnergyModel& model,
                  const Cet& cet, ParallelConfig config);
 
-  /// Executes one sector window plus synchronization.
+  /// Executes one sector window plus synchronization. With recovery
+  /// enabled, a cycle that trips an injected fault or an invariant
+  /// monitor is rolled back to the last sync boundary and replayed (up
+  /// to `maxReplays` times) before the typed error surfaces.
   void runCycle();
 
   /// Runs whole cycles until the simulated time reaches tEnd.
@@ -67,12 +92,28 @@ class ParallelEngine {
   /// True when every ghost site matches its owner's value (test hook).
   bool ghostsConsistent() const;
 
+  /// Absorbed-failure counters (rollbacks, invariant trips, retries).
+  RecoveryStats recoveryStats() const;
+
  private:
   struct Change {
     Vec3i site;  // wrapped global coordinate
     Species species;
   };
 
+  struct Snapshot {
+    std::vector<Subdomain> domains;
+    std::vector<std::array<std::uint64_t, 4>> rngStates;
+    double time = 0.0;
+    std::uint64_t cycles = 0;
+    std::uint64_t events = 0;
+    std::uint64_t discarded = 0;
+  };
+
+  void executeCycle();
+  void verifyInvariants();
+  void takeSnapshot();
+  void restoreSnapshot();
   void runSector(int rank, int sector);
   void foldChanges();
   Vec3i localCell(int rank, Vec3i wrappedCoord) const;
@@ -93,6 +134,9 @@ class ParallelEngine {
   std::uint64_t events_ = 0;
   std::uint64_t discarded_ = 0;
   double interactionRadius_;  // angstrom, for stale-rate invalidation
+  std::int64_t expectedVacancies_ = 0;  // conservation monitor baseline
+  Snapshot snapshot_;
+  RecoveryStats recovery_;
 };
 
 }  // namespace tkmc

@@ -1,8 +1,20 @@
 #include "parallel/sim_comm.hpp"
 
+#include <string>
+
+#include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 
 namespace tkmc {
+namespace {
+
+std::string channelName(int from, int to, int tag) {
+  return "(" + std::to_string(from) + " -> " + std::to_string(to) +
+         ", tag " + std::to_string(tag) + ")";
+}
+
+}  // namespace
 
 SimComm::SimComm(int ranks) : ranks_(ranks) {
   require(ranks > 0, "communicator needs at least one rank");
@@ -14,29 +26,86 @@ void SimComm::send(int from, int to, int tag,
           "rank out of range");
   bytesSent_ += payload.size();
   ++messagesSent_;
-  mailboxes_[{from, to, tag}].push_back(std::move(payload));
+  const Key key{from, to, tag};
+  Frame frame;
+  frame.seq = nextSendSeq_[key]++;
+  frame.crc = crc32(payload.data(), payload.size());
+  frame.payload = std::move(payload);
+  // Injectable link failures. Corruption happens after framing so the
+  // CRC no longer matches; an empty payload corrupts the checksum field
+  // itself (same detection path).
+  if (faultFires("comm.corrupt")) {
+    if (frame.payload.empty())
+      frame.crc ^= 1u;
+    else
+      frame.payload[frame.payload.size() / 2] ^= 0x20u;
+  }
+  const bool dropped = faultFires("comm.drop");
+  const bool duplicated = faultFires("comm.duplicate");
+  if (dropped) return;  // seq already advanced -> receiver sees the gap
+  auto& box = mailboxes_[key];
+  if (duplicated) box.push_back(frame);
+  box.push_back(std::move(frame));
+}
+
+std::uint64_t SimComm::expectedSeq(const Key& key) const {
+  const auto it = nextRecvSeq_.find(key);
+  return it == nextRecvSeq_.end() ? 0 : it->second;
 }
 
 std::vector<std::uint8_t> SimComm::receive(int to, int from, int tag) {
-  auto it = mailboxes_.find({from, to, tag});
-  require(it != mailboxes_.end() && !it->second.empty(),
-          "no pending message for (from,to,tag)");
-  std::vector<std::uint8_t> payload = std::move(it->second.front());
+  const Key key{from, to, tag};
+  std::uint64_t& expected = nextRecvSeq_[key];
+  auto it = mailboxes_.find(key);
+  // Sequence numbers grow per channel, so duplicates sit in front of the
+  // frame they duplicate; discard them before delivering.
+  while (it != mailboxes_.end() && !it->second.empty() &&
+         it->second.front().seq < expected) {
+    it->second.pop_front();
+    ++duplicatesDropped_;
+  }
+  if (it != mailboxes_.end() && it->second.empty()) {
+    mailboxes_.erase(it);
+    it = mailboxes_.end();
+  }
+  if (it == mailboxes_.end())
+    throw CommError("no pending message for " + channelName(from, to, tag));
+  Frame frame = std::move(it->second.front());
   it->second.pop_front();
   if (it->second.empty()) mailboxes_.erase(it);
-  return payload;
+  if (frame.seq > expected) {
+    const std::uint64_t wanted = expected;
+    expected = frame.seq + 1;
+    throw CommError("message lost on " + channelName(from, to, tag) +
+                    ": expected seq " + std::to_string(wanted) + ", got seq " +
+                    std::to_string(frame.seq));
+  }
+  expected = frame.seq + 1;
+  if (crc32(frame.payload.data(), frame.payload.size()) != frame.crc) {
+    ++crcFailures_;
+    throw CommError("message corrupt on " + channelName(from, to, tag) +
+                    ": payload failed CRC32 framing check");
+  }
+  return std::move(frame.payload);
 }
 
 bool SimComm::hasMessage(int to, int from, int tag) const {
-  auto it = mailboxes_.find({from, to, tag});
-  return it != mailboxes_.end() && !it->second.empty();
+  const Key key{from, to, tag};
+  const auto it = mailboxes_.find(key);
+  if (it == mailboxes_.end() || it->second.empty()) return false;
+  // Per-channel sequence numbers are monotone, so the newest frame
+  // decides whether anything undelivered remains.
+  return it->second.back().seq >= expectedSeq(key);
 }
 
 int SimComm::pendingCount(int to, int tag) const {
   int count = 0;
-  for (const auto& [key, queue] : mailboxes_)
-    if (key.to == to && key.tag == tag)
-      count += static_cast<int>(queue.size());
+  for (const auto& [key, queue] : mailboxes_) {
+    if (key.to != to || key.tag != tag) continue;
+    const std::uint64_t expected = expectedSeq(key);
+    for (const Frame& f : queue)
+      if (f.seq >= expected) ++count;
+  }
   return count;
 }
 
@@ -50,9 +119,36 @@ std::vector<std::pair<int, std::vector<std::uint8_t>>> SimComm::receiveAll(
   return result;
 }
 
+void SimComm::resetChannel(int from, int to, int tag) {
+  const Key key{from, to, tag};
+  mailboxes_.erase(key);
+  nextSendSeq_.erase(key);
+  nextRecvSeq_.erase(key);
+}
+
+void SimComm::resetChannels(int tagLo, int tagHi) {
+  const auto inRange = [&](const Key& k) {
+    return k.tag >= tagLo && k.tag < tagHi;
+  };
+  for (auto it = mailboxes_.begin(); it != mailboxes_.end();)
+    it = inRange(it->first) ? mailboxes_.erase(it) : std::next(it);
+  for (auto it = nextSendSeq_.begin(); it != nextSendSeq_.end();)
+    it = inRange(it->first) ? nextSendSeq_.erase(it) : std::next(it);
+  for (auto it = nextRecvSeq_.begin(); it != nextRecvSeq_.end();)
+    it = inRange(it->first) ? nextRecvSeq_.erase(it) : std::next(it);
+}
+
+void SimComm::resetAllChannels() {
+  mailboxes_.clear();
+  nextSendSeq_.clear();
+  nextRecvSeq_.clear();
+}
+
 void SimComm::resetStats() {
   bytesSent_ = 0;
   messagesSent_ = 0;
+  crcFailures_ = 0;
+  duplicatesDropped_ = 0;
 }
 
 }  // namespace tkmc

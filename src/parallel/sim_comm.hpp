@@ -14,6 +14,19 @@ namespace tkmc {
 /// receives. Messages between a (source, destination, tag) triple are
 /// FIFO. Byte and message counters feed the scaling model's communication
 /// calibration.
+///
+/// Every message is framed with a per-channel sequence number and a
+/// CRC32 of the payload, so the receive side detects the three classic
+/// link failures instead of silently delivering bad data:
+///   - corruption: the CRC check fails -> CommError;
+///   - loss: a sequence gap (or an empty mailbox) -> CommError;
+///   - duplication: an already-delivered sequence number is discarded
+///     silently and counted in duplicatesDropped().
+/// The fault points "comm.drop", "comm.corrupt", and "comm.duplicate"
+/// (see common/fault_injection.hpp) inject exactly those failures at
+/// send time. Retry protocols (GhostExchange, the engine's cycle
+/// rollback) call resetChannels()/resetAllChannels() before re-sending
+/// so stale frames and sequence state cannot leak across attempts.
 class SimComm {
  public:
   explicit SimComm(int ranks);
@@ -24,12 +37,13 @@ class SimComm {
   /// received.
   void send(int from, int to, int tag, std::vector<std::uint8_t> payload);
 
-  /// Pops the oldest message matching (from -> to, tag). Throws when none
-  /// is pending — phase protocols are deterministic, so a missing message
-  /// is a bug, not a wait condition.
+  /// Pops the oldest message matching (from -> to, tag). Throws
+  /// CommError when none is pending, when the frame fails its CRC
+  /// check, or when a sequence gap shows an earlier message was lost.
   std::vector<std::uint8_t> receive(int to, int from, int tag);
 
-  /// True when a matching message is pending.
+  /// True when a matching (not yet delivered, non-duplicate) message is
+  /// pending.
   bool hasMessage(int to, int from, int tag) const;
 
   /// Number of pending messages addressed to `to` with `tag`, any source.
@@ -39,8 +53,25 @@ class SimComm {
   std::vector<std::pair<int, std::vector<std::uint8_t>>> receiveAll(int to,
                                                                     int tag);
 
+  /// Clears pending messages and sequence tracking for one
+  /// (from -> to, tag) channel, so a retransmission protocol (ARQ) can
+  /// re-send a single failed message with a fresh sequence number.
+  void resetChannel(int from, int to, int tag);
+
+  /// Clears pending messages and sequence tracking for tags in
+  /// [tagLo, tagHi). Retry protocols re-send a whole phase from scratch.
+  void resetChannels(int tagLo, int tagHi);
+
+  /// Clears every mailbox and all sequence tracking (cycle rollback).
+  void resetAllChannels();
+
   std::uint64_t totalBytesSent() const { return bytesSent_; }
   std::uint64_t totalMessagesSent() const { return messagesSent_; }
+  /// Frames rejected because the payload CRC did not match.
+  std::uint64_t crcFailures() const { return crcFailures_; }
+  /// Frames discarded because their sequence number was already
+  /// delivered (duplicate detection).
+  std::uint64_t duplicatesDropped() const { return duplicatesDropped_; }
   void resetStats();
 
  private:
@@ -55,10 +86,22 @@ class SimComm {
     }
   };
 
+  struct Frame {
+    std::uint64_t seq = 0;
+    std::uint32_t crc = 0;
+    std::vector<std::uint8_t> payload;
+  };
+
+  std::uint64_t expectedSeq(const Key& key) const;
+
   int ranks_;
-  std::map<Key, std::deque<std::vector<std::uint8_t>>> mailboxes_;
+  std::map<Key, std::deque<Frame>> mailboxes_;
+  std::map<Key, std::uint64_t> nextSendSeq_;
+  std::map<Key, std::uint64_t> nextRecvSeq_;
   std::uint64_t bytesSent_ = 0;
   std::uint64_t messagesSent_ = 0;
+  std::uint64_t crcFailures_ = 0;
+  std::uint64_t duplicatesDropped_ = 0;
 };
 
 }  // namespace tkmc

@@ -23,7 +23,7 @@ class CpeContext {
  public:
   CpeContext(int id, const ArchSpec& spec, CpeGrid& grid)
       : id_(id), row_(id / spec.cpeCols), col_(id % spec.cpeCols),
-        ldm_(spec.ldmBytes), grid_(grid) {}
+        ldm_(spec.ldmBytes, id), grid_(grid) {}
 
   int id() const { return id_; }
   int row() const { return row_; }

@@ -1,12 +1,14 @@
 #include "sunway/ldm.hpp"
 
 #include <cstdint>
+#include <string>
 
 #include "common/error.hpp"
 
 namespace tkmc {
 
-Ldm::Ldm(std::size_t capacityBytes) : arena_(capacityBytes) {
+Ldm::Ldm(std::size_t capacityBytes, int cpeId)
+    : arena_(capacityBytes), cpeId_(cpeId) {
   require(capacityBytes > 0, "LDM capacity must be positive");
 }
 
@@ -17,8 +19,16 @@ void* Ldm::allocBytes(std::size_t bytes, std::size_t alignment) {
   const std::uintptr_t address =
       (base + offset_ + alignment - 1) & ~(alignment - 1);
   const std::size_t newOffset = (address - base) + bytes;
-  require(newOffset <= arena_.size(),
-          "LDM overflow: kernel working set exceeds scratchpad capacity");
+  if (newOffset > arena_.size())
+    throw InvariantError(
+        "LDM overflow on CPE " +
+        (cpeId_ >= 0 ? std::to_string(cpeId_) : std::string("<standalone>")) +
+        ": requested " + std::to_string(bytes) + " bytes (" +
+        std::to_string(newOffset - offset_) + " with alignment) at offset " +
+        std::to_string(offset_) + ", capacity " +
+        std::to_string(arena_.size()) + ", high water " +
+        std::to_string(highWater_) +
+        " — kernel working set exceeds scratchpad capacity");
   offset_ = newOffset;
   if (offset_ > highWater_) highWater_ = offset_;
   return reinterpret_cast<void*>(address);

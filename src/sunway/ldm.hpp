@@ -16,10 +16,13 @@ namespace tkmc {
 /// distributes model parameters across CPEs in the first place).
 class Ldm {
  public:
-  explicit Ldm(std::size_t capacityBytes);
+  /// `cpeId` is carried into overflow diagnostics so an exhausted
+  /// scratchpad names the offending core (-1 when standalone).
+  explicit Ldm(std::size_t capacityBytes, int cpeId = -1);
 
-  /// Allocates `count` elements of T, 64-byte aligned. Throws tkmc::Error
-  /// when the arena is exhausted.
+  /// Allocates `count` elements of T, 64-byte aligned. Throws
+  /// tkmc::InvariantError naming the CPE, the requested bytes, the
+  /// capacity, and the high-water mark when the arena is exhausted.
   template <typename T>
   std::span<T> alloc(std::size_t count) {
     void* p = allocBytes(count * sizeof(T), alignof(T) > 64 ? alignof(T) : 64);
@@ -32,6 +35,7 @@ class Ldm {
   std::size_t capacity() const { return arena_.size(); }
   std::size_t used() const { return offset_; }
   std::size_t highWater() const { return highWater_; }
+  int cpeId() const { return cpeId_; }
 
  private:
   void* allocBytes(std::size_t bytes, std::size_t alignment);
@@ -39,6 +43,7 @@ class Ldm {
   std::vector<std::uint8_t> arena_;
   std::size_t offset_ = 0;
   std::size_t highWater_ = 0;
+  int cpeId_ = -1;
 };
 
 }  // namespace tkmc

@@ -4,8 +4,10 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "kmc/eam_energy_model.hpp"
 
 namespace tkmc {
@@ -115,8 +117,176 @@ TEST(Checkpoint, ResumeWithoutCacheAlsoBitExact) {
   std::remove(path.c_str());
 }
 
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void writeFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  out << contents;
+}
+
+void cleanupReplicas(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".bak").c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
 TEST(Checkpoint, MissingFileThrows) {
-  EXPECT_THROW(loadCheckpoint("/no/such/file.chk"), Error);
+  EXPECT_THROW(loadCheckpoint("/no/such/file.chk"), IoError);
+}
+
+TEST(Checkpoint, WritesV2WithCrcFooterAndNoTempResidue) {
+  World w(7);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  SerialEngine engine(w.state, model, w.cet, config(15));
+  const std::string path = tempPath("tkmc_checkpoint_v2.chk");
+  cleanupReplicas(path);
+  saveCheckpoint(path, w.state, engine);
+  const std::string contents = readFile(path);
+  EXPECT_EQ(contents.rfind("tensorkmc-checkpoint 2\n", 0), 0u);
+  EXPECT_NE(contents.rfind("\ncrc32 "), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  const CheckpointData data = loadCheckpoint(path);
+  EXPECT_EQ(data.restoreState().raw(), w.state.raw());
+  cleanupReplicas(path);
+}
+
+TEST(Checkpoint, BitFlippedBodyFailsCrc) {
+  World w(8);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  SerialEngine engine(w.state, model, w.cet, config(17));
+  const std::string path = tempPath("tkmc_checkpoint_bitflip.chk");
+  cleanupReplicas(path);
+  saveCheckpoint(path, w.state, engine);
+  std::string contents = readFile(path);
+  contents[contents.size() / 2] ^= 0x01;  // single bit flip in the body
+  writeFile(path, contents);
+  EXPECT_THROW(loadCheckpoint(path), IoError);
+  cleanupReplicas(path);
+}
+
+TEST(Checkpoint, WrongMagicAndVersionAreTypedErrors) {
+  const std::string path = tempPath("tkmc_checkpoint_magic.chk");
+  writeFile(path, "not-a-checkpoint 7\n");
+  EXPECT_THROW(loadCheckpoint(path), IoError);
+  writeFile(path, "tensorkmc-checkpoint 9\n1 1 1 2.87\n");
+  EXPECT_THROW(loadCheckpoint(path), IoError);
+  cleanupReplicas(path);
+}
+
+TEST(Checkpoint, VacancyListDisagreeingWithOccupationIsInvariantError) {
+  World w(9);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  SerialEngine engine(w.state, model, w.cet, config(19));
+  const std::string path = tempPath("tkmc_checkpoint_vacdisagree.chk");
+  cleanupReplicas(path);
+  saveCheckpoint(path, w.state, engine);
+  CheckpointData data = loadCheckpoint(path);
+  // Point the first vacancy at a site the occupation says is an atom.
+  const BccLattice lat(data.cellsX, data.cellsY, data.cellsZ,
+                       data.latticeConstant);
+  Vec3i forged{0, 0, 0};
+  bool found = false;
+  for (int x = 0; x < 8 && !found; x += 2)
+    for (int y = 0; y < 8 && !found; y += 2) {
+      const Vec3i p{x, y, 0};
+      if (data.species[static_cast<std::size_t>(lat.siteId(p))] !=
+          Species::kVacancy) {
+        forged = p;
+        found = true;
+      }
+    }
+  ASSERT_TRUE(found);
+  data.vacancyOrder[0] = forged;
+  EXPECT_THROW(data.restoreState(), InvariantError);
+  cleanupReplicas(path);
+}
+
+TEST(Checkpoint, SecondSaveRotatesBackupAndFallbackRecovers) {
+  World w(10);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  SerialEngine engine(w.state, model, w.cet, config(21));
+  const std::string path = tempPath("tkmc_checkpoint_rotate.chk");
+  cleanupReplicas(path);
+  saveCheckpoint(path, w.state, engine);        // good primary
+  engine.step();
+  saveCheckpoint(path, w.state, engine);        // rotates good -> .bak
+  ASSERT_TRUE(std::filesystem::exists(path + ".bak"));
+
+  // Corrupt the primary; fallback must degrade to the backup.
+  std::string contents = readFile(path);
+  contents[contents.size() / 3] ^= 0x04;
+  writeFile(path, contents);
+  EXPECT_THROW(loadCheckpoint(path), IoError);
+  const CheckpointLoadResult result = loadCheckpointWithFallback(path);
+  EXPECT_TRUE(result.usedBackup);
+  EXPECT_EQ(result.data.engine.steps, 0u);  // the pre-step snapshot
+  cleanupReplicas(path);
+}
+
+TEST(Checkpoint, FallbackPrefersHealthyPrimary) {
+  World w(11);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  SerialEngine engine(w.state, model, w.cet, config(23));
+  const std::string path = tempPath("tkmc_checkpoint_primary.chk");
+  cleanupReplicas(path);
+  saveCheckpoint(path, w.state, engine);
+  const CheckpointLoadResult result = loadCheckpointWithFallback(path);
+  EXPECT_FALSE(result.usedBackup);
+  cleanupReplicas(path);
+}
+
+TEST(Checkpoint, BothReplicasCorruptIsUnrecoverable) {
+  const std::string path = tempPath("tkmc_checkpoint_unrecoverable.chk");
+  writeFile(path, "garbage");
+  writeFile(path + ".bak", "more garbage");
+  EXPECT_THROW(loadCheckpointWithFallback(path), IoError);
+  cleanupReplicas(path);
+}
+
+TEST(Checkpoint, InjectedCorruptWriteIsCaughtAndBackupServes) {
+  World w(12);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  SerialEngine engine(w.state, model, w.cet, config(25));
+  for (int i = 0; i < 5; ++i) engine.step();
+  const std::string path = tempPath("tkmc_checkpoint_injected.chk");
+  cleanupReplicas(path);
+  saveCheckpoint(path, w.state, engine);  // good replica
+
+  FaultInjector inj(31);
+  inj.armOnce("checkpoint.corrupt_write");
+  FaultScope scope(inj);
+  engine.step();
+  saveCheckpoint(path, w.state, engine);  // corrupted on the way out
+  EXPECT_EQ(inj.fireCount("checkpoint.corrupt_write"), 1u);
+  EXPECT_THROW(loadCheckpoint(path), IoError);
+
+  const CheckpointLoadResult result = loadCheckpointWithFallback(path);
+  EXPECT_TRUE(result.usedBackup);
+  EXPECT_EQ(result.data.engine.steps, 5u);
+  // Round trip continues from the recovered replica.
+  const LatticeState restored = result.data.restoreState();
+  EXPECT_EQ(restored.vacancies().size(), 3u);
+  cleanupReplicas(path);
+}
+
+TEST(Checkpoint, V1FilesStillLoadReadOnly) {
+  World w(13);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  SerialEngine engine(w.state, model, w.cet, config(27));
+  for (int i = 0; i < 3; ++i) engine.step();
+  const std::string path = tempPath("tkmc_checkpoint_v1.chk");
+  cleanupReplicas(path);
+  saveCheckpointV1(path, w.state, engine);
+  const std::string contents = readFile(path);
+  EXPECT_EQ(contents.rfind("tensorkmc-checkpoint 1\n", 0), 0u);
+  EXPECT_EQ(contents.rfind("\ncrc32 "), std::string::npos);
+  const CheckpointData data = loadCheckpoint(path);
+  EXPECT_EQ(data.engine.steps, 3u);
+  EXPECT_EQ(data.restoreState().raw(), w.state.raw());
+  cleanupReplicas(path);
 }
 
 TEST(Checkpoint, CorruptFileThrows) {

@@ -6,6 +6,7 @@
 
 #include "analysis/cluster_analysis.hpp"
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "common/rng.hpp"
 #include "kmc/eam_energy_model.hpp"
 #include "kmc/nnp_energy_model.hpp"
@@ -201,6 +202,138 @@ TEST(ParallelEngine, CommTrafficIsRecorded) {
   engine.runCycle();
   EXPECT_GT(engine.comm().totalBytesSent(), 0u);
   EXPECT_GT(engine.comm().totalMessagesSent(), 0u);
+}
+
+// --- Fault tolerance: cycle rollback, comm retry, invariant monitors ---
+
+TEST(ParallelEngineFaults, RecoveryOnAndOffAreBitIdenticalWhenDisarmed) {
+  // The recovery layer (snapshots, CRC framing, invariant checks) must
+  // not perturb the physics: same seeds => same event sequence.
+  ParallelWorld a(11), b(11);
+  EamEnergyModel ma(a.cet, a.net, a.eam), mb(b.cet, b.net, b.eam);
+  ParallelConfig withRecovery = fastConfig(20);
+  withRecovery.enableRecovery = true;
+  withRecovery.invariantCadence = 2;
+  ParallelConfig without = fastConfig(20);
+  without.enableRecovery = false;
+  ParallelEngine ea(a.state, ma, a.cet, withRecovery);
+  ParallelEngine eb(b.state, mb, b.cet, without);
+  for (int c = 0; c < 6; ++c) {
+    ea.runCycle();
+    eb.runCycle();
+  }
+  EXPECT_EQ(ea.totalEvents(), eb.totalEvents());
+  EXPECT_EQ(ea.discardedEvents(), eb.discardedEvents());
+  EXPECT_EQ(ea.assembleGlobalState().raw(), eb.assembleGlobalState().raw());
+  const RecoveryStats stats = ea.recoveryStats();
+  EXPECT_EQ(stats.rollbacks, 0u);
+  EXPECT_EQ(stats.commErrors, 0u);
+  EXPECT_EQ(stats.ghostRetries, 0u);
+  EXPECT_EQ(stats.foldRetries, 0u);
+}
+
+TEST(ParallelEngineFaults, SurvivesMessageCorruptionAtFivePercent) {
+  // Acceptance scenario: p = 0.05 corruption on every message, 6 cycles.
+  // The run must complete with the physics invariants intact and the
+  // recovery visible in the engine stats.
+  ParallelWorld w(12);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  ParallelConfig cfg = fastConfig(21);
+  cfg.tStop = 5e-8;
+  cfg.maxReplays = 8;  // headroom beyond what per-message ARQ absorbs
+  ParallelEngine engine(w.state, model, w.cet, cfg);
+  FaultInjector inj(2021);
+  inj.armProbability("comm.corrupt", 0.05);
+  FaultScope scope(inj);
+  for (int c = 0; c < 6; ++c) {
+    engine.runCycle();
+    ASSERT_EQ(engine.vacancyCount(), 6) << "cycle " << c;
+  }
+  ASSERT_TRUE(engine.ghostsConsistent());
+  EXPECT_GT(inj.fireCount("comm.corrupt"), 0u);
+  const RecoveryStats stats = engine.recoveryStats();
+  EXPECT_GT(stats.ghostRetries + stats.foldRetries + stats.rollbacks, 0u);
+}
+
+TEST(ParallelEngineFaults, SurvivesDropsAndDuplicates) {
+  ParallelWorld w(13);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  ParallelConfig cfg = fastConfig(22);
+  cfg.tStop = 5e-8;
+  cfg.maxReplays = 8;
+  ParallelEngine engine(w.state, model, w.cet, cfg);
+  FaultInjector inj(7);
+  inj.armProbability("comm.drop", 0.02);
+  inj.armProbability("comm.duplicate", 0.02);
+  FaultScope scope(inj);
+  for (int c = 0; c < 5; ++c) {
+    engine.runCycle();
+    ASSERT_EQ(engine.vacancyCount(), 6) << "cycle " << c;
+  }
+  ASSERT_TRUE(engine.ghostsConsistent());
+  EXPECT_GT(inj.fireCount("comm.drop") + inj.fireCount("comm.duplicate"), 0u);
+}
+
+TEST(ParallelEngineFaults, RollsBackAndReplaysInjectedCycleFault) {
+  ParallelWorld w(14);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  ParallelEngine engine(w.state, model, w.cet, fastConfig(23));
+  FaultInjector inj(9);
+  inj.armSchedule("engine.cycle", {2});  // trip the second cycle once
+  FaultScope scope(inj);
+  for (int c = 0; c < 4; ++c) engine.runCycle();
+  EXPECT_EQ(engine.cycles(), 4u);
+  EXPECT_EQ(engine.recoveryStats().rollbacks, 1u);
+  EXPECT_EQ(engine.vacancyCount(), 6);
+  EXPECT_TRUE(engine.ghostsConsistent());
+}
+
+TEST(ParallelEngineFaults, ReplayedCycleMatchesUnfaultedTrajectory) {
+  // A rollback must rewind the RNG streams with the state: after the
+  // replay the trajectory is the one an unfaulted run produces.
+  ParallelWorld a(15), b(15);
+  EamEnergyModel ma(a.cet, a.net, a.eam), mb(b.cet, b.net, b.eam);
+  ParallelEngine ea(a.state, ma, a.cet, fastConfig(24));
+  ParallelEngine eb(b.state, mb, b.cet, fastConfig(24));
+  {
+    FaultInjector inj(10);
+    inj.armSchedule("engine.cycle", {1, 3});
+    FaultScope scope(inj);
+    for (int c = 0; c < 4; ++c) ea.runCycle();
+  }
+  for (int c = 0; c < 4; ++c) eb.runCycle();
+  EXPECT_EQ(ea.recoveryStats().rollbacks, 2u);
+  EXPECT_EQ(ea.totalEvents(), eb.totalEvents());
+  EXPECT_EQ(ea.assembleGlobalState().raw(), eb.assembleGlobalState().raw());
+}
+
+TEST(ParallelEngineFaults, WithoutRecoveryTheSameFaultAborts) {
+  // The contrast case for the acceptance criterion: identical arming,
+  // recovery disabled -> the typed error surfaces to the caller.
+  ParallelWorld w(16);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  ParallelConfig cfg = fastConfig(25);
+  cfg.enableRecovery = false;
+  cfg.commMaxAttempts = 1;  // no ghost-exchange retry either
+  ParallelEngine engine(w.state, model, w.cet, cfg);
+  FaultInjector inj(11);
+  inj.armSchedule("comm.corrupt", {1});
+  FaultScope scope(inj);
+  EXPECT_THROW(engine.runCycle(), CommError);
+}
+
+TEST(ParallelEngineFaults, UnrecoverableFaultStormSurfacesTypedError) {
+  ParallelWorld w(17);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  ParallelConfig cfg = fastConfig(26);
+  cfg.maxReplays = 2;
+  cfg.commMaxAttempts = 2;
+  ParallelEngine engine(w.state, model, w.cet, cfg);
+  FaultInjector inj(12);
+  inj.armProbability("comm.corrupt", 1.0);  // nothing gets through, ever
+  FaultScope scope(inj);
+  EXPECT_THROW(engine.runCycle(), CommError);
+  EXPECT_GT(engine.recoveryStats().commErrors, 0u);
 }
 
 TEST(ParallelEngine, RunsOnTheNnpBackend) {

@@ -62,7 +62,13 @@ int main(int argc, char** argv) {
     Stopwatch setup;
     Simulation sim(config);
     if (!deck.checkpointReadPath().empty()) {
-      sim.restoreCheckpoint(loadCheckpoint(deck.checkpointReadPath()));
+      const bool usedBackup =
+          sim.restoreCheckpointFromFile(deck.checkpointReadPath());
+      if (usedBackup)
+        std::fprintf(stderr,
+                     "warning: %s was unreadable; resumed from the .bak "
+                     "replica\n",
+                     deck.checkpointReadPath().c_str());
       std::printf("resumed from %s at t = %.4e s (%llu events)\n",
                   deck.checkpointReadPath().c_str(), sim.time(),
                   static_cast<unsigned long long>(sim.steps()));
