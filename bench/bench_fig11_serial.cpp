@@ -17,6 +17,7 @@
 
 #include "common/stopwatch.hpp"
 #include "common/table_writer.hpp"
+#include "common/telemetry/telemetry.hpp"
 #include "nnp/conv_stack.hpp"
 #include "sunway/bigfusion_operator.hpp"
 #include "sunway/feature_operator.hpp"
@@ -131,6 +132,24 @@ void runCutoff(double cutoff, const Network::Snapshot& snapshot) {
               perf.modeledSeconds(layerwise) * 1e3,
               perf.modeledSeconds(fused) * 1e3,
               perf.modeledSeconds(layerwise) / perf.modeledSeconds(fused));
+
+  // Measurements above run with telemetry off (the timings are the
+  // product); the snapshot is filled afterwards.
+  telemetry::ScopedEnable record;
+  telemetry::MetricsRegistry& reg = telemetry::metrics();
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "bench.fig11.rc%.1f", cutoff);
+  auto publish = [&](const char* cfg, const Timings& t) {
+    reg.gauge(std::string(prefix) + "." + cfg + ".feature_ms")
+        .set(t.featureMs);
+    reg.gauge(std::string(prefix) + "." + cfg + ".energy_ms").set(t.energyMs);
+    reg.gauge(std::string(prefix) + "." + cfg + ".total_ms").set(t.totalMs());
+  };
+  publish("x86", x86);
+  publish("sw", sw);
+  publish("sw_opt", swOpt);
+  reg.gauge(std::string(prefix) + ".speedup").set(x86.totalMs() /
+                                                  swOpt.totalMs());
 }
 
 }  // namespace
@@ -144,5 +163,7 @@ int main() {
   const auto snapshot = network.foldedSnapshot();
   runCutoff(kDefaultCutoff, snapshot);
   runCutoff(kShortCutoff, snapshot);
+  telemetry::metrics().writeJson("BENCH_fig11_serial.metrics.json");
+  std::printf("\nwrote BENCH_fig11_serial.metrics.json\n");
   return 0;
 }

@@ -8,8 +8,10 @@
 
 #include <cstdio>
 
+#include "common/memory_tracker.hpp"
 #include "common/rng.hpp"
 #include "common/table_writer.hpp"
+#include "common/telemetry/telemetry.hpp"
 #include "openkmc/memory_model.hpp"
 #include "openkmc/openkmc_engine.hpp"
 
@@ -79,5 +81,20 @@ int main() {
                   mb(expected)});
   }
   check.print();
+
+  // Snapshot: the analytic inventory per table size plus the measured
+  // host-scale cross-check, in the same metrics format every --telemetry
+  // run produces.
+  telemetry::ScopedEnable record;
+  MemoryTracker inventory;
+  for (std::int64_t atoms : sizes) {
+    const std::string tag = std::to_string(atoms / 1'000'000) + "m_atoms";
+    inventory.set(tag + "_openkmc_runtime", model.openKmc(atoms).runtime);
+    inventory.set(tag + "_tensorkmc_runtime", model.tensorKmc(atoms).runtime);
+    inventory.set(tag + "_vac_cache", model.tensorKmc(atoms).vacCache);
+  }
+  inventory.publishTelemetry("bench.table1");
+  telemetry::metrics().writeJson("BENCH_table1_memory.metrics.json");
+  std::printf("\nwrote BENCH_table1_memory.metrics.json\n");
   return 0;
 }

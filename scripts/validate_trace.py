@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by --telemetry.
+
+Checks that the file is well-formed JSON with a traceEvents array, that
+every event carries the required fields, and that duration events are
+balanced: every 'B' has a matching 'E' on the same (pid, tid) track, in
+LIFO order, with monotonically non-decreasing timestamps.
+
+Usage: validate_trace.py trace.json [--require-span NAME ...]
+
+Exit status 0 when the trace is valid (and every --require-span name is
+present), 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="path to trace.json")
+    parser.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require at least one complete span with this exact name",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as e:
+        return fail(f"cannot read {args.trace}: {e}")
+    except json.JSONDecodeError as e:
+        return fail(f"{args.trace} is not valid JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail("top level must be an object with a 'traceEvents' array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail("'traceEvents' must be an array")
+    if not events:
+        return fail("'traceEvents' is empty")
+
+    stacks = {}  # (pid, tid) -> list of (name, ts)
+    last_ts = {}  # (pid, tid) -> ts
+    completed = set()
+    span_count = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return fail(f"event {i} is not an object")
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in ev:
+                return fail(f"event {i} is missing required field '{field}'")
+        name, ph, ts = ev["name"], ev["ph"], ev["ts"]
+        if not isinstance(name, str) or not name:
+            return fail(f"event {i} has a non-string or empty name")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            return fail(f"event {i} ({name!r}) has invalid ts {ts!r}")
+        track = (ev["pid"], ev["tid"])
+        if ts < last_ts.get(track, 0):
+            return fail(
+                f"event {i} ({name!r}) goes backwards in time on track "
+                f"{track}: {ts} < {last_ts[track]}"
+            )
+        last_ts[track] = ts
+        if ph == "B":
+            stacks.setdefault(track, []).append((name, ts))
+        elif ph == "E":
+            stack = stacks.get(track)
+            if not stack:
+                return fail(
+                    f"event {i}: 'E' for {name!r} on track {track} with no "
+                    f"open span"
+                )
+            open_name, _ = stack.pop()
+            if open_name != name:
+                return fail(
+                    f"event {i}: 'E' for {name!r} does not match open span "
+                    f"{open_name!r} on track {track} (not LIFO)"
+                )
+            completed.add(name)
+            span_count += 1
+        elif ph == "i":
+            pass  # instant events need no pairing
+        else:
+            return fail(f"event {i} ({name!r}) has unsupported phase {ph!r}")
+
+    for track, stack in stacks.items():
+        if stack:
+            names = ", ".join(repr(n) for n, _ in stack)
+            return fail(f"track {track} ends with unclosed spans: {names}")
+
+    missing = [n for n in args.require_span if n not in completed]
+    if missing:
+        return fail(
+            "required spans absent from trace: " + ", ".join(repr(n) for n in missing)
+        )
+
+    print(
+        f"validate_trace: OK: {len(events)} events, {span_count} complete "
+        f"spans, {len(completed)} distinct span names"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,20 @@
 #include "common/memory_tracker.hpp"
 
+#include <algorithm>
 #include <cstdio>
+
+#include "common/telemetry/telemetry.hpp"
 
 namespace tkmc {
 
 void MemoryTracker::set(const std::string& name, std::size_t bytes) {
   entries_[name] = bytes;
+  peak_ = std::max(peak_, totalBytes());
 }
 
 void MemoryTracker::add(const std::string& name, std::size_t bytes) {
   entries_[name] += bytes;
+  peak_ = std::max(peak_, totalBytes());
 }
 
 std::size_t MemoryTracker::bytes(const std::string& name) const {
@@ -31,6 +36,17 @@ std::vector<std::string> MemoryTracker::names() const {
 }
 
 void MemoryTracker::clear() { entries_.clear(); }
+
+void MemoryTracker::publishTelemetry(const std::string& prefix) const {
+  namespace tm = telemetry;
+  if (!tm::enabled()) return;
+  tm::MetricsRegistry& reg = tm::metrics();
+  for (const auto& [name, bytes] : entries_)
+    reg.gauge(prefix + "." + name + "_bytes")
+        .set(static_cast<double>(bytes));
+  reg.gauge(prefix + ".total_bytes").set(static_cast<double>(totalBytes()));
+  reg.gauge(prefix + ".peak_bytes").set(static_cast<double>(peak_));
+}
 
 std::string MemoryTracker::toMiB(std::size_t bytes) {
   char buffer[32];

@@ -28,16 +28,27 @@ class MemoryTracker {
   /// Sum of all recorded entries.
   std::size_t totalBytes() const;
 
+  /// Largest totalBytes() ever observed after a set()/add() (survives
+  /// clear(), so Table-1-style peak claims are reproducible from a run
+  /// that rebuilds its inventory).
+  std::size_t peakBytes() const { return peak_; }
+
   /// Entry names in lexicographic order.
   std::vector<std::string> names() const;
 
   void clear();
+
+  /// Publishes each entry as gauge `<prefix>.<name>_bytes` plus
+  /// `<prefix>.total_bytes` and `<prefix>.peak_bytes` in the global
+  /// telemetry registry. No-op while telemetry is disabled.
+  void publishTelemetry(const std::string& prefix) const;
 
   /// Formats a byte count as mebibytes with two decimals, e.g. "4014.00".
   static std::string toMiB(std::size_t bytes);
 
  private:
   std::map<std::string, std::size_t> entries_;
+  std::size_t peak_ = 0;
 };
 
 }  // namespace tkmc

@@ -4,17 +4,47 @@
 
 namespace tkmc {
 
-/// Monotonic wall-clock stopwatch used by benches and the scaling model
-/// calibration.
+/// Monotonic wall-clock stopwatch used by benches, the scaling model
+/// calibration, and the telemetry layer's phase timing.
+///
+/// Runs from construction; pause()/resume() exclude intervals from the
+/// accumulated time, which is what sector-interleaved phase timing needs
+/// (one stopwatch per phase, resumed when the phase is active). A
+/// stopwatch that is never paused behaves exactly like the original
+/// always-running version.
 class Stopwatch {
  public:
   Stopwatch() { reset(); }
 
-  void reset() { start_ = Clock::now(); }
+  /// Discards accumulated time and restarts in the running state.
+  void reset() {
+    accumulated_ = Duration::zero();
+    running_ = true;
+    start_ = Clock::now();
+  }
 
-  /// Seconds elapsed since construction or the last reset().
+  /// Stops accumulating. No-op when already paused.
+  void pause() {
+    if (!running_) return;
+    accumulated_ += Clock::now() - start_;
+    running_ = false;
+  }
+
+  /// Restarts accumulation. No-op when already running.
+  void resume() {
+    if (running_) return;
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  bool running() const { return running_; }
+
+  /// Accumulated running seconds since construction or the last reset()
+  /// (paused intervals excluded).
   double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    Duration total = accumulated_;
+    if (running_) total += Clock::now() - start_;
+    return total.count();
   }
 
   double milliseconds() const { return seconds() * 1e3; }
@@ -22,7 +52,10 @@ class Stopwatch {
 
  private:
   using Clock = std::chrono::steady_clock;
+  using Duration = std::chrono::duration<double>;
   Clock::time_point start_;
+  Duration accumulated_ = Duration::zero();
+  bool running_ = true;
 };
 
 }  // namespace tkmc

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tkmc::telemetry {
+
+/// Process-wide telemetry switch. Recording (counter adds, histogram
+/// observations, span emission) is gated on this flag, so instrumented
+/// hot paths cost one relaxed atomic load and a branch when telemetry is
+/// off — and never allocate. Handle registration is *not* gated: call
+/// sites may acquire handles at construction regardless of the flag.
+bool enabled();
+void setEnabled(bool on);
+
+/// RAII enable/restore for tests and benches.
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool on = true) : previous_(enabled()) {
+    setEnabled(on);
+  }
+  ~ScopedEnable() { setEnabled(previous_); }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Monotonic event counter. add() is a relaxed fetch_add; safe from any
+/// thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (plus a monotone-max variant for high-water marks).
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  /// Raises the gauge to `v` if larger (high-water marks).
+  void max(double v) {
+    if (!enabled()) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with percentile estimation.
+///
+/// Buckets are upper-inclusive: an observation v lands in the first
+/// bucket whose bound satisfies v <= bound; values above the last bound
+/// land in the implicit overflow bucket. percentile() interpolates
+/// linearly inside the selected bucket (Prometheus histogram_quantile
+/// style), using the observed min/max to tighten the first and overflow
+/// buckets, so exact-bound observations report exact percentiles.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double minValue() const { return min_.load(std::memory_order_relaxed); }
+  double maxValue() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+
+  /// p in (0, 100]. Returns 0 with no observations.
+  double percentile(double p) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// i in [0, bounds().size()]; the last index is the overflow bucket.
+  std::uint64_t bucketCount(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Exponential seconds buckets, 1 us .. ~100 s (durations default).
+  static std::vector<double> timeBoundsSeconds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Named metric registry.
+///
+/// Lookup registers on first use and returns a stable reference; the
+/// returned handles remain valid for the registry's lifetime, so call
+/// sites resolve names once (construction time) and record lock-free
+/// afterwards. Naming convention: dot-separated `<subsystem>.<metric>`
+/// with a unit suffix where ambiguous (`_bytes`, `_seconds`); see
+/// DESIGN.md §9.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies on first registration only (subsequent lookups of
+  /// the same name ignore it); defaults to timeBoundsSeconds().
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  /// Flat JSON snapshot:
+  ///   {"counters":{name:int,...},"gauges":{...},
+  ///    "histograms":{name:{count,sum,min,max,mean,p50,p95,p99},...}}
+  std::string toJson() const;
+  void writeJson(const std::string& path) const;
+
+  /// Drops every metric (test/bench isolation). Invalidates handles.
+  void reset();
+
+  /// The process-wide registry instrumented code publishes into.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace tkmc::telemetry

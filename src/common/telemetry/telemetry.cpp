@@ -1,0 +1,23 @@
+#include "common/telemetry/telemetry.hpp"
+
+#include <filesystem>
+
+#include "common/error.hpp"
+
+namespace tkmc::telemetry {
+
+void writeAll(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  require(!ec, "cannot create telemetry directory: " + dir + " (" +
+                   ec.message() + ")");
+  tracer().writeJson((std::filesystem::path(dir) / "trace.json").string());
+  metrics().writeJson((std::filesystem::path(dir) / "metrics.json").string());
+}
+
+void resetAll() {
+  metrics().reset();
+  tracer().reset();
+}
+
+}  // namespace tkmc::telemetry

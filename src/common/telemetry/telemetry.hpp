@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "common/telemetry/metrics.hpp"
+#include "common/telemetry/tracer.hpp"
+
+namespace tkmc::telemetry {
+
+/// One-stop shop for instrumented code and drivers.
+///
+/// Naming and ownership conventions (see DESIGN.md §9):
+///   - metric names are dot-separated `<subsystem>.<metric>` with a unit
+///     suffix where ambiguous (`_bytes`, `_seconds`);
+///   - the component that owns a phase opens its span (an engine never
+///     opens spans on behalf of the comm layer);
+///   - span `tid` encodes the simulated rank (0 for global phases).
+
+/// Convenience: metrics().counter("x").inc() etc.
+inline MetricsRegistry& metrics() { return MetricsRegistry::global(); }
+inline Tracer& tracer() { return Tracer::global(); }
+
+/// Writes `<dir>/trace.json` (Chrome trace events) and
+/// `<dir>/metrics.json` (flat metrics snapshot), creating `dir` first.
+void writeAll(const std::string& dir);
+
+/// Clears the global registry and tracer and restarts the trace epoch
+/// (bench/test isolation; outstanding metric handles are invalidated).
+void resetAll();
+
+}  // namespace tkmc::telemetry

@@ -1,0 +1,132 @@
+#include "common/telemetry/tracer.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/telemetry/json.hpp"
+
+namespace tkmc::telemetry {
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t Tracer::nowMicros() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::begin(const char* name, int tid) {
+  if (!enabled()) return;
+  const std::uint64_t ts = nowMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back({name, 'B', ts, tid});
+}
+
+void Tracer::end(const char* name, int tid) {
+  if (!enabled()) return;
+  const std::uint64_t ts = nowMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back({name, 'E', ts, tid});
+}
+
+void Tracer::instant(const char* name, int tid) {
+  if (!enabled()) return;
+  const std::uint64_t ts = nowMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back({name, 'i', ts, tid});
+}
+
+std::size_t Tracer::eventCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void Tracer::setCapacity(std::size_t maxEvents) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = maxEvents;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string Tracer::toJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  std::uint64_t lastTs = 0;
+  // Dropped events (buffer at capacity) can orphan a 'B'; track the open
+  // spans so the export can close them and stay balanced.
+  std::map<int, std::vector<const std::string*>> open;
+  auto emit = [&](const std::string& name, char phase, std::uint64_t ts,
+                  int tid) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << escapeJson(name) << "\",\"cat\":\"tkmc\",\"ph\":\""
+        << phase << "\",\"ts\":" << ts << ",\"pid\":1,\"tid\":" << tid;
+    if (phase == 'i') out << ",\"s\":\"t\"";
+    out << "}";
+  };
+  for (const TraceEvent& e : events_) {
+    lastTs = e.tsMicros;
+    if (e.phase == 'B') {
+      open[e.tid].push_back(&e.name);
+    } else if (e.phase == 'E') {
+      auto& stack = open[e.tid];
+      if (stack.empty()) continue;  // orphaned end (its begin was dropped)
+      stack.pop_back();
+    }
+    emit(e.name, e.phase, e.tsMicros, e.tid);
+  }
+  for (auto& [tid, stack] : open) {
+    while (!stack.empty()) {
+      emit(*stack.back(), 'E', lastTs, tid);
+      stack.pop_back();
+    }
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+void Tracer::writeJson(const std::string& path) const {
+  std::ofstream out(path);
+  require(out.good(), "cannot open trace path: " + path);
+  out << toJson() << "\n";
+  require(out.good(), "failed writing trace: " + path);
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+}  // namespace tkmc::telemetry

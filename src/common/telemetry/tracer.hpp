@@ -1,0 +1,104 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/metrics.hpp"  // enabled()
+
+namespace tkmc::telemetry {
+
+/// One Chrome trace event. `phase` follows the trace-event format:
+/// 'B' begin, 'E' end, 'i' instant.
+struct TraceEvent {
+  std::string name;
+  char phase = 'i';
+  std::uint64_t tsMicros = 0;  // microseconds since the tracer epoch
+  int tid = 0;                 // lane; engines use the rank id
+};
+
+/// Collects nested spans and exports them as Chrome trace-event JSON
+/// (load the file in chrome://tracing or https://ui.perfetto.dev).
+///
+/// Recording is gated on telemetry::enabled(); a bounded event buffer
+/// (setCapacity) keeps long runs from exhausting memory — once full,
+/// further events are counted in dropped() instead of stored, and the
+/// exporter appends synthetic 'E' events for any spans still open so the
+/// file stays balanced.
+class Tracer {
+ public:
+  Tracer();
+
+  // Names are taken as C strings so a disabled tracer never materializes
+  // a std::string (the temporary would heap-allocate before the enabled
+  // check for names beyond the small-string capacity).
+  void begin(const char* name, int tid = 0);
+  void end(const char* name, int tid = 0);
+  void instant(const char* name, int tid = 0);
+
+  std::size_t eventCount() const;
+  std::uint64_t dropped() const;
+  void setCapacity(std::size_t maxEvents);
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"}
+  std::string toJson() const;
+  void writeJson(const std::string& path) const;
+
+  /// Drops all events and restarts the epoch.
+  void reset();
+
+  std::vector<TraceEvent> events() const;  // snapshot (tests)
+
+  static Tracer& global();
+
+ private:
+  std::uint64_t nowMicros() const;
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::size_t capacity_ = 1 << 18;
+  std::uint64_t dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span on the global tracer. When telemetry is disabled at
+/// construction the object holds no state and touches neither the clock
+/// nor the tracer — the disabled path is allocation-free.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, int tid = 0) {
+    if (enabled()) {
+      tracer_ = &Tracer::global();
+      name_ = name;
+      tid_ = tid;
+      tracer_->begin(name_, tid_);
+    }
+  }
+  ~ScopedSpan() {
+    if (tracer_) tracer_->end(name_, tid_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const char* name_ = nullptr;
+  int tid_ = 0;
+};
+
+#define TKMC_TELEMETRY_CONCAT2(a, b) a##b
+#define TKMC_TELEMETRY_CONCAT(a, b) TKMC_TELEMETRY_CONCAT2(a, b)
+
+/// Scoped span covering the rest of the enclosing block.
+#define TKMC_SPAN(name)                                       \
+  ::tkmc::telemetry::ScopedSpan TKMC_TELEMETRY_CONCAT(        \
+      tkmcTelemetrySpan_, __LINE__)(name)
+
+/// Scoped span on an explicit lane (per-rank timelines).
+#define TKMC_SPAN_TID(name, tid)                              \
+  ::tkmc::telemetry::ScopedSpan TKMC_TELEMETRY_CONCAT(        \
+      tkmcTelemetrySpan_, __LINE__)(name, tid)
+
+}  // namespace tkmc::telemetry

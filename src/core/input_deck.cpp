@@ -42,12 +42,18 @@ bool parseSwitch(const std::string& key, const std::string& value) {
   throw Error("input deck: key '" + key + "' needs on/off, got '" + value + "'");
 }
 
-std::vector<int> parseChannels(const std::string& value) {
-  std::vector<int> channels;
+std::vector<int> parseIntList(const std::string& key,
+                              const std::string& value) {
+  std::vector<int> items;
   std::stringstream ss(value);
   std::string item;
   while (std::getline(ss, item, ','))
-    channels.push_back(static_cast<int>(parseInt("channels", item)));
+    items.push_back(static_cast<int>(parseInt(key, item)));
+  return items;
+}
+
+std::vector<int> parseChannels(const std::string& value) {
+  std::vector<int> channels = parseIntList("channels", value);
   require(channels.size() >= 2, "input deck: channels needs >= 2 widths");
   return channels;
 }
@@ -120,6 +126,26 @@ void InputDeck::apply(const std::string& key, const std::string& value) {
     require(checkpointInterval_ > 0, "input deck: checkpoint_interval > 0");
   } else if (key == "checkpoint_read") {
     checkpointRead_ = value;
+  } else if (key == "mode") {
+    if (value == "serial") {
+      parallelMode_ = false;
+    } else if (value == "parallel") {
+      parallelMode_ = true;
+    } else {
+      throw Error("input deck: mode must be serial or parallel, got '" +
+                  value + "'");
+    }
+  } else if (key == "rank_grid") {
+    const std::vector<int> g = parseIntList(key, value);
+    require(g.size() == 3, "input deck: rank_grid needs three values x,y,z");
+    require(g[0] >= 2 && g[1] >= 2 && g[2] >= 2,
+            "input deck: rank_grid needs at least two ranks per axis");
+    rankGrid_ = {g[0], g[1], g[2]};
+  } else if (key == "t_stop") {
+    tStop_ = parseDouble(key, value);
+    require(tStop_ > 0, "input deck: t_stop > 0");
+  } else if (key == "recovery") {
+    recovery_ = parseSwitch(key, value);
   } else {
     throw Error("input deck: unknown key '" + key + "'");
   }

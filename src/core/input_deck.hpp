@@ -40,6 +40,10 @@ namespace tkmc {
 ///   checkpoint_write <path>     periodic checkpoint output (off)
 ///   checkpoint_interval <int>   events between checkpoints (10000)
 ///   checkpoint_read <path>      resume from a checkpoint (off)
+///   mode serial|parallel        engine selection (serial)
+///   rank_grid <x,y,z>           parallel rank decomposition (2,2,2)
+///   t_stop <float>              parallel sync interval, seconds (2e-8)
+///   recovery on|off             parallel rollback/replay (on)
 class InputDeck {
  public:
   /// Parses a deck from a stream. Throws tkmc::Error on malformed lines,
@@ -62,6 +66,12 @@ class InputDeck {
   std::uint64_t checkpointInterval() const { return checkpointInterval_; }
   const std::string& checkpointReadPath() const { return checkpointRead_; }
 
+  // Parallel-engine settings (mode parallel).
+  bool parallelMode() const { return parallelMode_; }
+  Vec3i rankGrid() const { return rankGrid_; }
+  double tStop() const { return tStop_; }
+  bool recovery() const { return recovery_; }
+
   /// True when the deck set `key` explicitly.
   bool has(const std::string& key) const { return raw_.count(key) > 0; }
 
@@ -81,6 +91,10 @@ class InputDeck {
   std::string checkpointWrite_;
   std::uint64_t checkpointInterval_ = 10000;
   std::string checkpointRead_;
+  bool parallelMode_ = false;
+  Vec3i rankGrid_{2, 2, 2};
+  double tStop_ = 2e-8;
+  bool recovery_ = true;
 };
 
 }  // namespace tkmc

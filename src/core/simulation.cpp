@@ -117,6 +117,16 @@ ClusterStats Simulation::cuClusters() const {
   return analyzeClusters(*state_, Species::kCu);
 }
 
+MemoryTracker Simulation::memoryUsage() const {
+  MemoryTracker tracker;
+  tracker.set("lattice_species",
+              state_->raw().size() * sizeof(Species));
+  tracker.set("vacancy_list", state_->vacancies().size() * sizeof(Vec3i));
+  tracker.set("vac_cache", engine_->cache().memoryBytes());
+  tracker.set("propensity_tree", engine_->tree().memoryBytes());
+  return tracker;
+}
+
 void Simulation::writeCheckpoint(const std::string& path) const {
   saveCheckpoint(path, *state_, *engine_);
 }

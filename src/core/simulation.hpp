@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "analysis/cluster_analysis.hpp"
+#include "common/memory_tracker.hpp"
 #include "eam/eam_potential.hpp"
 #include "kmc/checkpoint.hpp"
 #include "kmc/serial_engine.hpp"
@@ -78,12 +79,24 @@ class Simulation {
   const LatticeState& state() const;
   SerialEngine& engine();
 
+  /// Energy backend of this run (parallel drivers reuse it to build a
+  /// ParallelEngine over the same physics).
+  EnergyModel& model() { return *model_; }
+
+  /// Live-array memory inventory of the run (lattice occupation, vacancy
+  /// cache, propensity tree) — the host-scale analogue of the paper's
+  /// Table 1 rows, reproducible from any normal run.
+  MemoryTracker memoryUsage() const;
+
   /// Cu-precipitate statistics of the current configuration (Fig. 14).
   ClusterStats cuClusters() const;
 
   const SimulationConfig& config() const { return config_; }
   const Network* network() const { return network_.get(); }
   const Cet& cet() const { return *cet_; }
+  const Net& net() const { return *net_; }
+  /// Tabulated features (null for the EAM backend).
+  const FeatureTable* featureTable() const { return table_.get(); }
 
   /// Trains (or loads) the NNP for a configuration; exposed so examples
   /// and benches can reuse the exact pipeline.

@@ -17,6 +17,7 @@ void PropensityTree::resize(int leaves) {
 
 void PropensityTree::update(int index, double value) {
   require(index >= 0 && index < leaves_, "leaf index out of range");
+  ++updates_;
   std::size_t node = static_cast<std::size_t>(base_ + index);
   nodes_[node] = value;
   while (node > 1) {
@@ -35,6 +36,7 @@ double PropensityTree::total() const { return nodes_.size() > 1 ? nodes_[1] : 0.
 int PropensityTree::select(double target) const {
   require(leaves_ > 0, "cannot select from an empty tree");
   require(target >= 0.0, "selection target must be non-negative");
+  ++selects_;
   std::size_t node = 1;
   while (node < static_cast<std::size_t>(base_)) {
     const double left = nodes_[2 * node];
@@ -56,6 +58,7 @@ int PropensityTree::select(double target) const {
 
 int PropensityTree::selectLinear(double target) const {
   require(leaves_ > 0, "cannot select from an empty tree");
+  ++selects_;
   double cumulative = 0.0;
   for (int i = 0; i < leaves_; ++i) {
     cumulative += nodes_[static_cast<std::size_t>(base_ + i)];

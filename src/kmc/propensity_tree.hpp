@@ -38,10 +38,20 @@ class PropensityTree {
   /// Linear-scan equivalent over the same leaves (ablation baseline).
   int selectLinear(double target) const;
 
+  // Lifetime operation counters (telemetry snapshot feed); they survive
+  // resize() so a trajectory's totals accumulate across restores.
+  std::uint64_t updateCount() const { return updates_; }
+  std::uint64_t selectCount() const { return selects_; }
+
+  /// Bytes held by the heap array (memory snapshot feed).
+  std::size_t memoryBytes() const { return nodes_.size() * sizeof(double); }
+
  private:
   int leaves_ = 0;
   int base_ = 0;                // first leaf slot (power-of-two layout)
   std::vector<double> nodes_;   // 1-indexed heap layout
+  std::uint64_t updates_ = 0;
+  mutable std::uint64_t selects_ = 0;  // select() is logically const
 };
 
 }  // namespace tkmc

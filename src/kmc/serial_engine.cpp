@@ -1,6 +1,8 @@
 #include "kmc/serial_engine.hpp"
 
 #include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "common/telemetry/telemetry.hpp"
 
 namespace tkmc {
 
@@ -51,8 +53,14 @@ void SerialEngine::refreshDirty() {
 }
 
 SerialEngine::StepResult SerialEngine::step() {
+  const bool instrumented = telemetry::enabled();
+  Stopwatch watch;
   StepResult result;
-  refreshDirty();
+  {
+    TKMC_SPAN("kmc.refresh");
+    refreshDirty();
+  }
+  TKMC_SPAN("kmc.step");
   const double total = tree_.total();
   if (total <= 0.0) return result;
 
@@ -96,6 +104,8 @@ SerialEngine::StepResult SerialEngine::step() {
   result.to = to;
   result.vacancyIndex = v;
   result.direction = direction;
+  if (instrumented)
+    telemetry::metrics().histogram("kmc.step_seconds").observe(watch.seconds());
   if (observer_) observer_(*this, result);
   return result;
 }
@@ -123,7 +133,28 @@ std::uint64_t SerialEngine::run() {
     if (!r.advanced) break;
     ++executed;
   }
+  publishTelemetry();
   return executed;
+}
+
+void SerialEngine::publishTelemetry() const {
+  namespace tm = telemetry;
+  if (!tm::enabled()) return;
+  tm::MetricsRegistry& reg = tm::metrics();
+  reg.gauge("kmc.steps").set(static_cast<double>(steps_));
+  reg.gauge("kmc.time_seconds").set(time_);
+  reg.gauge("kmc.energy_evals").set(static_cast<double>(energyEvals_));
+  reg.gauge("kmc.total_propensity").set(tree_.total());
+  reg.gauge("kmc.tree.updates").set(static_cast<double>(tree_.updateCount()));
+  reg.gauge("kmc.tree.selects").set(static_cast<double>(tree_.selectCount()));
+  if (config_.useVacancyCache) {
+    reg.gauge("kmc.cache.hits").set(static_cast<double>(cache_.hitCount()));
+    reg.gauge("kmc.cache.misses").set(static_cast<double>(cache_.missCount()));
+    reg.gauge("kmc.cache.evictions")
+        .set(static_cast<double>(cache_.evictionCount()));
+    reg.gauge("kmc.cache.hit_rate").set(cache_.hitRate());
+    reg.gauge("kmc.cache.bytes").set(static_cast<double>(cache_.memoryBytes()));
+  }
 }
 
 }  // namespace tkmc

@@ -67,6 +67,13 @@ class SerialEngine {
   /// Instrumentation: energy-backend invocations (propensity refreshes).
   std::uint64_t energyEvaluations() const { return energyEvals_; }
   const VacancyCache& cache() const { return cache_; }
+  const PropensityTree& tree() const { return tree_; }
+
+  /// Publishes the engine's cumulative counters (steps, energy
+  /// evaluations, cache hit/miss/eviction rates, tree operation counts,
+  /// propensity total) as gauges in the global telemetry registry.
+  /// No-op while telemetry is disabled.
+  void publishTelemetry() const;
 
   /// Engine-side checkpoint state: together with the lattice occupation
   /// this is everything needed to resume a trajectory bit-exactly (the

@@ -8,6 +8,7 @@ VacancyCache::VacancyCache(const Cet& cet, const BccLattice& lattice)
     : cet_(cet), lattice_(lattice) {}
 
 void VacancyCache::rebuild(const LatticeState& state) {
+  evictions_ += entries_.size();
   entries_.clear();
   entries_.reserve(state.vacancies().size());
   for (const Vec3i& v : state.vacancies()) {
@@ -49,7 +50,10 @@ void VacancyCache::applyHop(const LatticeState& state, int vacIndex,
       e.vet.set(idTo, Species::kVacancy);
       touched = true;
     }
-    if (touched) e.dirty = true;
+    if (touched) {
+      e.dirty = true;
+      ++hits_;
+    }
   }
 }
 

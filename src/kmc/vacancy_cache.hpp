@@ -52,6 +52,21 @@ class VacancyCache {
   /// Number of full VET gathers performed (instrumentation).
   std::uint64_t gatherCount() const { return gathers_; }
 
+  // Cache-effectiveness counters (telemetry snapshot feed). A *hit* is a
+  // cached system updated by patching the changed sites in place; a
+  // *miss* is a full VET gather from the lattice (initial fill and the
+  // hopped vacancy's re-gather); an *eviction* is a cached entry
+  // discarded by rebuild().
+  std::uint64_t hitCount() const { return hits_; }
+  std::uint64_t missCount() const { return gathers_; }
+  std::uint64_t evictionCount() const { return evictions_; }
+  /// hits / (hits + misses); 0 before any activity.
+  double hitRate() const {
+    const std::uint64_t total = hits_ + gathers_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
   /// Bytes held by the cache (the paper's "VAC Cache" Table 1 entry:
   /// species byte + 4-byte global site id per CET slot, per vacancy).
   std::size_t memoryBytes() const;
@@ -67,6 +82,8 @@ class VacancyCache {
   const BccLattice& lattice_;
   std::vector<Entry> entries_;
   std::uint64_t gathers_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace tkmc

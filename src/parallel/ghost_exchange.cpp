@@ -1,11 +1,15 @@
 #include "parallel/ghost_exchange.hpp"
 
 #include "common/error.hpp"
+#include "common/telemetry/telemetry.hpp"
 
 namespace tkmc {
 namespace {
 
 constexpr int kTagBase = 100;
+
+constexpr const char* kAxisSpanName[3] = {"ghost.axis_x", "ghost.axis_y",
+                                          "ghost.axis_z"};
 
 int axisOf(Vec3i v, int axis) {
   return axis == 0 ? v.x : (axis == 1 ? v.y : v.z);
@@ -114,6 +118,7 @@ void GhostExchange::receiveSlabs(int rank, std::vector<Subdomain>& domains,
         comm_.resetChannel(source, rank, tag);
         if (attempt >= maxAttempts_) throw;
         ++retries_;
+        telemetry::tracer().instant("ghost.retry", rank);
         Subdomain& src = domains[static_cast<std::size_t>(source)];
         const Box srcBox = sendBox(src, axis, dir);
         comm_.send(source, rank, tag, src.packCellBox(srcBox.lo, srcBox.hi));
@@ -130,7 +135,9 @@ void GhostExchange::setMaxAttempts(int attempts) {
 void GhostExchange::exchangeAll(std::vector<Subdomain>& domains) {
   require(static_cast<int>(domains.size()) == decomp_.rankCount(),
           "one subdomain per rank required");
+  TKMC_SPAN("engine.ghost_exchange");
   for (int axis : {2, 1, 0}) {
+    TKMC_SPAN(kAxisSpanName[axis]);
     for (int r = 0; r < decomp_.rankCount(); ++r)
       sendSlabs(r, domains[static_cast<std::size_t>(r)], axis);
     for (int r = 0; r < decomp_.rankCount(); ++r)

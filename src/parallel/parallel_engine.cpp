@@ -6,11 +6,20 @@
 
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
+#include "common/stopwatch.hpp"
+#include "common/telemetry/telemetry.hpp"
 
 namespace tkmc {
 namespace {
 
 constexpr int kTagFold = 50;
+
+// Static span names so the cycle span can be tagged with its sector
+// without allocating on the hot path.
+constexpr const char* kCycleSpanName[8] = {
+    "engine.cycle.s0", "engine.cycle.s1", "engine.cycle.s2",
+    "engine.cycle.s3", "engine.cycle.s4", "engine.cycle.s5",
+    "engine.cycle.s6", "engine.cycle.s7"};
 
 Vet gatherVet(const Cet& cet, const Subdomain& sd, Vec3i center) {
   Vet vet(cet.nAll());
@@ -201,6 +210,7 @@ void ParallelEngine::runSector(int rank, int sector) {
 }
 
 void ParallelEngine::foldChanges() {
+  TKMC_SPAN("engine.fold");
   const auto ranks = static_cast<std::size_t>(decomp_.rankCount());
   // Phase 1: serialize boundary modifications per (source, owner) pair.
   // The buffers outlive the sends so a failed delivery can be
@@ -281,7 +291,14 @@ void ParallelEngine::executeCycle() {
   if (faultFires("engine.cycle"))
     throw InvariantError("injected engine-cycle fault");
   const int sector = static_cast<int>(cycles_ % 8);
-  for (int r = 0; r < decomp_.rankCount(); ++r) runSector(r, sector);
+  TKMC_SPAN(kCycleSpanName[sector]);
+  {
+    TKMC_SPAN("engine.sectors");
+    for (int r = 0; r < decomp_.rankCount(); ++r) {
+      TKMC_SPAN_TID("engine.sector", r);
+      runSector(r, sector);
+    }
+  }
   foldChanges();
   exchange_.exchangeAll(domains_);
   time_ += config_.tStop;
@@ -328,15 +345,34 @@ void ParallelEngine::restoreSnapshot() {
 }
 
 void ParallelEngine::runCycle() {
+  namespace tm = telemetry;
+  const bool instrumented = tm::enabled();
+  Stopwatch watch;
   if (!config_.enableRecovery) {
     executeCycle();
+    if (instrumented) {
+      tm::metrics().histogram("engine.cycle_seconds").observe(watch.seconds());
+      publishTelemetry();
+    }
     return;
   }
-  takeSnapshot();
+  {
+    TKMC_SPAN("engine.snapshot");
+    takeSnapshot();
+  }
   for (int attempt = 1;; ++attempt) {
     try {
       executeCycle();
-      verifyInvariants();
+      {
+        TKMC_SPAN("engine.invariants");
+        verifyInvariants();
+      }
+      if (instrumented) {
+        tm::metrics()
+            .histogram("engine.cycle_seconds")
+            .observe(watch.seconds());
+        publishTelemetry();
+      }
       return;
     } catch (const CommError&) {
       ++recovery_.commErrors;
@@ -349,6 +385,8 @@ void ParallelEngine::runCycle() {
     // the fault injector's streams advance, so an injected transient
     // does not recur deterministically on the replay.
     ++recovery_.rollbacks;
+    tm::tracer().instant("engine.rollback");
+    TKMC_SPAN("engine.rollback_restore");
     restoreSnapshot();
   }
 }
@@ -357,6 +395,33 @@ RecoveryStats ParallelEngine::recoveryStats() const {
   RecoveryStats stats = recovery_;
   stats.ghostRetries = exchange_.retries();
   return stats;
+}
+
+void ParallelEngine::publishTelemetry() const {
+  namespace tm = telemetry;
+  if (!tm::enabled()) return;
+  tm::MetricsRegistry& reg = tm::metrics();
+  reg.gauge("engine.cycles").set(static_cast<double>(cycles_));
+  reg.gauge("engine.time_seconds").set(time_);
+  reg.gauge("engine.events").set(static_cast<double>(events_));
+  reg.gauge("engine.discarded_events").set(static_cast<double>(discarded_));
+  reg.gauge("engine.ranks").set(static_cast<double>(decomp_.rankCount()));
+  reg.gauge("engine.vacancies").set(static_cast<double>(vacancyCount()));
+  const RecoveryStats rs = recoveryStats();
+  reg.gauge("recovery.rollbacks").set(static_cast<double>(rs.rollbacks));
+  reg.gauge("recovery.invariant_trips")
+      .set(static_cast<double>(rs.invariantTrips));
+  reg.gauge("recovery.comm_errors").set(static_cast<double>(rs.commErrors));
+  reg.gauge("recovery.ghost_retries").set(static_cast<double>(rs.ghostRetries));
+  reg.gauge("recovery.fold_retries").set(static_cast<double>(rs.foldRetries));
+  reg.gauge("comm.bytes_sent").set(static_cast<double>(comm_.totalBytesSent()));
+  reg.gauge("comm.messages_sent")
+      .set(static_cast<double>(comm_.totalMessagesSent()));
+  reg.gauge("comm.crc_failures").set(static_cast<double>(comm_.crcFailures()));
+  reg.gauge("comm.duplicates_dropped")
+      .set(static_cast<double>(comm_.duplicatesDropped()));
+  reg.gauge("comm.retransmits")
+      .set(static_cast<double>(rs.ghostRetries + rs.foldRetries));
 }
 
 void ParallelEngine::run(double tEnd) {

@@ -95,6 +95,12 @@ class ParallelEngine {
   /// Absorbed-failure counters (rollbacks, invariant trips, retries).
   RecoveryStats recoveryStats() const;
 
+  /// Publishes engine progress, recovery counters, and comm statistics
+  /// as gauges in the global telemetry registry. Called automatically at
+  /// the end of every runCycle() while telemetry is enabled; exposed so
+  /// drivers can force a final snapshot.
+  void publishTelemetry() const;
+
  private:
   struct Change {
     Vec3i site;  // wrapped global coordinate

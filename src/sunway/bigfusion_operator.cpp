@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/telemetry/tracer.hpp"
 #include "nnp/conv_stack.hpp"
 
 namespace tkmc {
@@ -64,6 +65,7 @@ Traffic BigFusionOperator::loadModel() {
 }
 
 void BigFusionOperator::forward(const float* input, int m, float* output) const {
+  TKMC_SPAN("sunway.bigfusion_forward");
   require(modelLoaded_, "call loadModel() before forward()");
   require(m > 0, "batch must be non-empty");
   const int c0 = inputDim();

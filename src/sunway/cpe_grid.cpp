@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/telemetry/telemetry.hpp"
 
 namespace tkmc {
 
@@ -50,6 +51,19 @@ Traffic CpeGrid::collectTraffic() {
   for (auto& cpe : cpes_) {
     total += cpe->traffic();
     cpe->traffic() = Traffic{};
+  }
+  // Fold operator traffic into the process-wide metrics so a normal run
+  // yields roofline-grade accounting (paper Sec. 5 methodology) without
+  // the dedicated bench.
+  if (telemetry::enabled()) {
+    namespace tm = telemetry;
+    tm::MetricsRegistry& reg = tm::metrics();
+    reg.counter("sunway.main_read_bytes").add(total.mainReadBytes);
+    reg.counter("sunway.main_write_bytes").add(total.mainWriteBytes);
+    reg.counter("sunway.rma_bytes").add(total.rmaBytes);
+    reg.counter("sunway.flops").add(total.flops);
+    reg.gauge("sunway.ldm_high_water_bytes")
+        .max(static_cast<double>(maxLdmHighWater()));
   }
   return total;
 }

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/telemetry/tracer.hpp"
 #include "tabulation/cet.hpp"
 
 namespace tkmc {
@@ -32,6 +33,7 @@ FeatureOperator::FeatureOperator(const Net& net, const FeatureTable& table,
 
 void FeatureOperator::compute(const Vet& vet, int numFinal,
                               std::vector<float>& out) const {
+  TKMC_SPAN("sunway.feature_compute");
   require(numFinal >= 0 && numFinal <= kNumJumpDirections,
           "invalid number of final states");
   const int nRegion = net_.regionSites();

@@ -1,0 +1,97 @@
+// Stopwatch pause/resume semantics. Assertions are structural (frozen
+// while paused, growing while running) rather than duration-based, so
+// the suite stays deterministic on loaded CI hosts.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/stopwatch.hpp"
+
+namespace tkmc {
+namespace {
+
+void sleepBriefly() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+TEST(Stopwatch, RunsFromConstruction) {
+  Stopwatch w;
+  EXPECT_TRUE(w.running());
+  sleepBriefly();
+  EXPECT_GT(w.seconds(), 0.0);
+}
+
+TEST(Stopwatch, SecondsIsMonotoneWhileRunning) {
+  Stopwatch w;
+  const double a = w.seconds();
+  sleepBriefly();
+  const double b = w.seconds();
+  EXPECT_GE(b, a);
+  EXPECT_GT(b, 0.0);
+}
+
+TEST(Stopwatch, PauseFreezesAccumulatedTime) {
+  Stopwatch w;
+  sleepBriefly();
+  w.pause();
+  EXPECT_FALSE(w.running());
+  const double frozen = w.seconds();
+  sleepBriefly();
+  EXPECT_DOUBLE_EQ(w.seconds(), frozen);
+  // Pausing twice is a no-op.
+  w.pause();
+  EXPECT_DOUBLE_EQ(w.seconds(), frozen);
+}
+
+TEST(Stopwatch, ResumeContinuesFromAccumulatedTime) {
+  Stopwatch w;
+  sleepBriefly();
+  w.pause();
+  const double beforeResume = w.seconds();
+  w.resume();
+  EXPECT_TRUE(w.running());
+  // Resuming twice is a no-op (must not discard the running segment).
+  w.resume();
+  sleepBriefly();
+  EXPECT_GT(w.seconds(), beforeResume);
+}
+
+TEST(Stopwatch, PausedIntervalIsExcluded) {
+  Stopwatch w;
+  w.pause();
+  const double active = w.seconds();
+  // A long paused wait must not show up in the accumulated time.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_DOUBLE_EQ(w.seconds(), active);
+  w.resume();
+  sleepBriefly();
+  w.pause();
+  // Total reflects only the two active segments, which are far shorter
+  // than the paused 30 ms plus slack.
+  EXPECT_GT(w.seconds(), active);
+}
+
+TEST(Stopwatch, ResetRestartsRunning) {
+  Stopwatch w;
+  sleepBriefly();
+  w.pause();
+  w.reset();
+  EXPECT_TRUE(w.running());
+  sleepBriefly();
+  EXPECT_GT(w.seconds(), 0.0);
+  EXPECT_LT(w.seconds(), 10.0);  // sanity: epoch restarted
+}
+
+TEST(Stopwatch, UnitConversionsAgree) {
+  Stopwatch w;
+  sleepBriefly();
+  w.pause();
+  const double s = w.seconds();
+  EXPECT_DOUBLE_EQ(w.milliseconds(), s * 1e3);
+  EXPECT_DOUBLE_EQ(w.microseconds(), s * 1e6);
+}
+
+}  // namespace
+}  // namespace tkmc

@@ -4,15 +4,27 @@
 // a key-value input deck, builds the simulation, runs to the configured
 // horizon with periodic progress reports, and optionally dumps an
 // extended-XYZ trajectory of solutes and vacancies.
+//
+// `mode parallel` decks run the Shim-Amar synchronous-sublattice engine
+// instead of the serial one. With `--telemetry <dir>` the run records
+// metrics and tracing spans and writes `<dir>/trace.json` (Chrome
+// trace-event format, loadable in chrome://tracing or Perfetto) plus
+// `<dir>/metrics.json` (flat snapshot) on exit.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <string>
+
+#include <memory>
 
 #include "analysis/xyz_writer.hpp"
 #include "common/stopwatch.hpp"
+#include "common/telemetry/telemetry.hpp"
 #include "core/input_deck.hpp"
 #include "kmc/checkpoint.hpp"
+#include "parallel/parallel_engine.hpp"
+#include "sunway/sunway_energy_model.hpp"
 
 using namespace tkmc;
 
@@ -20,21 +32,168 @@ namespace {
 
 void printUsage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s -in <deck>\n"
+               "usage: %s -in <deck> [--telemetry <dir>]\n"
                "       %s --help\n\n"
                "Runs a TensorKMC AKMC simulation described by a key-value\n"
-               "input deck (see tools/sample_input.tkmc for the format).\n",
+               "input deck (see tools/sample_input.tkmc for the format).\n"
+               "--telemetry records metrics + tracing spans and writes\n"
+               "<dir>/trace.json and <dir>/metrics.json on exit.\n",
                argv0, argv0);
 }
 
-void report(const Simulation& sim) {
+void report(const Simulation& sim, const Stopwatch& wall) {
   const ClusterStats stats = analyzeClusters(sim.state(), Species::kCu);
+  const double rate = wall.seconds() > 0
+                          ? static_cast<double>(sim.steps()) / wall.seconds()
+                          : 0.0;
   std::printf("events %10llu | t = %.4e s | propensity %.3e 1/s | "
-              "isolated Cu %lld | max cluster %lld\n",
+              "isolated Cu %lld | max cluster %lld | %.0f events/s\n",
               static_cast<unsigned long long>(sim.steps()), sim.time(),
               const_cast<Simulation&>(sim).engine().totalPropensity(),
               static_cast<long long>(stats.isolatedCount),
-              static_cast<long long>(stats.maxSize));
+              static_cast<long long>(stats.maxSize), rate);
+}
+
+void reportParallel(const ParallelEngine& engine, const Stopwatch& wall) {
+  const double rate =
+      wall.seconds() > 0
+          ? static_cast<double>(engine.totalEvents()) / wall.seconds()
+          : 0.0;
+  std::printf("cycle %8llu | t = %.4e s | events %10llu | discarded %llu | "
+              "%.0f events/s\n",
+              static_cast<unsigned long long>(engine.cycles()), engine.time(),
+              static_cast<unsigned long long>(engine.totalEvents()),
+              static_cast<unsigned long long>(engine.discardedEvents()), rate);
+}
+
+void printRecoverySummary(const RecoveryStats& rs, bool usedCheckpointBackup) {
+  std::printf("fault tolerance: %llu rollbacks, %llu invariant trips, "
+              "%llu comm errors, %llu ghost retries, %llu fold retries\n",
+              static_cast<unsigned long long>(rs.rollbacks),
+              static_cast<unsigned long long>(rs.invariantTrips),
+              static_cast<unsigned long long>(rs.commErrors),
+              static_cast<unsigned long long>(rs.ghostRetries),
+              static_cast<unsigned long long>(rs.foldRetries));
+  if (usedCheckpointBackup)
+    std::printf("fault tolerance: checkpoint primary was unreadable; the "
+                ".bak replica served the resume\n");
+}
+
+int runSerial(const InputDeck& deck, Simulation& sim,
+              bool usedCheckpointBackup) {
+  std::ofstream dump;
+  if (!deck.dumpPath().empty()) {
+    dump.open(deck.dumpPath());
+    if (!dump.good()) {
+      std::fprintf(stderr, "error: cannot open dump file %s\n",
+                   deck.dumpPath().c_str());
+      return 1;
+    }
+    XyzWriter::writeFrame(dump, sim.state(), "time=0");
+  }
+
+  Stopwatch wall;
+  std::uint64_t executed = 0;
+  std::uint64_t sinceReport = 0;
+  std::uint64_t sinceDump = 0;
+  std::uint64_t sinceCheckpoint = 0;
+  report(sim, wall);
+  while (sim.time() < deck.tEnd() && executed < deck.maxSteps()) {
+    if (sim.run(deck.tEnd(), 1) == 0) {
+      std::printf("no executable events left; stopping\n");
+      break;
+    }
+    ++executed;
+    if (++sinceReport >= deck.reportInterval()) {
+      report(sim, wall);
+      sim.engine().publishTelemetry();
+      sinceReport = 0;
+    }
+    if (dump.is_open() && ++sinceDump >= deck.dumpInterval()) {
+      XyzWriter::writeFrame(dump, sim.state(),
+                            "time=" + std::to_string(sim.time()));
+      sinceDump = 0;
+    }
+    if (!deck.checkpointWritePath().empty() &&
+        ++sinceCheckpoint >= deck.checkpointInterval()) {
+      sim.writeCheckpoint(deck.checkpointWritePath());
+      sinceCheckpoint = 0;
+    }
+  }
+  if (!deck.checkpointWritePath().empty())
+    sim.writeCheckpoint(deck.checkpointWritePath());
+  report(sim, wall);
+  if (dump.is_open())
+    XyzWriter::writeFrame(dump, sim.state(),
+                          "time=" + std::to_string(sim.time()) + " final");
+
+  sim.engine().publishTelemetry();
+  sim.memoryUsage().publishTelemetry("memory");
+  // Serial runs have no rollback machinery; the recovery line still
+  // appears so every summary names its fault-tolerance outcome.
+  printRecoverySummary(RecoveryStats{}, usedCheckpointBackup);
+  std::printf("done: %llu events, %.4e simulated seconds, %.2f s wall "
+              "(%.0f events/s)\n",
+              static_cast<unsigned long long>(executed), sim.time(),
+              wall.seconds(),
+              wall.seconds() > 0
+                  ? static_cast<double>(executed) / wall.seconds()
+                  : 0.0);
+  return 0;
+}
+
+int runParallel(const InputDeck& deck, Simulation& sim) {
+  ParallelConfig pc;
+  pc.temperature = deck.simulationConfig().temperature;
+  pc.tStop = deck.tStop();
+  pc.seed = deck.simulationConfig().seed ^ 0x9a11e1ULL;
+  pc.rankGrid = deck.rankGrid();
+  pc.enableRecovery = deck.recovery();
+
+  // The NNP backend runs through the simulated CPE grid here — the
+  // paper's production pipeline — so operator traffic and LDM
+  // high-water show up in the telemetry of a normal parallel run.
+  std::unique_ptr<SunwayEnergyModel> sunwayModel;
+  EnergyModel* model = &sim.model();
+  if (deck.simulationConfig().potential == SimulationConfig::Potential::kNnp) {
+    sunwayModel = std::make_unique<SunwayEnergyModel>(
+        sim.cet(), sim.net(), *sim.featureTable(), *sim.network());
+    model = sunwayModel.get();
+    std::printf("parallel energies on the simulated CPE grid "
+                "(big-fusion backend)\n");
+  }
+
+  ParallelEngine engine(sim.state(), *model, sim.cet(), pc);
+  std::printf("parallel mode: %d ranks (%d x %d x %d), t_stop %.2e s, "
+              "recovery %s\n",
+              engine.rankCount(), pc.rankGrid.x, pc.rankGrid.y, pc.rankGrid.z,
+              pc.tStop, pc.enableRecovery ? "on" : "off");
+
+  Stopwatch wall;
+  std::uint64_t sinceReport = 0;
+  reportParallel(engine, wall);
+  while (engine.time() < deck.tEnd()) {
+    engine.runCycle();
+    if (++sinceReport >= deck.reportInterval()) {
+      reportParallel(engine, wall);
+      sinceReport = 0;
+    }
+  }
+  reportParallel(engine, wall);
+  engine.publishTelemetry();
+  // The facade's serial engine built the initial propensity state
+  // through the vacancy cache; fold its stats (and the operator traffic
+  // accumulated on the CPE grid) into the same snapshot.
+  sim.engine().publishTelemetry();
+  if (sunwayModel) sunwayModel->collectTraffic();
+  sim.memoryUsage().publishTelemetry("memory");
+  printRecoverySummary(engine.recoveryStats(), false);
+  std::printf("done: %llu events over %llu cycles, %.4e simulated seconds, "
+              "%.2f s wall\n",
+              static_cast<unsigned long long>(engine.totalEvents()),
+              static_cast<unsigned long long>(engine.cycles()), engine.time(),
+              wall.seconds());
+  return 0;
 }
 
 }  // namespace
@@ -44,27 +203,45 @@ int main(int argc, char** argv) {
     printUsage(argv[0]);
     return 0;
   }
-  if (argc != 3 || std::strcmp(argv[1], "-in") != 0) {
+  std::string deckPath;
+  std::string telemetryDir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-in") == 0 && i + 1 < argc) {
+      deckPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
+      telemetryDir = argv[++i];
+    } else {
+      printUsage(argv[0]);
+      return 2;
+    }
+  }
+  if (deckPath.empty()) {
     printUsage(argv[0]);
     return 2;
   }
 
   try {
-    const InputDeck deck = InputDeck::parseFile(argv[2]);
+    const InputDeck deck = InputDeck::parseFile(deckPath);
     const SimulationConfig config = deck.simulationConfig();
-    std::printf("TensorKMC/1.0 — input deck: %s\n", argv[2]);
+    std::printf("TensorKMC/1.0 — input deck: %s\n", deckPath.c_str());
     std::printf("box %d^3 cells, r_cut %.2f A, %s potential, T = %.0f K\n",
                 config.cells, config.cutoff,
                 config.potential == SimulationConfig::Potential::kNnp ? "NNP"
                                                                       : "EAM",
                 config.temperature);
 
+    if (!telemetryDir.empty()) {
+      telemetry::setEnabled(true);
+      std::printf("telemetry: recording to %s\n", telemetryDir.c_str());
+    }
+
     Stopwatch setup;
     Simulation sim(config);
+    bool usedCheckpointBackup = false;
     if (!deck.checkpointReadPath().empty()) {
-      const bool usedBackup =
+      usedCheckpointBackup =
           sim.restoreCheckpointFromFile(deck.checkpointReadPath());
-      if (usedBackup)
+      if (usedCheckpointBackup)
         std::fprintf(stderr,
                      "warning: %s was unreadable; resumed from the .bak "
                      "replica\n",
@@ -80,58 +257,19 @@ int main(int argc, char** argv) {
                     sim.state().countSpecies(Species::kVacancy)),
                 setup.seconds());
 
-    std::ofstream dump;
-    if (!deck.dumpPath().empty()) {
-      dump.open(deck.dumpPath());
-      if (!dump.good()) {
-        std::fprintf(stderr, "error: cannot open dump file %s\n",
-                     deck.dumpPath().c_str());
-        return 1;
-      }
-      XyzWriter::writeFrame(dump, sim.state(), "time=0");
+    const int status = deck.parallelMode()
+                           ? runParallel(deck, sim)
+                           : runSerial(deck, sim, usedCheckpointBackup);
+    if (!telemetryDir.empty()) {
+      telemetry::writeAll(telemetryDir);
+      std::printf("telemetry: wrote %s/trace.json (%zu events, %llu dropped) "
+                  "and %s/metrics.json\n",
+                  telemetryDir.c_str(), telemetry::tracer().eventCount(),
+                  static_cast<unsigned long long>(
+                      telemetry::tracer().dropped()),
+                  telemetryDir.c_str());
     }
-
-    Stopwatch wall;
-    std::uint64_t executed = 0;
-    std::uint64_t sinceReport = 0;
-    std::uint64_t sinceDump = 0;
-    std::uint64_t sinceCheckpoint = 0;
-    report(sim);
-    while (sim.time() < deck.tEnd() && executed < deck.maxSteps()) {
-      if (sim.run(deck.tEnd(), 1) == 0) {
-        std::printf("no executable events left; stopping\n");
-        break;
-      }
-      ++executed;
-      if (++sinceReport >= deck.reportInterval()) {
-        report(sim);
-        sinceReport = 0;
-      }
-      if (dump.is_open() && ++sinceDump >= deck.dumpInterval()) {
-        XyzWriter::writeFrame(dump, sim.state(),
-                              "time=" + std::to_string(sim.time()));
-        sinceDump = 0;
-      }
-      if (!deck.checkpointWritePath().empty() &&
-          ++sinceCheckpoint >= deck.checkpointInterval()) {
-        sim.writeCheckpoint(deck.checkpointWritePath());
-        sinceCheckpoint = 0;
-      }
-    }
-    if (!deck.checkpointWritePath().empty())
-      sim.writeCheckpoint(deck.checkpointWritePath());
-    report(sim);
-    if (dump.is_open())
-      XyzWriter::writeFrame(dump, sim.state(),
-                            "time=" + std::to_string(sim.time()) + " final");
-
-    std::printf("done: %llu events, %.4e simulated seconds, %.2f s wall "
-                "(%.0f events/s)\n",
-                static_cast<unsigned long long>(executed), sim.time(),
-                wall.seconds(),
-                wall.seconds() > 0 ? static_cast<double>(executed) / wall.seconds()
-                                   : 0.0);
-    return 0;
+    return status;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
