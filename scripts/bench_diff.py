@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compare per-system-cost gauges between two BENCH_*.metrics.json snapshots.
+
+The batched-pipeline bench (and any other bench using the telemetry
+metrics registry) writes gauges like
+
+    bench.batch.per_system_us.b1
+    bench.batch.per_system_us.b64
+    bench.batch.per_system_main_bytes.b512
+
+This tool diffs two such snapshots — typically a baseline saved before a
+change and the freshly produced file — and prints old/new/delta/ratio
+per gauge, so regressions in per-system cost are visible at a glance:
+
+    scripts/bench_diff.py old/BENCH_batch_pipeline.metrics.json \
+                          BENCH_batch_pipeline.metrics.json
+
+By default every gauge common to both files is compared; restrict to a
+family with --prefix (e.g. --prefix bench.batch.per_system_us). Exit
+status is 1 when any compared gauge regressed (grew) by more than
+--tolerance (relative, default 10%), so the tool can gate CI.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_gauges(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read metrics snapshot {path}: {exc}")
+    gauges = snapshot.get("gauges")
+    if not isinstance(gauges, dict):
+        sys.exit(f"error: {path} has no 'gauges' object "
+                 "(is it a metrics registry snapshot?)")
+    return gauges
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff gauges between two metrics snapshots.")
+    parser.add_argument("old", help="baseline BENCH_*.metrics.json")
+    parser.add_argument("new", help="candidate BENCH_*.metrics.json")
+    parser.add_argument("--prefix", default="",
+                        help="only compare gauges starting with this prefix "
+                             "(default: all common gauges)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="relative growth tolerated before the exit "
+                             "status flags a regression (default 0.10)")
+    args = parser.parse_args()
+
+    old = load_gauges(args.old)
+    new = load_gauges(args.new)
+
+    names = sorted(n for n in old
+                   if n in new and n.startswith(args.prefix)
+                   and isinstance(old[n], (int, float))
+                   and isinstance(new[n], (int, float)))
+    if not names:
+        sys.exit(f"error: no common gauges matching prefix "
+                 f"'{args.prefix}' between {args.old} and {args.new}")
+
+    width = max(len(n) for n in names)
+    print(f"{'gauge':<{width}}  {'old':>14}  {'new':>14}  "
+          f"{'delta':>14}  {'ratio':>7}")
+    regressed = []
+    for name in names:
+        a, b = float(old[name]), float(new[name])
+        delta = b - a
+        ratio = b / a if a != 0.0 else float("inf")
+        flag = ""
+        if a != 0.0 and ratio > 1.0 + args.tolerance:
+            flag = "  <-- regression"
+            regressed.append(name)
+        print(f"{name:<{width}}  {a:>14.6g}  {b:>14.6g}  "
+              f"{delta:>+14.6g}  {ratio:>6.3f}x{flag}")
+
+    only_old = sorted(n for n in old if n not in new
+                      and n.startswith(args.prefix))
+    only_new = sorted(n for n in new if n not in old
+                      and n.startswith(args.prefix))
+    if only_old:
+        print(f"\nonly in {args.old}: {', '.join(only_old)}")
+    if only_new:
+        print(f"only in {args.new}: {', '.join(only_new)}")
+
+    if regressed:
+        print(f"\n{len(regressed)} gauge(s) regressed beyond "
+              f"{args.tolerance:.0%}: {', '.join(regressed)}")
+        return 1
+    print(f"\nno regressions beyond {args.tolerance:.0%} "
+          f"across {len(names)} gauge(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

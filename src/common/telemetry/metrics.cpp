@@ -85,6 +85,18 @@ std::vector<double> Histogram::timeBoundsSeconds() {
   return bounds;
 }
 
+std::vector<double> Histogram::batchSizeBounds() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 4096.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<double> Histogram::trafficBounds() {
+  std::vector<double> bounds;
+  for (double b = 1e3; b <= 1e12; b *= 10.0) bounds.push_back(b);
+  return bounds;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];

@@ -104,6 +104,13 @@ class Histogram {
   /// Exponential seconds buckets, 1 us .. ~100 s (durations default).
   static std::vector<double> timeBoundsSeconds();
 
+  /// Power-of-two buckets 1 .. 4096 for batch-size histograms (dirty
+  /// systems per dispatch).
+  static std::vector<double> batchSizeBounds();
+
+  /// Decade buckets 1e3 .. 1e12 for per-dispatch byte/FLOP histograms.
+  static std::vector<double> trafficBounds();
+
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1

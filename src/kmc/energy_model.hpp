@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/error.hpp"
@@ -37,6 +38,23 @@ class EnergyModel {
     (void)vet;
     (void)numFinal;
     throw Error("this energy backend cannot evaluate from a VET");
+  }
+
+  /// Evaluates many vacancy systems in one dispatch. Result i holds the
+  /// stateEnergies() vector of vets[i]; entries must be bit-identical to
+  /// calling stateEnergiesFromVet(*vets[i], numFinal) one at a time, in
+  /// order — engines rely on this to batch their propensity refreshes
+  /// without perturbing trajectories. The loop-based default keeps
+  /// non-batching backends (EAM, bond counting) working unchanged;
+  /// accelerator backends override it to amortize kernel dispatch and
+  /// weight movement over the whole batch.
+  virtual std::vector<std::vector<double>> stateEnergiesBatch(
+      std::span<Vet* const> vets, int numFinal) {
+    std::vector<std::vector<double>> energies;
+    energies.reserve(vets.size());
+    for (Vet* vet : vets)
+      energies.push_back(stateEnergiesFromVet(*vet, numFinal));
+    return energies;
   }
 
   /// Human-readable backend name for logs and benches.

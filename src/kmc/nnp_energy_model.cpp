@@ -1,5 +1,7 @@
 #include "kmc/nnp_energy_model.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace tkmc {
@@ -37,6 +39,49 @@ std::vector<double> NnpEnergyModel::stateEnergiesFromVet(Vet& vet,
       total += atomE[site];
     }
     energies[static_cast<std::size_t>(s)] = total;
+  }
+  return energies;
+}
+
+std::vector<std::vector<double>> NnpEnergyModel::stateEnergiesBatch(
+    std::span<Vet* const> vets, int numFinal) {
+  if (vets.empty()) return {};
+  const int nRegion = cet_.nRegion();
+  const int numStates = 1 + numFinal;
+  const int numSystems = static_cast<int>(vets.size());
+  const std::size_t systemDoubles = static_cast<std::size_t>(numStates) *
+                                    nRegion *
+                                    static_cast<std::size_t>(network_.inputDim());
+  featureBuffer_.resize(systemDoubles * static_cast<std::size_t>(numSystems));
+  for (int sys = 0; sys < numSystems; ++sys) {
+    features_.computeStates(*vets[static_cast<std::size_t>(sys)], numFinal,
+                            systemFeatureScratch_);
+    std::copy(systemFeatureScratch_.begin(), systemFeatureScratch_.end(),
+              featureBuffer_.begin() +
+                  static_cast<std::size_t>(sys) * systemDoubles);
+  }
+  const int m = numSystems * numStates * nRegion;
+  energyBuffer_.resize(static_cast<std::size_t>(m));
+  network_.forwardBatch(featureBuffer_.data(), m, energyBuffer_.data());
+
+  std::vector<std::vector<double>> energies(
+      static_cast<std::size_t>(numSystems));
+  for (int sys = 0; sys < numSystems; ++sys) {
+    const Vet& vet = *vets[static_cast<std::size_t>(sys)];
+    std::vector<double>& systemEnergies =
+        energies[static_cast<std::size_t>(sys)];
+    systemEnergies.assign(static_cast<std::size_t>(numStates), 0.0);
+    for (int s = 0; s < numStates; ++s) {
+      double total = 0.0;
+      const double* atomE =
+          energyBuffer_.data() +
+          (static_cast<std::size_t>(sys) * numStates + s) * nRegion;
+      for (int site = 0; site < nRegion; ++site) {
+        if (stateSpecies(vet, s, site) == Species::kVacancy) continue;
+        total += atomE[site];
+      }
+      systemEnergies[static_cast<std::size_t>(s)] = total;
+    }
   }
   return energies;
 }

@@ -31,6 +31,13 @@ class NnpEnergyModel : public EnergyModel {
   /// maintain VETs incrementally through the vacancy cache).
   std::vector<double> stateEnergiesFromVet(Vet& vet, int numFinal) override;
 
+  /// Batched evaluation: features of every system are concatenated and
+  /// put through one network forward. forwardBatch() is row-independent
+  /// and the reductions run in the same order, so results are
+  /// bit-identical to per-system calls.
+  std::vector<std::vector<double>> stateEnergiesBatch(
+      std::span<Vet* const> vets, int numFinal) override;
+
   bool supportsVet() const override { return true; }
 
   const char* name() const override { return "nnp-tet"; }
@@ -45,6 +52,7 @@ class NnpEnergyModel : public EnergyModel {
   // Scratch reused across calls.
   std::vector<double> featureBuffer_;
   std::vector<double> energyBuffer_;
+  std::vector<double> systemFeatureScratch_;  // one system, batched path
 };
 
 /// Species of CET site `siteId` in state `state` (0 = initial, k > 0 =

@@ -58,17 +58,21 @@ int PropensityTree::select(double target) const {
 
 int PropensityTree::selectLinear(double target) const {
   require(leaves_ > 0, "cannot select from an empty tree");
+  require(target >= 0.0, "selection target must be non-negative");
   ++selects_;
   double cumulative = 0.0;
   for (int i = 0; i < leaves_; ++i) {
     cumulative += nodes_[static_cast<std::size_t>(base_ + i)];
     if (target < cumulative) return i;
   }
-  // target fell beyond the last cumulative due to rounding; return the
-  // last non-empty leaf.
-  for (int i = leaves_ - 1; i >= 0; --i)
-    if (nodes_[static_cast<std::size_t>(base_ + i)] > 0.0) return i;
-  return leaves_ - 1;
+  // target fell beyond the last cumulative due to rounding (the fp
+  // boundary target == total()); walk back from the last leaf to the
+  // last non-empty one, exactly as select() does, so both paths land on
+  // the same vacancy and consume the RNG stream identically.
+  int index = leaves_ - 1;
+  while (index > 0 && nodes_[static_cast<std::size_t>(base_ + index)] == 0.0)
+    --index;
+  return index;
 }
 
 }  // namespace tkmc

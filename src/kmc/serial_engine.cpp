@@ -28,25 +28,48 @@ SerialEngine::SerialEngine(LatticeState& state, EnergyModel& model,
 
 void SerialEngine::refreshDirty() {
   const int n = static_cast<int>(state_.vacancies().size());
-  for (int v = 0; v < n; ++v) {
-    std::vector<double> energies;
-    if (config_.useVacancyCache) {
+  if (config_.useVacancyCache) {
+    // Collect every dirty system first, then evaluate them all in one
+    // backend dispatch so an accelerator backend amortizes kernel
+    // launches and weight movement over the batch. Index order is
+    // ascending, matching the old per-system loop, and the batch API
+    // guarantees bit-identical energies, so trajectories are unchanged.
+    dirtyScratch_.clear();
+    vetScratch_.clear();
+    for (int v = 0; v < n; ++v) {
       if (!cache_.isDirty(v)) continue;
-      energies = model_.stateEnergiesFromVet(cache_.vet(v), kNumJumpDirections);
-      rates_[static_cast<std::size_t>(v)] = computeRates(
-          cache_.vet(v), energies, config_.temperature);
-      cache_.clearDirty(v);
-    } else {
-      if (!dirtyNoCache_[static_cast<std::size_t>(v)]) continue;
-      const Vec3i center = state_.lattice().wrap(state_.vacancies()[static_cast<std::size_t>(v)]);
-      energies = model_.stateEnergies(state_, center, kNumJumpDirections);
-      // Rates need the migrating species per direction; build a one-shot
-      // VET view for that lookup (geometry only, species from lattice).
-      Vet vet = Vet::gather(cet_, state_, center);
-      rates_[static_cast<std::size_t>(v)] =
-          computeRates(vet, energies, config_.temperature);
-      dirtyNoCache_[static_cast<std::size_t>(v)] = false;
+      dirtyScratch_.push_back(v);
+      vetScratch_.push_back(&cache_.vet(v));
     }
+    if (dirtyScratch_.empty()) return;
+    const auto energies =
+        model_.stateEnergiesBatch(vetScratch_, kNumJumpDirections);
+    for (std::size_t i = 0; i < dirtyScratch_.size(); ++i) {
+      const int v = dirtyScratch_[i];
+      rates_[static_cast<std::size_t>(v)] =
+          computeRates(cache_.vet(v), energies[i], config_.temperature);
+      cache_.clearDirty(v);
+      tree_.update(v, rates_[static_cast<std::size_t>(v)].total);
+      ++energyEvals_;
+    }
+    if (telemetry::enabled())
+      telemetry::metrics()
+          .histogram("kmc.batch_size",
+                     telemetry::Histogram::batchSizeBounds())
+          .observe(static_cast<double>(dirtyScratch_.size()));
+    return;
+  }
+  for (int v = 0; v < n; ++v) {
+    if (!dirtyNoCache_[static_cast<std::size_t>(v)]) continue;
+    const Vec3i center = state_.lattice().wrap(state_.vacancies()[static_cast<std::size_t>(v)]);
+    const std::vector<double> energies =
+        model_.stateEnergies(state_, center, kNumJumpDirections);
+    // Rates need the migrating species per direction; build a one-shot
+    // VET view for that lookup (geometry only, species from lattice).
+    Vet vet = Vet::gather(cet_, state_, center);
+    rates_[static_cast<std::size_t>(v)] =
+        computeRates(vet, energies, config_.temperature);
+    dirtyNoCache_[static_cast<std::size_t>(v)] = false;
     tree_.update(v, rates_[static_cast<std::size_t>(v)].total);
     ++energyEvals_;
   }

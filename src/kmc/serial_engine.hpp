@@ -100,6 +100,8 @@ class SerialEngine {
   VacancyCache cache_;
   std::vector<JumpRates> rates_;
   std::vector<bool> dirtyNoCache_;  // refresh flags when cache disabled
+  std::vector<int> dirtyScratch_;   // dirty indices of one batched refresh
+  std::vector<Vet*> vetScratch_;    // their cached VETs, same order
   PropensityTree tree_;
   double time_ = 0.0;
   std::uint64_t steps_ = 0;

@@ -36,6 +36,7 @@ void VacancyCache::applyHop(const LatticeState& state, int vacIndex,
       e.vet = Vet::gather(cet_, state, e.center);
       e.dirty = true;
       ++gathers_;
+      ++misses_;
       continue;
     }
     // Patch the two changed sites into any system that contains them.

@@ -54,15 +54,19 @@ class VacancyCache {
 
   // Cache-effectiveness counters (telemetry snapshot feed). A *hit* is a
   // cached system updated by patching the changed sites in place; a
-  // *miss* is a full VET gather from the lattice (initial fill and the
-  // hopped vacancy's re-gather); an *eviction* is a cached entry
-  // discarded by rebuild().
+  // *miss* is a steady-state full re-gather from the lattice (the hopped
+  // vacancy's system in applyHop). The bulk gathers of rebuild() —
+  // initialization and checkpoint restore — are cold fills, not cache
+  // decisions, so they appear in gatherCount() but not in missCount();
+  // counting them as misses skewed kmc.cache.hit_rate after every
+  // rebuild/restore. An *eviction* is a cached entry discarded by
+  // rebuild().
   std::uint64_t hitCount() const { return hits_; }
-  std::uint64_t missCount() const { return gathers_; }
+  std::uint64_t missCount() const { return misses_; }
   std::uint64_t evictionCount() const { return evictions_; }
   /// hits / (hits + misses); 0 before any activity.
   double hitRate() const {
-    const std::uint64_t total = hits_ + gathers_;
+    const std::uint64_t total = hits_ + misses_;
     return total == 0 ? 0.0
                       : static_cast<double>(hits_) / static_cast<double>(total);
   }
@@ -81,7 +85,8 @@ class VacancyCache {
   const Cet& cet_;
   const BccLattice& lattice_;
   std::vector<Entry> entries_;
-  std::uint64_t gathers_ = 0;
+  std::uint64_t gathers_ = 0;  // all full gathers (rebuild + applyHop)
+  std::uint64_t misses_ = 0;   // steady-state re-gathers only (applyHop)
   std::uint64_t hits_ = 0;
   std::uint64_t evictions_ = 0;
 };

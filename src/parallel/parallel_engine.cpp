@@ -118,18 +118,44 @@ void ParallelEngine::runSector(int rank, int sector) {
   for (std::size_t v = 0; v < sd.vacancies().size(); ++v)
     active[v] = inSector(rank, sd.vacancies()[v], sector);
 
+  // Batched-refresh scratch, reused across the window's iterations.
+  std::vector<std::size_t> staleIdx;
+  std::vector<Vet> staleVets;
+  std::vector<Vet*> staleVetPtrs;
+
   double tLocal = 0.0;
   while (true) {
+    // Collect every stale active system, then refresh them in a single
+    // backend dispatch. Gather order is ascending v, the same order the
+    // old per-system loop used, and batched energies are bit-identical,
+    // so the RNG stream is consumed onto the same events.
+    staleIdx.clear();
+    staleVets.clear();
+    staleVetPtrs.clear();
+    for (std::size_t v = 0; v < sd.vacancies().size(); ++v) {
+      if (!active[v] || !stale[v]) continue;
+      staleIdx.push_back(v);
+      staleVets.push_back(gatherVet(cet_, sd, sd.vacancies()[v]));
+    }
+    if (!staleIdx.empty()) {
+      staleVetPtrs.reserve(staleVets.size());
+      for (Vet& vet : staleVets) staleVetPtrs.push_back(&vet);
+      const auto energies =
+          model_.stateEnergiesBatch(staleVetPtrs, kNumJumpDirections);
+      for (std::size_t i = 0; i < staleIdx.size(); ++i) {
+        rates[staleIdx[i]] =
+            computeRates(staleVets[i], energies[i], config_.temperature);
+        stale[staleIdx[i]] = false;
+      }
+      if (telemetry::enabled())
+        telemetry::metrics()
+            .histogram("engine.batch_size",
+                       telemetry::Histogram::batchSizeBounds())
+            .observe(static_cast<double>(staleIdx.size()));
+    }
     double total = 0.0;
     for (std::size_t v = 0; v < sd.vacancies().size(); ++v) {
       if (!active[v]) continue;
-      if (stale[v]) {
-        Vet vet = gatherVet(cet_, sd, sd.vacancies()[v]);
-        const auto energies =
-            model_.stateEnergiesFromVet(vet, kNumJumpDirections);
-        rates[v] = computeRates(vet, energies, config_.temperature);
-        stale[v] = false;
-      }
       total += rates[v].total;
     }
     if (!std::isfinite(total) || total < 0.0)

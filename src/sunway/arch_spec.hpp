@@ -21,9 +21,15 @@ struct ArchSpec {
   double rooflineKnee = 43.63;            // FLOP/byte (paper Fig. 9)
   int coresPerGroup = 65;                 // 1 MPE + 64 CPEs
   int groupsPerNode = 6;
+  double kernelLaunchSeconds = 10e-6;     // athread spawn + join per run
 
   /// Single-precision peak of one CG implied by the knee.
   double peakSpFlops() const { return rooflineKnee * mainMemoryBandwidth; }
+
+  /// Single-precision peak of one CPE (peak split evenly over the mesh).
+  double cpePeakSpFlops() const {
+    return peakSpFlops() / static_cast<double>(cpesPerGroup);
+  }
 
   /// Roofline-attainable FLOP/s at a given arithmetic intensity.
   double attainableFlops(double intensity) const {

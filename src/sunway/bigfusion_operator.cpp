@@ -74,7 +74,7 @@ void BigFusionOperator::forward(const float* input, int m, float* output) const 
   const int numCpes = grid_.size();
 
   // Row tiles are dealt to CPEs round-robin: tile t -> CPE t % 64.
-  const int numTiles = (m + mBlock_ - 1) / mBlock_;
+  const int numTiles = tileCount(m);
 
   grid_.run([&](CpeContext& cpe) {
     Ldm& ldm = cpe.ldm();

@@ -39,9 +39,17 @@ class BigFusionOperator {
   Traffic loadModel();
 
   /// Forward pass: input [m][inputDim] -> output [m][outputDim].
-  /// Traffic accumulates on the grid counters (collect with
-  /// grid.collectTraffic()).
+  /// `m` may span many vacancy systems — the batched pipeline passes the
+  /// concatenated feature matrix of a whole dirty set, so tileCount(m)
+  /// grows with the batch and round-robin dealing keeps every CPE column
+  /// busy instead of idling most of the mesh on a 9-state dispatch.
+  /// Results are row-independent: forward over a concatenation is
+  /// bit-identical to per-system forwards. Traffic accumulates on the
+  /// grid counters (collect with grid.collectTraffic()).
   void forward(const float* input, int m, float* output) const;
+
+  /// Row tiles a forward over m rows deals to the mesh (ceil(m/mBlock)).
+  int tileCount(int m) const { return (m + mBlock_ - 1) / mBlock_; }
 
  private:
   struct LayerImage {

@@ -1,5 +1,6 @@
 #include "sunway/cpe_grid.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -36,6 +37,9 @@ CpeGrid::CpeGrid(ArchSpec spec) : spec_(spec) {
 
 void CpeGrid::run(const std::function<void(CpeContext&)>& kernel) {
   for (auto& cpe : cpes_) cpe->ldm().reset();
+  runSnapshot_.resize(cpes_.size());
+  for (std::size_t i = 0; i < cpes_.size(); ++i)
+    runSnapshot_[i] = cpes_[i]->traffic();
   // SPMD execution: every CPE owns its scratchpad, traffic counter, and
   // a disjoint slice of the output, so kernels may run concurrently.
   // Results are bitwise independent of the thread count.
@@ -44,6 +48,38 @@ void CpeGrid::run(const std::function<void(CpeContext&)>& kernel) {
 #endif
   for (int i = 0; i < static_cast<int>(cpes_.size()); ++i)
     kernel(*cpes_[static_cast<std::size_t>(i)]);
+
+  // Modeled elapsed time of this run: the DMA engine and the RMA mesh
+  // stream at their aggregate bandwidths while the mesh waits for its
+  // most-loaded CPE, and the whole dispatch pays one launch. Idle CPEs
+  // therefore cost modeled time (the critical path does not shrink),
+  // which is exactly the effect batching removes.
+  std::uint64_t mainBytes = 0;
+  std::uint64_t rmaBytes = 0;
+  std::uint64_t maxCpeFlops = 0;
+  for (std::size_t i = 0; i < cpes_.size(); ++i) {
+    const Traffic& now = cpes_[i]->traffic();
+    const Traffic& before = runSnapshot_[i];
+    mainBytes += (now.mainReadBytes - before.mainReadBytes) +
+                 (now.mainWriteBytes - before.mainWriteBytes);
+    rmaBytes += now.rmaBytes - before.rmaBytes;
+    maxCpeFlops = std::max(maxCpeFlops, now.flops - before.flops);
+  }
+  const double memSeconds =
+      static_cast<double>(mainBytes) / spec_.mainMemoryBandwidth;
+  const double rmaSeconds =
+      static_cast<double>(rmaBytes) / spec_.rmaBandwidth;
+  const double computeSeconds =
+      static_cast<double>(maxCpeFlops) / spec_.cpePeakSpFlops();
+  modeledSeconds_ += spec_.kernelLaunchSeconds +
+                     std::max({memSeconds, rmaSeconds, computeSeconds});
+  ++launches_;
+}
+
+double CpeGrid::collectModeledSeconds() {
+  const double seconds = modeledSeconds_;
+  modeledSeconds_ = 0.0;
+  return seconds;
 }
 
 Traffic CpeGrid::collectTraffic() {
@@ -65,6 +101,12 @@ Traffic CpeGrid::collectTraffic() {
     reg.gauge("sunway.ldm_high_water_bytes")
         .max(static_cast<double>(maxLdmHighWater()));
   }
+  return total;
+}
+
+Traffic CpeGrid::peekTraffic() const {
+  Traffic total;
+  for (const auto& cpe : cpes_) total += const_cast<CpeContext&>(*cpe).traffic();
   return total;
 }
 

@@ -75,12 +75,35 @@ class CpeGrid {
   /// Sums and clears all per-CPE traffic counters.
   Traffic collectTraffic();
 
+  /// Sums the per-CPE traffic counters without clearing them. Deltas of
+  /// two peeks bracket one dispatch's traffic, leaving the accumulated
+  /// counters for collectTraffic() untouched.
+  Traffic peekTraffic() const;
+
   /// Largest scratchpad high-water mark across CPEs (bytes).
   std::size_t maxLdmHighWater() const;
+
+  /// Modeled SW26010 elapsed time accumulated over run() calls since the
+  /// last collect. Each run costs one kernel launch plus the critical
+  /// path of the dispatch: max(aggregate DMA time, aggregate RMA time,
+  /// slowest CPE's compute time). Host wall-clock of the functional
+  /// simulator cannot express mesh occupancy or launch amortization (all
+  /// 64 CPEs execute on however many host cores exist), so benches report
+  /// this quantity instead — consistent with the PerfModel numbers of the
+  /// Fig. 9/11 reproductions.
+  double collectModeledSeconds();
+  double peekModeledSeconds() const { return modeledSeconds_; }
+
+  /// run() invocations since construction (never cleared); the delta of
+  /// two readings counts the kernel launches of one dispatch.
+  std::uint64_t launchCount() const { return launches_; }
 
  private:
   ArchSpec spec_;
   std::vector<std::unique_ptr<CpeContext>> cpes_;
+  std::vector<Traffic> runSnapshot_;  // per-CPE counters before a run
+  double modeledSeconds_ = 0.0;
+  std::uint64_t launches_ = 0;
 };
 
 }  // namespace tkmc

@@ -2,12 +2,22 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/telemetry/tracer.hpp"
 #include "tabulation/cet.hpp"
 
 namespace tkmc {
+
+namespace {
+
+// The LDM bump allocator hands out 64-byte-aligned blocks; working-set
+// estimates must round each allocation the same way or a kernel could
+// pass the check and still overflow the arena.
+std::size_t alignUp64(std::size_t bytes) { return (bytes + 63) & ~std::size_t{63}; }
+
+}  // namespace
 
 FeatureOperator::FeatureOperator(const Net& net, const FeatureTable& table,
                                  CpeGrid& grid)
@@ -34,14 +44,65 @@ FeatureOperator::FeatureOperator(const Net& net, const FeatureTable& table,
 void FeatureOperator::compute(const Vet& vet, int numFinal,
                               std::vector<float>& out) const {
   TKMC_SPAN("sunway.feature_compute");
+  const Vet* one = &vet;
+  computeBatch({&one, 1}, numFinal, out);
+}
+
+std::size_t FeatureOperator::batchWorkingSetBytes(int numStates,
+                                                  int vetSites) const {
+  const int nRegion = net_.regionSites();
+  const int numCpes = grid_.size();
+  // Worst CPE under the circular site assignment: most sites and most
+  // packed NET entries (the two can peak on different CPEs).
+  std::size_t maxSites = 0;
+  std::size_t maxEntries = 0;
+  for (int id = 0; id < numCpes; ++id) {
+    std::size_t sites = 0;
+    std::size_t entries = 0;
+    for (int s = id; s < nRegion; s += numCpes) {
+      ++sites;
+      entries += packedOffsets_[static_cast<std::size_t>(s) + 1] -
+                 packedOffsets_[static_cast<std::size_t>(s)];
+    }
+    maxSites = std::max(maxSites, sites);
+    maxEntries = std::max(maxEntries, entries);
+  }
+  const std::size_t vetBytes =
+      static_cast<std::size_t>(vetSites) * sizeof(Species);
+  return alignUp64(tableF32_.size() * sizeof(float)) + alignUp64(vetBytes) +
+         alignUp64(maxEntries * sizeof(PackedEntry)) +
+         alignUp64(maxSites * static_cast<std::size_t>(numStates) *
+                   static_cast<std::size_t>(dim()) * sizeof(float));
+}
+
+void FeatureOperator::computeBatch(std::span<const Vet* const> vets,
+                                   int numFinal,
+                                   std::vector<float>& out) const {
+  TKMC_SPAN("sunway.feature_batch");
   require(numFinal >= 0 && numFinal <= kNumJumpDirections,
           "invalid number of final states");
   const int nRegion = net_.regionSites();
   const int d = dim();
   const int numPq = table_.numPq();
   const int numStates = 1 + numFinal;
+  const int numSystems = static_cast<int>(vets.size());
   const std::size_t stateStride = static_cast<std::size_t>(nRegion) * d;
-  out.assign(stateStride * static_cast<std::size_t>(numStates), 0.0f);
+  const std::size_t systemStride =
+      stateStride * static_cast<std::size_t>(numStates);
+  out.assign(systemStride * static_cast<std::size_t>(numSystems), 0.0f);
+  if (numSystems == 0) return;
+  const int nAll = vets[0]->size();
+  for (const Vet* vet : vets)
+    require(vet != nullptr && vet->size() == nAll,
+            "every VET of a batch must come from the same CET");
+
+  const std::size_t working = batchWorkingSetBytes(numStates, nAll);
+  require(working <= grid_.spec().ldmBytes,
+          "batched feature working set (" + std::to_string(working) +
+              " bytes: TABLE + NET rows + VET + one system's features) "
+              "exceeds LDM capacity (" +
+              std::to_string(grid_.spec().ldmBytes) +
+              " bytes); reduce the table resolution, cutoff, or state count");
 
   const int numCpes = grid_.size();
   grid_.run([&](CpeContext& cpe) {
@@ -51,13 +112,12 @@ void FeatureOperator::compute(const Vet& vet, int numFinal,
     for (int s = cpe.id(); s < nRegion; s += numCpes) mySites.push_back(s);
     if (mySites.empty()) return;
 
-    // LDM residents: feature TABLE, VET copy, this CPE's NET rows.
+    // Batch-resident LDM: feature TABLE and this CPE's NET rows are
+    // fetched once and reused for every system of the batch; the VET
+    // copy and the per-system feature block are overwritten per system.
     auto tableLdm = ldm.alloc<float>(tableF32_.size());
     cpe.dmaGet(tableLdm.data(), tableF32_.data(),
                tableF32_.size() * sizeof(float));
-    auto vetLdm = ldm.alloc<Species>(static_cast<std::size_t>(vet.size()));
-    cpe.dmaGet(vetLdm.data(), vet.data().data(),
-               static_cast<std::size_t>(vet.size()) * sizeof(Species));
     std::size_t myEntryCount = 0;
     for (int s : mySites)
       myEntryCount += packedOffsets_[static_cast<std::size_t>(s) + 1] -
@@ -74,56 +134,68 @@ void FeatureOperator::compute(const Vet& vet, int numFinal,
         cursor += count;
       }
     }
-
-    // All generated features stay in LDM until every state is done.
+    auto vetLdm = ldm.alloc<Species>(static_cast<std::size_t>(nAll));
     auto featLdm = ldm.alloc<float>(mySites.size() *
                                     static_cast<std::size_t>(numStates) * d);
-    std::fill(featLdm.begin(), featLdm.end(), 0.0f);
 
-    for (int state = 0; state < numStates; ++state) {
-      // Simulate the hop for final state k by swapping the LDM VET copy.
-      if (state > 0) {
-        const int target = Cet::jumpTargetId(state - 1);
-        std::swap(vetLdm[0], vetLdm[static_cast<std::size_t>(target)]);
-      }
-      std::size_t cursor = 0;
-      for (std::size_t si = 0; si < mySites.size(); ++si) {
-        const int s = mySites[si];
-        const std::size_t count =
-            packedOffsets_[static_cast<std::size_t>(s) + 1] -
-            packedOffsets_[static_cast<std::size_t>(s)];
-        float* f = featLdm.data() +
-                   (static_cast<std::size_t>(state) * mySites.size() + si) * d;
-        for (std::size_t e = 0; e < count; ++e) {
-          const PackedEntry entry = netLdm[cursor + e];
-          const Species sp = vetLdm[entry.siteId];
-          if (sp == Species::kVacancy) continue;
-          const float* row =
-              tableLdm.data() + static_cast<std::size_t>(entry.distIndex) * numPq;
-          float* block = f + static_cast<int>(sp) * numPq;
-          for (int k = 0; k < numPq; ++k) block[k] += row[k];
+    for (int sys = 0; sys < numSystems; ++sys) {
+      cpe.dmaGet(vetLdm.data(), vets[sys]->data().data(),
+                 static_cast<std::size_t>(nAll) * sizeof(Species));
+      std::fill(featLdm.begin(), featLdm.end(), 0.0f);
+
+      for (int state = 0; state < numStates; ++state) {
+        // Simulate the hop for final state k by swapping the LDM VET copy.
+        if (state > 0) {
+          const int target = Cet::jumpTargetId(state - 1);
+          std::swap(vetLdm[0], vetLdm[static_cast<std::size_t>(target)]);
         }
-        cpe.traffic().flops += count * static_cast<std::uint64_t>(numPq);
-        cursor += count;
+        std::size_t cursor = 0;
+        for (std::size_t si = 0; si < mySites.size(); ++si) {
+          const int s = mySites[si];
+          const std::size_t count =
+              packedOffsets_[static_cast<std::size_t>(s) + 1] -
+              packedOffsets_[static_cast<std::size_t>(s)];
+          float* f =
+              featLdm.data() +
+              (static_cast<std::size_t>(state) * mySites.size() + si) * d;
+          std::uint64_t accumulated = 0;
+          for (std::size_t e = 0; e < count; ++e) {
+            const PackedEntry entry = netLdm[cursor + e];
+            const Species sp = vetLdm[entry.siteId];
+            if (sp == Species::kVacancy) continue;
+            const float* row = tableLdm.data() +
+                               static_cast<std::size_t>(entry.distIndex) * numPq;
+            float* block = f + static_cast<int>(sp) * numPq;
+            for (int k = 0; k < numPq; ++k) block[k] += row[k];
+            ++accumulated;
+          }
+          // Only entries that actually accumulated count as work;
+          // vacancy-skipped entries do no arithmetic.
+          cpe.traffic().flops +=
+              accumulated * static_cast<std::uint64_t>(numPq);
+          cursor += count;
+        }
+        // Undo the swap so every state starts from the initial VET.
+        if (state > 0) {
+          const int target = Cet::jumpTargetId(state - 1);
+          std::swap(vetLdm[0], vetLdm[static_cast<std::size_t>(target)]);
+        }
       }
-      // Undo the swap so every state starts from the initial VET.
-      if (state > 0) {
-        const int target = Cet::jumpTargetId(state - 1);
-        std::swap(vetLdm[0], vetLdm[static_cast<std::size_t>(target)]);
-      }
-    }
 
-    // One DMA put of everything generated (paper: features kept in LDM
-    // until all states are done).
-    for (int state = 0; state < numStates; ++state)
-      for (std::size_t si = 0; si < mySites.size(); ++si) {
-        float* dst = out.data() + static_cast<std::size_t>(state) * stateStride +
-                     static_cast<std::size_t>(mySites[si]) * d;
-        const float* src =
-            featLdm.data() +
-            (static_cast<std::size_t>(state) * mySites.size() + si) * d;
-        cpe.dmaPut(dst, src, static_cast<std::size_t>(d) * sizeof(float));
-      }
+      // One DMA put of everything generated for this system (paper:
+      // features kept in LDM until all states are done).
+      for (int state = 0; state < numStates; ++state)
+        for (std::size_t si = 0; si < mySites.size(); ++si) {
+          float* dst = out.data() +
+                       static_cast<std::size_t>(sys) * systemStride +
+                       static_cast<std::size_t>(state) * stateStride +
+                       static_cast<std::size_t>(mySites[si]) * d;
+          const float* src =
+              featLdm.data() +
+              (static_cast<std::size_t>(state) * mySites.size() + si) * d;
+          cpe.dmaPut(dst, src, static_cast<std::size_t>(d) * sizeof(float));
+        }
+    }
   });
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sunway/cpe_grid.hpp"
@@ -29,6 +30,26 @@ class FeatureOperator {
   /// [state][regionSite][dim()] row-major floats (resized as needed).
   /// Traffic is accumulated on the grid's CPE counters.
   void compute(const Vet& vet, int numFinal, std::vector<float>& out) const;
+
+  /// Batched variant: features for every vacancy system of `vets` in one
+  /// CpeGrid dispatch. The feature TABLE and this CPE's packed NET rows
+  /// are DMA'd into LDM once and stay resident while the kernel walks
+  /// the whole batch; only the (small) VET copy is re-fetched per
+  /// system, so the dominant weight movement is amortized over the
+  /// batch. Output layout is [system][state][regionSite][dim()] — the
+  /// concatenated feature matrix BigFusionOperator::forward consumes
+  /// directly with m = vets.size() * (1 + numFinal) * regionSites().
+  /// Per-system results are bit-identical to compute() on each VET.
+  void computeBatch(std::span<const Vet* const> vets, int numFinal,
+                    std::vector<float>& out) const;
+
+  /// Per-CPE LDM bytes the batched kernel needs for `numStates` states
+  /// over VETs of `vetSites` sites: resident TABLE + NET rows + one VET
+  /// copy + one system's feature block, each rounded up to the
+  /// allocator's 64-byte alignment. Constant in the batch size by design
+  /// (that is the point of LDM residency); computeBatch() refuses to
+  /// dispatch when this exceeds the grid's ldmBytes.
+  std::size_t batchWorkingSetBytes(int numStates, int vetSites) const;
 
  private:
   // Packed NET entry: neighbour id (fits 16 bits for standard cutoffs)

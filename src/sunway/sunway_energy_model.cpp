@@ -1,6 +1,7 @@
 #include "sunway/sunway_energy_model.hpp"
 
 #include "common/error.hpp"
+#include "common/telemetry/telemetry.hpp"
 #include "kmc/nnp_energy_model.hpp"
 
 namespace tkmc {
@@ -24,24 +25,65 @@ std::vector<double> SunwayEnergyModel::stateEnergies(const LatticeState& state,
 
 std::vector<double> SunwayEnergyModel::stateEnergiesFromVet(Vet& vet,
                                                             int numFinal) {
+  // The per-system path is the batched pipeline at batch size one, so
+  // the two cannot diverge numerically.
+  Vet* one = &vet;
+  return stateEnergiesBatch({&one, 1}, numFinal).front();
+}
+
+std::vector<std::vector<double>> SunwayEnergyModel::stateEnergiesBatch(
+    std::span<Vet* const> vets, int numFinal) {
+  if (vets.empty()) return {};
+  TKMC_SPAN("sunway.batch_dispatch");
+  namespace tm = telemetry;
+  const bool instrumented = tm::enabled();
+  Traffic before;
+  if (instrumented) before = grid_.peekTraffic();
+
   const int nRegion = cet_.nRegion();
   const int numStates = 1 + numFinal;
-  features_.compute(vet, numFinal, featureBuffer_);
-  const int m = numStates * nRegion;
+  const int numSystems = static_cast<int>(vets.size());
+
+  vetPtrScratch_.assign(vets.begin(), vets.end());
+  features_.computeBatch(vetPtrScratch_, numFinal, featureBuffer_);
+  const int m = numSystems * numStates * nRegion;
   energyBuffer_.resize(static_cast<std::size_t>(m));
   fusion_.forward(featureBuffer_.data(), m, energyBuffer_.data());
+
   // Per-state reduction with vacancy masking; accumulate the float
   // atomic energies in double (the MPE-side reduction of the paper).
-  std::vector<double> energies(static_cast<std::size_t>(numStates), 0.0);
-  for (int s = 0; s < numStates; ++s) {
-    double total = 0.0;
-    const float* atomE =
-        energyBuffer_.data() + static_cast<std::size_t>(s) * nRegion;
-    for (int site = 0; site < nRegion; ++site) {
-      if (stateSpecies(vet, s, site) == Species::kVacancy) continue;
-      total += static_cast<double>(atomE[site]);
+  std::vector<std::vector<double>> energies(
+      static_cast<std::size_t>(numSystems));
+  for (int sys = 0; sys < numSystems; ++sys) {
+    const Vet& vet = *vets[static_cast<std::size_t>(sys)];
+    std::vector<double>& systemEnergies =
+        energies[static_cast<std::size_t>(sys)];
+    systemEnergies.assign(static_cast<std::size_t>(numStates), 0.0);
+    for (int s = 0; s < numStates; ++s) {
+      double total = 0.0;
+      const float* atomE =
+          energyBuffer_.data() +
+          (static_cast<std::size_t>(sys) * numStates + s) * nRegion;
+      for (int site = 0; site < nRegion; ++site) {
+        if (stateSpecies(vet, s, site) == Species::kVacancy) continue;
+        total += static_cast<double>(atomE[site]);
+      }
+      systemEnergies[static_cast<std::size_t>(s)] = total;
     }
-    energies[static_cast<std::size_t>(s)] = total;
+  }
+
+  if (instrumented) {
+    const Traffic after = grid_.peekTraffic();
+    tm::MetricsRegistry& reg = tm::metrics();
+    reg.counter("sunway.batch.dispatches").inc();
+    reg.counter("sunway.batch.systems_total")
+        .add(static_cast<std::uint64_t>(numSystems));
+    reg.histogram("sunway.batch.systems", tm::Histogram::batchSizeBounds())
+        .observe(static_cast<double>(numSystems));
+    reg.histogram("sunway.dispatch.main_bytes", tm::Histogram::trafficBounds())
+        .observe(static_cast<double>(after.mainBytes() - before.mainBytes()));
+    reg.histogram("sunway.dispatch.flops", tm::Histogram::trafficBounds())
+        .observe(static_cast<double>(after.flops - before.flops));
   }
   return energies;
 }

@@ -32,12 +32,30 @@ class SunwayEnergyModel : public EnergyModel {
 
   std::vector<double> stateEnergiesFromVet(Vet& vet, int numFinal) override;
 
+  /// Batched evaluation: one feature dispatch with the TABLE and packed
+  /// NET LDM-resident across all systems, one big-fusion forward over
+  /// the concatenated feature matrix (tile count scales with the batch,
+  /// keeping all CPE columns busy), then the per-state MPE reductions.
+  /// Bit-identical to per-system stateEnergiesFromVet() calls in order.
+  /// While telemetry is enabled, records the batch-size histogram and
+  /// per-dispatch traffic (sunway.batch.*, sunway.dispatch.*).
+  std::vector<std::vector<double>> stateEnergiesBatch(
+      std::span<Vet* const> vets, int numFinal) override;
+
   bool supportsVet() const override { return true; }
 
   const char* name() const override { return "nnp-tet-sunway"; }
 
   /// Accumulated operator traffic since the last call (diagnostics).
   Traffic collectTraffic() { return grid_.collectTraffic(); }
+
+  /// Modeled SW26010 elapsed time of every dispatch since the last call
+  /// (launch latency + per-run critical path; see CpeGrid). This is the
+  /// cost benches report — host wall-clock of the functional simulator
+  /// does not express launch amortization or mesh occupancy.
+  double collectModeledSeconds() { return grid_.collectModeledSeconds(); }
+
+  const CpeGrid& grid() const { return grid_; }
 
   /// One-time model distribution cost (charged at construction).
   const Traffic& modelLoadTraffic() const { return loadTraffic_; }
@@ -50,6 +68,7 @@ class SunwayEnergyModel : public EnergyModel {
   Traffic loadTraffic_;
   std::vector<float> featureBuffer_;
   std::vector<float> energyBuffer_;
+  std::vector<const Vet*> vetPtrScratch_;  // reused per dispatch
 };
 
 }  // namespace tkmc

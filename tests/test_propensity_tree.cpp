@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "common/error.hpp"
@@ -77,6 +78,32 @@ TEST(PropensityTree, SelectAgreesWithLinearScan) {
           << "n=" << n << " target=" << target;
     }
   }
+}
+
+TEST(PropensityTree, SelectAndLinearAgreeAtBoundariesWithZeroTail) {
+  // Regression: with a zero-rate tail leaf and target == total (a legal
+  // draw when rng.uniform() returns values that round up), selectLinear
+  // used to run off the end and return the empty tail while select
+  // walked back to the last non-empty leaf — a silent trajectory
+  // divergence between the tree and linear engines.
+  PropensityTree tree(3);
+  tree.update(0, 1.0);
+  tree.update(1, 2.0);
+  tree.update(2, 0.0);  // zero-rate tail
+  const double total = tree.total();
+  EXPECT_EQ(tree.select(total), 1);
+  EXPECT_EQ(tree.selectLinear(total), 1);
+  EXPECT_EQ(tree.select(total), tree.selectLinear(total));
+  // Just below the boundary they must also agree.
+  EXPECT_EQ(tree.selectLinear(std::nextafter(total, 0.0)),
+            tree.select(std::nextafter(total, 0.0)));
+}
+
+TEST(PropensityTree, SelectLinearRejectsNegativeTargetLikeSelect) {
+  PropensityTree tree(2);
+  tree.update(0, 1.0);
+  EXPECT_THROW(tree.select(-0.5), Error);
+  EXPECT_THROW(tree.selectLinear(-0.5), Error);
 }
 
 TEST(PropensityTree, SamplingFrequenciesMatchWeights) {
