@@ -73,7 +73,7 @@ int main() {
     const auto fastStats = analyzeClusters(fastState, Species::kCu);
     const auto directStats = analyzeClusters(directState, Species::kCu);
     const bool identical = fastStats.sizes == directStats.sizes &&
-                           fastState.raw() == directState.raw();
+                           fastState == directState;
     allIdentical = allIdentical && identical;
     out.addRow({std::to_string(fastEngine.steps()),
                 TableWriter::num(fastEngine.time(), 10),

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# One-command PR gate: the tier-1 verify (default build + full ctest
+# suite) followed by the sanitized configuration
+# (scripts/run_sanitized.sh: ASan+UBSan build, fault-tolerance suite).
+# Exits non-zero the moment either configuration fails, so both gate
+# every PR.
+#
+# Usage:
+#   scripts/ci.sh            # tier-1 + sanitized fault-tolerance suite
+#   scripts/ci.sh all        # tier-1 + the whole suite under sanitizers
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+SANITIZED_FILTER=${1:-}
+
+echo "==> tier-1: configure + build (${BUILD_DIR})"
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+
+echo "==> tier-1: ctest"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+echo "==> sanitized: TKMC_SANITIZE=address;undefined"
+if [ -n "$SANITIZED_FILTER" ]; then
+  scripts/run_sanitized.sh "$SANITIZED_FILTER"
+else
+  scripts/run_sanitized.sh
+fi
+
+echo "==> ci.sh: all gates passed"

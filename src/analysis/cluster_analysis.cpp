@@ -53,15 +53,16 @@ std::vector<Vec3i> bondOffsets() {
 
 ClusterStats analyzeClusters(const LatticeState& state, Species species) {
   const BccLattice& lat = state.lattice();
-  // Compact index over solute sites.
+  // Compact index over solute sites, streamed off the packed pages.
   std::vector<BccLattice::SiteId> soluteSites;
   std::unordered_map<std::int64_t, std::size_t> indexOf;
-  for (BccLattice::SiteId id = 0; id < lat.siteCount(); ++id) {
-    if (state.species(id) == species) {
+  soluteSites.reserve(static_cast<std::size_t>(state.countSpecies(species)));
+  state.forEachSite([&](BccLattice::SiteId id, Species s) {
+    if (s == species) {
       indexOf.emplace(id, soluteSites.size());
       soluteSites.push_back(id);
     }
-  }
+  });
   UnionFind uf(soluteSites.size());
   const std::vector<Vec3i> bonds = bondOffsets();
   for (std::size_t i = 0; i < soluteSites.size(); ++i) {

@@ -27,12 +27,11 @@ void XyzWriter::writeFrame(std::ostream& out, const LatticeState& state,
       << lat.cellsY() * lat.latticeConstant() << " 0 0 0 "
       << lat.cellsZ() * lat.latticeConstant() << "\" " << comment << '\n';
   out << std::fixed << std::setprecision(5);
-  for (BccLattice::SiteId id = 0; id < lat.siteCount(); ++id) {
-    const Species s = state.species(id);
-    if (!includeMatrix && s == Species::kFe) continue;
+  state.forEachSite([&](BccLattice::SiteId id, Species s) {
+    if (!includeMatrix && s == Species::kFe) return;
     const Vec3d p = lat.position(lat.coordinate(id));
     out << label(s) << ' ' << p.x << ' ' << p.y << ' ' << p.z << '\n';
-  }
+  });
 }
 
 }  // namespace tkmc

@@ -3,6 +3,7 @@
 #include <filesystem>
 
 #include "common/error.hpp"
+#include "common/telemetry/telemetry.hpp"
 #include "kmc/eam_energy_model.hpp"
 #include "kmc/nnp_energy_model.hpp"
 #include "nnp/dataset.hpp"
@@ -119,12 +120,22 @@ ClusterStats Simulation::cuClusters() const {
 
 MemoryTracker Simulation::memoryUsage() const {
   MemoryTracker tracker;
-  tracker.set("lattice_species",
-              state_->raw().size() * sizeof(Species));
+  // The true allocated footprint of the paged packed store — uniform
+  // (pure-fill) pages cost nothing, materialized pages 2 bits/site.
+  tracker.set("lattice_species", state_->packedMemoryBytes());
   tracker.set("vacancy_list", state_->vacancies().size() * sizeof(Vec3i));
   tracker.set("vac_cache", engine_->cache().memoryBytes());
   tracker.set("propensity_tree", engine_->tree().memoryBytes());
   return tracker;
+}
+
+void Simulation::publishMemoryTelemetry() const {
+  namespace tm = telemetry;
+  if (!tm::enabled()) return;
+  memoryUsage().publishTelemetry("memory");
+  tm::metrics()
+      .gauge("lattice.bytes_per_site")
+      .set(state_->store().bytesPerSite());
 }
 
 void Simulation::writeCheckpoint(const std::string& path) const {

@@ -83,10 +83,15 @@ class Simulation {
   /// ParallelEngine over the same physics).
   EnergyModel& model() { return *model_; }
 
-  /// Live-array memory inventory of the run (lattice occupation, vacancy
-  /// cache, propensity tree) — the host-scale analogue of the paper's
-  /// Table 1 rows, reproducible from any normal run.
+  /// Live-array memory inventory of the run (packed lattice occupation,
+  /// vacancy cache, propensity tree) — the host-scale analogue of the
+  /// paper's Table 1 rows, reproducible from any normal run.
   MemoryTracker memoryUsage() const;
+
+  /// Publishes the memory inventory as `memory.*` gauges plus the
+  /// `lattice.bytes_per_site` gauge (allocated packed bytes over sites).
+  /// No-op while telemetry is disabled.
+  void publishMemoryTelemetry() const;
 
   /// Cu-precipitate statistics of the current configuration (Fig. 14).
   ClusterStats cuClusters() const;

@@ -13,14 +13,14 @@
 namespace tkmc {
 namespace {
 
-constexpr int kCurrentVersion = 2;
+constexpr int kCurrentVersion = 3;
 
 std::string encodeBody(const LatticeState& state, const SerialEngine& engine,
                        int version) {
   const BccLattice& lat = state.lattice();
   const SerialEngine::Checkpoint cp = engine.checkpoint();
   std::string body;
-  body.reserve(static_cast<std::size_t>(lat.siteCount()) +
+  body.reserve(static_cast<std::size_t>(lat.siteCount()) / (version >= 3 ? 2 : 1) +
                state.vacancies().size() * 12 + 256);
   char line[256];
   std::snprintf(line, sizeof(line), "tensorkmc-checkpoint %d\n", version);
@@ -40,13 +40,43 @@ std::string encodeBody(const LatticeState& state, const SerialEngine& engine,
     std::snprintf(line, sizeof(line), "%d %d %d\n", v.x, v.y, v.z);
     body += line;
   }
-  // Occupation as one digit per site (0=Fe, 1=Cu, 2=vacancy), 80/line.
-  const auto& raw = state.raw();
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    body += static_cast<char>('0' + static_cast<int>(raw[i]));
-    if ((i + 1) % 80 == 0) body += '\n';
+  if (version >= 3) {
+    // v3 occupation: CET-packed, four 2-bit species codes per byte in
+    // site-id order, emitted as two lowercase hex digits per byte, 80
+    // hex digits (160 sites) per line. Halves the body versus the
+    // one-digit-per-site v1/v2 form and round-trips the packed store
+    // without ever expanding to a dense array.
+    static const char* kHex = "0123456789abcdef";
+    std::uint8_t packed = 0;
+    int slot = 0;
+    std::size_t emitted = 0;
+    state.forEachSite([&](BccLattice::SiteId, Species s) {
+      packed = static_cast<std::uint8_t>(
+          packed | (static_cast<unsigned>(s) << (2 * slot)));
+      if (++slot == 4) {
+        body += kHex[packed >> 4];
+        body += kHex[packed & 0xf];
+        packed = 0;
+        slot = 0;
+        if (++emitted % 40 == 0) body += '\n';
+      }
+    });
+    if (slot != 0) {
+      body += kHex[packed >> 4];
+      body += kHex[packed & 0xf];
+      ++emitted;
+    }
+    if (emitted % 40 != 0) body += '\n';
+  } else {
+    // v1/v2 occupation: one digit per site (0=Fe, 1=Cu, 2=vacancy),
+    // 80/line.
+    std::size_t written = 0;
+    state.forEachSite([&](BccLattice::SiteId, Species s) {
+      body += static_cast<char>('0' + static_cast<int>(s));
+      if (++written % 80 == 0) body += '\n';
+    });
+    if (written % 80 != 0) body += '\n';
   }
-  if (raw.size() % 80 != 0) body += '\n';
   return body;
 }
 
@@ -110,7 +140,7 @@ CheckpointData parseCheckpoint(const std::string& contents,
   bool ok = static_cast<bool>(in >> magic >> version) &&
             magic == "tensorkmc-checkpoint";
   if (!ok) throw IoError("not a tensorkmc checkpoint: " + path);
-  if (version != 1 && version != 2)
+  if (version < 1 || version > 3)
     throw IoError("unsupported checkpoint version " +
                   std::to_string(version) + ": " + path);
   CheckpointData data;
@@ -128,24 +158,57 @@ CheckpointData parseCheckpoint(const std::string& contents,
     ok = static_cast<bool>(in >> p.x >> p.y >> p.z);
     if (ok) data.vacancyOrder.push_back(p);
   }
-  // The digit-block reader below skips newlines, so no separator
-  // handling is needed here.
+  // The occupation readers below skip newlines, so no separator handling
+  // is needed here.
   if (ok && data.cellsX > 0 && data.cellsY > 0 && data.cellsZ > 0) {
     const std::size_t sites =
         2ULL * static_cast<std::size_t>(data.cellsX) * data.cellsY * data.cellsZ;
     data.species.reserve(sites);
-    while (data.species.size() < sites) {
-      const int c = in.get();
-      if (c == std::char_traits<char>::eof()) {
-        ok = false;
-        break;
+    if (version >= 3) {
+      // Packed-hex body: each byte (two hex digits) carries four 2-bit
+      // species codes, low slots first.
+      auto hexValue = [](int c) {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      auto nextHex = [&](int& v) {
+        int c;
+        do {
+          c = in.get();
+        } while (c == '\n' || c == '\r');
+        v = c == std::char_traits<char>::eof() ? -1 : hexValue(c);
+        return v >= 0;
+      };
+      while (ok && data.species.size() < sites) {
+        int hi = 0, lo = 0;
+        ok = nextHex(hi) && nextHex(lo);
+        if (!ok) break;
+        const std::uint8_t byte = static_cast<std::uint8_t>((hi << 4) | lo);
+        for (int slot = 0; slot < 4 && data.species.size() < sites; ++slot) {
+          const int code = (byte >> (2 * slot)) & 3;
+          if (code > 2) {
+            ok = false;
+            break;
+          }
+          data.species.push_back(static_cast<Species>(code));
+        }
       }
-      if (c == '\n' || c == '\r') continue;
-      if (c < '0' || c > '2') {
-        ok = false;
-        break;
+    } else {
+      while (data.species.size() < sites) {
+        const int c = in.get();
+        if (c == std::char_traits<char>::eof()) {
+          ok = false;
+          break;
+        }
+        if (c == '\n' || c == '\r') continue;
+        if (c < '0' || c > '2') {
+          ok = false;
+          break;
+        }
+        data.species.push_back(static_cast<Species>(c - '0'));
       }
-      data.species.push_back(static_cast<Species>(c - '0'));
     }
   } else {
     ok = false;
@@ -185,6 +248,11 @@ void saveCheckpoint(const std::string& path, const LatticeState& state,
 void saveCheckpointV1(const std::string& path, const LatticeState& state,
                       const SerialEngine& engine) {
   saveWithVersion(path, state, engine, 1);
+}
+
+void saveCheckpointV2(const std::string& path, const LatticeState& state,
+                      const SerialEngine& engine) {
+  saveWithVersion(path, state, engine, 2);
 }
 
 CheckpointData loadCheckpoint(const std::string& path) {

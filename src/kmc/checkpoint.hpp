@@ -16,12 +16,15 @@ namespace tkmc {
 /// trajectory *bit-exactly* (tested) — the property that makes
 /// long-running mesoscale campaigns restartable after machine failures.
 ///
-/// Format v2 (current) seals the file with a `crc32 <hex>` footer
-/// computed over everything before it, so truncation and bit flips are
-/// detected at load instead of silently feeding the engine bad state.
-/// Writers are atomic: the body goes to `<path>.tmp` which is renamed
-/// over the target, and an existing good file is rotated to
-/// `<path>.bak` first. v1 files (no footer) still load read-only.
+/// Format v3 (current) stores the occupation CET-packed — four 2-bit
+/// species codes per byte, hex-encoded — matching the paged in-memory
+/// store, and seals the file with a `crc32 <hex>` footer computed over
+/// everything before it, so truncation and bit flips are detected at
+/// load instead of silently feeding the engine bad state. Writers are
+/// atomic: the body goes to `<path>.tmp` which is renamed over the
+/// target, and an existing good file is rotated to `<path>.bak` first.
+/// v2 files (one digit per site, CRC footer) and v1 files (no footer)
+/// still load read-only through the same entry points.
 struct CheckpointData {
   int cellsX = 0;
   int cellsY = 0;
@@ -40,21 +43,29 @@ struct CheckpointData {
   LatticeState restoreState() const;
 };
 
-/// Writes a format-v2 checkpoint of `state` and `engine` to `path`:
-/// CRC32 footer, atomic temp-file + rename, existing file rotated to
-/// `<path>.bak`. Throws IoError on filesystem failures.
+/// Writes a format-v3 checkpoint of `state` and `engine` to `path`:
+/// packed-species body, CRC32 footer, atomic temp-file + rename,
+/// existing file rotated to `<path>.bak`. Throws IoError on filesystem
+/// failures.
 void saveCheckpoint(const std::string& path, const LatticeState& state,
                     const SerialEngine& engine);
 
-/// Legacy format-v1 writer (no CRC footer), kept for compatibility
-/// tooling. Shares the atomic temp-file + rename + `.bak` rotation path,
-/// so old callers can no longer tear a checkpoint mid-write.
+/// Legacy format-v1 writer (dense digit body, no CRC footer), kept for
+/// compatibility tooling. Shares the atomic temp-file + rename + `.bak`
+/// rotation path, so old callers can no longer tear a checkpoint
+/// mid-write.
 void saveCheckpointV1(const std::string& path, const LatticeState& state,
                       const SerialEngine& engine);
 
-/// Reads a checkpoint written by saveCheckpoint() (v2, CRC-verified) or
-/// the v1 writer. Throws IoError on missing files, bad magic/version,
-/// truncation, or CRC mismatch.
+/// Legacy format-v2 writer (dense digit body, CRC footer), kept so the
+/// v2→v3 load compatibility path stays exercised by files this build
+/// produced itself.
+void saveCheckpointV2(const std::string& path, const LatticeState& state,
+                      const SerialEngine& engine);
+
+/// Reads a checkpoint written by saveCheckpoint() (v3, CRC-verified) or
+/// the legacy v2/v1 writers. Throws IoError on missing files, bad
+/// magic/version, truncation, or CRC mismatch.
 CheckpointData loadCheckpoint(const std::string& path);
 
 /// Result of a fallback-aware load: the data plus which replica served

@@ -7,47 +7,49 @@
 namespace tkmc {
 
 LatticeState::LatticeState(BccLattice lattice)
-    : lattice_(lattice),
-      species_(static_cast<std::size_t>(lattice.siteCount()), Species::kFe) {}
+    : lattice_(lattice), store_(lattice.siteCount(), Species::kFe) {}
 
 void LatticeState::fill(Species s) {
-  std::fill(species_.begin(), species_.end(), s);
+  require(s != Species::kVacancy,
+          "filling the whole box with vacancies is not supported");
+  store_.fill(s);
   vacancies_.clear();
-  if (s == Species::kVacancy) {
-    require(false, "filling the whole box with vacancies is not supported");
-  }
 }
 
 void LatticeState::setSpecies(SiteId id, Species s) {
-  auto& slot = species_[static_cast<std::size_t>(id)];
+  const Species old = store_.get(id);
   const Vec3i coord = lattice_.coordinate(id);
-  if (slot == Species::kVacancy && s != Species::kVacancy) {
+  if (old == Species::kVacancy && s != Species::kVacancy) {
     auto it = std::find(vacancies_.begin(), vacancies_.end(), coord);
     require(it != vacancies_.end(), "vacancy list out of sync");
     vacancies_.erase(it);
-  } else if (slot != Species::kVacancy && s == Species::kVacancy) {
+  } else if (old != Species::kVacancy && s == Species::kVacancy) {
     vacancies_.push_back(coord);
   }
-  slot = s;
+  store_.set(id, s);
 }
 
 void LatticeState::hopVacancy(Vec3i from, Vec3i to) {
   const SiteId fromId = lattice_.siteId(from);
   const SiteId toId = lattice_.siteId(to);
-  auto& fromSlot = species_[static_cast<std::size_t>(fromId)];
-  auto& toSlot = species_[static_cast<std::size_t>(toId)];
-  require(fromSlot == Species::kVacancy, "hop source must hold a vacancy");
-  require(toSlot != Species::kVacancy, "hop target must hold an atom");
-  fromSlot = toSlot;
-  toSlot = Species::kVacancy;
+  const Species migrating = store_.get(toId);
+  require(store_.get(fromId) == Species::kVacancy,
+          "hop source must hold a vacancy");
+  require(migrating != Species::kVacancy, "hop target must hold an atom");
+  store_.set(fromId, migrating);
+  store_.set(toId, Species::kVacancy);
   const Vec3i fromWrapped = lattice_.wrap(from);
   auto it = std::find(vacancies_.begin(), vacancies_.end(), fromWrapped);
   require(it != vacancies_.end(), "vacancy list out of sync");
   *it = lattice_.wrap(to);
 }
 
-std::int64_t LatticeState::countSpecies(Species s) const {
-  return std::count(species_.begin(), species_.end(), s);
+bool LatticeState::operator==(const LatticeState& other) const {
+  return lattice_.cellsX() == other.lattice_.cellsX() &&
+         lattice_.cellsY() == other.lattice_.cellsY() &&
+         lattice_.cellsZ() == other.lattice_.cellsZ() &&
+         lattice_.latticeConstant() == other.lattice_.latticeConstant() &&
+         store_ == other.store_;
 }
 
 void LatticeState::randomAlloy(double cuFraction, std::int64_t vacancyCount,
@@ -61,11 +63,12 @@ void LatticeState::randomAlloy(double cuFraction, std::int64_t vacancyCount,
   // Place Cu by independent per-site draws (matches the paper's at.%
   // concentration specification), then scatter vacancies on distinct sites.
   for (std::int64_t id = 0; id < n; ++id)
-    if (rng.uniform() < cuFraction) species_[static_cast<std::size_t>(id)] = Species::kCu;
+    if (rng.uniform() < cuFraction) store_.set(id, Species::kCu);
   std::int64_t placed = 0;
   while (placed < vacancyCount) {
-    const SiteId id = static_cast<SiteId>(rng.uniformBelow(static_cast<std::uint64_t>(n)));
-    if (species_[static_cast<std::size_t>(id)] == Species::kVacancy) continue;
+    const SiteId id = static_cast<SiteId>(
+        rng.uniformBelow(static_cast<std::uint64_t>(n)));
+    if (store_.get(id) == Species::kVacancy) continue;
     setSpecies(id, Species::kVacancy);
     ++placed;
   }

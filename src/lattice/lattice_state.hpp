@@ -6,12 +6,20 @@
 #include "common/constants.hpp"
 #include "common/rng.hpp"
 #include "lattice/bcc_lattice.hpp"
+#include "lattice/species_store.hpp"
 
 namespace tkmc {
 
-/// Occupation state of a periodic BCC box: one Species per site plus an
-/// explicit list of vacancy locations (vacancies drive all AKMC kinetics,
-/// so they are tracked directly rather than rediscovered by scanning).
+/// Occupation state of a periodic BCC box: a paged 2-bit-packed species
+/// store plus an explicit list of vacancy locations (vacancies drive all
+/// AKMC kinetics, so they are tracked directly rather than rediscovered
+/// by scanning).
+///
+/// There is deliberately no way to borrow the occupation as a dense
+/// array: consumers read single sites (species/speciesAt), stream the box
+/// with forEachSite(), compare states with operator== and contentHash(),
+/// and count with the O(1) countSpecies(). That keeps every layer honest
+/// about the packed representation the trillion-site ambitions require.
 class LatticeState {
  public:
   using SiteId = BccLattice::SiteId;
@@ -20,7 +28,7 @@ class LatticeState {
 
   const BccLattice& lattice() const { return lattice_; }
 
-  Species species(SiteId id) const { return species_[static_cast<std::size_t>(id)]; }
+  Species species(SiteId id) const { return store_.get(id); }
   Species speciesAt(Vec3i p) const { return species(lattice_.siteId(p)); }
 
   /// Overwrites every site with `s` and clears the vacancy list.
@@ -38,20 +46,41 @@ class LatticeState {
   /// Vacancy coordinates in creation order.
   const std::vector<Vec3i>& vacancies() const { return vacancies_; }
 
-  /// Number of sites holding a given species (O(sites); for tests and
-  /// analysis, not hot paths).
-  std::int64_t countSpecies(Species s) const;
+  /// Number of sites holding a given species. O(1): the store maintains
+  /// per-species counts incrementally.
+  std::int64_t countSpecies(Species s) const { return store_.count(s); }
 
   /// Populates the box as a random Fe matrix with `cuFraction` Cu atoms
   /// and `vacancyCount` vacancies, deterministically from `rng`.
   void randomAlloy(double cuFraction, std::int64_t vacancyCount, Rng& rng);
 
-  /// Raw species array (local ids follow BccLattice::siteId order).
-  const std::vector<Species>& raw() const { return species_; }
+  /// Visits every site in id order as visitor(SiteId, Species).
+  template <typename Visitor>
+  void forEachSite(Visitor&& visit) const {
+    store_.forEachSite(visit);
+  }
+
+  /// Occupation equality: same box geometry and the same species on
+  /// every site. Vacancy *order* (a trajectory artifact) is deliberately
+  /// not compared — callers that need it compare vacancies() directly.
+  bool operator==(const LatticeState& other) const;
+  bool operator!=(const LatticeState& other) const {
+    return !(*this == other);
+  }
+
+  /// CRC32 fingerprint of the packed occupation (canonical: equal states
+  /// hash equal regardless of write history).
+  std::uint32_t contentHash() const { return store_.contentHash(); }
+
+  /// The packed page store (footprint inspection, bench reporting).
+  const SpeciesStore& store() const { return store_; }
+
+  /// Allocated bytes of the packed occupation (pages + bookkeeping).
+  std::size_t packedMemoryBytes() const { return store_.memoryBytes(); }
 
  private:
   BccLattice lattice_;
-  std::vector<Species> species_;
+  SpeciesStore store_;
   std::vector<Vec3i> vacancies_;
 };
 

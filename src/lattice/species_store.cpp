@@ -1,0 +1,113 @@
+#include "lattice/species_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+
+namespace tkmc {
+
+SpeciesStore::SpeciesStore(std::int64_t siteCount, Species fill)
+    : siteCount_(siteCount), fill_(fill) {
+  require(siteCount >= 0, "site count must be non-negative");
+  pages_.resize(
+      static_cast<std::size_t>((siteCount + kPageSites - 1) / kPageSites));
+  counts_[static_cast<std::size_t>(fill)] = siteCount;
+}
+
+void SpeciesStore::set(std::int64_t id, Species s) {
+  std::vector<std::uint8_t>& page =
+      pages_[static_cast<std::size_t>(id / kPageSites)];
+  if (page.empty()) {
+    if (s == fill_) return;  // uniform page stays collapsed
+    page.assign(kPageBytes, pattern(fill_));
+  }
+  const std::int64_t in = id % kPageSites;
+  std::uint8_t& byte = page[static_cast<std::size_t>(in >> 2)];
+  const int shift = 2 * static_cast<int>(in & 3);
+  const Species old = static_cast<Species>((byte >> shift) & 3);
+  if (old == s) return;
+  --counts_[static_cast<std::size_t>(old)];
+  ++counts_[static_cast<std::size_t>(s)];
+  byte = static_cast<std::uint8_t>(
+      (byte & ~(3u << shift)) |
+      (static_cast<unsigned>(static_cast<std::uint8_t>(s)) << shift));
+}
+
+void SpeciesStore::fill(Species s) {
+  fill_ = s;
+  for (std::vector<std::uint8_t>& page : pages_) {
+    page.clear();
+    page.shrink_to_fit();
+  }
+  counts_ = {};
+  counts_[static_cast<std::size_t>(s)] = siteCount_;
+}
+
+void SpeciesStore::canonicalPageBytes(std::size_t p, std::uint8_t* out) const {
+  const std::vector<std::uint8_t>& page = pages_[p];
+  if (page.empty()) {
+    std::memset(out, pattern(fill_), kPageBytes);
+  } else {
+    std::memcpy(out, page.data(), kPageBytes);
+  }
+  // The last page may cover more slots than the box has sites; zero the
+  // slack so equality and hashing never see materialization history.
+  const std::int64_t pageStart = static_cast<std::int64_t>(p) * kPageSites;
+  const std::int64_t tailSites = siteCount_ - pageStart;
+  if (tailSites >= kPageSites) return;
+  const std::size_t fullBytes = static_cast<std::size_t>(tailSites / 4);
+  const int remSlots = static_cast<int>(tailSites % 4);
+  std::size_t firstSlack = fullBytes;
+  if (remSlots != 0) {
+    out[fullBytes] &=
+        static_cast<std::uint8_t>((1u << (2 * remSlots)) - 1u);
+    ++firstSlack;
+  }
+  if (firstSlack < kPageBytes)
+    std::memset(out + firstSlack, 0, kPageBytes - firstSlack);
+}
+
+bool SpeciesStore::operator==(const SpeciesStore& other) const {
+  if (siteCount_ != other.siteCount_) return false;
+  if (counts_ != other.counts_) return false;
+  std::uint8_t a[kPageBytes];
+  std::uint8_t b[kPageBytes];
+  for (std::size_t p = 0; p < pages_.size(); ++p) {
+    const bool uniformA = pages_[p].empty();
+    const bool uniformB = other.pages_[p].empty();
+    if (uniformA && uniformB && fill_ == other.fill_) continue;
+    canonicalPageBytes(p, a);
+    other.canonicalPageBytes(p, b);
+    if (std::memcmp(a, b, kPageBytes) != 0) return false;
+  }
+  return true;
+}
+
+std::uint32_t SpeciesStore::contentHash() const {
+  std::uint8_t buffer[kPageBytes];
+  std::uint32_t crc = 0;
+  for (std::size_t p = 0; p < pages_.size(); ++p) {
+    canonicalPageBytes(p, buffer);
+    crc = crc32(buffer, kPageBytes, crc);
+  }
+  return crc;
+}
+
+std::size_t SpeciesStore::memoryBytes() const {
+  std::size_t bytes = sizeof(*this) +
+                      pages_.capacity() * sizeof(std::vector<std::uint8_t>);
+  for (const std::vector<std::uint8_t>& page : pages_)
+    bytes += page.capacity();
+  return bytes;
+}
+
+std::int64_t SpeciesStore::materializedPageCount() const {
+  return std::count_if(pages_.begin(), pages_.end(),
+                       [](const std::vector<std::uint8_t>& p) {
+                         return !p.empty();
+                       });
+}
+
+}  // namespace tkmc

@@ -40,17 +40,22 @@ void OpenKmcEngine::rebuildArrays() {
     posId_[static_cast<std::size_t>(p.x) + strideY * static_cast<std::size_t>(p.y) +
            strideZ * static_cast<std::size_t>(p.z)] = id;
   }
-  // Per-atom property arrays for the whole domain.
+  // Per-atom property arrays for the whole domain, built in one pass
+  // over the packed occupation pages.
   eV_.assign(static_cast<std::size_t>(lat.siteCount()), 0.0);
   eR_.assign(static_cast<std::size_t>(lat.siteCount()), 0.0);
-  for (BccLattice::SiteId id = 0; id < lat.siteCount(); ++id)
-    refreshSiteProperties(lat.coordinate(id));
+  state_.forEachSite([&](BccLattice::SiteId id, Species self) {
+    refreshSiteProperties(lat.coordinate(id), id, self);
+  });
 }
 
 void OpenKmcEngine::refreshSiteProperties(Vec3i site) {
-  const BccLattice& lat = state_.lattice();
-  const BccLattice::SiteId id = lat.siteId(site);
-  const Species self = state_.species(id);
+  const BccLattice::SiteId id = state_.lattice().siteId(site);
+  refreshSiteProperties(site, id, state_.species(id));
+}
+
+void OpenKmcEngine::refreshSiteProperties(Vec3i site, BccLattice::SiteId id,
+                                          Species self) {
   double pairSum = 0.0;
   double density = 0.0;
   if (self != Species::kVacancy) {

@@ -59,6 +59,7 @@ class OpenKmcEngine {
  private:
   void rebuildArrays();
   void refreshSiteProperties(Vec3i site);
+  void refreshSiteProperties(Vec3i site, BccLattice::SiteId id, Species self);
   void refreshAround(Vec3i site);
   double regionEnergyInitial(Vec3i center) const;
   double regionEnergyFinal(Vec3i center, int direction) const;

@@ -55,7 +55,8 @@ TEST(Checkpoint, RoundTripPreservesEverything) {
   EXPECT_DOUBLE_EQ(data.engine.time, engine.time());
   EXPECT_EQ(data.engine.steps, 37u);
   const LatticeState restored = data.restoreState();
-  EXPECT_EQ(restored.raw(), w.state.raw());
+  EXPECT_TRUE(restored == w.state);
+  EXPECT_EQ(restored.contentHash(), w.state.contentHash());
   EXPECT_EQ(restored.vacancies(), w.state.vacancies());
   std::remove(path.c_str());
 }
@@ -88,7 +89,7 @@ TEST(Checkpoint, ResumedTrajectoryIsBitExact) {
     ASSERT_EQ(r.to, referenceTail[static_cast<std::size_t>(i)].to);
     ASSERT_EQ(r.dt, referenceTail[static_cast<std::size_t>(i)].dt);
   }
-  EXPECT_EQ(resumedState.raw(), ref.state.raw());
+  EXPECT_TRUE(resumedState == ref.state);
   EXPECT_DOUBLE_EQ(resumed.time(), refEngine.time());
   std::remove(path.c_str());
 }
@@ -137,19 +138,60 @@ TEST(Checkpoint, MissingFileThrows) {
   EXPECT_THROW(loadCheckpoint("/no/such/file.chk"), IoError);
 }
 
-TEST(Checkpoint, WritesV2WithCrcFooterAndNoTempResidue) {
+TEST(Checkpoint, WritesV3PackedWithCrcFooterAndNoTempResidue) {
   World w(7);
   EamEnergyModel model(w.cet, w.net, w.eam);
   SerialEngine engine(w.state, model, w.cet, config(15));
-  const std::string path = tempPath("tkmc_checkpoint_v2.chk");
+  const std::string path = tempPath("tkmc_checkpoint_v3.chk");
   cleanupReplicas(path);
   saveCheckpoint(path, w.state, engine);
   const std::string contents = readFile(path);
-  EXPECT_EQ(contents.rfind("tensorkmc-checkpoint 2\n", 0), 0u);
+  EXPECT_EQ(contents.rfind("tensorkmc-checkpoint 3\n", 0), 0u);
   EXPECT_NE(contents.rfind("\ncrc32 "), std::string::npos);
   EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
   const CheckpointData data = loadCheckpoint(path);
-  EXPECT_EQ(data.restoreState().raw(), w.state.raw());
+  EXPECT_TRUE(data.restoreState() == w.state);
+  cleanupReplicas(path);
+}
+
+TEST(Checkpoint, V3PackedBodyIsHalfTheDenseBody) {
+  // The packed occupation (4 sites/byte, hex-encoded: 2 chars per byte)
+  // must come in at half the one-digit-per-site v2 body.
+  World w(14);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  SerialEngine engine(w.state, model, w.cet, config(29));
+  const std::string v3 = tempPath("tkmc_checkpoint_size_v3.chk");
+  const std::string v2 = tempPath("tkmc_checkpoint_size_v2.chk");
+  cleanupReplicas(v3);
+  cleanupReplicas(v2);
+  saveCheckpoint(v3, w.state, engine);
+  saveCheckpointV2(v2, w.state, engine);
+  EXPECT_LT(std::filesystem::file_size(v3),
+            std::filesystem::file_size(v2) * 6 / 10);
+  cleanupReplicas(v3);
+  cleanupReplicas(v2);
+}
+
+TEST(Checkpoint, V2FilesStillLoadBitExactThroughFallbackPath) {
+  // Files produced by the retained v2 writer (dense digit body + CRC
+  // footer) must load bit-exactly through loadCheckpointWithFallback.
+  World w(15);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  SerialEngine engine(w.state, model, w.cet, config(33));
+  for (int i = 0; i < 11; ++i) engine.step();
+  const std::string path = tempPath("tkmc_checkpoint_v2compat.chk");
+  cleanupReplicas(path);
+  saveCheckpointV2(path, w.state, engine);
+  const std::string contents = readFile(path);
+  EXPECT_EQ(contents.rfind("tensorkmc-checkpoint 2\n", 0), 0u);
+  EXPECT_NE(contents.rfind("\ncrc32 "), std::string::npos);
+  const CheckpointLoadResult result = loadCheckpointWithFallback(path);
+  EXPECT_FALSE(result.usedBackup);
+  EXPECT_EQ(result.data.engine.steps, 11u);
+  const LatticeState restored = result.data.restoreState();
+  EXPECT_TRUE(restored == w.state);
+  EXPECT_EQ(restored.contentHash(), w.state.contentHash());
+  EXPECT_EQ(restored.vacancies(), w.state.vacancies());
   cleanupReplicas(path);
 }
 
@@ -285,7 +327,13 @@ TEST(Checkpoint, V1FilesStillLoadReadOnly) {
   EXPECT_EQ(contents.rfind("\ncrc32 "), std::string::npos);
   const CheckpointData data = loadCheckpoint(path);
   EXPECT_EQ(data.engine.steps, 3u);
-  EXPECT_EQ(data.restoreState().raw(), w.state.raw());
+  EXPECT_TRUE(data.restoreState() == w.state);
+  // The same v1 file must also serve through the fallback-aware loader.
+  const CheckpointLoadResult viaFallback = loadCheckpointWithFallback(path);
+  EXPECT_FALSE(viaFallback.usedBackup);
+  EXPECT_TRUE(viaFallback.data.restoreState() == w.state);
+  EXPECT_EQ(viaFallback.data.restoreState().contentHash(),
+            w.state.contentHash());
   cleanupReplicas(path);
 }
 

@@ -78,7 +78,8 @@ TEST(Fig8Equivalence, TrajectoriesAreBitIdentical) {
     ASSERT_EQ(rf.to, rd.to) << "step " << i;
     ASSERT_EQ(rf.dt, rd.dt) << "step " << i;  // bitwise
   }
-  EXPECT_EQ(fastState.raw(), directState.raw());
+  EXPECT_TRUE(fastState == directState);
+  EXPECT_EQ(fastState.contentHash(), directState.contentHash());
 }
 
 TEST(Fig8Equivalence, IsolatedCuCountsTrackExactly) {

@@ -56,7 +56,8 @@ TEST_P(DifferentialFuzz, CachedEngineMatchesUncachedBitwise) {
     ASSERT_EQ(r1.to, r2.to) << "step " << i;
     ASSERT_EQ(r1.dt, r2.dt) << "step " << i;
   }
-  EXPECT_EQ(cached.raw(), uncached.raw());
+  EXPECT_TRUE(cached == uncached);
+  EXPECT_EQ(cached.contentHash(), uncached.contentHash());
 }
 
 TEST_P(DifferentialFuzz, TetAndDirectNnpBackendsAgreeBitwise) {
@@ -104,6 +105,75 @@ TEST_P(DifferentialFuzz, ConservationAndClusterConsistency) {
   // Vacancy list and lattice occupation must agree site by site.
   for (const Vec3i& v : state.vacancies())
     EXPECT_EQ(state.speciesAt(v), Species::kVacancy);
+}
+
+TEST_P(DifferentialFuzz, PackedStoreMatchesDenseReferenceOracle) {
+  // Oracle for the paged 2-bit-packed species store: a dense
+  // byte-per-site vector (the retired representation) is maintained in
+  // lockstep through the same random fill/set/hop sequence over periodic
+  // boundaries. Every site, every per-species count, and the canonical
+  // contentHash must agree at every checkpointed round.
+  const auto& c = GetParam();
+  LatticeState packed(BccLattice(c.cells, c.cells, c.cells, 2.87));
+  const BccLattice& lat = packed.lattice();
+  const std::size_t n = static_cast<std::size_t>(lat.siteCount());
+  std::vector<Species> dense(n, Species::kFe);
+
+  Rng rng(c.seed ^ 0x9aceULL);
+  // Seed the alloy through the packed store, mirrored densely.
+  packed.randomAlloy(c.cuFraction, c.vacancies, rng);
+  packed.forEachSite(
+      [&](BccLattice::SiteId id, Species s) { dense[static_cast<std::size_t>(id)] = s; });
+
+  auto checkAgreement = [&] {
+    std::int64_t denseCount[3] = {0, 0, 0};
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(packed.species(static_cast<BccLattice::SiteId>(i)), dense[i])
+          << "site " << i;
+      ++denseCount[static_cast<int>(dense[i])];
+    }
+    for (Species sp : {Species::kFe, Species::kCu, Species::kVacancy})
+      ASSERT_EQ(packed.countSpecies(sp), denseCount[static_cast<int>(sp)]);
+    // Hash must be a pure function of the logical content: a state
+    // rebuilt dense-first from scratch hashes identically.
+    LatticeState rebuilt(BccLattice(c.cells, c.cells, c.cells, 2.87));
+    for (std::size_t i = 0; i < n; ++i)
+      if (dense[i] != Species::kVacancy && dense[i] != Species::kFe)
+        rebuilt.setSpecies(static_cast<BccLattice::SiteId>(i), dense[i]);
+    for (std::size_t i = 0; i < n; ++i)
+      if (dense[i] == Species::kVacancy)
+        rebuilt.setSpecies(static_cast<BccLattice::SiteId>(i),
+                           Species::kVacancy);
+    ASSERT_TRUE(rebuilt == packed);
+    ASSERT_EQ(rebuilt.contentHash(), packed.contentHash());
+  };
+  checkAgreement();
+
+  for (int round = 0; round < 4; ++round) {
+    // Random non-vacancy overwrites through setSpecies...
+    for (int i = 0; i < 40; ++i) {
+      const auto id = static_cast<BccLattice::SiteId>(
+          rng.uniformBelow(static_cast<std::uint64_t>(n)));
+      if (packed.species(id) == Species::kVacancy) continue;
+      const Species s = rng.uniformBelow(2) ? Species::kCu : Species::kFe;
+      packed.setSpecies(id, s);
+      dense[static_cast<std::size_t>(id)] = s;
+    }
+    // ...interleaved with vacancy hops crossing periodic boundaries.
+    for (int i = 0; i < 120; ++i) {
+      const std::size_t v = rng.uniformBelow(packed.vacancies().size());
+      const Vec3i from = packed.vacancies()[v];
+      const Vec3i to = lat.wrap(
+          from + BccLattice::firstNeighborOffsets()[rng.uniformBelow(8)]);
+      if (packed.speciesAt(to) == Species::kVacancy) continue;
+      const std::size_t fromId = static_cast<std::size_t>(lat.siteId(from));
+      const std::size_t toId = static_cast<std::size_t>(lat.siteId(to));
+      packed.hopVacancy(from, to);
+      dense[fromId] = dense[toId];
+      dense[toId] = Species::kVacancy;
+    }
+    checkAgreement();
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

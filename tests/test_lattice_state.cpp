@@ -85,7 +85,98 @@ TEST(LatticeState, RandomAlloyIsDeterministic) {
   Rng ra(9), rb(9);
   a.randomAlloy(0.1, 3, ra);
   b.randomAlloy(0.1, 3, rb);
-  EXPECT_EQ(a.raw(), b.raw());
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.contentHash(), b.contentHash());
+}
+
+TEST(LatticeState, EqualityDetectsSingleSiteDifference) {
+  LatticeState a(BccLattice(4, 4, 4, 2.87)), b(BccLattice(4, 4, 4, 2.87));
+  EXPECT_TRUE(a == b);
+  a.setSpeciesAt({2, 2, 2}, Species::kCu);
+  EXPECT_TRUE(a != b);
+  EXPECT_NE(a.contentHash(), b.contentHash());
+  b.setSpeciesAt({2, 2, 2}, Species::kCu);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.contentHash(), b.contentHash());
+}
+
+TEST(LatticeState, EqualityIgnoresWriteHistory) {
+  // A state whose sites were touched and reverted must equal a fresh
+  // state: the comparison is canonical, not materialization-sensitive.
+  LatticeState touched(BccLattice(4, 4, 4, 2.87));
+  LatticeState fresh(BccLattice(4, 4, 4, 2.87));
+  touched.setSpeciesAt({0, 0, 0}, Species::kCu);
+  touched.setSpeciesAt({0, 0, 0}, Species::kFe);
+  EXPECT_TRUE(touched == fresh);
+  EXPECT_EQ(touched.contentHash(), fresh.contentHash());
+}
+
+TEST(LatticeState, ForEachSiteVisitsEverySiteInOrder) {
+  LatticeState s(BccLattice(4, 4, 4, 2.87));
+  Rng rng(55);
+  s.randomAlloy(0.2, 2, rng);
+  BccLattice::SiteId expected = 0;
+  s.forEachSite([&](BccLattice::SiteId id, Species sp) {
+    ASSERT_EQ(id, expected);
+    ASSERT_EQ(sp, s.species(id));
+    ++expected;
+  });
+  EXPECT_EQ(expected, s.lattice().siteCount());
+}
+
+TEST(LatticeState, CountsStayExactAcrossAllMutators) {
+  // Regression for the per-species counters the store maintains
+  // incrementally: fill, setSpecies, hopVacancy, and randomAlloy must
+  // all leave countSpecies() exactly equal to a brute-force tally.
+  LatticeState s(BccLattice(5, 5, 5, 2.87));
+  auto tally = [&](Species want) {
+    std::int64_t n = 0;
+    s.forEachSite([&](BccLattice::SiteId, Species sp) {
+      if (sp == want) ++n;
+    });
+    return n;
+  };
+  auto expectExact = [&] {
+    for (Species sp : {Species::kFe, Species::kCu, Species::kVacancy})
+      ASSERT_EQ(s.countSpecies(sp), tally(sp));
+  };
+
+  expectExact();
+  s.fill(Species::kCu);
+  expectExact();
+  EXPECT_EQ(s.countSpecies(Species::kCu), s.lattice().siteCount());
+
+  s.fill(Species::kFe);
+  s.setSpeciesAt({0, 0, 0}, Species::kCu);
+  s.setSpeciesAt({2, 2, 2}, Species::kVacancy);
+  s.setSpeciesAt({0, 0, 0}, Species::kFe);  // revert
+  expectExact();
+
+  Rng rng(31);
+  s.randomAlloy(0.25, 4, rng);
+  expectExact();
+
+  for (int i = 0; i < 300; ++i) {
+    const std::size_t v = rng.uniformBelow(s.vacancies().size());
+    const Vec3i from = s.vacancies()[v];
+    const Vec3i to = s.lattice().wrap(
+        from + BccLattice::firstNeighborOffsets()[rng.uniformBelow(8)]);
+    if (s.speciesAt(to) == Species::kVacancy) continue;
+    s.hopVacancy(from, to);
+  }
+  expectExact();
+}
+
+TEST(LatticeState, PackedFootprintIsFractionOfDense) {
+  // A mostly-Fe box keeps all-fill pages collapsed: the packed footprint
+  // must be well under the 1 byte/site a dense vector would cost.
+  LatticeState s(BccLattice(16, 16, 16, 2.87));  // 8192 sites
+  const double pure = s.store().bytesPerSite();
+  EXPECT_LT(pure, 0.30);
+  EXPECT_EQ(s.store().materializedPageCount(), 0);
+  s.setSpeciesAt({0, 0, 0}, Species::kCu);
+  EXPECT_EQ(s.store().materializedPageCount(), 1);
+  EXPECT_LT(s.store().bytesPerSite(), 1.0);
 }
 
 TEST(LatticeState, SpeciesConservedUnderManyHops) {

@@ -84,7 +84,8 @@ TEST(OpenKmcEngine, DeterministicForSameSeed) {
     ASSERT_EQ(ra.from, rb.from);
     ASSERT_EQ(ra.to, rb.to);
   }
-  EXPECT_EQ(a.raw(), b.raw());
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.contentHash(), b.contentHash());
 }
 
 TEST(OpenKmcEngine, RunHonorsLimits) {

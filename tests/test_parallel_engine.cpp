@@ -126,7 +126,9 @@ TEST(ParallelEngine, DeterministicForSameSeed) {
     eb.runCycle();
   }
   EXPECT_EQ(ea.totalEvents(), eb.totalEvents());
-  EXPECT_EQ(ea.assembleGlobalState().raw(), eb.assembleGlobalState().raw());
+  EXPECT_TRUE(ea.assembleGlobalState() == eb.assembleGlobalState());
+  EXPECT_EQ(ea.assembleGlobalState().contentHash(),
+            eb.assembleGlobalState().contentHash());
 }
 
 TEST(ParallelEngine, MatchesSerialStatisticsOnIsolatedCuDecay) {
@@ -224,7 +226,9 @@ TEST(ParallelEngineFaults, RecoveryOnAndOffAreBitIdenticalWhenDisarmed) {
   }
   EXPECT_EQ(ea.totalEvents(), eb.totalEvents());
   EXPECT_EQ(ea.discardedEvents(), eb.discardedEvents());
-  EXPECT_EQ(ea.assembleGlobalState().raw(), eb.assembleGlobalState().raw());
+  EXPECT_TRUE(ea.assembleGlobalState() == eb.assembleGlobalState());
+  EXPECT_EQ(ea.assembleGlobalState().contentHash(),
+            eb.assembleGlobalState().contentHash());
   const RecoveryStats stats = ea.recoveryStats();
   EXPECT_EQ(stats.rollbacks, 0u);
   EXPECT_EQ(stats.commErrors, 0u);
@@ -304,7 +308,9 @@ TEST(ParallelEngineFaults, ReplayedCycleMatchesUnfaultedTrajectory) {
   for (int c = 0; c < 4; ++c) eb.runCycle();
   EXPECT_EQ(ea.recoveryStats().rollbacks, 2u);
   EXPECT_EQ(ea.totalEvents(), eb.totalEvents());
-  EXPECT_EQ(ea.assembleGlobalState().raw(), eb.assembleGlobalState().raw());
+  EXPECT_TRUE(ea.assembleGlobalState() == eb.assembleGlobalState());
+  EXPECT_EQ(ea.assembleGlobalState().contentHash(),
+            eb.assembleGlobalState().contentHash());
 }
 
 TEST(ParallelEngineFaults, WithoutRecoveryTheSameFaultAborts) {

@@ -118,7 +118,8 @@ TEST(SerialEngine, DeterministicForIdenticalSeeds) {
     ASSERT_EQ(ra.to, rb.to);
     ASSERT_DOUBLE_EQ(ra.dt, rb.dt);
   }
-  EXPECT_EQ(a.state.raw(), b.state.raw());
+  EXPECT_TRUE(a.state == b.state);
+  EXPECT_EQ(a.state.contentHash(), b.state.contentHash());
 }
 
 TEST(SerialEngine, CacheOnAndOffAreBitIdentical) {
@@ -138,7 +139,8 @@ TEST(SerialEngine, CacheOnAndOffAreBitIdentical) {
     ASSERT_EQ(ra.to, rb.to) << "step " << i;
     ASSERT_DOUBLE_EQ(ra.dt, rb.dt) << "step " << i;
   }
-  EXPECT_EQ(a.state.raw(), b.state.raw());
+  EXPECT_TRUE(a.state == b.state);
+  EXPECT_EQ(a.state.contentHash(), b.state.contentHash());
 }
 
 TEST(SerialEngine, CacheCutsEnergyEvaluations) {

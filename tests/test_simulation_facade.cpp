@@ -47,7 +47,7 @@ TEST(Simulation, DeterministicForSameConfig) {
   Simulation a(eamConfig(4)), b(eamConfig(4));
   a.run(1e300, 40);
   b.run(1e300, 40);
-  EXPECT_EQ(a.state().raw(), b.state().raw());
+  EXPECT_TRUE(a.state() == b.state());
   EXPECT_DOUBLE_EQ(a.time(), b.time());
 }
 
@@ -97,7 +97,7 @@ TEST(Simulation, CheckpointRoundTripThroughFacade) {
   b.restoreCheckpoint(loadCheckpoint(path));
   EXPECT_EQ(b.steps(), 25u);
   b.run(1e300, 25);
-  EXPECT_EQ(b.state().raw(), a.state().raw());
+  EXPECT_TRUE(b.state() == a.state());
   EXPECT_DOUBLE_EQ(b.time(), a.time());
   std::remove(path.c_str());
 }
@@ -131,8 +131,8 @@ TEST(Simulation, CacheAndTreeTogglesPreserveTrajectory) {
   a.run(1e300, 60);
   b.run(1e300, 60);
   c.run(1e300, 60);
-  EXPECT_EQ(a.state().raw(), b.state().raw());
-  EXPECT_EQ(a.state().raw(), c.state().raw());
+  EXPECT_TRUE(a.state() == b.state());
+  EXPECT_TRUE(a.state() == c.state());
 }
 
 }  // namespace

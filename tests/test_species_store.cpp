@@ -1,0 +1,150 @@
+#include "lattice/species_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace tkmc {
+namespace {
+
+TEST(SpeciesStore, StartsUniformWithNoMaterializedPages) {
+  SpeciesStore store(10000);
+  EXPECT_EQ(store.siteCount(), 10000);
+  EXPECT_EQ(store.materializedPageCount(), 0);
+  EXPECT_EQ(store.count(Species::kFe), 10000);
+  EXPECT_EQ(store.count(Species::kCu), 0);
+  EXPECT_EQ(store.count(Species::kVacancy), 0);
+  for (std::int64_t id : {0LL, 4095LL, 4096LL, 9999LL})
+    EXPECT_EQ(store.get(id), Species::kFe);
+}
+
+TEST(SpeciesStore, FillValueWriteKeepsPageCollapsed) {
+  SpeciesStore store(SpeciesStore::kPageSites * 3);
+  store.set(10, Species::kFe);  // writing the fill value is a no-op
+  EXPECT_EQ(store.materializedPageCount(), 0);
+  store.set(10, Species::kCu);  // first non-fill write materializes
+  EXPECT_EQ(store.materializedPageCount(), 1);
+  EXPECT_EQ(store.get(10), Species::kCu);
+  EXPECT_EQ(store.get(11), Species::kFe);
+  // Only the touched page pays; neighbours stay collapsed.
+  store.set(SpeciesStore::kPageSites + 7, Species::kVacancy);
+  EXPECT_EQ(store.materializedPageCount(), 2);
+}
+
+TEST(SpeciesStore, PacksFourSitesPerByteWithinAPage) {
+  // All four slots of one byte hold independent values.
+  SpeciesStore store(64);
+  store.set(0, Species::kCu);
+  store.set(1, Species::kVacancy);
+  store.set(2, Species::kFe);
+  store.set(3, Species::kCu);
+  EXPECT_EQ(store.get(0), Species::kCu);
+  EXPECT_EQ(store.get(1), Species::kVacancy);
+  EXPECT_EQ(store.get(2), Species::kFe);
+  EXPECT_EQ(store.get(3), Species::kCu);
+  EXPECT_EQ(store.count(Species::kCu), 2);
+  EXPECT_EQ(store.count(Species::kVacancy), 1);
+  EXPECT_EQ(store.count(Species::kFe), 61);
+}
+
+TEST(SpeciesStore, FillResetsPagesAndCounts) {
+  SpeciesStore store(5000);
+  store.set(1, Species::kCu);
+  store.set(4999, Species::kVacancy);
+  store.fill(Species::kCu);
+  EXPECT_EQ(store.materializedPageCount(), 0);
+  EXPECT_EQ(store.count(Species::kCu), 5000);
+  EXPECT_EQ(store.get(1), Species::kCu);
+  EXPECT_EQ(store.get(4999), Species::kCu);
+  // A non-fill write against the new fill value works as before.
+  store.set(0, Species::kFe);
+  EXPECT_EQ(store.get(0), Species::kFe);
+  EXPECT_EQ(store.count(Species::kFe), 1);
+  EXPECT_EQ(store.count(Species::kCu), 4999);
+}
+
+TEST(SpeciesStore, ForEachSiteStreamsUniformAndMaterializedPages) {
+  SpeciesStore store(SpeciesStore::kPageSites + 100);  // partial last page
+  store.set(3, Species::kCu);
+  store.set(SpeciesStore::kPageSites + 99, Species::kVacancy);
+  std::int64_t visited = 0;
+  store.forEachSite([&](std::int64_t id, Species s) {
+    ASSERT_EQ(id, visited);
+    ASSERT_EQ(s, store.get(id));
+    ++visited;
+  });
+  EXPECT_EQ(visited, store.siteCount());
+}
+
+TEST(SpeciesStore, EqualityAndHashAreCanonical) {
+  // Materialization history must be invisible: set-then-revert equals
+  // never-touched, and a store refilled to Cu equals one densely written
+  // to Cu.
+  SpeciesStore touched(9000), fresh(9000);
+  touched.set(42, Species::kCu);
+  touched.set(42, Species::kFe);
+  EXPECT_EQ(touched.materializedPageCount(), 1);
+  EXPECT_EQ(fresh.materializedPageCount(), 0);
+  EXPECT_TRUE(touched == fresh);
+  EXPECT_EQ(touched.contentHash(), fresh.contentHash());
+
+  SpeciesStore filled(9000), written(9000);
+  filled.fill(Species::kCu);
+  for (std::int64_t i = 0; i < 9000; ++i) written.set(i, Species::kCu);
+  EXPECT_TRUE(filled == written);
+  EXPECT_EQ(filled.contentHash(), written.contentHash());
+
+  written.set(8999, Species::kVacancy);
+  EXPECT_TRUE(filled != written);
+  EXPECT_NE(filled.contentHash(), written.contentHash());
+}
+
+TEST(SpeciesStore, SlackSlotsOfLastPageNeverLeakIntoComparison) {
+  // Site counts that are not multiples of 4 (or of the page size) leave
+  // slack 2-bit slots; two stores with different fill histories must
+  // still compare equal on logical content alone.
+  SpeciesStore a(4097), b(4097);
+  a.fill(Species::kCu);
+  for (std::int64_t i = 0; i < 4097; ++i) b.set(i, Species::kCu);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.contentHash(), b.contentHash());
+}
+
+TEST(SpeciesStore, MemoryFootprintTracksMaterialization) {
+  SpeciesStore store(SpeciesStore::kPageSites * 64);  // 256 Ki sites
+  const std::size_t uniform = store.memoryBytes();
+  EXPECT_LT(store.bytesPerSite(), 0.05);
+  store.set(0, Species::kCu);
+  EXPECT_GE(store.memoryBytes(), uniform + SpeciesStore::kPageBytes);
+  // Fully materialized: 2 bits/site plus bookkeeping, still ~0.25 B/site.
+  for (std::int64_t p = 0; p < 64; ++p)
+    store.set(p * SpeciesStore::kPageSites, Species::kCu);
+  EXPECT_EQ(store.materializedPageCount(), 64);
+  EXPECT_LT(store.bytesPerSite(), 0.30);
+  EXPECT_GT(store.bytesPerSite(), 0.24);
+}
+
+TEST(SpeciesStore, RandomizedAgainstDenseVector) {
+  SpeciesStore store(12345);
+  std::vector<Species> dense(12345, Species::kFe);
+  Rng rng(2024);
+  for (int i = 0; i < 20000; ++i) {
+    const auto id =
+        static_cast<std::int64_t>(rng.uniformBelow(12345));
+    const auto s = static_cast<Species>(rng.uniformBelow(3));
+    store.set(id, s);
+    dense[static_cast<std::size_t>(id)] = s;
+  }
+  std::int64_t counts[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    ASSERT_EQ(store.get(static_cast<std::int64_t>(i)), dense[i]);
+    ++counts[static_cast<int>(dense[i])];
+  }
+  for (int s = 0; s < 3; ++s)
+    EXPECT_EQ(store.count(static_cast<Species>(s)), counts[s]);
+}
+
+}  // namespace
+}  // namespace tkmc

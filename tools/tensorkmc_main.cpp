@@ -128,7 +128,7 @@ int runSerial(const InputDeck& deck, Simulation& sim,
                           "time=" + std::to_string(sim.time()) + " final");
 
   sim.engine().publishTelemetry();
-  sim.memoryUsage().publishTelemetry("memory");
+  sim.publishMemoryTelemetry();
   // Serial runs have no rollback machinery; the recovery line still
   // appears so every summary names its fault-tolerance outcome.
   printRecoverySummary(RecoveryStats{}, usedCheckpointBackup);
@@ -186,7 +186,7 @@ int runParallel(const InputDeck& deck, Simulation& sim) {
   // accumulated on the CPE grid) into the same snapshot.
   sim.engine().publishTelemetry();
   if (sunwayModel) sunwayModel->collectTraffic();
-  sim.memoryUsage().publishTelemetry("memory");
+  sim.publishMemoryTelemetry();
   printRecoverySummary(engine.recoveryStats(), false);
   std::printf("done: %llu events over %llu cycles, %.4e simulated seconds, "
               "%.2f s wall\n",
