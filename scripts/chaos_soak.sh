@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Fail-stop chaos soak: repeatedly run the CLI chaos deck
+# (tools/chaos_deck.tkmc, 2x2x1 rank grid, coordinated checkpoints +
+# lease detector) with `--inject comm.rank_kill=<ordinal>` at a
+# different protocol phase each iteration — plus a background
+# `comm.corrupt` probability, so ARQ retransmission and fail-stop
+# detection are exercised together — and require every run to
+# (a) finish inside a wall-clock watchdog — a hung detector is the
+# classic fail-stop bug — and (b) report exactly one survived rank
+# failure. Ordinals sweep the whole synchronization protocol: fold,
+# ghost exchange, and both phases of the two-phase commit.
+#
+# Usage:
+#   scripts/chaos_soak.sh [iterations] [timeout-seconds]
+# Defaults: 20 iterations, 60 s watchdog per run. The binary is taken
+# from $BUILD_DIR (default: build).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ITERATIONS=${1:-20}
+WATCHDOG=${2:-60}
+BUILD_DIR=${BUILD_DIR:-build}
+BIN="$BUILD_DIR/tools/tensorkmc"
+DECK=tools/chaos_deck.tkmc
+
+if [ ! -x "$BIN" ]; then
+  echo "chaos_soak: $BIN not built (run cmake --build $BUILD_DIR first)" >&2
+  exit 1
+fi
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/tkmc_chaos.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+echo "==> chaos soak: $ITERATIONS schedules, ${WATCHDOG}s watchdog each"
+for i in $(seq 1 "$ITERATIONS"); do
+  # Deterministic ordinal spread over ~3 cycles of protocol traffic
+  # (38 sends/cycle on the 2x2x1 grid), hitting every phase over the
+  # sweep; the seed varies the rank the ordinal lands on.
+  ordinal=$((1 + (i * 37) % 110))
+  run_dir="$WORK/run_$i"
+  mkdir -p "$run_dir"
+  log="$run_dir/log.txt"
+  if ! (cd "$run_dir" && timeout "$WATCHDOG" \
+        "$OLDPWD/$BIN" -in "$OLDPWD/$DECK" \
+        --inject comm.rank_kill="$ordinal" --inject comm.corrupt=p0.005 \
+        --inject-seed "$i") \
+        > "$log" 2>&1; then
+    status=$?
+    echo "chaos_soak: run $i (ordinal $ordinal) FAILED (exit $status)" >&2
+    [ "$status" -eq 124 ] && echo "chaos_soak: run $i HUNG past watchdog" >&2
+    tail -20 "$log" >&2
+    exit 1
+  fi
+  if ! grep -q "survived 1 rank fail-stop" "$log"; then
+    echo "chaos_soak: run $i (ordinal $ordinal) did not survive a kill" >&2
+    tail -20 "$log" >&2
+    exit 1
+  fi
+  epochs=$(ls "$run_dir/chaos_ckpt" | grep -c '^epoch_' || true)
+  echo "    run $i: ordinal $ordinal survived ($epochs epochs committed)"
+done
+echo "==> chaos soak: all $ITERATIONS schedules survived"

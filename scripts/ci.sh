@@ -21,6 +21,9 @@ cmake --build "$BUILD_DIR" -j
 echo "==> tier-1: ctest"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j)
 
+echo "==> chaos soak: rank fail-stop drills"
+scripts/chaos_soak.sh
+
 echo "==> sanitized: TKMC_SANITIZE=address;undefined"
 if [ -n "$SANITIZED_FILTER" ]; then
   scripts/run_sanitized.sh "$SANITIZED_FILTER"

@@ -11,7 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-sanitized}
-FILTER=${1:-"fault_injection|checkpoint|sim_comm|ghost_exchange|parallel_engine"}
+FILTER=${1:-"fault_injection|checkpoint|sim_comm|ghost_exchange|parallel_engine|rank_failure"}
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

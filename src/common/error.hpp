@@ -37,6 +37,29 @@ class InvariantError : public Error {
   explicit InvariantError(const std::string& what) : Error(what) {}
 };
 
+/// A peer rank classified as permanently failed (fail-stop) by the
+/// heartbeat/lease detector: its lease expired while a receiver was
+/// waiting on one of its messages. Unlike CommError this is not
+/// retryable — the rank is gone — so the parallel engine reacts with
+/// shrink-recovery from the newest complete checkpoint epoch instead of
+/// rollback/replay.
+class RankFailure : public Error {
+ public:
+  RankFailure(int rank, double detectMs, const std::string& what)
+      : Error(what), rank_(rank), detectMs_(detectMs) {}
+
+  /// The rank declared dead.
+  int rank() const { return rank_; }
+
+  /// Logical milliseconds between the last lease renewal and the
+  /// detector declaring the rank dead (detector latency).
+  double detectMs() const { return detectMs_; }
+
+ private:
+  int rank_;
+  double detectMs_;
+};
+
 /// Throws tkmc::Error when `condition` is false. Used at API boundaries;
 /// hot loops rely on asserts instead.
 inline void require(bool condition, const std::string& message,

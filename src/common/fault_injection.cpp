@@ -66,6 +66,8 @@ void FaultInjector::disarmAll() {
   }
 }
 
+void FaultInjector::reset() { points_.clear(); }
+
 bool FaultInjector::shouldFire(const std::string& name) {
   Point& p = point(name);
   ++p.hits;
@@ -87,6 +89,21 @@ std::uint64_t FaultInjector::hitCount(const std::string& name) const {
 std::uint64_t FaultInjector::fireCount(const std::string& name) const {
   const auto it = points_.find(name);
   return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::vector<FaultInjector::PointReport> FaultInjector::report() const {
+  std::vector<PointReport> rows;
+  rows.reserve(points_.size());
+  // points_ is an ordered map, so rows come out sorted by name.
+  for (const auto& [name, p] : points_) rows.push_back({name, p.hits, p.fires});
+  return rows;
+}
+
+std::vector<std::string> FaultInjector::firedPoints() const {
+  std::vector<std::string> names;
+  for (const auto& [name, p] : points_)
+    if (p.fires > 0) names.push_back(name);
+  return names;
 }
 
 FaultScope::FaultScope(FaultInjector& injector) : previous_(g_active) {

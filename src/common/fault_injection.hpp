@@ -25,6 +25,8 @@ namespace tkmc {
 ///
 /// Fault-point catalog (see DESIGN.md "Fault tolerance"):
 ///   comm.drop / comm.corrupt / comm.duplicate  SimComm::send()
+///   comm.rank_kill                             SimComm::send() (fail-stop:
+///                                              kills the *sending* rank)
 ///   checkpoint.corrupt_write                   saveCheckpoint()
 ///   engine.cycle                               ParallelEngine cycle start
 class FaultInjector {
@@ -44,12 +46,39 @@ class FaultInjector {
   void disarm(const std::string& point);
   void disarmAll();
 
+  /// Forgets every point entirely: arming, hit/fire counters, *and* the
+  /// per-point RNG streams, which re-derive from the injector seed on
+  /// the next touch. disarm()/disarmAll() deliberately keep counters and
+  /// RNG positions (so mid-run disarming does not shift later firing
+  /// patterns), which means an injector reused across test cases carries
+  /// stale stream state into the next case. Tests sharing a process call
+  /// reset() between cases to get seed-fresh, order-independent firing.
+  void reset();
+
   /// Registers a hit of `point`; true when the armed fault fires.
   /// Unarmed points count hits but never fire.
   bool shouldFire(const std::string& point);
 
   std::uint64_t hitCount(const std::string& point) const;
   std::uint64_t fireCount(const std::string& point) const;
+
+  /// How many times `point` actually fired (alias of fireCount(), named
+  /// for test assertions: "this trigger went off N times").
+  std::uint64_t triggerCount(const std::string& point) const {
+    return fireCount(point);
+  }
+
+  /// One row per touched point, sorted by name — lets a test assert
+  /// exactly which named points fired and how often.
+  struct PointReport {
+    std::string name;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+  std::vector<PointReport> report() const;
+
+  /// Names of the points that fired at least once, sorted.
+  std::vector<std::string> firedPoints() const;
 
  private:
   struct Point {

@@ -138,14 +138,28 @@ void InputDeck::apply(const std::string& key, const std::string& value) {
   } else if (key == "rank_grid") {
     const std::vector<int> g = parseIntList(key, value);
     require(g.size() == 3, "input deck: rank_grid needs three values x,y,z");
-    require(g[0] >= 2 && g[1] >= 2 && g[2] >= 2,
-            "input deck: rank_grid needs at least two ranks per axis");
+    require(g[0] >= 1 && g[1] >= 1 && g[2] >= 1,
+            "input deck: rank_grid needs at least one rank per axis");
+    require(g[0] * g[1] * g[2] >= 2,
+            "input deck: rank_grid needs at least two ranks total "
+            "(use mode serial for one)");
     rankGrid_ = {g[0], g[1], g[2]};
   } else if (key == "t_stop") {
     tStop_ = parseDouble(key, value);
     require(tStop_ > 0, "input deck: t_stop > 0");
   } else if (key == "recovery") {
     recovery_ = parseSwitch(key, value);
+  } else if (key == "checkpoint_dir") {
+    checkpointDir_ = value;
+  } else if (key == "checkpoint_cadence") {
+    checkpointCadence_ = static_cast<int>(parseInt(key, value));
+    require(checkpointCadence_ >= 1, "input deck: checkpoint_cadence >= 1");
+  } else if (key == "heartbeat_interval_ms") {
+    heartbeatIntervalMs_ = parseDouble(key, value);
+    require(heartbeatIntervalMs_ > 0, "input deck: heartbeat_interval_ms > 0");
+  } else if (key == "heartbeat_timeout_ms") {
+    heartbeatTimeoutMs_ = parseDouble(key, value);
+    require(heartbeatTimeoutMs_ >= 0, "input deck: heartbeat_timeout_ms >= 0");
   } else {
     throw Error("input deck: unknown key '" + key + "'");
   }

@@ -41,9 +41,15 @@ namespace tkmc {
 ///   checkpoint_interval <int>   events between checkpoints (10000)
 ///   checkpoint_read <path>      resume from a checkpoint (off)
 ///   mode serial|parallel        engine selection (serial)
-///   rank_grid <x,y,z>           parallel rank decomposition (2,2,2)
+///   rank_grid <x,y,z>           parallel rank decomposition (2,2,2);
+///                               single-rank axes are legal (flat grids)
 ///   t_stop <float>              parallel sync interval, seconds (2e-8)
 ///   recovery on|off             parallel rollback/replay (on)
+///   checkpoint_dir <path>       coordinated sharded checkpoints (off)
+///   checkpoint_cadence <int>    cycles per checkpoint epoch (1)
+///   heartbeat_interval_ms <f>   failure-detector poll interval (5.0)
+///   heartbeat_timeout_ms <f>    lease timeout; 0 disables fail-stop
+///                               detection (0)
 class InputDeck {
  public:
   /// Parses a deck from a stream. Throws tkmc::Error on malformed lines,
@@ -71,6 +77,10 @@ class InputDeck {
   Vec3i rankGrid() const { return rankGrid_; }
   double tStop() const { return tStop_; }
   bool recovery() const { return recovery_; }
+  const std::string& checkpointDir() const { return checkpointDir_; }
+  int checkpointCadence() const { return checkpointCadence_; }
+  double heartbeatIntervalMs() const { return heartbeatIntervalMs_; }
+  double heartbeatTimeoutMs() const { return heartbeatTimeoutMs_; }
 
   /// True when the deck set `key` explicitly.
   bool has(const std::string& key) const { return raw_.count(key) > 0; }
@@ -95,6 +105,10 @@ class InputDeck {
   Vec3i rankGrid_{2, 2, 2};
   double tStop_ = 2e-8;
   bool recovery_ = true;
+  std::string checkpointDir_;
+  int checkpointCadence_ = 1;
+  double heartbeatIntervalMs_ = 5.0;
+  double heartbeatTimeoutMs_ = 0.0;
 };
 
 }  // namespace tkmc

@@ -80,10 +80,8 @@ std::string encodeBody(const LatticeState& state, const SerialEngine& engine,
   return body;
 }
 
-/// Durable write: contents go to `<path>.tmp`; an existing target is
-/// rotated to `<path>.bak`; the temp file is renamed over the target. A
-/// crash at any point leaves either the old file, the old file plus a
-/// stray .tmp, or the new file — never a torn file at the final path.
+}  // namespace
+
 void writeFileAtomic(const std::string& path, const std::string& contents) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
@@ -113,6 +111,8 @@ void writeFileAtomic(const std::string& path, const std::string& contents) {
                   ec.message());
   }
 }
+
+namespace {
 
 void saveWithVersion(const std::string& path, const LatticeState& state,
                      const SerialEngine& engine, int version) {
@@ -159,9 +159,17 @@ CheckpointData parseCheckpoint(const std::string& contents,
     if (ok) data.vacancyOrder.push_back(p);
   }
   // The occupation readers below skip newlines, so no separator handling
-  // is needed here.
-  if (ok && data.cellsX > 0 && data.cellsY > 0 && data.cellsZ > 0) {
-    const std::size_t sites =
+  // is needed here. Box dimensions are bounded before any allocation is
+  // sized from them: a corrupt header must degrade into IoError (which
+  // the .bak fallback catches), never into std::length_error/bad_alloc
+  // escaping from species.reserve(). The per-axis bound also keeps the
+  // site-count product comfortably inside 64 bits.
+  constexpr int kMaxCellsPerAxis = 1 << 20;  // far beyond any simulated box
+  std::size_t sites = 0;
+  if (ok && data.cellsX > 0 && data.cellsY > 0 && data.cellsZ > 0 &&
+      data.cellsX <= kMaxCellsPerAxis && data.cellsY <= kMaxCellsPerAxis &&
+      data.cellsZ <= kMaxCellsPerAxis) {
+    sites =
         2ULL * static_cast<std::size_t>(data.cellsX) * data.cellsY * data.cellsZ;
     data.species.reserve(sites);
     if (version >= 3) {
@@ -213,7 +221,16 @@ CheckpointData parseCheckpoint(const std::string& contents,
   } else {
     ok = false;
   }
-  if (!ok) throw IoError("malformed checkpoint file: " + path);
+  if (!ok) {
+    // Name the failure mode: a body that stops mid occupation line is
+    // the signature of a torn/truncated file, worth distinguishing from
+    // structural corruption when operators read recovery logs.
+    if (sites > 0 && !data.species.empty() && data.species.size() < sites)
+      throw IoError("checkpoint occupation truncated mid-line: decoded " +
+                    std::to_string(data.species.size()) + " of " +
+                    std::to_string(sites) + " sites: " + path);
+    throw IoError("malformed checkpoint file: " + path);
+  }
   return data;
 }
 
@@ -293,16 +310,20 @@ CheckpointData loadCheckpoint(const std::string& path) {
 }
 
 CheckpointLoadResult loadCheckpointWithFallback(const std::string& path) {
+  // Catch std::exception, not just tkmc::Error: a corrupt or truncated
+  // body must never take the fallback down with it, whatever the parse
+  // failure turned into (the reserve() guard above makes non-Error
+  // escapes unlikely, this makes them impossible).
   std::string primaryError;
   try {
     return {loadCheckpoint(path), false};
-  } catch (const Error& e) {
+  } catch (const std::exception& e) {
     primaryError = e.what();
   }
   const std::string bak = path + ".bak";
   try {
     return {loadCheckpoint(bak), true};
-  } catch (const Error& e) {
+  } catch (const std::exception& e) {
     throw IoError("checkpoint unrecoverable: primary failed (" + primaryError +
                   "); backup failed (" + e.what() + ")");
   }

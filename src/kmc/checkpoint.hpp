@@ -76,8 +76,17 @@ struct CheckpointLoadResult {
 };
 
 /// Loads `path`, degrading gracefully to `<path>.bak` when the primary
-/// is missing or corrupt. Throws IoError (with both causes) only when
-/// neither replica is loadable.
+/// is missing, corrupt, or truncated anywhere in the body (including mid
+/// packed-hex occupation line). Throws IoError (with both causes) only
+/// when neither replica is loadable.
 CheckpointLoadResult loadCheckpointWithFallback(const std::string& path);
+
+/// Durable write shared by the serial checkpoint and the coordinated
+/// shard/manifest writers: contents go to `<path>.tmp`; an existing
+/// target is rotated to `<path>.bak`; the temp file is renamed over the
+/// target. A crash at any point leaves either the old file, the old
+/// file plus a stray .tmp, or the new file — never a torn file at the
+/// final path. Throws IoError on filesystem failures.
+void writeFileAtomic(const std::string& path, const std::string& contents);
 
 }  // namespace tkmc

@@ -16,18 +16,27 @@ std::int64_t clampCount(std::int64_t v, std::int64_t n) {
 }  // namespace
 
 SiteIndexer::SiteIndexer(Vec3i originCells, Vec3i extentCells, int ghostCells)
+    : SiteIndexer(originCells, extentCells,
+                  Vec3i{ghostCells, ghostCells, ghostCells}) {}
+
+SiteIndexer::SiteIndexer(Vec3i originCells, Vec3i extentCells, Vec3i ghostCells)
     : originCells_(originCells), extentCells_(extentCells), ghost_(ghostCells) {
   require(extentCells.x > 0 && extentCells.y > 0 && extentCells.z > 0,
           "subdomain extent must be positive");
-  require(ghostCells >= 0, "ghost width must be non-negative");
-  extOriginCells_ = {originCells.x - ghostCells, originCells.y - ghostCells,
-                     originCells.z - ghostCells};
-  extExtentCells_ = {extentCells.x + 2 * ghostCells,
-                     extentCells.y + 2 * ghostCells,
-                     extentCells.z + 2 * ghostCells};
+  require(ghostCells.x >= 0 && ghostCells.y >= 0 && ghostCells.z >= 0,
+          "ghost width must be non-negative");
+  extOriginCells_ = {originCells.x - ghostCells.x, originCells.y - ghostCells.y,
+                     originCells.z - ghostCells.z};
+  extExtentCells_ = {extentCells.x + 2 * ghostCells.x,
+                     extentCells.y + 2 * ghostCells.y,
+                     extentCells.z + 2 * ghostCells.z};
   localSites_ = 2LL * extentCells.x * extentCells.y * extentCells.z;
   extendedSites_ =
       2LL * extExtentCells_.x * extExtentCells_.y * extExtentCells_.z;
+}
+
+int SiteIndexer::ghostCells() const {
+  return std::max({ghost_.x, ghost_.y, ghost_.z});
 }
 
 bool SiteIndexer::contains(Vec3i p) const {
@@ -64,19 +73,19 @@ std::int64_t SiteIndexer::localsBefore(Vec3i p) const {
   const std::int64_t cx = (p.x >> 1) - extOriginCells_.x;
   const std::int64_t cy = (p.y >> 1) - extOriginCells_.y;
   const std::int64_t cz = (p.z >> 1) - extOriginCells_.z;
-  const std::int64_t g = ghost_;
+  const std::int64_t gx = ghost_.x, gy = ghost_.y, gz = ghost_.z;
   const std::int64_t nx = extentCells_.x, ny = extentCells_.y, nz = extentCells_.z;
 
   // Whole extended-z slabs below cz that intersect the local cuboid.
-  std::int64_t count = clampCount(cz - g, nz) * nx * ny * 2;
-  if (cz >= g && cz < g + nz) {
+  std::int64_t count = clampCount(cz - gz, nz) * nx * ny * 2;
+  if (cz >= gz && cz < gz + nz) {
     // Whole rows below cy within the current slab.
-    count += clampCount(cy - g, ny) * nx * 2;
-    if (cy >= g && cy < g + ny) {
+    count += clampCount(cy - gy, ny) * nx * 2;
+    if (cy >= gy && cy < gy + ny) {
       // Cells strictly before cx within the current row.
-      count += clampCount(cx - g, nx) * 2;
+      count += clampCount(cx - gx, nx) * 2;
       // Sites before this one within the current cell.
-      if (cx >= g && cx < g + nx) count += (p.x & 1);
+      if (cx >= gx && cx < gx + nx) count += (p.x & 1);
     }
   }
   return count;

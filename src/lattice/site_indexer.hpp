@@ -23,11 +23,15 @@ namespace tkmc {
 ///
 /// The subdomain owns unit cells [origin, origin + extent) of the global
 /// lattice and carries a ghost shell of `ghostCells` unit cells on every
-/// face. Coordinates passed in are doubled-integer lattice coordinates in
-/// the subdomain's unwrapped frame.
+/// face. The shell width may differ per axis: an axis whose rank grid is
+/// 1 needs no ghosts at all (the subdomain already spans the whole
+/// period), which is what makes flat rank grids like 2x2x1 legal.
+/// Coordinates passed in are doubled-integer lattice coordinates in the
+/// subdomain's unwrapped frame.
 class SiteIndexer {
  public:
   SiteIndexer(Vec3i originCells, Vec3i extentCells, int ghostCells);
+  SiteIndexer(Vec3i originCells, Vec3i extentCells, Vec3i ghostCells);
 
   /// Sites owned by this subdomain (2 per owned unit cell).
   std::int64_t localSiteCount() const { return localSites_; }
@@ -52,7 +56,10 @@ class SiteIndexer {
 
   Vec3i originCells() const { return originCells_; }
   Vec3i extentCells() const { return extentCells_; }
-  int ghostCells() const { return ghost_; }
+  /// Widest shell across the axes (scalar convenience for symmetric
+  /// shells; per-axis geometry should use ghostCellsVec()).
+  int ghostCells() const;
+  Vec3i ghostCellsVec() const { return ghost_; }
 
  private:
   // Traversal id over the extended box: cells x-fastest, 2 sites per cell.
@@ -62,7 +69,7 @@ class SiteIndexer {
 
   Vec3i originCells_;
   Vec3i extentCells_;
-  int ghost_;
+  Vec3i ghost_;
   Vec3i extOriginCells_;  // origin - ghost
   Vec3i extExtentCells_;  // extent + 2*ghost
   std::int64_t localSites_;

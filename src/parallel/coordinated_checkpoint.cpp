@@ -1,0 +1,418 @@
+#include "parallel/coordinated_checkpoint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "common/telemetry/telemetry.hpp"
+#include "kmc/checkpoint.hpp"
+
+namespace tkmc {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kManifestName = "manifest.tkm";
+
+std::string readFileOrThrow(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw IoError("cannot open checkpoint file: " + path);
+  std::string contents;
+  char buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0)
+    contents.append(buffer, got);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) throw IoError("failed reading checkpoint file: " + path);
+  return contents;
+}
+
+/// Verifies the trailing "crc32 <hex>" footer and returns the body it
+/// seals (newline after the body included in the CRC, matching the
+/// serial checkpoint convention).
+std::string verifiedBody(const std::string& contents, const std::string& path) {
+  const std::string::size_type foot = contents.rfind("\ncrc32 ");
+  if (foot == std::string::npos)
+    throw IoError("missing CRC32 footer (truncated?): " + path);
+  const std::string body = contents.substr(0, foot + 1);
+  unsigned stored = 0;
+  if (std::sscanf(contents.c_str() + foot + 1, "crc32 %8x", &stored) != 1)
+    throw IoError("CRC32 footer unreadable: " + path);
+  const std::uint32_t computed = crc32(body.data(), body.size());
+  if (computed != stored) {
+    char detail[64];
+    std::snprintf(detail, sizeof(detail), "(stored %08x, computed %08x)",
+                  stored, computed);
+    throw IoError("failed CRC32 check " + std::string(detail) + ": " + path);
+  }
+  return body;
+}
+
+std::string sealWithCrc(std::string body) {
+  char line[32];
+  std::snprintf(line, sizeof(line), "crc32 %08x\n",
+                crc32(body.data(), body.size()));
+  return body + line;
+}
+
+/// CET-packed hex of a one-byte-per-site species run: four 2-bit codes
+/// per byte, 80 hex digits per line (same layout as the v3 checkpoint
+/// body).
+void appendPackedHex(std::string& out, const std::vector<std::uint8_t>& run) {
+  static const char* kHex = "0123456789abcdef";
+  std::uint8_t packed = 0;
+  int slot = 0;
+  std::size_t emitted = 0;
+  for (const std::uint8_t s : run) {
+    packed = static_cast<std::uint8_t>(packed |
+                                       (static_cast<unsigned>(s) << (2 * slot)));
+    if (++slot == 4) {
+      out += kHex[packed >> 4];
+      out += kHex[packed & 0xf];
+      packed = 0;
+      slot = 0;
+      if (++emitted % 40 == 0) out += '\n';
+    }
+  }
+  if (slot != 0) {
+    out += kHex[packed >> 4];
+    out += kHex[packed & 0xf];
+    ++emitted;
+  }
+  if (emitted % 40 != 0) out += '\n';
+}
+
+/// Inverse of appendPackedHex: reads `sites` species codes off `in`.
+std::vector<std::uint8_t> readPackedHex(std::istream& in, std::size_t sites,
+                                        const std::string& path) {
+  const auto hexValue = [](int c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  const auto nextHex = [&](int& v) {
+    int c;
+    do {
+      c = in.get();
+    } while (c == '\n' || c == '\r' || c == ' ');
+    v = c == std::char_traits<char>::eof() ? -1 : hexValue(c);
+    return v >= 0;
+  };
+  std::vector<std::uint8_t> run;
+  run.reserve(sites);
+  while (run.size() < sites) {
+    int hi = 0, lo = 0;
+    if (!nextHex(hi) || !nextHex(lo))
+      throw IoError("shard occupation truncated: decoded " +
+                    std::to_string(run.size()) + " of " +
+                    std::to_string(sites) + " sites: " + path);
+    const std::uint8_t byte = static_cast<std::uint8_t>((hi << 4) | lo);
+    for (int slot = 0; slot < 4 && run.size() < sites; ++slot) {
+      const int code = (byte >> (2 * slot)) & 3;
+      if (code > 2)
+        throw IoError("shard occupation carries invalid species code: " + path);
+      run.push_back(static_cast<std::uint8_t>(code));
+    }
+  }
+  return run;
+}
+
+void expectKeyword(std::istream& in, const char* word,
+                   const std::string& path) {
+  std::string got;
+  if (!(in >> got) || got != word)
+    throw IoError("malformed checkpoint file (expected '" +
+                  std::string(word) + "', got '" + got + "'): " + path);
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
+  require(!dir_.empty(), "checkpoint store needs a directory");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec)
+    throw IoError("cannot create checkpoint directory " + dir_ + ": " +
+                  ec.message());
+}
+
+std::string CheckpointStore::stagePath(std::uint64_t epoch) const {
+  return dir_ + "/epoch_" + std::to_string(epoch) + ".tmp";
+}
+
+std::string CheckpointStore::epochPath(std::uint64_t epoch) const {
+  return dir_ + "/epoch_" + std::to_string(epoch);
+}
+
+void CheckpointStore::beginEpoch(std::uint64_t epoch) {
+  const std::string stage = stagePath(epoch);
+  std::error_code ec;
+  fs::remove_all(stage, ec);  // leftover from an aborted attempt
+  fs::create_directories(stage, ec);
+  if (ec)
+    throw IoError("cannot create staging directory " + stage + ": " +
+                  ec.message());
+}
+
+EpochManifest::ShardEntry CheckpointStore::stageShard(
+    std::uint64_t epoch, const ShardRecord& shard) {
+  require(shard.species.size() == shard.siteCount(),
+          "shard species run does not match its extent");
+  std::string body;
+  body.reserve(shard.species.size() / 2 + shard.vacancyOrder.size() * 16 + 256);
+  char line[192];
+  body += "tensorkmc-shard 1\n";
+  std::snprintf(line, sizeof(line), "rank %d\n", shard.rank);
+  body += line;
+  std::snprintf(line, sizeof(line), "box %d %d %d %d %d %d\n",
+                shard.originCells.x, shard.originCells.y, shard.originCells.z,
+                shard.extentCells.x, shard.extentCells.y, shard.extentCells.z);
+  body += line;
+  std::snprintf(line, sizeof(line),
+                "rng %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+                shard.rngState[0], shard.rngState[1], shard.rngState[2],
+                shard.rngState[3]);
+  body += line;
+  std::snprintf(line, sizeof(line), "vacancies %zu\n",
+                shard.vacancyOrder.size());
+  body += line;
+  for (const Vec3i& v : shard.vacancyOrder) {
+    std::snprintf(line, sizeof(line), "%d %d %d\n", v.x, v.y, v.z);
+    body += line;
+  }
+  std::snprintf(line, sizeof(line), "occupation %zu\n", shard.species.size());
+  body += line;
+  appendPackedHex(body, shard.species);
+
+  const std::string contents = sealWithCrc(body);
+  EpochManifest::ShardEntry entry;
+  entry.file = "rank_" + std::to_string(shard.rank) + ".tkc";
+  entry.crc = crc32(body.data(), body.size());
+  entry.bytes = contents.size();
+  writeFileAtomic(stagePath(epoch) + "/" + entry.file, contents);
+  if (telemetry::enabled())
+    telemetry::metrics()
+        .histogram("checkpoint.shard_bytes")
+        .observe(static_cast<double>(entry.bytes));
+  return entry;
+}
+
+void CheckpointStore::commitEpoch(const EpochManifest& manifest) {
+  std::string body;
+  char line[192];
+  body += "tensorkmc-manifest 1\n";
+  std::snprintf(line, sizeof(line), "epoch %" PRIu64 "\n", manifest.epoch);
+  body += line;
+  std::snprintf(line, sizeof(line), "grid %d %d %d\n", manifest.rankGrid.x,
+                manifest.rankGrid.y, manifest.rankGrid.z);
+  body += line;
+  std::snprintf(line, sizeof(line), "cells %d %d %d %.17g\n",
+                manifest.globalCells.x, manifest.globalCells.y,
+                manifest.globalCells.z, manifest.latticeConstant);
+  body += line;
+  std::snprintf(line, sizeof(line),
+                "clock %.17g %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+                manifest.time, manifest.cycles, manifest.events,
+                manifest.discarded);
+  body += line;
+  std::snprintf(line, sizeof(line), "tstop %.17g\n", manifest.tStop);
+  body += line;
+  std::snprintf(line, sizeof(line), "seed %" PRIu64 "\n", manifest.seed);
+  body += line;
+  std::snprintf(line, sizeof(line), "shards %zu\n", manifest.shards.size());
+  body += line;
+  for (const EpochManifest::ShardEntry& s : manifest.shards) {
+    std::snprintf(line, sizeof(line), "%s %08x %" PRIu64 "\n", s.file.c_str(),
+                  s.crc, s.bytes);
+    body += line;
+  }
+  const std::string stage = stagePath(manifest.epoch);
+  writeFileAtomic(stage + "/" + kManifestName, sealWithCrc(body));
+
+  // The atomic commit point: readers only ever see `epoch_<N>/` with the
+  // manifest and every shard already in place.
+  const std::string target = epochPath(manifest.epoch);
+  std::error_code ec;
+  fs::remove_all(target, ec);  // replayed cycle recommits the same epoch
+  fs::rename(stage, target, ec);
+  if (ec)
+    throw IoError("cannot commit checkpoint epoch at " + target + ": " +
+                  ec.message());
+}
+
+void CheckpointStore::abortEpoch(std::uint64_t epoch) {
+  std::error_code ec;
+  fs::remove_all(stagePath(epoch), ec);
+}
+
+std::vector<std::uint64_t> CheckpointStore::epochs() const {
+  std::vector<std::uint64_t> found;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_directory()) continue;
+    const std::string name = it->path().filename().string();
+    std::uint64_t epoch = 0;
+    char trailing = 0;
+    if (std::sscanf(name.c_str(), "epoch_%" SCNu64 "%c", &epoch, &trailing) ==
+        1)
+      found.push_back(epoch);
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+bool CheckpointStore::epochComplete(std::uint64_t epoch) const {
+  try {
+    const EpochManifest manifest = loadManifest(epoch);
+    for (const EpochManifest::ShardEntry& entry : manifest.shards)
+      (void)loadShard(epoch, entry);
+    return !manifest.shards.empty();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::optional<std::uint64_t> CheckpointStore::newestCompleteEpoch() const {
+  const std::vector<std::uint64_t> all = epochs();
+  for (auto it = all.rbegin(); it != all.rend(); ++it)
+    if (epochComplete(*it)) return *it;
+  return std::nullopt;
+}
+
+EpochManifest CheckpointStore::loadManifest(std::uint64_t epoch) const {
+  const std::string path = epochPath(epoch) + "/" + kManifestName;
+  const std::string body = verifiedBody(readFileOrThrow(path), path);
+  std::istringstream in(body);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "tensorkmc-manifest")
+    throw IoError("not a tensorkmc manifest: " + path);
+  if (version != 1)
+    throw IoError("unsupported manifest version " + std::to_string(version) +
+                  ": " + path);
+  EpochManifest m;
+  expectKeyword(in, "epoch", path);
+  bool ok = static_cast<bool>(in >> m.epoch);
+  expectKeyword(in, "grid", path);
+  ok = ok && static_cast<bool>(in >> m.rankGrid.x >> m.rankGrid.y >>
+                               m.rankGrid.z);
+  expectKeyword(in, "cells", path);
+  ok = ok && static_cast<bool>(in >> m.globalCells.x >> m.globalCells.y >>
+                               m.globalCells.z >> m.latticeConstant);
+  expectKeyword(in, "clock", path);
+  ok = ok &&
+       static_cast<bool>(in >> m.time >> m.cycles >> m.events >> m.discarded);
+  expectKeyword(in, "tstop", path);
+  ok = ok && static_cast<bool>(in >> m.tStop);
+  expectKeyword(in, "seed", path);
+  ok = ok && static_cast<bool>(in >> m.seed);
+  expectKeyword(in, "shards", path);
+  std::size_t shardCount = 0;
+  ok = ok && static_cast<bool>(in >> shardCount) && shardCount < (1ULL << 20);
+  for (std::size_t i = 0; ok && i < shardCount; ++i) {
+    EpochManifest::ShardEntry entry;
+    std::string crcHex;
+    ok = static_cast<bool>(in >> entry.file >> crcHex >> entry.bytes);
+    if (ok) {
+      unsigned crc = 0;
+      ok = std::sscanf(crcHex.c_str(), "%8x", &crc) == 1;
+      entry.crc = crc;
+      // Shard names are store-generated; reject anything that could
+      // escape the epoch directory.
+      ok = ok && entry.file.find('/') == std::string::npos &&
+           entry.file.find("..") == std::string::npos;
+    }
+    if (ok) m.shards.push_back(std::move(entry));
+  }
+  if (!ok || m.epoch != epoch)
+    throw IoError("malformed manifest: " + path);
+  return m;
+}
+
+ShardRecord CheckpointStore::loadShard(
+    std::uint64_t epoch, const EpochManifest::ShardEntry& entry) const {
+  const std::string path = epochPath(epoch) + "/" + entry.file;
+  const std::string contents = readFileOrThrow(path);
+  if (entry.bytes != contents.size())
+    throw IoError("shard size mismatch (manifest says " +
+                  std::to_string(entry.bytes) + ", file has " +
+                  std::to_string(contents.size()) + "): " + path);
+  const std::string body = verifiedBody(contents, path);
+  if (crc32(body.data(), body.size()) != entry.crc)
+    throw IoError("shard CRC disagrees with the manifest: " + path);
+  std::istringstream in(body);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "tensorkmc-shard")
+    throw IoError("not a tensorkmc shard: " + path);
+  if (version != 1)
+    throw IoError("unsupported shard version " + std::to_string(version) +
+                  ": " + path);
+  ShardRecord shard;
+  expectKeyword(in, "rank", path);
+  bool ok = static_cast<bool>(in >> shard.rank);
+  expectKeyword(in, "box", path);
+  ok = ok && static_cast<bool>(
+                 in >> shard.originCells.x >> shard.originCells.y >>
+                 shard.originCells.z >> shard.extentCells.x >>
+                 shard.extentCells.y >> shard.extentCells.z);
+  expectKeyword(in, "rng", path);
+  ok = ok && static_cast<bool>(in >> shard.rngState[0] >> shard.rngState[1] >>
+                               shard.rngState[2] >> shard.rngState[3]);
+  expectKeyword(in, "vacancies", path);
+  std::size_t vacancyCount = 0;
+  ok = ok && static_cast<bool>(in >> vacancyCount) &&
+       vacancyCount < (1ULL << 32);
+  for (std::size_t v = 0; ok && v < vacancyCount; ++v) {
+    Vec3i p;
+    ok = static_cast<bool>(in >> p.x >> p.y >> p.z);
+    if (ok) shard.vacancyOrder.push_back(p);
+  }
+  expectKeyword(in, "occupation", path);
+  std::size_t sites = 0;
+  ok = ok && static_cast<bool>(in >> sites);
+  if (!ok) throw IoError("malformed shard: " + path);
+  if (sites != shard.siteCount())
+    throw IoError("shard occupation count disagrees with its box: " + path);
+  shard.species = readPackedHex(in, sites, path);
+  return shard;
+}
+
+std::vector<ShardRecord> CheckpointStore::loadShards(
+    const EpochManifest& manifest) const {
+  std::vector<ShardRecord> shards;
+  shards.reserve(manifest.shards.size());
+  for (const EpochManifest::ShardEntry& entry : manifest.shards)
+    shards.push_back(loadShard(manifest.epoch, entry));
+  return shards;
+}
+
+LatticeState CheckpointStore::reassemble(const EpochManifest& manifest,
+                                         const std::vector<ShardRecord>& shards) {
+  BccLattice lattice(manifest.globalCells.x, manifest.globalCells.y,
+                     manifest.globalCells.z, manifest.latticeConstant);
+  LatticeState state(lattice);
+  for (const ShardRecord& shard : shards) {
+    std::size_t i = 0;
+    // Same traversal as Subdomain::packCellBox over the owned region.
+    for (int cz = 0; cz < shard.extentCells.z; ++cz)
+      for (int cy = 0; cy < shard.extentCells.y; ++cy)
+        for (int cx = 0; cx < shard.extentCells.x; ++cx)
+          for (int sub = 0; sub < 2; ++sub) {
+            const Vec3i p{2 * (shard.originCells.x + cx) + sub,
+                          2 * (shard.originCells.y + cy) + sub,
+                          2 * (shard.originCells.z + cz) + sub};
+            state.setSpeciesAt(lattice.wrap(p),
+                               static_cast<Species>(shard.species[i++]));
+          }
+  }
+  return state;
+}
+
+}  // namespace tkmc

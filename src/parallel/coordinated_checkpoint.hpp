@@ -1,0 +1,128 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lattice/lattice_state.hpp"
+#include "lattice/vec3.hpp"
+
+namespace tkmc {
+
+/// One rank's contribution to a coordinated checkpoint epoch: its owned
+/// subdomain occupation (packCellBox traversal order, one species byte
+/// per site — CET-packed to four sites per byte on disk), its vacancy
+/// list in engine order (the selection RNG addresses vacancies by
+/// index, so bit-exact resume needs the ordering, not just the
+/// occupation), and its RNG stream state.
+struct ShardRecord {
+  int rank = 0;
+  Vec3i originCells{};
+  Vec3i extentCells{};
+  std::array<std::uint64_t, 4> rngState{};
+  std::vector<Vec3i> vacancyOrder;
+  std::vector<std::uint8_t> species;
+
+  /// Sites the species vector must hold (2 per owned unit cell).
+  std::size_t siteCount() const {
+    return 2ULL * static_cast<std::size_t>(extentCells.x) * extentCells.y *
+           extentCells.z;
+  }
+};
+
+/// The global epoch manifest: everything survivors need to agree on a
+/// restart point — rank grid, global box, engine clocks, t_stop, the
+/// master seed, and a CRC per shard so a torn or bit-rotted shard
+/// disqualifies the whole epoch instead of silently feeding the engine
+/// bad state.
+struct EpochManifest {
+  std::uint64_t epoch = 0;
+  Vec3i rankGrid{};
+  Vec3i globalCells{};
+  double latticeConstant = 0.0;
+  double time = 0.0;
+  std::uint64_t cycles = 0;
+  std::uint64_t events = 0;
+  std::uint64_t discarded = 0;
+  double tStop = 0.0;
+  std::uint64_t seed = 0;
+
+  struct ShardEntry {
+    std::string file;        // relative to the epoch directory
+    std::uint32_t crc = 0;   // CRC32 of the shard body (matches its footer)
+    std::uint64_t bytes = 0; // full file size, footer included
+  };
+  std::vector<ShardEntry> shards;
+};
+
+/// Coordinated sharded checkpoint store (`<dir>/epoch_<N>/rank_<R>.tkc`
+/// plus `manifest.tkm`), committed atomically per epoch.
+///
+/// Two-phase write-then-rename: shards and the manifest are staged in
+/// `epoch_<N>.tmp/`; only after every rank's shard is staged (the
+/// engine runs a commit-vote barrier between the phases) is the staging
+/// directory renamed to `epoch_<N>/`. A crash — or an injected
+/// `comm.rank_kill` — at any point leaves either a complete committed
+/// epoch or a `.tmp` directory that readers ignore; a manifest can
+/// never reference a missing or torn shard.
+///
+/// Readers validate before trusting: newestCompleteEpoch() walks
+/// committed epochs newest-first and returns the first whose manifest
+/// passes its CRC footer and whose every shard exists, matches its
+/// manifest CRC and size, and parses cleanly.
+class CheckpointStore {
+ public:
+  /// Creates `dir` (and parents) if needed.
+  explicit CheckpointStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  std::string stagePath(std::uint64_t epoch) const;
+  std::string epochPath(std::uint64_t epoch) const;
+
+  /// Phase 1 entry: creates a fresh staging directory for `epoch`
+  /// (clearing any leftover from an aborted earlier attempt).
+  void beginEpoch(std::uint64_t epoch);
+
+  /// Stages one rank's shard into the epoch's staging directory and
+  /// returns its manifest entry. Publishes `checkpoint.shard_bytes` to
+  /// telemetry.
+  EpochManifest::ShardEntry stageShard(std::uint64_t epoch,
+                                       const ShardRecord& shard);
+
+  /// Phase 2: writes the manifest into the staging directory and
+  /// atomically renames it over `epoch_<N>/` (replacing a previous
+  /// commit of the same epoch, e.g. a replayed cycle).
+  void commitEpoch(const EpochManifest& manifest);
+
+  /// Drops the staging directory of an epoch whose commit barrier
+  /// failed (e.g. a rank died mid-commit).
+  void abortEpoch(std::uint64_t epoch);
+
+  /// Committed epoch numbers, ascending. Staging (`.tmp`) directories
+  /// are never listed.
+  std::vector<std::uint64_t> epochs() const;
+
+  /// Newest epoch that validates end to end, or nullopt.
+  std::optional<std::uint64_t> newestCompleteEpoch() const;
+
+  EpochManifest loadManifest(std::uint64_t epoch) const;
+  ShardRecord loadShard(std::uint64_t epoch,
+                        const EpochManifest::ShardEntry& entry) const;
+
+  /// Loads every shard of `epoch` in manifest order.
+  std::vector<ShardRecord> loadShards(const EpochManifest& manifest) const;
+
+  /// Stitches shard occupations back into a full lattice state.
+  static LatticeState reassemble(const EpochManifest& manifest,
+                                 const std::vector<ShardRecord>& shards);
+
+ private:
+  bool epochComplete(std::uint64_t epoch) const;
+
+  std::string dir_;
+};
+
+}  // namespace tkmc

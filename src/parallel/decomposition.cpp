@@ -58,4 +58,24 @@ int Decomposition::neighborRank(int rank, Vec3i dir) const {
   return rankAt({rc.x + dir.x, rc.y + dir.y, rc.z + dir.z});
 }
 
+Vec3i shrinkRankGrid(Vec3i grid, int survivors) {
+  require(grid.x >= 1 && grid.y >= 1 && grid.z >= 1,
+          "rank grid must be positive");
+  require(survivors >= 1, "shrink recovery needs at least one survivor");
+  const auto largestProperDivisor = [](int n) {
+    for (int d = n / 2; d >= 1; --d)
+      if (n % d == 0) return d;
+    return 1;
+  };
+  int* axes[3] = {&grid.x, &grid.y, &grid.z};
+  while (grid.x * grid.y * grid.z > survivors) {
+    int* widest = axes[0];
+    for (int a = 1; a < 3; ++a)
+      if (*axes[a] > *widest) widest = axes[a];
+    if (*widest == 1) break;  // already 1x1x1
+    *widest = largestProperDivisor(*widest);
+  }
+  return grid;
+}
+
 }  // namespace tkmc

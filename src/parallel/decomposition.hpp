@@ -38,4 +38,13 @@ class Decomposition {
   Vec3i rankGrid_;
 };
 
+/// Deterministic shrink policy for rank fail-stop recovery: reduces
+/// `grid` until its rank count fits `survivors`, by repeatedly dropping
+/// the axis with the most ranks to its largest proper divisor (ties
+/// broken x before y before z). Every survivor evaluates this pure
+/// function on the same inputs and reaches the same reduced grid, so no
+/// extra agreement round is needed beyond the survivor count. The
+/// result still divides `grid` (and therefore the global box) evenly.
+Vec3i shrinkRankGrid(Vec3i grid, int survivors);
+
 }  // namespace tkmc

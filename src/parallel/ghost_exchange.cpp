@@ -28,15 +28,16 @@ void setAxis(Vec3i& v, int axis, int value) {
 
 GhostExchange::GhostExchange(const Decomposition& decomp, SimComm& comm)
     : decomp_(decomp), comm_(comm) {
-  require(decomp.rankGrid().x >= 2 && decomp.rankGrid().y >= 2 &&
-              decomp.rankGrid().z >= 2,
-          "ghost exchange needs at least two ranks per axis");
+  // Axes decomposed across at least two ranks exchange slabs; an axis
+  // with a single rank carries no ghost shell at all (the subdomain
+  // already spans the whole period there), so flat grids like 2x2x1 are
+  // legal and that axis's stage is simply skipped.
 }
 
 GhostExchange::Box GhostExchange::sendBox(const Subdomain& sd, int axis,
                                           int dir) const {
   const Vec3i e = sd.extentCells();
-  const int g = sd.ghostCells();
+  const Vec3i g = sd.ghostCellsVec();
   Box box;
   // Axes exchanged after `axis` (lower axis index = later stage) span the
   // owned range; axes already exchanged span the full extended range.
@@ -46,19 +47,20 @@ GhostExchange::Box GhostExchange::sendBox(const Subdomain& sd, int axis,
     if (a > axis) {
       // Already exchanged: extended range.
       setAxis(box.lo, a, 0);
-      setAxis(box.hi, a, axisOf(e, a) + 2 * g);
+      setAxis(box.hi, a, axisOf(e, a) + 2 * axisOf(g, a));
     } else {
       // Not yet exchanged: owned range only.
-      setAxis(box.lo, a, g);
-      setAxis(box.hi, a, g + axisOf(e, a));
+      setAxis(box.lo, a, axisOf(g, a));
+      setAxis(box.hi, a, axisOf(g, a) + axisOf(e, a));
     }
   }
+  const int ga = axisOf(g, axis);
   if (dir > 0) {
     setAxis(box.lo, axis, axisOf(e, axis));          // top g owned cells
-    setAxis(box.hi, axis, axisOf(e, axis) + g);
+    setAxis(box.hi, axis, axisOf(e, axis) + ga);
   } else {
-    setAxis(box.lo, axis, g);                        // bottom g owned cells
-    setAxis(box.hi, axis, 2 * g);
+    setAxis(box.lo, axis, ga);                       // bottom g owned cells
+    setAxis(box.hi, axis, 2 * ga);
   }
   return box;
 }
@@ -70,13 +72,13 @@ GhostExchange::Box GhostExchange::recvBox(const Subdomain& sd, int axis,
   // in the receiver's low-side ghost.
   Box box = sendBox(sd, axis, dir);
   const Vec3i e = sd.extentCells();
-  const int g = sd.ghostCells();
+  const int ga = axisOf(sd.ghostCellsVec(), axis);
   if (dir > 0) {
     setAxis(box.lo, axis, 0);  // receiver's low ghost
-    setAxis(box.hi, axis, g);
+    setAxis(box.hi, axis, ga);
   } else {
-    setAxis(box.lo, axis, g + axisOf(e, axis));  // receiver's high ghost
-    setAxis(box.hi, axis, 2 * g + axisOf(e, axis));
+    setAxis(box.lo, axis, ga + axisOf(e, axis));  // receiver's high ghost
+    setAxis(box.hi, axis, 2 * ga + axisOf(e, axis));
   }
   return box;
 }
@@ -104,6 +106,7 @@ void GhostExchange::receiveSlabs(int rank, std::vector<Subdomain>& domains,
     const int source = decomp_.neighborRank(rank, dirVec);
     const int tag = kTagBase + axis * 2 + (dir > 0 ? 1 : 0);
     const Box box = recvBox(sd, axis, dir);
+    const double waitStart = comm_.nowMs();
     for (int attempt = 1;; ++attempt) {
       try {
         const auto payload = comm_.receive(rank, source, tag);
@@ -116,7 +119,25 @@ void GhostExchange::receiveSlabs(int rank, std::vector<Subdomain>& domains,
         // receives write only ghost cells along it, so the re-packed
         // slab is bit-identical to the original.
         comm_.resetChannel(source, rank, tag);
-        if (attempt >= maxAttempts_) throw;
+        if (comm_.leaseEnabled()) {
+          // A resend from a live sender renews its lease, so from the
+          // second attempt on a live peer polls kAlive and the normal
+          // attempt bound applies; only a truly silent peer keeps the
+          // receiver polling until its lease expires.
+          const SimComm::PeerVerdict verdict =
+              comm_.pollPeer(source, waitStart);
+          if (verdict == SimComm::PeerVerdict::kFailed)
+            throw RankFailure(
+                source, comm_.nowMs() - comm_.lastBeatMs(source),
+                "rank " + std::to_string(source) +
+                    " fail-stop: ghost slab lease expired on tag " +
+                    std::to_string(tag));
+          if (attempt >= maxAttempts_ &&
+              verdict == SimComm::PeerVerdict::kAlive)
+            throw;
+        } else if (attempt >= maxAttempts_) {
+          throw;
+        }
         ++retries_;
         telemetry::tracer().instant("ghost.retry", rank);
         Subdomain& src = domains[static_cast<std::size_t>(source)];
@@ -137,11 +158,17 @@ void GhostExchange::exchangeAll(std::vector<Subdomain>& domains) {
           "one subdomain per rank required");
   TKMC_SPAN("engine.ghost_exchange");
   for (int axis : {2, 1, 0}) {
+    // Single-rank axes carry no ghost shell: nothing to exchange.
+    if (axisOf(decomp_.rankGrid(), axis) < 2) continue;
     TKMC_SPAN(kAxisSpanName[axis]);
-    for (int r = 0; r < decomp_.rankCount(); ++r)
+    for (int r = 0; r < decomp_.rankCount(); ++r) {
+      if (!comm_.rankAlive(r)) continue;
       sendSlabs(r, domains[static_cast<std::size_t>(r)], axis);
-    for (int r = 0; r < decomp_.rankCount(); ++r)
+    }
+    for (int r = 0; r < decomp_.rankCount(); ++r) {
+      if (!comm_.rankAlive(r)) continue;
       receiveSlabs(r, domains, axis);
+    }
   }
 }
 

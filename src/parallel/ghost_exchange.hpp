@@ -14,11 +14,13 @@ namespace tkmc {
 /// Owned boundary slabs are exchanged one axis at a time (z, then y, then
 /// x); each stage's slabs span the extended range of the axes already
 /// completed, so corner and edge ghosts arrive without dedicated diagonal
-/// messages. Every rank must have at least two subdomains per axis for
-/// the periodic image mapping to stay unique (enforced by Subdomain).
+/// messages. An axis decomposed across a single rank carries no ghost
+/// shell (the subdomain spans its whole period) and its stage is
+/// skipped, which makes flat rank grids such as 2x2x1 legal.
 ///
 /// The driver is bulk-synchronous: sendGhostSlabs() for every rank, then
-/// receiveGhostSlabs() for every rank, per axis.
+/// receiveGhostSlabs() for every rank, per axis. Ranks marked fail-stop
+/// in the communicator are skipped on both sides.
 ///
 /// A CRC or sequence failure detected by SimComm's framing triggers
 /// per-slab retransmission (ARQ): the receiver purges the failed
@@ -28,7 +30,9 @@ namespace tkmc {
 /// owned cells along the stage axis while its receives write only ghost
 /// cells along it — disjoint regions, so the retransmitted slab is
 /// bit-identical to the original. retries() counts the absorbed
-/// failures.
+/// failures. With the communicator's heartbeat lease armed, a channel
+/// that stays silent past the lease timeout raises RankFailure for the
+/// silent sender instead of a retryable CommError.
 class GhostExchange {
  public:
   GhostExchange(const Decomposition& decomp, SimComm& comm);

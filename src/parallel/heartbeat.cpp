@@ -1,0 +1,32 @@
+#include "parallel/heartbeat.hpp"
+
+#include "common/error.hpp"
+
+namespace tkmc {
+
+HeartbeatMonitor::HeartbeatMonitor(int ranks, double timeoutMs)
+    : lastBeatMs_(static_cast<std::size_t>(ranks), 0.0), timeoutMs_(timeoutMs) {
+  require(ranks > 0, "heartbeat monitor needs at least one rank");
+}
+
+void HeartbeatMonitor::beat(int rank, double nowMs) {
+  require(rank >= 0 && rank < static_cast<int>(lastBeatMs_.size()),
+          "heartbeat rank out of range");
+  lastBeatMs_[static_cast<std::size_t>(rank)] = nowMs;
+}
+
+double HeartbeatMonitor::lastBeatMs(int rank) const {
+  require(rank >= 0 && rank < static_cast<int>(lastBeatMs_.size()),
+          "heartbeat rank out of range");
+  return lastBeatMs_[static_cast<std::size_t>(rank)];
+}
+
+double HeartbeatMonitor::ageMs(int rank, double nowMs) const {
+  return nowMs - lastBeatMs(rank);
+}
+
+bool HeartbeatMonitor::expired(int rank, double nowMs) const {
+  return ageMs(rank, nowMs) > timeoutMs_;
+}
+
+}  // namespace tkmc

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+namespace tkmc {
+
+/// Lease-based liveness tracker for the heartbeat protocol.
+///
+/// Every framed message a rank sends renews its lease ("heartbeats are
+/// piggybacked on payload traffic" — no separate heartbeat messages are
+/// needed because the bulk-synchronous schedule makes every live rank
+/// send on every phase). Time is a logical millisecond clock advanced by
+/// the communicator while a receiver polls an empty channel, so
+/// detection latency is deterministic and unit-testable: a rank whose
+/// lease age exceeds `timeoutMs` is classified fail-stop.
+class HeartbeatMonitor {
+ public:
+  HeartbeatMonitor(int ranks, double timeoutMs);
+
+  /// Renews `rank`'s lease at logical time `nowMs`.
+  void beat(int rank, double nowMs);
+
+  /// Logical time of the last lease renewal (construction counts as a
+  /// renewal at time 0: every rank starts with a fresh lease).
+  double lastBeatMs(int rank) const;
+
+  /// Milliseconds since the last renewal.
+  double ageMs(int rank, double nowMs) const;
+
+  /// True when the lease age strictly exceeds the timeout.
+  bool expired(int rank, double nowMs) const;
+
+  void setTimeoutMs(double timeoutMs) { timeoutMs_ = timeoutMs; }
+  double timeoutMs() const { return timeoutMs_; }
+
+ private:
+  std::vector<double> lastBeatMs_;
+  double timeoutMs_;
+};
+
+}  // namespace tkmc

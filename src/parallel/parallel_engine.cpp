@@ -13,6 +13,8 @@ namespace tkmc {
 namespace {
 
 constexpr int kTagFold = 50;
+constexpr int kTagVote = 60;    // commit-vote barrier: rank -> root
+constexpr int kTagCommit = 61;  // commit-vote barrier: root -> rank
 
 // Static span names so the cycle span can be tagged with its sector
 // without allocating on the hot path.
@@ -44,25 +46,95 @@ int requiredGhostCells(const Cet& cet) {
   return (maxComp + 1) / 2;  // doubled units -> unit cells, rounded up
 }
 
+std::uint64_t recoverySeed(std::uint64_t seed, std::uint64_t epoch,
+                           Vec3i rankGrid) {
+  // Pure mixing of (seed, epoch, grid) with a domain separator so a
+  // recovered stream never collides with the construction-time
+  // master.split() sequence of any seed.
+  SplitMix64 mix(seed ^ 0x7265736872696e6bULL);
+  std::uint64_t h = mix.next() ^ epoch;
+  h = SplitMix64(h).next() ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rankGrid.x)) |
+       (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rankGrid.y))
+        << 20) |
+       (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rankGrid.z))
+        << 40));
+  return SplitMix64(h).next();
+}
+
 ParallelEngine::ParallelEngine(const LatticeState& initial, EnergyModel& model,
                                const Cet& cet, ParallelConfig config)
-    : lattice_(initial.lattice()), cet_(cet), model_(model), config_(config),
-      decomp_({initial.lattice().cellsX(), initial.lattice().cellsY(),
-               initial.lattice().cellsZ()},
-              config.rankGrid),
-      comm_(decomp_.rankCount()), exchange_(decomp_, comm_),
-      interactionRadius_(0.0) {
-  require(model.supportsVet(),
+    : lattice_(initial.lattice()), cet_(cet), model_(model),
+      config_(std::move(config)), interactionRadius_(0.0) {
+  buildFabric(initial);
+  Rng master(config_.seed);
+  for (int r = 0; r < rankCount(); ++r) rngs_.push_back(master.split());
+  if (!config_.checkpointDir.empty()) {
+    store_ = std::make_unique<CheckpointStore>(config_.checkpointDir);
+    // Epoch 0: the pre-run restart point. Construction is a local
+    // sequential operation with nothing in flight, so no vote barrier.
+    writeEpoch(/*barrier=*/false);
+  }
+}
+
+ParallelEngine::ParallelEngine(EnergyModel& model, const Cet& cet,
+                               ParallelConfig config,
+                               const CheckpointStore& store,
+                               std::uint64_t epoch)
+    : lattice_(1, 1, 1, 1.0), cet_(cet), model_(model),
+      config_(std::move(config)), interactionRadius_(0.0) {
+  const EpochManifest manifest = store.loadManifest(epoch);
+  require(manifest.tStop == config_.tStop,
+          "resume tStop must match the manifest (trajectories are "
+          "tStop-dependent)");
+  config_.seed = manifest.seed;
+  const std::vector<ShardRecord> shards = store.loadShards(manifest);
+  const LatticeState restored = CheckpointStore::reassemble(manifest, shards);
+  lattice_ = restored.lattice();
+  buildFabric(restored);
+  if (config_.rankGrid == manifest.rankGrid) {
+    // Same-grid resume: the shards carry each rank's exact RNG stream
+    // state and vacancy list order, so the original trajectory continues
+    // bit-exactly.
+    rngs_.assign(static_cast<std::size_t>(rankCount()), Rng(0));
+    for (const ShardRecord& shard : shards) {
+      require(shard.rank >= 0 && shard.rank < rankCount(),
+              "shard rank outside the manifest grid");
+      rngs_[static_cast<std::size_t>(shard.rank)].setState(shard.rngState);
+      domains_[static_cast<std::size_t>(shard.rank)].vacancies() =
+          shard.vacancyOrder;
+    }
+  } else {
+    // Different (shrunken) grid: streams are reseeded by the same pure
+    // function the in-engine shrink recovery uses, so both reach the
+    // same post-recovery trajectory.
+    Rng master(recoverySeed(manifest.seed, manifest.epoch, config_.rankGrid));
+    for (int r = 0; r < rankCount(); ++r) rngs_.push_back(master.split());
+  }
+  expectedVacancies_ = vacancyCount();
+  time_ = manifest.time;
+  cycles_ = manifest.cycles;
+  events_ = manifest.events;
+  discarded_ = manifest.discarded;
+  if (!config_.checkpointDir.empty())
+    store_ = std::make_unique<CheckpointStore>(config_.checkpointDir);
+}
+
+void ParallelEngine::buildFabric(const LatticeState& initial) {
+  require(model_.supportsVet(),
           "parallel engine requires a VET-capable energy backend");
-  const int ghost = requiredGhostCells(cet);
-  const Vec3i extent = decomp_.extentCells();
+  fabric_ = std::make_unique<Fabric>(
+      Vec3i{lattice_.cellsX(), lattice_.cellsY(), lattice_.cellsZ()},
+      config_.rankGrid);
+  const int ghost = requiredGhostCells(cet_);
+  const Vec3i extent = fabric_->decomp.extentCells();
   require(extent.x % 2 == 0 && extent.y % 2 == 0 && extent.z % 2 == 0,
           "subdomain extents must be even (octant sectors)");
   // Sector separation: concurrently active octants of neighbouring ranks
   // are one sector width apart; that width must exceed the span a sector
   // window can influence (vacancy-system radius plus one hop).
   int maxComp = 0;
-  for (const Vec3i& s : cet.sites())
+  for (const Vec3i& s : cet_.sites())
     maxComp = std::max({maxComp, std::abs(s.x), std::abs(s.y), std::abs(s.z)});
   const int minSectorDoubled = maxComp + 2;
   require(extent.x >= minSectorDoubled && extent.y >= minSectorDoubled &&
@@ -70,25 +142,33 @@ ParallelEngine::ParallelEngine(const LatticeState& initial, EnergyModel& model,
           "subdomains too small for conflict-free sublattice sectors at "
           "this cutoff");
 
-  domains_.reserve(static_cast<std::size_t>(decomp_.rankCount()));
-  Rng master(config.seed);
-  for (int r = 0; r < decomp_.rankCount(); ++r) {
-    domains_.emplace_back(lattice_, decomp_.originCells(r), extent, ghost);
+  // An axis decomposed on a single rank carries no ghost shell (the
+  // subdomain spans the whole period there), so flat grids like 2x2x1
+  // keep the extended frame within the global box.
+  const Vec3i grid = config_.rankGrid;
+  const Vec3i ghostVec{grid.x > 1 ? ghost : 0, grid.y > 1 ? ghost : 0,
+                       grid.z > 1 ? ghost : 0};
+  domains_.clear();
+  domains_.reserve(static_cast<std::size_t>(rankCount()));
+  for (int r = 0; r < rankCount(); ++r) {
+    domains_.emplace_back(lattice_, fabric_->decomp.originCells(r), extent,
+                          ghostVec);
     domains_.back().loadFrom(initial);
-    rngs_.push_back(master.split());
   }
-  pendingChanges_.resize(static_cast<std::size_t>(decomp_.rankCount()));
+  pendingChanges_.assign(static_cast<std::size_t>(rankCount()), {});
   // Rates become stale within the vacancy-system radius of a changed site.
-  interactionRadius_ =
-      (maxComp + 2) * lattice_.latticeConstant() / 2.0;
+  interactionRadius_ = (maxComp + 2) * lattice_.latticeConstant() / 2.0;
   expectedVacancies_ = vacancyCount();
-  exchange_.setMaxAttempts(config.commMaxAttempts);
+  fabric_->exchange.setMaxAttempts(config_.commMaxAttempts);
+  if (config_.heartbeatTimeoutMs > 0.0)
+    fabric_->comm.setLease(config_.heartbeatIntervalMs,
+                           config_.heartbeatTimeoutMs);
 }
 
 Vec3i ParallelEngine::localCell(int rank, Vec3i p) const {
   const Vec3i w = lattice_.wrap(p);
-  const Vec3i origin = decomp_.originCells(rank);
-  const Vec3i e = decomp_.extentCells();
+  const Vec3i origin = fabric_->decomp.originCells(rank);
+  const Vec3i e = fabric_->decomp.extentCells();
   const int cx = wrapMod((w.x >> 1) - origin.x, lattice_.cellsX());
   const int cy = wrapMod((w.y >> 1) - origin.y, lattice_.cellsY());
   const int cz = wrapMod((w.z >> 1) - origin.z, lattice_.cellsZ());
@@ -98,7 +178,7 @@ Vec3i ParallelEngine::localCell(int rank, Vec3i p) const {
 bool ParallelEngine::inSector(int rank, Vec3i p, int sector) const {
   const Vec3i cell = localCell(rank, p);
   if (cell.x < 0 || cell.y < 0 || cell.z < 0) return false;
-  const Vec3i e = decomp_.extentCells();
+  const Vec3i e = fabric_->decomp.extentCells();
   const bool hx = cell.x >= e.x / 2;
   const bool hy = cell.y >= e.y / 2;
   const bool hz = cell.z >= e.z / 2;
@@ -235,9 +315,46 @@ void ParallelEngine::runSector(int rank, int sector) {
   }
 }
 
+std::vector<std::uint8_t> ParallelEngine::receiveReliable(
+    int rank, int from, int tag, const std::vector<std::uint8_t>& resend,
+    std::uint64_t& retryCounter, const char* what) {
+  SimComm& comm = fabric_->comm;
+  const double waitStart = comm.nowMs();
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return comm.receive(rank, from, tag);
+    } catch (const CommError&) {
+      // Purge the failed channel so the retransmission gets a fresh
+      // sequence number, then resend on the sender's behalf from the
+      // buffered copy (ARQ).
+      comm.resetChannel(from, rank, tag);
+      if (comm.leaseEnabled()) {
+        // A resend from a live sender renews its lease, so from the
+        // second attempt on a live peer polls kAlive and the normal
+        // attempt bound applies; only a truly silent peer keeps the
+        // receiver polling until its lease expires.
+        const SimComm::PeerVerdict verdict = comm.pollPeer(from, waitStart);
+        if (verdict == SimComm::PeerVerdict::kFailed)
+          throw RankFailure(from, comm.nowMs() - comm.lastBeatMs(from),
+                            "rank " + std::to_string(from) + " fail-stop: " +
+                                what + " lease expired on tag " +
+                                std::to_string(tag));
+        if (attempt >= config_.commMaxAttempts &&
+            verdict == SimComm::PeerVerdict::kAlive)
+          throw;
+      } else if (attempt >= config_.commMaxAttempts) {
+        throw;
+      }
+      ++retryCounter;
+      comm.send(from, rank, tag, resend);
+    }
+  }
+}
+
 void ParallelEngine::foldChanges() {
   TKMC_SPAN("engine.fold");
-  const auto ranks = static_cast<std::size_t>(decomp_.rankCount());
+  SimComm& comm = fabric_->comm;
+  const auto ranks = static_cast<std::size_t>(rankCount());
   // Phase 1: serialize boundary modifications per (source, owner) pair.
   // The buffers outlive the sends so a failed delivery can be
   // retransmitted verbatim.
@@ -245,7 +362,7 @@ void ParallelEngine::foldChanges() {
       ranks, std::vector<std::vector<std::uint8_t>>(ranks));
   for (std::size_t r = 0; r < ranks; ++r) {
     for (const Change& c : pendingChanges_[r]) {
-      const int owner = decomp_.ownerOfSite(c.site);
+      const int owner = fabric_->decomp.ownerOfSite(c.site);
       if (owner == static_cast<int>(r)) continue;
       auto& buf = outbound[r][static_cast<std::size_t>(owner)];
       const std::int32_t coords[3] = {c.site.x, c.site.y, c.site.z};
@@ -257,35 +374,31 @@ void ParallelEngine::foldChanges() {
   }
   // Phase 2: transmit. Every rank sends exactly one fold message to
   // every rank (possibly empty), so the receive side knows exactly what
-  // to expect on each channel.
+  // to expect on each channel. A dead rank's sends silently no-op
+  // (fail-stop), which is what the receive side's lease protocol
+  // eventually detects.
   for (std::size_t r = 0; r < ranks; ++r)
     for (std::size_t to = 0; to < ranks; ++to)
-      comm_.send(static_cast<int>(r), static_cast<int>(to), kTagFold,
-                 outbound[r][to]);
+      comm.send(static_cast<int>(r), static_cast<int>(to), kTagFold,
+                outbound[r][to]);
   // Phase 3: collect and validate every payload before applying any of
   // them. Fold application mutates vacancy lists and is not idempotent,
   // so a failed receive must not leave a half-applied fold behind; with
   // application deferred, a lost or corrupt frame is handled by purging
   // that one channel and retransmitting from the buffered copy (ARQ).
+  // Only the acting (receiving) rank's liveness is consulted — a
+  // receiver must keep waiting on a silent source for the failure
+  // detector to do its job.
   constexpr std::size_t kStride = 3 * sizeof(std::int32_t) + 1;
   std::vector<std::vector<std::vector<std::uint8_t>>> inbound(
       ranks, std::vector<std::vector<std::uint8_t>>(ranks));
   for (std::size_t r = 0; r < ranks; ++r) {
+    if (!comm.rankAlive(static_cast<int>(r))) continue;
     for (std::size_t from = 0; from < ranks; ++from) {
-      for (int attempt = 1;; ++attempt) {
-        try {
-          inbound[r][from] = comm_.receive(static_cast<int>(r),
-                                           static_cast<int>(from), kTagFold);
-          break;
-        } catch (const CommError&) {
-          comm_.resetChannel(static_cast<int>(from), static_cast<int>(r),
-                             kTagFold);
-          if (attempt >= config_.commMaxAttempts) throw;
-          ++recovery_.foldRetries;
-          comm_.send(static_cast<int>(from), static_cast<int>(r), kTagFold,
-                     outbound[from][r]);
-        }
-      }
+      inbound[r][from] =
+          receiveReliable(static_cast<int>(r), static_cast<int>(from),
+                          kTagFold, outbound[from][r], recovery_.foldRetries,
+                          "fold");
       if (inbound[r][from].size() % kStride != 0)
         throw CommError("malformed fold payload from rank " +
                         std::to_string(from) + " to rank " + std::to_string(r));
@@ -293,6 +406,7 @@ void ParallelEngine::foldChanges() {
   }
   // Phase 4: owners apply the folded changes.
   for (std::size_t r = 0; r < ranks; ++r) {
+    if (!comm.rankAlive(static_cast<int>(r))) continue;
     Subdomain& sd = domains_[r];
     for (std::size_t from = 0; from < ranks; ++from) {
       const auto& payload = inbound[r][from];
@@ -313,6 +427,98 @@ void ParallelEngine::foldChanges() {
   }
 }
 
+ShardRecord ParallelEngine::makeShard(int rank) const {
+  const Subdomain& sd = domains_[static_cast<std::size_t>(rank)];
+  ShardRecord shard;
+  shard.rank = rank;
+  shard.originCells = sd.originCells();
+  shard.extentCells = sd.extentCells();
+  shard.rngState = rngs_[static_cast<std::size_t>(rank)].state();
+  shard.vacancyOrder = sd.vacancies();
+  const Vec3i g = sd.ghostCellsVec();
+  const Vec3i e = sd.extentCells();
+  shard.species =
+      sd.packCellBox({g.x, g.y, g.z}, {g.x + e.x, g.y + e.y, g.z + e.z});
+  return shard;
+}
+
+void ParallelEngine::commitVoteBarrier(std::uint64_t epoch) {
+  SimComm& comm = fabric_->comm;
+  const int root = 0;
+  std::vector<std::uint8_t> token(sizeof(std::uint64_t));
+  std::memcpy(token.data(), &epoch, sizeof(epoch));
+  // Every rank of the current world votes; the root waits for votes
+  // from ALL of them — not just the ones it believes alive — before the
+  // epoch is published. A rank that died at any point this cycle
+  // (including on the vote send itself) goes silent here, the root's
+  // lease poll surfaces RankFailure, and the caller aborts the staged
+  // epoch — a manifest can never reference a missing shard. A dead
+  // root cannot collect votes (or commit); the ack phase exposes it.
+  for (int r = 0; r < rankCount(); ++r)
+    if (r != root) comm.send(r, root, kTagVote, token);
+  if (!comm.rankAlive(root)) return;
+  for (int r = 0; r < rankCount(); ++r)
+    if (r != root)
+      (void)receiveReliable(root, r, kTagVote, token, recovery_.foldRetries,
+                            "commit vote");
+}
+
+void ParallelEngine::writeEpoch(bool barrier) {
+  TKMC_SPAN("engine.checkpoint");
+  const std::uint64_t epoch = cycles_;
+  store_->beginEpoch(epoch);
+  try {
+    SimComm& comm = fabric_->comm;
+    EpochManifest manifest;
+    manifest.epoch = epoch;
+    manifest.rankGrid = fabric_->decomp.rankGrid();
+    manifest.globalCells = {lattice_.cellsX(), lattice_.cellsY(),
+                            lattice_.cellsZ()};
+    manifest.latticeConstant = lattice_.latticeConstant();
+    manifest.time = time_;
+    manifest.cycles = cycles_;
+    manifest.events = events_;
+    manifest.discarded = discarded_;
+    manifest.tStop = config_.tStop;
+    manifest.seed = config_.seed;
+    for (int r = 0; r < rankCount(); ++r) {
+      if (!comm.rankAlive(r)) continue;  // a dead rank can't write a shard
+      manifest.shards.push_back(store_->stageShard(epoch, makeShard(r)));
+    }
+    if (!barrier) {
+      store_->commitEpoch(manifest);
+    } else {
+      const int root = 0;
+      commitVoteBarrier(epoch);
+      if (comm.rankAlive(root)) {
+        // All votes collected, so every rank is alive and every shard
+        // staged: the manifest is complete by construction.
+        require(manifest.shards.size() ==
+                    static_cast<std::size_t>(rankCount()),
+                "commit barrier passed with missing shards");
+        store_->commitEpoch(manifest);
+      }
+      // Commit announcement. A dead root never commits and never acks,
+      // so the survivors detect it here and recover from the previous
+      // epoch; if the root dies on an ack send after committing, the
+      // recovery resumes from this very epoch (zero rollback).
+      std::vector<std::uint8_t> token(sizeof(std::uint64_t));
+      std::memcpy(token.data(), &epoch, sizeof(epoch));
+      for (int r = 0; r < rankCount(); ++r)
+        if (r != root) comm.send(root, r, kTagCommit, token);
+      for (int r = 0; r < rankCount(); ++r)
+        if (r != root && comm.rankAlive(r))
+          (void)receiveReliable(r, root, kTagCommit, token,
+                                recovery_.foldRetries, "commit ack");
+    }
+  } catch (...) {
+    // Harmless after a successful commit (the staging directory is
+    // already gone); essential before it.
+    store_->abortEpoch(epoch);
+    throw;
+  }
+}
+
 void ParallelEngine::executeCycle() {
   if (faultFires("engine.cycle"))
     throw InvariantError("injected engine-cycle fault");
@@ -320,15 +526,19 @@ void ParallelEngine::executeCycle() {
   TKMC_SPAN(kCycleSpanName[sector]);
   {
     TKMC_SPAN("engine.sectors");
-    for (int r = 0; r < decomp_.rankCount(); ++r) {
+    for (int r = 0; r < rankCount(); ++r) {
+      if (!fabric_->comm.rankAlive(r)) continue;
       TKMC_SPAN_TID("engine.sector", r);
       runSector(r, sector);
     }
   }
   foldChanges();
-  exchange_.exchangeAll(domains_);
+  fabric_->exchange.exchangeAll(domains_);
   time_ += config_.tStop;
   ++cycles_;
+  if (store_ && config_.checkpointCadence > 0 &&
+      cycles_ % static_cast<std::uint64_t>(config_.checkpointCadence) == 0)
+    writeEpoch(/*barrier=*/true);
 }
 
 void ParallelEngine::verifyInvariants() {
@@ -367,7 +577,45 @@ void ParallelEngine::restoreSnapshot() {
   events_ = snapshot_.events;
   discarded_ = snapshot_.discarded;
   for (auto& changes : pendingChanges_) changes.clear();
-  comm_.resetAllChannels();
+  fabric_->comm.resetAllChannels();
+}
+
+void ParallelEngine::recoverFromRankFailure(const RankFailure& failure) {
+  namespace tm = telemetry;
+  Stopwatch watch;
+  const int survivors = fabric_->comm.aliveCount();
+  require(survivors >= 1, "no survivors left to recover with");
+  const std::optional<std::uint64_t> epoch = store_->newestCompleteEpoch();
+  if (!epoch)
+    throw RankFailure(failure.rank(), failure.detectMs(),
+                      std::string(failure.what()) +
+                          " (no complete checkpoint epoch to recover from)");
+  const EpochManifest manifest = store_->loadManifest(*epoch);
+  const std::vector<ShardRecord> shards = store_->loadShards(manifest);
+  const LatticeState restored = CheckpointStore::reassemble(manifest, shards);
+  const std::uint64_t rolledBack = cycles_ - manifest.cycles;
+  recovery_.epochsRolledBack += rolledBack;
+  lastRecoveryEpoch_ = manifest.epoch;
+  // Survivors deterministically agree on the reduced grid, rebuild the
+  // fabric (all ranks of the new, smaller world are alive), and reseed.
+  config_.rankGrid = shrinkRankGrid(fabric_->decomp.rankGrid(), survivors);
+  rngs_.clear();
+  buildFabric(restored);
+  Rng master(recoverySeed(manifest.seed, manifest.epoch, config_.rankGrid));
+  for (int r = 0; r < rankCount(); ++r) rngs_.push_back(master.split());
+  time_ = manifest.time;
+  cycles_ = manifest.cycles;
+  events_ = manifest.events;
+  discarded_ = manifest.discarded;
+  takeSnapshot();
+  if (tm::enabled()) {
+    tm::metrics().counter("recovery.rank_failures").inc();
+    tm::metrics().counter("recovery.epochs_rolled_back").add(rolledBack);
+    tm::metrics().histogram("recovery.detect_ms").observe(failure.detectMs());
+    tm::metrics()
+        .histogram("recovery.latency_seconds")
+        .observe(watch.seconds());
+  }
 }
 
 void ParallelEngine::runCycle() {
@@ -400,6 +648,16 @@ void ParallelEngine::runCycle() {
         publishTelemetry();
       }
       return;
+    } catch (const RankFailure& failure) {
+      // Shrink recovery: needs a checkpoint store to restart from.
+      // recoverFromRankFailure rebuilds the fabric and re-takes the
+      // snapshot at the recovered epoch, so the replay budget resets.
+      if (!store_) throw;
+      ++recovery_.rankFailures;
+      tm::tracer().instant("engine.rank_failure");
+      recoverFromRankFailure(failure);
+      attempt = 0;
+      continue;
     } catch (const CommError&) {
       ++recovery_.commErrors;
       if (attempt >= config_.maxReplays) throw;
@@ -419,7 +677,7 @@ void ParallelEngine::runCycle() {
 
 RecoveryStats ParallelEngine::recoveryStats() const {
   RecoveryStats stats = recovery_;
-  stats.ghostRetries = exchange_.retries();
+  stats.ghostRetries = fabric_->exchange.retries();
   return stats;
 }
 
@@ -431,7 +689,9 @@ void ParallelEngine::publishTelemetry() const {
   reg.gauge("engine.time_seconds").set(time_);
   reg.gauge("engine.events").set(static_cast<double>(events_));
   reg.gauge("engine.discarded_events").set(static_cast<double>(discarded_));
-  reg.gauge("engine.ranks").set(static_cast<double>(decomp_.rankCount()));
+  reg.gauge("engine.ranks").set(static_cast<double>(rankCount()));
+  reg.gauge("engine.alive_ranks")
+      .set(static_cast<double>(fabric_->comm.aliveCount()));
   reg.gauge("engine.vacancies").set(static_cast<double>(vacancyCount()));
   const RecoveryStats rs = recoveryStats();
   reg.gauge("recovery.rollbacks").set(static_cast<double>(rs.rollbacks));
@@ -440,12 +700,13 @@ void ParallelEngine::publishTelemetry() const {
   reg.gauge("recovery.comm_errors").set(static_cast<double>(rs.commErrors));
   reg.gauge("recovery.ghost_retries").set(static_cast<double>(rs.ghostRetries));
   reg.gauge("recovery.fold_retries").set(static_cast<double>(rs.foldRetries));
-  reg.gauge("comm.bytes_sent").set(static_cast<double>(comm_.totalBytesSent()));
+  const SimComm& comm = fabric_->comm;
+  reg.gauge("comm.bytes_sent").set(static_cast<double>(comm.totalBytesSent()));
   reg.gauge("comm.messages_sent")
-      .set(static_cast<double>(comm_.totalMessagesSent()));
-  reg.gauge("comm.crc_failures").set(static_cast<double>(comm_.crcFailures()));
+      .set(static_cast<double>(comm.totalMessagesSent()));
+  reg.gauge("comm.crc_failures").set(static_cast<double>(comm.crcFailures()));
   reg.gauge("comm.duplicates_dropped")
-      .set(static_cast<double>(comm_.duplicatesDropped()));
+      .set(static_cast<double>(comm.duplicatesDropped()));
   reg.gauge("comm.retransmits")
       .set(static_cast<double>(rs.ghostRetries + rs.foldRetries));
 }
@@ -463,10 +724,10 @@ std::int64_t ParallelEngine::vacancyCount() const {
 
 LatticeState ParallelEngine::assembleGlobalState() const {
   LatticeState out(lattice_);
-  for (int r = 0; r < decomp_.rankCount(); ++r) {
+  for (int r = 0; r < rankCount(); ++r) {
     const Subdomain& sd = domains_[static_cast<std::size_t>(r)];
-    const Vec3i origin = decomp_.originCells(r);
-    const Vec3i e = decomp_.extentCells();
+    const Vec3i origin = fabric_->decomp.originCells(r);
+    const Vec3i e = fabric_->decomp.extentCells();
     for (int cz = 0; cz < e.z; ++cz)
       for (int cy = 0; cy < e.y; ++cy)
         for (int cx = 0; cx < e.x; ++cx)
@@ -481,14 +742,14 @@ LatticeState ParallelEngine::assembleGlobalState() const {
 
 bool ParallelEngine::ghostsConsistent() const {
   const LatticeState global = assembleGlobalState();
-  for (int r = 0; r < decomp_.rankCount(); ++r) {
+  for (int r = 0; r < rankCount(); ++r) {
     const Subdomain& sd = domains_[static_cast<std::size_t>(r)];
-    const Vec3i origin = decomp_.originCells(r);
-    const Vec3i e = decomp_.extentCells();
-    const int g = sd.ghostCells();
-    for (int cz = -g; cz < e.z + g; ++cz)
-      for (int cy = -g; cy < e.y + g; ++cy)
-        for (int cx = -g; cx < e.x + g; ++cx)
+    const Vec3i origin = fabric_->decomp.originCells(r);
+    const Vec3i e = fabric_->decomp.extentCells();
+    const Vec3i g = sd.ghostCellsVec();
+    for (int cz = -g.z; cz < e.z + g.z; ++cz)
+      for (int cy = -g.y; cy < e.y + g.y; ++cy)
+        for (int cx = -g.x; cx < e.x + g.x; ++cx)
           for (int sub = 0; sub < 2; ++sub) {
             const Vec3i p{2 * (origin.x + cx) + sub, 2 * (origin.y + cy) + sub,
                           2 * (origin.z + cz) + sub};

@@ -1,11 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "kmc/energy_model.hpp"
 #include "kmc/rate_calculator.hpp"
+#include "parallel/coordinated_checkpoint.hpp"
 #include "parallel/decomposition.hpp"
 #include "parallel/ghost_exchange.hpp"
 #include "parallel/sim_comm.hpp"
@@ -37,6 +40,19 @@ struct ParallelConfig {
   int invariantCadence = 0; // full ghost-consistency sweep every N cycles
                             // (0 = off; vacancy conservation and
                             // propensity sanity are always monitored)
+
+  // Rank fail-stop tolerance. A non-empty checkpointDir arms coordinated
+  // sharded checkpointing: every checkpointCadence cycles each rank
+  // stages its subdomain as a shard and the epoch is committed
+  // atomically behind a commit-vote barrier. heartbeatTimeoutMs > 0 arms
+  // the lease-based failure detector in SimComm: a rank that stays
+  // silent past its lease is declared failed, a typed RankFailure
+  // surfaces, and the engine shrink-recovers from the newest complete
+  // epoch on a reduced rank grid. Both are off by default.
+  std::string checkpointDir;
+  int checkpointCadence = 1;       // cycles per epoch (with a dir set)
+  double heartbeatIntervalMs = 5.0;
+  double heartbeatTimeoutMs = 0.0; // 0 = fail-stop detection off
 };
 
 /// Counters of absorbed failures (engine stats).
@@ -46,7 +62,20 @@ struct RecoveryStats {
   std::uint64_t commErrors = 0;      // comm failures that reached the engine
   std::uint64_t ghostRetries = 0;    // retransmissions inside GhostExchange
   std::uint64_t foldRetries = 0;     // retransmissions in the fold phase
+  std::uint64_t rankFailures = 0;    // fail-stops detected and survived
+  std::uint64_t epochsRolledBack = 0; // cycles re-run due to shrink recovery
 };
+
+/// Deterministic master seed of the per-rank RNG streams after a resume
+/// onto a rank grid different from the one that wrote the epoch. The
+/// dead rank's stream state is unrecoverable and the survivor streams
+/// cannot be remapped onto a different grid, so the streams are reseeded
+/// from a pure function of (original seed, epoch, new grid): the
+/// in-engine shrink recovery and a fresh engine resumed from the same
+/// epoch onto the same grid derive identical streams, which keeps the
+/// post-recovery trajectory bit-reproducible.
+std::uint64_t recoverySeed(std::uint64_t seed, std::uint64_t epoch,
+                           Vec3i rankGrid);
 
 /// Parallel AKMC with the Shim-Amar synchronous sublattice schedule
 /// (paper Sec. 2.2, Fig. 2b) on the in-process message-passing runtime.
@@ -57,6 +86,15 @@ struct RecoveryStats {
 /// owners; ghost shells are re-broadcast. Sector geometry guarantees that
 /// concurrently active regions of different ranks are farther apart than
 /// the interaction range, so no hops can conflict.
+///
+/// Fail-stop tolerance (config.checkpointDir + heartbeatTimeoutMs): when
+/// a RankFailure surfaces from a fold, ghost, or commit-barrier receive,
+/// the survivors agree on the newest complete checkpoint epoch,
+/// deterministically shrink the rank grid to fit the survivor count
+/// (shrinkRankGrid), rebuild the decomposition/comm/exchange fabric,
+/// reload the epoch's shards, reseed the RNG streams (recoverySeed), and
+/// resume — bit-identically to a fresh engine resumed from the same
+/// epoch on the same shrunken grid.
 class ParallelEngine {
  public:
   /// `model` must support VET evaluation. `initial` provides the global
@@ -64,10 +102,23 @@ class ParallelEngine {
   ParallelEngine(const LatticeState& initial, EnergyModel& model,
                  const Cet& cet, ParallelConfig config);
 
+  /// Resumes from a committed checkpoint epoch. `config.rankGrid` equal
+  /// to the manifest's grid restores the shard RNG streams and vacancy
+  /// orders (bit-exact continuation of the original run); a different
+  /// grid reseeds via recoverySeed() — the same state an in-engine
+  /// shrink recovery of that epoch produces. `config.tStop` must match
+  /// the manifest (trajectories are tStop-dependent); the manifest's
+  /// seed overrides `config.seed`.
+  ParallelEngine(EnergyModel& model, const Cet& cet, ParallelConfig config,
+                 const CheckpointStore& store, std::uint64_t epoch);
+
   /// Executes one sector window plus synchronization. With recovery
   /// enabled, a cycle that trips an injected fault or an invariant
   /// monitor is rolled back to the last sync boundary and replayed (up
-  /// to `maxReplays` times) before the typed error surfaces.
+  /// to `maxReplays` times) before the typed error surfaces; a detected
+  /// rank fail-stop triggers shrink recovery instead (RankFailure
+  /// surfaces only when no complete epoch exists or checkpointing is
+  /// off).
   void runCycle();
 
   /// Runs whole cycles until the simulated time reaches tEnd.
@@ -77,8 +128,11 @@ class ParallelEngine {
   std::uint64_t cycles() const { return cycles_; }
   std::uint64_t totalEvents() const { return events_; }
   std::uint64_t discardedEvents() const { return discarded_; }
-  int rankCount() const { return decomp_.rankCount(); }
-  const SimComm& comm() const { return comm_; }
+  int rankCount() const { return fabric_->decomp.rankCount(); }
+  Vec3i rankGrid() const { return fabric_->decomp.rankGrid(); }
+  const SimComm& comm() const { return fabric_->comm; }
+  /// Mutable comm access (fault drills: killRank, lease tuning).
+  SimComm& mutableComm() { return fabric_->comm; }
   const Subdomain& subdomain(int rank) const {
     return domains_[static_cast<std::size_t>(rank)];
   }
@@ -94,6 +148,12 @@ class ParallelEngine {
 
   /// Absorbed-failure counters (rollbacks, invariant trips, retries).
   RecoveryStats recoveryStats() const;
+
+  /// The checkpoint store, or nullptr when checkpointing is off.
+  const CheckpointStore* checkpointStore() const { return store_.get(); }
+
+  /// Epoch the last shrink recovery resumed from (0 before any).
+  std::uint64_t lastRecoveryEpoch() const { return lastRecoveryEpoch_; }
 
   /// Publishes engine progress, recovery counters, and comm statistics
   /// as gauges in the global telemetry registry. Called automatically at
@@ -116,12 +176,39 @@ class ParallelEngine {
     std::uint64_t discarded = 0;
   };
 
+  /// The rebuildable communication fabric. Shrink recovery replaces the
+  /// whole bundle at once: GhostExchange holds references into its
+  /// sibling members, so the three live and die together.
+  struct Fabric {
+    Decomposition decomp;
+    SimComm comm;
+    GhostExchange exchange;
+    Fabric(Vec3i globalCells, Vec3i rankGrid)
+        : decomp(globalCells, rankGrid), comm(decomp.rankCount()),
+          exchange(decomp, comm) {}
+  };
+
+  /// Builds fabric + empty domains for config_.rankGrid, validates
+  /// sector geometry, arms the lease, and loads `initial` into every
+  /// rank's subdomain (deterministic vacancy scan order).
+  void buildFabric(const LatticeState& initial);
   void executeCycle();
   void verifyInvariants();
   void takeSnapshot();
   void restoreSnapshot();
   void runSector(int rank, int sector);
   void foldChanges();
+  /// Stages every rank's shard, runs the commit-vote barrier, and
+  /// atomically publishes epoch `cycles_`. `barrier` is false only for
+  /// the construction-time epoch (single-threaded, nothing in flight).
+  void writeEpoch(bool barrier);
+  ShardRecord makeShard(int rank) const;
+  void commitVoteBarrier(std::uint64_t epoch);
+  /// Lease-aware ARQ receive shared by fold and commit-barrier traffic.
+  std::vector<std::uint8_t> receiveReliable(
+      int rank, int from, int tag, const std::vector<std::uint8_t>& resend,
+      std::uint64_t& retryCounter, const char* what);
+  void recoverFromRankFailure(const RankFailure& failure);
   Vec3i localCell(int rank, Vec3i wrappedCoord) const;
   bool inSector(int rank, Vec3i wrappedCoord, int sector) const;
 
@@ -129,9 +216,8 @@ class ParallelEngine {
   const Cet& cet_;
   EnergyModel& model_;
   ParallelConfig config_;
-  Decomposition decomp_;
-  SimComm comm_;
-  GhostExchange exchange_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<CheckpointStore> store_;
   std::vector<Subdomain> domains_;
   std::vector<Rng> rngs_;
   std::vector<std::vector<Change>> pendingChanges_;  // per rank, this cycle
@@ -141,6 +227,7 @@ class ParallelEngine {
   std::uint64_t discarded_ = 0;
   double interactionRadius_;  // angstrom, for stale-rate invalidation
   std::int64_t expectedVacancies_ = 0;  // conservation monitor baseline
+  std::uint64_t lastRecoveryEpoch_ = 0;
   Snapshot snapshot_;
   RecoveryStats recovery_;
 };

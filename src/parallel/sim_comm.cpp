@@ -16,7 +16,10 @@ std::string channelName(int from, int to, int tag) {
 
 }  // namespace
 
-SimComm::SimComm(int ranks) : ranks_(ranks) {
+SimComm::SimComm(int ranks)
+    : ranks_(ranks), alive_(static_cast<std::size_t>(ranks > 0 ? ranks : 1),
+                            true),
+      beats_(ranks > 0 ? ranks : 1, 0.0) {
   require(ranks > 0, "communicator needs at least one rank");
 }
 
@@ -24,6 +27,17 @@ void SimComm::send(int from, int to, int tag,
                    std::vector<std::uint8_t> payload) {
   require(from >= 0 && from < ranks_ && to >= 0 && to < ranks_,
           "rank out of range");
+  // A dead rank sends nothing — not even a lease renewal. Its peers see
+  // pure silence on the channel, which is what the heartbeat detector
+  // classifies.
+  if (!alive_[static_cast<std::size_t>(from)]) return;
+  // Fail-stop injection: the sending rank crashes *before* this frame
+  // leaves, so at least one peer is left waiting on the channel.
+  if (faultFires("comm.rank_kill")) {
+    killRank(from);
+    return;
+  }
+  beats_.beat(from, nowMs_);
   bytesSent_ += payload.size();
   ++messagesSent_;
   const Key key{from, to, tag};
@@ -142,6 +156,49 @@ void SimComm::resetAllChannels() {
   mailboxes_.clear();
   nextSendSeq_.clear();
   nextRecvSeq_.clear();
+}
+
+void SimComm::killRank(int rank) {
+  require(rank >= 0 && rank < ranks_, "rank out of range");
+  alive_[static_cast<std::size_t>(rank)] = false;
+}
+
+bool SimComm::rankAlive(int rank) const {
+  require(rank >= 0 && rank < ranks_, "rank out of range");
+  return alive_[static_cast<std::size_t>(rank)];
+}
+
+int SimComm::aliveCount() const {
+  int count = 0;
+  for (int r = 0; r < ranks_; ++r)
+    if (alive_[static_cast<std::size_t>(r)]) ++count;
+  return count;
+}
+
+std::vector<int> SimComm::aliveRanks() const {
+  std::vector<int> ranks;
+  for (int r = 0; r < ranks_; ++r)
+    if (alive_[static_cast<std::size_t>(r)]) ranks.push_back(r);
+  return ranks;
+}
+
+void SimComm::setLease(double intervalMs, double timeoutMs) {
+  require(intervalMs > 0.0, "lease poll interval must be positive");
+  leaseIntervalMs_ = intervalMs;
+  leaseTimeoutMs_ = timeoutMs;
+  beats_.setTimeoutMs(timeoutMs);
+}
+
+SimComm::PeerVerdict SimComm::pollPeer(int from, double waitStartMs) {
+  require(from >= 0 && from < ranks_, "rank out of range");
+  require(leaseEnabled(), "pollPeer needs an armed lease (setLease)");
+  nowMs_ += leaseIntervalMs_;
+  if (beats_.expired(from, nowMs_)) {
+    killRank(from);
+    return PeerVerdict::kFailed;
+  }
+  return beats_.lastBeatMs(from) >= waitStartMs ? PeerVerdict::kAlive
+                                                : PeerVerdict::kSilent;
 }
 
 void SimComm::resetStats() {

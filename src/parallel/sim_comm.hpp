@@ -5,6 +5,8 @@
 #include <map>
 #include <vector>
 
+#include "parallel/heartbeat.hpp"
+
 namespace tkmc {
 
 /// In-process message-passing runtime standing in for swmpi.
@@ -27,6 +29,17 @@ namespace tkmc {
 /// send time. Retry protocols (GhostExchange, the engine's cycle
 /// rollback) call resetChannels()/resetAllChannels() before re-sending
 /// so stale frames and sequence state cannot leak across attempts.
+///
+/// Fail-stop ranks: the fault point "comm.rank_kill" fires at send time
+/// and kills the *sending* rank before the frame leaves — modelling a
+/// process crash. A dead rank's sends silently no-op from then on, so
+/// its peers see nothing but silence. With a lease armed (setLease()),
+/// every live send doubles as a heartbeat; a receiver stuck on an empty
+/// channel calls pollPeer(), which advances the logical clock one poll
+/// interval and classifies the sender as alive, merely silent, or
+/// fail-stop once its lease expires. With no lease armed (the default)
+/// none of this machinery is consulted and behaviour is identical to
+/// the transient-fault-only runtime.
 class SimComm {
  public:
   explicit SimComm(int ranks);
@@ -65,6 +78,48 @@ class SimComm {
   /// Clears every mailbox and all sequence tracking (cycle rollback).
   void resetAllChannels();
 
+  // --- Fail-stop liveness and the heartbeat/lease protocol ---
+
+  /// Marks `rank` as permanently failed. Its future sends no-op (and no
+  /// longer renew its lease); messages already in flight stay
+  /// deliverable. Invoked by the "comm.rank_kill" fault point and by the
+  /// detector when a lease expires.
+  void killRank(int rank);
+
+  bool rankAlive(int rank) const;
+  int aliveCount() const;
+  std::vector<int> aliveRanks() const;
+
+  /// Arms the heartbeat/lease protocol: every live send renews the
+  /// sender's lease, pollPeer() advances the clock by `intervalMs` per
+  /// poll, and a lease older than `timeoutMs` classifies its rank as
+  /// fail-stop. `timeoutMs <= 0` disarms the protocol (the default).
+  void setLease(double intervalMs, double timeoutMs);
+  bool leaseEnabled() const { return leaseTimeoutMs_ > 0.0; }
+  double leaseIntervalMs() const { return leaseIntervalMs_; }
+  double leaseTimeoutMs() const { return leaseTimeoutMs_; }
+
+  /// Logical clock (milliseconds). Advances only via tick()/pollPeer(),
+  /// so detection latency is deterministic.
+  double nowMs() const { return nowMs_; }
+  void tick(double ms) { nowMs_ += ms; }
+
+  /// Last lease renewal of `rank` (logical ms; 0 until its first send).
+  double lastBeatMs(int rank) const { return beats_.lastBeatMs(rank); }
+
+  enum class PeerVerdict {
+    kAlive,   // renewed its lease since the receiver started waiting
+    kSilent,  // no renewal yet, but the lease has not expired either
+    kFailed,  // lease expired: the rank is now marked fail-stop
+  };
+
+  /// One detector poll while waiting on a message from `from`: advances
+  /// the clock one poll interval and classifies the sender.
+  /// `waitStartMs` is the clock value when the receiver began waiting
+  /// (so a retransmission that got through counts as proof of life).
+  /// Requires an armed lease.
+  PeerVerdict pollPeer(int from, double waitStartMs);
+
   std::uint64_t totalBytesSent() const { return bytesSent_; }
   std::uint64_t totalMessagesSent() const { return messagesSent_; }
   /// Frames rejected because the payload CRC did not match.
@@ -102,6 +157,11 @@ class SimComm {
   std::uint64_t messagesSent_ = 0;
   std::uint64_t crcFailures_ = 0;
   std::uint64_t duplicatesDropped_ = 0;
+  std::vector<bool> alive_;
+  HeartbeatMonitor beats_;
+  double nowMs_ = 0.0;
+  double leaseIntervalMs_ = 5.0;
+  double leaseTimeoutMs_ = 0.0;  // <= 0: heartbeat protocol disarmed
 };
 
 }  // namespace tkmc

@@ -20,13 +20,18 @@ bool shiftInto(int v, int lo, int span, int period, int& out) {
 
 Subdomain::Subdomain(const BccLattice& global, Vec3i originCells,
                      Vec3i extentCells, int ghostCells)
+    : Subdomain(global, originCells, extentCells,
+                Vec3i{ghostCells, ghostCells, ghostCells}) {}
+
+Subdomain::Subdomain(const BccLattice& global, Vec3i originCells,
+                     Vec3i extentCells, Vec3i ghostCells)
     : global_(global), indexer_(originCells, extentCells, ghostCells) {
-  extOriginDoubled_ = {2 * (originCells.x - ghostCells),
-                       2 * (originCells.y - ghostCells),
-                       2 * (originCells.z - ghostCells)};
-  extSpanDoubled_ = {2 * (extentCells.x + 2 * ghostCells),
-                     2 * (extentCells.y + 2 * ghostCells),
-                     2 * (extentCells.z + 2 * ghostCells)};
+  extOriginDoubled_ = {2 * (originCells.x - ghostCells.x),
+                       2 * (originCells.y - ghostCells.y),
+                       2 * (originCells.z - ghostCells.z)};
+  extSpanDoubled_ = {2 * (extentCells.x + 2 * ghostCells.x),
+                     2 * (extentCells.y + 2 * ghostCells.y),
+                     2 * (extentCells.z + 2 * ghostCells.z)};
   require(extSpanDoubled_.x <= 2 * global.cellsX() &&
               extSpanDoubled_.y <= 2 * global.cellsY() &&
               extSpanDoubled_.z <= 2 * global.cellsZ(),
@@ -76,9 +81,9 @@ Vec3i Subdomain::frameSite(Vec3i cell, int sub) const {
 }
 
 void Subdomain::loadFrom(const LatticeState& state) {
-  const Vec3i extCells{extentCells().x + 2 * ghostCells(),
-                       extentCells().y + 2 * ghostCells(),
-                       extentCells().z + 2 * ghostCells()};
+  const Vec3i g = ghostCellsVec();
+  const Vec3i extCells{extentCells().x + 2 * g.x, extentCells().y + 2 * g.y,
+                       extentCells().z + 2 * g.z};
   for (int cz = 0; cz < extCells.z; ++cz)
     for (int cy = 0; cy < extCells.y; ++cy)
       for (int cx = 0; cx < extCells.x; ++cx)
@@ -93,12 +98,12 @@ void Subdomain::loadFrom(const LatticeState& state) {
 void Subdomain::rescanVacancies() {
   vacancies_.clear();
   const Vec3i e = extentCells();
-  const int g = ghostCells();
+  const Vec3i g = ghostCellsVec();
   for (int cz = 0; cz < e.z; ++cz)
     for (int cy = 0; cy < e.y; ++cy)
       for (int cx = 0; cx < e.x; ++cx)
         for (int sub = 0; sub < 2; ++sub) {
-          const Vec3i f = frameSite({cx + g, cy + g, cz + g}, sub);
+          const Vec3i f = frameSite({cx + g.x, cy + g.y, cz + g.z}, sub);
           if (species_[static_cast<std::size_t>(indexer_.indexOf(f))] ==
               Species::kVacancy)
             vacancies_.push_back(global_.wrap(f));

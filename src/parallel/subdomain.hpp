@@ -19,6 +19,11 @@ class Subdomain {
  public:
   Subdomain(const BccLattice& global, Vec3i originCells, Vec3i extentCells,
             int ghostCells);
+  /// Per-axis ghost widths: an axis whose rank grid is 1 carries no
+  /// ghost shell (the subdomain spans the whole period there), which
+  /// keeps the extended frame within the global box on flat rank grids.
+  Subdomain(const BccLattice& global, Vec3i originCells, Vec3i extentCells,
+            Vec3i ghostCells);
 
   const BccLattice& global() const { return global_; }
   const SiteIndexer& indexer() const { return indexer_; }
@@ -53,6 +58,7 @@ class Subdomain {
   Vec3i originCells() const { return indexer_.originCells(); }
   Vec3i extentCells() const { return indexer_.extentCells(); }
   int ghostCells() const { return indexer_.ghostCells(); }
+  Vec3i ghostCellsVec() const { return indexer_.ghostCellsVec(); }
 
  private:
   /// Maps a wrapped global coordinate into the extended frame; second

@@ -360,5 +360,61 @@ TEST(Checkpoint, TruncatedOccupationThrows) {
   std::remove(path.c_str());
 }
 
+TEST(Checkpoint, TruncationAtAnyOffsetFallsBackToBackup) {
+  // A v3 file torn mid packed-hex line (not just at a line boundary)
+  // must degrade to the .bak replica through the fallback loader, never
+  // escape as an untyped error, and never serve partial state.
+  World w(16);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  SerialEngine engine(w.state, model, w.cet, config(35));
+  for (int i = 0; i < 4; ++i) engine.step();
+  const std::string path = tempPath("tkmc_checkpoint_trunc_fallback.chk");
+  cleanupReplicas(path);
+  saveCheckpoint(path, w.state, engine);  // becomes .bak on the next save
+  engine.step();
+  saveCheckpoint(path, w.state, engine);
+  ASSERT_TRUE(std::filesystem::exists(path + ".bak"));
+  const std::string intact = readFile(path);
+  const std::size_t size = intact.size();
+  // Offsets chosen to land mid-footer, mid-hex-line, mid-body, and just
+  // past the header.
+  const std::size_t cuts[] = {size - 3, size - 47, size - 200, size / 2 + 7,
+                              size / 4, 40};
+  for (const std::size_t cut : cuts) {
+    writeFile(path, intact.substr(0, cut));
+    EXPECT_THROW(loadCheckpoint(path), IoError) << "cut at " << cut;
+    CheckpointLoadResult result;
+    ASSERT_NO_THROW(result = loadCheckpointWithFallback(path))
+        << "cut at " << cut;
+    EXPECT_TRUE(result.usedBackup) << "cut at " << cut;
+    EXPECT_EQ(result.data.engine.steps, 4u) << "cut at " << cut;
+  }
+  cleanupReplicas(path);
+}
+
+TEST(Checkpoint, AbsurdHeaderGeometryIsATypedErrorAndFallsBack) {
+  // A header claiming a preposterous box must surface as IoError (not a
+  // bad_alloc / length_error from trying to allocate it) and must not
+  // block fallback to a healthy backup.
+  const std::string path = tempPath("tkmc_checkpoint_hugehdr.chk");
+  cleanupReplicas(path);
+  writeFile(path,
+            "tensorkmc-checkpoint 1\n99999999 99999999 99999999 2.87\n"
+            "0.0 0\n1 2 3 4\n0\n");
+  EXPECT_THROW(loadCheckpoint(path), IoError);
+  EXPECT_THROW(loadCheckpointWithFallback(path), IoError);  // no backup
+
+  World w(17);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  SerialEngine engine(w.state, model, w.cet, config(37));
+  for (int i = 0; i < 2; ++i) engine.step();
+  saveCheckpoint(path + ".bak", w.state, engine);  // healthy backup appears
+  const CheckpointLoadResult result = loadCheckpointWithFallback(path);
+  EXPECT_TRUE(result.usedBackup);
+  EXPECT_EQ(result.data.engine.steps, 2u);
+  EXPECT_TRUE(result.data.restoreState() == w.state);
+  cleanupReplicas(path);
+}
+
 }  // namespace
 }  // namespace tkmc

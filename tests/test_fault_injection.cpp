@@ -95,6 +95,59 @@ TEST(FaultInjector, DisarmStopsFiring) {
   EXPECT_FALSE(inj.shouldFire("q"));
 }
 
+TEST(FaultInjector, ResetRestoresSeedFreshStreams) {
+  // disarm()/disarmAll() keep counters and RNG positions, so an injector
+  // reused across test cases fires in a different pattern than a fresh
+  // one with the same seed (stale-stream carry-over). reset() must make
+  // the reuse indistinguishable from construction.
+  FaultInjector fresh(42), reused(42);
+  reused.armProbability("p", 0.3);
+  for (int i = 0; i < 50; ++i) reused.shouldFire("p");  // first "test case"
+  reused.disarmAll();
+
+  reused.reset();
+  fresh.armProbability("p", 0.3);
+  reused.armProbability("p", 0.3);
+  std::vector<bool> ff, fr;
+  for (int i = 0; i < 100; ++i) {
+    ff.push_back(fresh.shouldFire("p"));
+    fr.push_back(reused.shouldFire("p"));
+  }
+  EXPECT_EQ(ff, fr);
+  EXPECT_EQ(reused.hitCount("p"), 100u);  // counters restarted too
+}
+
+TEST(FaultInjector, TriggerCountAndReportNameEveryFiredPoint) {
+  FaultInjector inj(5);
+  inj.armSchedule("comm.drop", {1, 3});
+  inj.armOnce("checkpoint.corrupt_write");
+  for (int i = 0; i < 4; ++i) inj.shouldFire("comm.drop");
+  inj.shouldFire("checkpoint.corrupt_write");
+  inj.shouldFire("engine.cycle");  // hit but never armed
+
+  EXPECT_EQ(inj.triggerCount("comm.drop"), 2u);
+  EXPECT_EQ(inj.triggerCount("checkpoint.corrupt_write"), 1u);
+  EXPECT_EQ(inj.triggerCount("engine.cycle"), 0u);
+  EXPECT_EQ(inj.firedPoints(),
+            (std::vector<std::string>{"checkpoint.corrupt_write",
+                                      "comm.drop"}));
+
+  const auto rows = inj.report();
+  ASSERT_EQ(rows.size(), 3u);  // sorted by name, untouched points absent
+  EXPECT_EQ(rows[0].name, "checkpoint.corrupt_write");
+  EXPECT_EQ(rows[0].hits, 1u);
+  EXPECT_EQ(rows[0].fires, 1u);
+  EXPECT_EQ(rows[1].name, "comm.drop");
+  EXPECT_EQ(rows[1].hits, 4u);
+  EXPECT_EQ(rows[1].fires, 2u);
+  EXPECT_EQ(rows[2].name, "engine.cycle");
+  EXPECT_EQ(rows[2].fires, 0u);
+
+  inj.reset();
+  EXPECT_TRUE(inj.report().empty());
+  EXPECT_TRUE(inj.firedPoints().empty());
+}
+
 TEST(FaultInjector, RejectsBadArming) {
   FaultInjector inj(1);
   EXPECT_THROW(inj.armProbability("p", 1.5), Error);

@@ -75,6 +75,35 @@ TEST(InputDeck, ChannelsAreCommaSeparated) {
             (std::vector<int>{64, 16, 8, 1}));
 }
 
+TEST(InputDeck, ParsesFailStopKeysAndFlatRankGrids) {
+  const InputDeck deck = parse(R"(
+mode parallel
+rank_grid 2,2,1
+checkpoint_dir ckpt
+checkpoint_cadence 3
+heartbeat_interval_ms 2.5
+heartbeat_timeout_ms 10
+)");
+  EXPECT_TRUE(deck.parallelMode());
+  EXPECT_EQ(deck.rankGrid(), (Vec3i{2, 2, 1}));  // flat grids are legal
+  EXPECT_EQ(deck.checkpointDir(), "ckpt");
+  EXPECT_EQ(deck.checkpointCadence(), 3);
+  EXPECT_DOUBLE_EQ(deck.heartbeatIntervalMs(), 2.5);
+  EXPECT_DOUBLE_EQ(deck.heartbeatTimeoutMs(), 10.0);
+
+  const InputDeck defaults = parse("");
+  EXPECT_TRUE(defaults.checkpointDir().empty());
+  EXPECT_EQ(defaults.checkpointCadence(), 1);
+  EXPECT_DOUBLE_EQ(defaults.heartbeatIntervalMs(), 5.0);
+  EXPECT_DOUBLE_EQ(defaults.heartbeatTimeoutMs(), 0.0);  // detector off
+
+  EXPECT_THROW(parse("rank_grid 1,1,1"), Error);    // one rank: use serial
+  EXPECT_THROW(parse("rank_grid 2,0,2"), Error);
+  EXPECT_THROW(parse("checkpoint_cadence 0"), Error);
+  EXPECT_THROW(parse("heartbeat_interval_ms 0"), Error);
+  EXPECT_THROW(parse("heartbeat_timeout_ms -1"), Error);
+}
+
 TEST(InputDeck, UnknownKeyThrows) {
   EXPECT_THROW(parse("celz 10\n"), Error);
 }

@@ -6,12 +6,14 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
 #include <new>
 #include <thread>
 #include <vector>
 
 #include "common/telemetry/json.hpp"
 #include "common/telemetry/telemetry.hpp"
+#include "parallel/coordinated_checkpoint.hpp"
 
 // Global allocation counter backing the zero-allocation test. Every
 // heap allocation in the test binary bumps it; the disabled-telemetry
@@ -229,6 +231,30 @@ TEST(Telemetry, MetricsJsonRoundTrips) {
   EXPECT_DOUBLE_EQ(cycle->find("min")->number, 0.5);
   EXPECT_DOUBLE_EQ(cycle->find("max")->number, 3.0);
   EXPECT_DOUBLE_EQ(cycle->find("sum")->number, 5.0);
+}
+
+TEST(Telemetry, CheckpointShardStagingObservesShardBytes) {
+  // The coordinated checkpoint store publishes every staged shard's
+  // on-disk size to the global registry.
+  resetAll();
+  ScopedEnable on;
+  const auto dir = std::filesystem::temp_directory_path() / "tkmc_tm_shard";
+  std::filesystem::remove_all(dir);
+  CheckpointStore store(dir.string());
+  store.beginEpoch(1);
+  ShardRecord shard;
+  shard.rank = 0;
+  shard.extentCells = {1, 1, 1};
+  shard.species = {0, 1};
+  const EpochManifest::ShardEntry entry = store.stageShard(1, shard);
+  EXPECT_EQ(metrics().histogram("checkpoint.shard_bytes").count(), 1u);
+  EXPECT_GE(metrics().histogram("checkpoint.shard_bytes").sum(),
+            static_cast<double>(entry.bytes));
+  const JsonValue doc = JsonValue::parse(metrics().toJson());
+  EXPECT_NE(doc.find("histograms")->find("checkpoint.shard_bytes"), nullptr);
+  store.abortEpoch(1);
+  std::filesystem::remove_all(dir);
+  resetAll();
 }
 
 TEST(Telemetry, EmptyHistogramSnapshotIsValidJson) {

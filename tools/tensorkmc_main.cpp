@@ -14,11 +14,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include <memory>
 
 #include "analysis/xyz_writer.hpp"
+#include "common/fault_injection.hpp"
 #include "common/stopwatch.hpp"
 #include "common/telemetry/telemetry.hpp"
 #include "core/input_deck.hpp"
@@ -33,12 +35,40 @@ namespace {
 void printUsage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s -in <deck> [--telemetry <dir>]\n"
+               "          [--inject <point>=<spec>]... [--inject-seed <n>]\n"
                "       %s --help\n\n"
                "Runs a TensorKMC AKMC simulation described by a key-value\n"
                "input deck (see tools/sample_input.tkmc for the format).\n"
                "--telemetry records metrics + tracing spans and writes\n"
-               "<dir>/trace.json and <dir>/metrics.json on exit.\n",
+               "<dir>/trace.json and <dir>/metrics.json on exit.\n"
+               "--inject arms a fault point for chaos drills; <spec> is\n"
+               "p<prob> (per-hit probability), once, or a comma list of\n"
+               "1-based hit ordinals, e.g. --inject comm.rank_kill=40 or\n"
+               "--inject comm.drop=p0.01. --inject-seed picks the\n"
+               "injector's RNG stream (default 0).\n",
                argv0, argv0);
+}
+
+/// Parses one --inject argument ("point=spec") into `injector`.
+void armInjection(FaultInjector& injector, const std::string& arg) {
+  const std::size_t eq = arg.find('=');
+  require(eq != std::string::npos && eq > 0 && eq + 1 < arg.size(),
+          "--inject needs <point>=<spec>, got '" + arg + "'");
+  const std::string point = arg.substr(0, eq);
+  const std::string spec = arg.substr(eq + 1);
+  if (spec == "once") {
+    injector.armOnce(point);
+  } else if (spec.size() > 1 && spec[0] == 'p') {
+    injector.armProbability(point, std::stod(spec.substr(1)));
+  } else {
+    std::vector<std::uint64_t> ordinals;
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ','))
+      ordinals.push_back(std::stoull(item));
+    require(!ordinals.empty(), "--inject " + point + ": empty schedule");
+    injector.armSchedule(point, ordinals);
+  }
 }
 
 void report(const Simulation& sim, const Stopwatch& wall) {
@@ -68,12 +98,15 @@ void reportParallel(const ParallelEngine& engine, const Stopwatch& wall) {
 
 void printRecoverySummary(const RecoveryStats& rs, bool usedCheckpointBackup) {
   std::printf("fault tolerance: %llu rollbacks, %llu invariant trips, "
-              "%llu comm errors, %llu ghost retries, %llu fold retries\n",
+              "%llu comm errors, %llu ghost retries, %llu fold retries, "
+              "%llu rank failures (%llu epochs rolled back)\n",
               static_cast<unsigned long long>(rs.rollbacks),
               static_cast<unsigned long long>(rs.invariantTrips),
               static_cast<unsigned long long>(rs.commErrors),
               static_cast<unsigned long long>(rs.ghostRetries),
-              static_cast<unsigned long long>(rs.foldRetries));
+              static_cast<unsigned long long>(rs.foldRetries),
+              static_cast<unsigned long long>(rs.rankFailures),
+              static_cast<unsigned long long>(rs.epochsRolledBack));
   if (usedCheckpointBackup)
     std::printf("fault tolerance: checkpoint primary was unreadable; the "
                 ".bak replica served the resume\n");
@@ -149,6 +182,10 @@ int runParallel(const InputDeck& deck, Simulation& sim) {
   pc.seed = deck.simulationConfig().seed ^ 0x9a11e1ULL;
   pc.rankGrid = deck.rankGrid();
   pc.enableRecovery = deck.recovery();
+  pc.checkpointDir = deck.checkpointDir();
+  pc.checkpointCadence = deck.checkpointCadence();
+  pc.heartbeatIntervalMs = deck.heartbeatIntervalMs();
+  pc.heartbeatTimeoutMs = deck.heartbeatTimeoutMs();
 
   // The NNP backend runs through the simulated CPE grid here — the
   // paper's production pipeline — so operator traffic and LDM
@@ -168,6 +205,12 @@ int runParallel(const InputDeck& deck, Simulation& sim) {
               "recovery %s\n",
               engine.rankCount(), pc.rankGrid.x, pc.rankGrid.y, pc.rankGrid.z,
               pc.tStop, pc.enableRecovery ? "on" : "off");
+  if (!pc.checkpointDir.empty())
+    std::printf("coordinated checkpoints: %s, every %d cycle(s)\n",
+                pc.checkpointDir.c_str(), pc.checkpointCadence);
+  if (pc.heartbeatTimeoutMs > 0)
+    std::printf("fail-stop detector: %.1f ms lease, %.1f ms poll interval\n",
+                pc.heartbeatTimeoutMs, pc.heartbeatIntervalMs);
 
   Stopwatch wall;
   std::uint64_t sinceReport = 0;
@@ -180,6 +223,14 @@ int runParallel(const InputDeck& deck, Simulation& sim) {
     }
   }
   reportParallel(engine, wall);
+  if (engine.recoveryStats().rankFailures > 0)
+    std::printf("survived %llu rank fail-stop(s): now %d ranks "
+                "(%d x %d x %d), resumed from epoch %llu\n",
+                static_cast<unsigned long long>(
+                    engine.recoveryStats().rankFailures),
+                engine.comm().aliveCount(), engine.rankGrid().x,
+                engine.rankGrid().y, engine.rankGrid().z,
+                static_cast<unsigned long long>(engine.lastRecoveryEpoch()));
   engine.publishTelemetry();
   // The facade's serial engine built the initial propensity state
   // through the vacancy cache; fold its stats (and the operator traffic
@@ -205,11 +256,17 @@ int main(int argc, char** argv) {
   }
   std::string deckPath;
   std::string telemetryDir;
+  std::vector<std::string> injections;
+  std::uint64_t injectSeed = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-in") == 0 && i + 1 < argc) {
       deckPath = argv[++i];
     } else if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
       telemetryDir = argv[++i];
+    } else if (std::strcmp(argv[i], "--inject") == 0 && i + 1 < argc) {
+      injections.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--inject-seed") == 0 && i + 1 < argc) {
+      injectSeed = std::stoull(argv[++i]);
     } else {
       printUsage(argv[0]);
       return 2;
@@ -233,6 +290,16 @@ int main(int argc, char** argv) {
     if (!telemetryDir.empty()) {
       telemetry::setEnabled(true);
       std::printf("telemetry: recording to %s\n", telemetryDir.c_str());
+    }
+
+    FaultInjector injector(injectSeed);
+    std::unique_ptr<FaultScope> faultScope;
+    if (!injections.empty()) {
+      for (const std::string& arg : injections) armInjection(injector, arg);
+      faultScope = std::make_unique<FaultScope>(injector);
+      std::printf("fault injection: %zu point(s) armed, seed %llu\n",
+                  injections.size(),
+                  static_cast<unsigned long long>(injectSeed));
     }
 
     Stopwatch setup;
@@ -260,6 +327,13 @@ int main(int argc, char** argv) {
     const int status = deck.parallelMode()
                            ? runParallel(deck, sim)
                            : runSerial(deck, sim, usedCheckpointBackup);
+    if (faultScope) {
+      for (const FaultInjector::PointReport& row : injector.report())
+        std::printf("fault injection: %s fired %llu of %llu hit(s)\n",
+                    row.name.c_str(),
+                    static_cast<unsigned long long>(row.fires),
+                    static_cast<unsigned long long>(row.hits));
+    }
     if (!telemetryDir.empty()) {
       telemetry::writeAll(telemetryDir);
       std::printf("telemetry: wrote %s/trace.json (%zu events, %llu dropped) "
