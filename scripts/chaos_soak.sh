@@ -1,19 +1,29 @@
 #!/usr/bin/env bash
-# Fail-stop chaos soak: repeatedly run the CLI chaos deck
-# (tools/chaos_deck.tkmc, 2x2x1 rank grid, coordinated checkpoints +
-# lease detector) with `--inject comm.rank_kill=<ordinal>` at a
-# different protocol phase each iteration — plus a background
-# `comm.corrupt` probability, so ARQ retransmission and fail-stop
-# detection are exercised together — and require every run to
-# (a) finish inside a wall-clock watchdog — a hung detector is the
-# classic fail-stop bug — and (b) report exactly one survived rank
-# failure. Ordinals sweep the whole synchronization protocol: fold,
-# ghost exchange, and both phases of the two-phase commit.
+# Fail-stop chaos soak: repeatedly run the CLI chaos decks with
+# `--inject comm.rank_kill=<ordinal>` at a different protocol phase each
+# iteration and require every run to (a) finish inside a wall-clock
+# watchdog — a hung detector is the classic fail-stop bug — and
+# (b) report exactly one survived rank failure.
+#
+# Three phases:
+#   A. full-epoch shrink schedules (tools/chaos_deck.tkmc, no spares) with
+#      a background `comm.corrupt` probability, so ARQ retransmission and
+#      fail-stop detection are exercised together; ordinals sweep fold,
+#      ghost exchange, and both phases of the two-phase commit.
+#   B. delta-cadence grow schedules (tools/chaos_delta_deck.tkmc:
+#      checkpoint_mode delta, max_delta_chain 3, spare_ranks 1) — the
+#      kill must be absorbed by re-admitting the spare, not by shrinking.
+#   C. kills aimed inside the consolidating full epoch's two-phase commit
+#      (the delta-GC window), where a torn consolidation would strand
+#      readers on a superseded chain.
+#
+# On the first failing schedule the summary line reports its label, seed,
+# ordinal, and exit code, and the script exits with that code.
 #
 # Usage:
 #   scripts/chaos_soak.sh [iterations] [timeout-seconds]
-# Defaults: 20 iterations, 60 s watchdog per run. The binary is taken
-# from $BUILD_DIR (default: build).
+# Defaults: 20 phase-A iterations, 60 s watchdog per run. The binary is
+# taken from $BUILD_DIR (default: build).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,7 +31,8 @@ ITERATIONS=${1:-20}
 WATCHDOG=${2:-60}
 BUILD_DIR=${BUILD_DIR:-build}
 BIN="$BUILD_DIR/tools/tensorkmc"
-DECK=tools/chaos_deck.tkmc
+FULL_DECK=tools/chaos_deck.tkmc
+DELTA_DECK=tools/chaos_delta_deck.tkmc
 
 if [ ! -x "$BIN" ]; then
   echo "chaos_soak: $BIN not built (run cmake --build $BUILD_DIR first)" >&2
@@ -31,32 +42,75 @@ fi
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/tkmc_chaos.XXXXXX")
 trap 'rm -rf "$WORK"' EXIT
 
-echo "==> chaos soak: $ITERATIONS schedules, ${WATCHDOG}s watchdog each"
+TOTAL=0
+
+fail_summary() {  # label seed ordinal exit-code
+  echo "chaos_soak: summary: FAILED first-failing-schedule=$1 seed=$2 ordinal=$3 exit=$4" >&2
+  exit "$4"
+}
+
+run_schedule() {  # label deck seed ordinal shrink|grow [extra --inject args]
+  local label=$1 deck=$2 seed=$3 ordinal=$4 mode=$5
+  shift 5
+  local run_dir="$WORK/$label"
+  mkdir -p "$run_dir"
+  local log="$run_dir/log.txt" status=0
+  (cd "$run_dir" && timeout "$WATCHDOG" \
+      "$OLDPWD/$BIN" -in "$OLDPWD/$deck" \
+      --inject comm.rank_kill="$ordinal" "$@" --inject-seed "$seed") \
+      > "$log" 2>&1 || status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "chaos_soak: $label (ordinal $ordinal) FAILED (exit $status)" >&2
+    [ "$status" -eq 124 ] && echo "chaos_soak: $label HUNG past watchdog" >&2
+    tail -20 "$log" >&2
+    fail_summary "$label" "$seed" "$ordinal" "$status"
+  fi
+  if ! grep -q "survived 1 rank fail-stop" "$log"; then
+    echo "chaos_soak: $label (ordinal $ordinal) did not survive a kill" >&2
+    tail -20 "$log" >&2
+    fail_summary "$label" "$seed" "$ordinal" 3
+  fi
+  if [ "$mode" = grow ] && ! grep -q "1 grow recover" "$log"; then
+    echo "chaos_soak: $label (ordinal $ordinal) shrank despite a spare rank" >&2
+    tail -20 "$log" >&2
+    fail_summary "$label" "$seed" "$ordinal" 4
+  fi
+  local epochs
+  epochs=$(ls "$run_dir/chaos_ckpt" 2>/dev/null | grep -c '^epoch_' || true)
+  echo "    $label: ordinal $ordinal survived ($epochs epochs committed)"
+  TOTAL=$((TOTAL + 1))
+}
+
+echo "==> chaos soak: fault-point catalog sanity (--inject list)"
+if ! "$BIN" --inject list | grep -q "comm.rank_kill"; then
+  echo "chaos_soak: --inject list does not register comm.rank_kill" >&2
+  exit 1
+fi
+
+echo "==> phase A: $ITERATIONS full-epoch shrink schedules (${WATCHDOG}s watchdog each)"
 for i in $(seq 1 "$ITERATIONS"); do
   # Deterministic ordinal spread over ~3 cycles of protocol traffic
   # (38 sends/cycle on the 2x2x1 grid), hitting every phase over the
   # sweep; the seed varies the rank the ordinal lands on.
   ordinal=$((1 + (i * 37) % 110))
-  run_dir="$WORK/run_$i"
-  mkdir -p "$run_dir"
-  log="$run_dir/log.txt"
-  if ! (cd "$run_dir" && timeout "$WATCHDOG" \
-        "$OLDPWD/$BIN" -in "$OLDPWD/$DECK" \
-        --inject comm.rank_kill="$ordinal" --inject comm.corrupt=p0.005 \
-        --inject-seed "$i") \
-        > "$log" 2>&1; then
-    status=$?
-    echo "chaos_soak: run $i (ordinal $ordinal) FAILED (exit $status)" >&2
-    [ "$status" -eq 124 ] && echo "chaos_soak: run $i HUNG past watchdog" >&2
-    tail -20 "$log" >&2
-    exit 1
-  fi
-  if ! grep -q "survived 1 rank fail-stop" "$log"; then
-    echo "chaos_soak: run $i (ordinal $ordinal) did not survive a kill" >&2
-    tail -20 "$log" >&2
-    exit 1
-  fi
-  epochs=$(ls "$run_dir/chaos_ckpt" | grep -c '^epoch_' || true)
-  echo "    run $i: ordinal $ordinal survived ($epochs epochs committed)"
+  run_schedule "full_$i" "$FULL_DECK" "$i" "$ordinal" shrink \
+      --inject comm.corrupt=p0.005
 done
-echo "==> chaos soak: all $ITERATIONS schedules survived"
+
+echo "==> phase B: delta-cadence grow schedules"
+for i in $(seq 1 6); do
+  ordinal=$((5 + (i * 31) % 110))
+  run_schedule "delta_$i" "$DELTA_DECK" "$((100 + i))" "$ordinal" grow
+done
+
+echo "==> phase C: kills inside the consolidating commit"
+# With max_delta_chain 3 the first consolidating full epoch is epoch 4;
+# at 38 sends/cycle its commit votes are ordinals 147..149 and its acks
+# 150..152 (no background corruption here, so ordinals stay aligned).
+for ordinal in 147 148 149 150 151 152; do
+  run_schedule "consolidate_$ordinal" "$DELTA_DECK" "$((200 + ordinal))" \
+      "$ordinal" grow
+done
+
+echo "==> chaos soak: summary: all $TOTAL schedules survived" \
+     "($ITERATIONS full-epoch, 6 delta-cadence, 6 consolidation kills)"

@@ -24,6 +24,9 @@ echo "==> tier-1: ctest"
 echo "==> chaos soak: rank fail-stop drills"
 scripts/chaos_soak.sh
 
+echo "==> bench gate: delta checkpoint size (cadence 1/8/64)"
+"$BUILD_DIR/bench/bench_delta_checkpoint"
+
 echo "==> sanitized: TKMC_SANITIZE=address;undefined"
 if [ -n "$SANITIZED_FILTER" ]; then
   scripts/run_sanitized.sh "$SANITIZED_FILTER"

@@ -118,4 +118,22 @@ bool faultFires(const char* point) {
   return g_active != nullptr && g_active->shouldFire(point);
 }
 
+const std::vector<FaultPointInfo>& faultPointCatalog() {
+  static const std::vector<FaultPointInfo> kCatalog = {
+      {"checkpoint.corrupt_write",
+       "serial saveCheckpoint(): flips a byte in the checkpoint body"},
+      {"checkpoint.shard_corrupt_write",
+       "CheckpointStore::stageShard(): rots a staged shard's bits after "
+       "its CRC is recorded"},
+      {"comm.corrupt", "SimComm::send(): flips a payload byte in flight"},
+      {"comm.drop", "SimComm::send(): silently loses the message"},
+      {"comm.duplicate", "SimComm::send(): delivers the message twice"},
+      {"comm.rank_kill",
+       "SimComm::send(): fail-stops the sending rank mid-protocol"},
+      {"engine.cycle",
+       "ParallelEngine cycle start: trips a transient invariant error"},
+  };
+  return kCatalog;
+}
+
 }  // namespace tkmc

@@ -23,12 +23,9 @@ namespace tkmc {
 /// and arming always fails at the same hits, which makes failure-path
 /// tests reproducible.
 ///
-/// Fault-point catalog (see DESIGN.md "Fault tolerance"):
-///   comm.drop / comm.corrupt / comm.duplicate  SimComm::send()
-///   comm.rank_kill                             SimComm::send() (fail-stop:
-///                                              kills the *sending* rank)
-///   checkpoint.corrupt_write                   saveCheckpoint()
-///   engine.cycle                               ParallelEngine cycle start
+/// The registered fault points are enumerated by faultPointCatalog()
+/// (printed by `tensorkmc --inject list`; see DESIGN.md "Fault
+/// tolerance").
 class FaultInjector {
  public:
   explicit FaultInjector(std::uint64_t seed = 0);
@@ -116,5 +113,18 @@ FaultInjector* activeFaultInjector();
 /// Fault-point probe used by production code: counts a hit and returns
 /// true when an armed fault fires; always false with no active injector.
 bool faultFires(const char* point);
+
+/// One registered fault-injection point: its arming name and the place
+/// in the code that probes it.
+struct FaultPointInfo {
+  const char* name;
+  const char* where;
+};
+
+/// The static catalog of every fault point production code probes,
+/// sorted by name. New faultFires() call sites must add a row here —
+/// `tensorkmc --inject list` and the chaos tooling enumerate points
+/// through this table.
+const std::vector<FaultPointInfo>& faultPointCatalog();
 
 }  // namespace tkmc

@@ -154,6 +154,21 @@ void InputDeck::apply(const std::string& key, const std::string& value) {
   } else if (key == "checkpoint_cadence") {
     checkpointCadence_ = static_cast<int>(parseInt(key, value));
     require(checkpointCadence_ >= 1, "input deck: checkpoint_cadence >= 1");
+  } else if (key == "checkpoint_mode") {
+    if (value == "full") {
+      deltaCheckpoints_ = false;
+    } else if (value == "delta") {
+      deltaCheckpoints_ = true;
+    } else {
+      throw Error("input deck: checkpoint_mode must be full or delta, got '" +
+                  value + "'");
+    }
+  } else if (key == "max_delta_chain") {
+    maxDeltaChain_ = static_cast<int>(parseInt(key, value));
+    require(maxDeltaChain_ >= 1, "input deck: max_delta_chain >= 1");
+  } else if (key == "spare_ranks") {
+    spareRanks_ = static_cast<int>(parseInt(key, value));
+    require(spareRanks_ >= 0, "input deck: spare_ranks >= 0");
   } else if (key == "heartbeat_interval_ms") {
     heartbeatIntervalMs_ = parseDouble(key, value);
     require(heartbeatIntervalMs_ > 0, "input deck: heartbeat_interval_ms > 0");

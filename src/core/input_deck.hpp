@@ -47,6 +47,12 @@ namespace tkmc {
 ///   recovery on|off             parallel rollback/replay (on)
 ///   checkpoint_dir <path>       coordinated sharded checkpoints (off)
 ///   checkpoint_cadence <int>    cycles per checkpoint epoch (1)
+///   checkpoint_mode full|delta  full epochs, or dirty-page deltas with
+///                               periodic consolidation (full)
+///   max_delta_chain <int>       delta links per chain before a
+///                               consolidating full epoch (8)
+///   spare_ranks <int>           replacement-rank pool for elastic grow
+///                               recovery after a fail-stop (0)
 ///   heartbeat_interval_ms <f>   failure-detector poll interval (5.0)
 ///   heartbeat_timeout_ms <f>    lease timeout; 0 disables fail-stop
 ///                               detection (0)
@@ -79,6 +85,9 @@ class InputDeck {
   bool recovery() const { return recovery_; }
   const std::string& checkpointDir() const { return checkpointDir_; }
   int checkpointCadence() const { return checkpointCadence_; }
+  bool deltaCheckpoints() const { return deltaCheckpoints_; }
+  int maxDeltaChain() const { return maxDeltaChain_; }
+  int spareRanks() const { return spareRanks_; }
   double heartbeatIntervalMs() const { return heartbeatIntervalMs_; }
   double heartbeatTimeoutMs() const { return heartbeatTimeoutMs_; }
 
@@ -107,6 +116,9 @@ class InputDeck {
   bool recovery_ = true;
   std::string checkpointDir_;
   int checkpointCadence_ = 1;
+  bool deltaCheckpoints_ = false;
+  int maxDeltaChain_ = 8;
+  int spareRanks_ = 0;
   double heartbeatIntervalMs_ = 5.0;
   double heartbeatTimeoutMs_ = 0.0;
 };

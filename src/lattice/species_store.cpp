@@ -95,6 +95,62 @@ std::uint32_t SpeciesStore::contentHash() const {
   return crc;
 }
 
+std::uint32_t SpeciesStore::pageHash(std::int64_t page) const {
+  require(page >= 0 && page < pageCount(), "page index out of range");
+  std::uint8_t buffer[kPageBytes];
+  canonicalPageBytes(static_cast<std::size_t>(page), buffer);
+  return crc32(buffer, kPageBytes);
+}
+
+std::vector<std::uint32_t> SpeciesStore::pageHashes() const {
+  std::vector<std::uint32_t> hashes;
+  hashes.reserve(pages_.size());
+  std::uint8_t buffer[kPageBytes];
+  for (std::size_t p = 0; p < pages_.size(); ++p) {
+    canonicalPageBytes(p, buffer);
+    hashes.push_back(crc32(buffer, kPageBytes));
+  }
+  return hashes;
+}
+
+std::vector<std::int64_t> SpeciesStore::dirtyPages(
+    const std::vector<std::uint32_t>& baseline) const {
+  std::vector<std::int64_t> dirty;
+  std::uint8_t buffer[kPageBytes];
+  for (std::size_t p = 0; p < pages_.size(); ++p) {
+    canonicalPageBytes(p, buffer);
+    const std::uint32_t hash = crc32(buffer, kPageBytes);
+    if (p >= baseline.size() || baseline[p] != hash)
+      dirty.push_back(static_cast<std::int64_t>(p));
+  }
+  return dirty;
+}
+
+std::vector<std::uint32_t> SpeciesStore::runPageHashes(
+    const std::vector<std::uint8_t>& run) {
+  std::vector<std::uint32_t> hashes;
+  const std::size_t pages =
+      (run.size() + static_cast<std::size_t>(kPageSites) - 1) /
+      static_cast<std::size_t>(kPageSites);
+  hashes.reserve(pages);
+  std::uint8_t buffer[kPageBytes];
+  for (std::size_t p = 0; p < pages; ++p) {
+    // Pack this page's slice exactly the way canonicalPageBytes lays a
+    // page out: four 2-bit codes per byte, slack slots zeroed.
+    std::memset(buffer, 0, kPageBytes);
+    const std::size_t begin = p * static_cast<std::size_t>(kPageSites);
+    const std::size_t end =
+        std::min(begin + static_cast<std::size_t>(kPageSites), run.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t in = i - begin;
+      buffer[in >> 2] = static_cast<std::uint8_t>(
+          buffer[in >> 2] | ((run[i] & 3u) << (2 * (in & 3))));
+    }
+    hashes.push_back(crc32(buffer, kPageBytes));
+  }
+  return hashes;
+}
+
 std::size_t SpeciesStore::memoryBytes() const {
   std::size_t bytes = sizeof(*this) +
                       pages_.capacity() * sizeof(std::vector<std::uint8_t>);

@@ -110,6 +110,32 @@ class SpeciesStore {
   }
   std::int64_t materializedPageCount() const;
 
+  /// CRC32 fingerprint of page `page`'s canonical packed bytes. Like
+  /// contentHash() this is materialization-history-invariant: a uniform
+  /// page and a materialized page holding the same species hash equal.
+  /// Incremental (delta) checkpoints diff epochs at page granularity by
+  /// comparing these fingerprints, making dirty-page detection O(pages)
+  /// instead of O(sites).
+  std::uint32_t pageHash(std::int64_t page) const;
+
+  /// All page fingerprints in page order (siteCount()/kPageSites rounded
+  /// up entries).
+  std::vector<std::uint32_t> pageHashes() const;
+
+  /// Indices of pages whose fingerprint differs from `baseline`
+  /// (ascending). Pages past the end of `baseline` count as dirty, so a
+  /// grown store diffs cleanly against an older, smaller baseline.
+  std::vector<std::int64_t> dirtyPages(
+      const std::vector<std::uint32_t>& baseline) const;
+
+  /// Page fingerprints of an unpacked one-byte-per-site species run —
+  /// identical to pageHashes() of a store holding that run. Checkpoint
+  /// shards carry their occupation as such runs (Subdomain::packCellBox
+  /// order), so the delta writer fingerprints them without building a
+  /// store.
+  static std::vector<std::uint32_t> runPageHashes(
+      const std::vector<std::uint8_t>& run);
+
  private:
   /// A byte holding `s` in all four 2-bit slots.
   static std::uint8_t pattern(Species s) {

@@ -5,10 +5,15 @@
 #include <filesystem>
 #include <sstream>
 
+#include <algorithm>
+#include <map>
+
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "common/telemetry/telemetry.hpp"
 #include "kmc/checkpoint.hpp"
+#include "lattice/species_store.hpp"
 
 namespace tkmc {
 namespace {
@@ -33,8 +38,10 @@ std::string readFileOrThrow(const std::string& path) {
 
 /// Verifies the trailing "crc32 <hex>" footer and returns the body it
 /// seals (newline after the body included in the CRC, matching the
-/// serial checkpoint convention).
-std::string verifiedBody(const std::string& contents, const std::string& path) {
+/// serial checkpoint convention). `crcOut`, when given, receives the
+/// verified body CRC (the delta-chain link value).
+std::string verifiedBody(const std::string& contents, const std::string& path,
+                         std::uint32_t* crcOut = nullptr) {
   const std::string::size_type foot = contents.rfind("\ncrc32 ");
   if (foot == std::string::npos)
     throw IoError("missing CRC32 footer (truncated?): " + path);
@@ -49,6 +56,7 @@ std::string verifiedBody(const std::string& contents, const std::string& path) {
                   stored, computed);
     throw IoError("failed CRC32 check " + std::string(detail) + ": " + path);
   }
+  if (crcOut != nullptr) *crcOut = computed;
   return body;
 }
 
@@ -161,12 +169,13 @@ void CheckpointStore::beginEpoch(std::uint64_t epoch) {
 
 EpochManifest::ShardEntry CheckpointStore::stageShard(
     std::uint64_t epoch, const ShardRecord& shard) {
-  require(shard.species.size() == shard.siteCount(),
-          "shard species run does not match its extent");
+  if (!shard.delta)
+    require(shard.species.size() == shard.siteCount(),
+            "shard species run does not match its extent");
   std::string body;
   body.reserve(shard.species.size() / 2 + shard.vacancyOrder.size() * 16 + 256);
   char line[192];
-  body += "tensorkmc-shard 1\n";
+  body += shard.delta ? "tensorkmc-shard 2\n" : "tensorkmc-shard 1\n";
   std::snprintf(line, sizeof(line), "rank %d\n", shard.rank);
   body += line;
   std::snprintf(line, sizeof(line), "box %d %d %d %d %d %d\n",
@@ -185,11 +194,36 @@ EpochManifest::ShardEntry CheckpointStore::stageShard(
     std::snprintf(line, sizeof(line), "%d %d %d\n", v.x, v.y, v.z);
     body += line;
   }
-  std::snprintf(line, sizeof(line), "occupation %zu\n", shard.species.size());
-  body += line;
-  appendPackedHex(body, shard.species);
+  if (shard.delta) {
+    const std::size_t pageSites =
+        static_cast<std::size_t>(SpeciesStore::kPageSites);
+    const std::size_t totalPages =
+        (shard.siteCount() + pageSites - 1) / pageSites;
+    std::snprintf(line, sizeof(line), "base %" PRIu64 "\n", shard.baseEpoch);
+    body += line;
+    std::snprintf(line, sizeof(line), "pagesites %zu\n", pageSites);
+    body += line;
+    std::snprintf(line, sizeof(line), "dirtypages %zu %zu\n",
+                  shard.dirtyPages.size(), totalPages);
+    body += line;
+    for (const ShardRecord::DirtyPage& page : shard.dirtyPages) {
+      std::snprintf(line, sizeof(line), "page %u %zu\n", page.index,
+                    page.species.size());
+      body += line;
+      appendPackedHex(body, page.species);
+    }
+  } else {
+    std::snprintf(line, sizeof(line), "occupation %zu\n", shard.species.size());
+    body += line;
+    appendPackedHex(body, shard.species);
+  }
 
-  const std::string contents = sealWithCrc(body);
+  std::string contents = sealWithCrc(body);
+  // Chaos drill: a shard write whose bits rot between staging and read
+  // back. The manifest entry keeps the intended CRC, so validation
+  // disqualifies the epoch instead of feeding the engine bad state.
+  if (faultFires("checkpoint.shard_corrupt_write") && !contents.empty())
+    contents[contents.size() / 2] ^= 0x20;
   EpochManifest::ShardEntry entry;
   entry.file = "rank_" + std::to_string(shard.rank) + ".tkc";
   entry.crc = crc32(body.data(), body.size());
@@ -202,12 +236,25 @@ EpochManifest::ShardEntry CheckpointStore::stageShard(
   return entry;
 }
 
-void CheckpointStore::commitEpoch(const EpochManifest& manifest) {
+void CheckpointStore::setMaxDeltaChain(int depth) {
+  require(depth >= 1, "max delta chain depth must be at least 1");
+  maxDeltaChain_ = depth;
+}
+
+std::uint32_t CheckpointStore::commitEpoch(const EpochManifest& manifest) {
   std::string body;
   char line[192];
-  body += "tensorkmc-manifest 1\n";
+  // Full manifests keep the version-1 format byte for byte; only delta
+  // manifests (which old readers could not resolve anyway) use v2.
+  body += manifest.isDelta() ? "tensorkmc-manifest 2\n"
+                             : "tensorkmc-manifest 1\n";
   std::snprintf(line, sizeof(line), "epoch %" PRIu64 "\n", manifest.epoch);
   body += line;
+  if (manifest.isDelta()) {
+    std::snprintf(line, sizeof(line), "base %" PRIu64 " %08x\n",
+                  *manifest.baseEpoch, manifest.baseCrc);
+    body += line;
+  }
   std::snprintf(line, sizeof(line), "grid %d %d %d\n", manifest.rankGrid.x,
                 manifest.rankGrid.y, manifest.rankGrid.z);
   body += line;
@@ -231,8 +278,9 @@ void CheckpointStore::commitEpoch(const EpochManifest& manifest) {
                   s.crc, s.bytes);
     body += line;
   }
+  const std::uint32_t bodyCrc = crc32(body.data(), body.size());
   const std::string stage = stagePath(manifest.epoch);
-  writeFileAtomic(stage + "/" + kManifestName, sealWithCrc(body));
+  writeFileAtomic(stage + "/" + kManifestName, sealWithCrc(std::move(body)));
 
   // The atomic commit point: readers only ever see `epoch_<N>/` with the
   // manifest and every shard already in place.
@@ -243,6 +291,7 @@ void CheckpointStore::commitEpoch(const EpochManifest& manifest) {
   if (ec)
     throw IoError("cannot commit checkpoint epoch at " + target + ": " +
                   ec.message());
+  return bodyCrc;
 }
 
 void CheckpointStore::abortEpoch(std::uint64_t epoch) {
@@ -278,27 +327,81 @@ bool CheckpointStore::epochComplete(std::uint64_t epoch) const {
   }
 }
 
+/// Chain length of `epoch` in delta links (0 for a full epoch), or -1
+/// when any link of the chain fails validation: a link missing or
+/// locally torn, a base that does not precede its child, a base manifest
+/// whose sealed CRC disagrees with the child's recorded pin, a
+/// grid/cells change mid-chain, or depth beyond maxDeltaChain().
+int CheckpointStore::chainDepthOrNegative(std::uint64_t epoch) const {
+  int depth = 0;
+  std::uint64_t cur = epoch;
+  for (;;) {
+    if (!epochComplete(cur)) return -1;
+    EpochManifest m;
+    try {
+      m = loadManifest(cur);
+    } catch (const std::exception&) {
+      return -1;
+    }
+    if (!m.isDelta()) return depth;
+    if (++depth > maxDeltaChain_) return -1;
+    if (*m.baseEpoch >= cur) return -1;  // chains link strictly backwards
+    EpochManifest base;
+    try {
+      base = loadManifest(*m.baseEpoch);
+    } catch (const std::exception&) {
+      return -1;
+    }
+    // The pin: the base manifest on disk must be the exact one this
+    // delta was diffed against — a recommitted or substituted base has a
+    // different sealed CRC and breaks the chain here.
+    if (base.selfCrc != m.baseCrc) return -1;
+    if (!(base.rankGrid == m.rankGrid) || !(base.globalCells == m.globalCells))
+      return -1;
+    cur = *m.baseEpoch;
+  }
+}
+
+bool CheckpointStore::chainValid(std::uint64_t epoch) const {
+  return chainDepthOrNegative(epoch) >= 0;
+}
+
 std::optional<std::uint64_t> CheckpointStore::newestCompleteEpoch() const {
   const std::vector<std::uint64_t> all = epochs();
   for (auto it = all.rbegin(); it != all.rend(); ++it)
-    if (epochComplete(*it)) return *it;
+    if (chainValid(*it)) return *it;
   return std::nullopt;
 }
 
 EpochManifest CheckpointStore::loadManifest(std::uint64_t epoch) const {
   const std::string path = epochPath(epoch) + "/" + kManifestName;
-  const std::string body = verifiedBody(readFileOrThrow(path), path);
+  std::uint32_t selfCrc = 0;
+  const std::string body =
+      verifiedBody(readFileOrThrow(path), path, &selfCrc);
   std::istringstream in(body);
   std::string magic;
   int version = 0;
   if (!(in >> magic >> version) || magic != "tensorkmc-manifest")
     throw IoError("not a tensorkmc manifest: " + path);
-  if (version != 1)
+  if (version != 1 && version != 2)
     throw IoError("unsupported manifest version " + std::to_string(version) +
                   ": " + path);
   EpochManifest m;
+  m.selfCrc = selfCrc;
   expectKeyword(in, "epoch", path);
   bool ok = static_cast<bool>(in >> m.epoch);
+  if (version == 2) {
+    expectKeyword(in, "base", path);
+    std::uint64_t base = 0;
+    std::string crcHex;
+    ok = ok && static_cast<bool>(in >> base >> crcHex);
+    unsigned crc = 0;
+    ok = ok && std::sscanf(crcHex.c_str(), "%8x", &crc) == 1;
+    if (ok) {
+      m.baseEpoch = base;
+      m.baseCrc = crc;
+    }
+  }
   expectKeyword(in, "grid", path);
   ok = ok && static_cast<bool>(in >> m.rankGrid.x >> m.rankGrid.y >>
                                m.rankGrid.z);
@@ -351,10 +454,11 @@ ShardRecord CheckpointStore::loadShard(
   int version = 0;
   if (!(in >> magic >> version) || magic != "tensorkmc-shard")
     throw IoError("not a tensorkmc shard: " + path);
-  if (version != 1)
+  if (version != 1 && version != 2)
     throw IoError("unsupported shard version " + std::to_string(version) +
                   ": " + path);
   ShardRecord shard;
+  shard.delta = version == 2;
   expectKeyword(in, "rank", path);
   bool ok = static_cast<bool>(in >> shard.rank);
   expectKeyword(in, "box", path);
@@ -374,13 +478,51 @@ ShardRecord CheckpointStore::loadShard(
     ok = static_cast<bool>(in >> p.x >> p.y >> p.z);
     if (ok) shard.vacancyOrder.push_back(p);
   }
-  expectKeyword(in, "occupation", path);
-  std::size_t sites = 0;
-  ok = ok && static_cast<bool>(in >> sites);
-  if (!ok) throw IoError("malformed shard: " + path);
-  if (sites != shard.siteCount())
-    throw IoError("shard occupation count disagrees with its box: " + path);
-  shard.species = readPackedHex(in, sites, path);
+  if (shard.delta) {
+    expectKeyword(in, "base", path);
+    ok = ok && static_cast<bool>(in >> shard.baseEpoch);
+    expectKeyword(in, "pagesites", path);
+    std::size_t pageSites = 0;
+    ok = ok && static_cast<bool>(in >> pageSites);
+    if (ok && pageSites != static_cast<std::size_t>(SpeciesStore::kPageSites))
+      throw IoError("delta shard page geometry disagrees with this build: " +
+                    path);
+    expectKeyword(in, "dirtypages", path);
+    std::size_t dirtyCount = 0, totalPages = 0;
+    ok = ok && static_cast<bool>(in >> dirtyCount >> totalPages);
+    if (!ok) throw IoError("malformed shard: " + path);
+    const std::size_t expectPages =
+        (shard.siteCount() + pageSites - 1) / pageSites;
+    if (totalPages != expectPages || dirtyCount > totalPages)
+      throw IoError("delta shard page count disagrees with its box: " + path);
+    std::uint32_t prevIndex = 0;
+    for (std::size_t p = 0; p < dirtyCount; ++p) {
+      expectKeyword(in, "page", path);
+      ShardRecord::DirtyPage page;
+      std::size_t sites = 0;
+      if (!(in >> page.index >> sites))
+        throw IoError("malformed shard: " + path);
+      if (page.index >= totalPages || (p > 0 && page.index <= prevIndex))
+        throw IoError("delta shard page index out of order: " + path);
+      const std::size_t begin =
+          static_cast<std::size_t>(page.index) * pageSites;
+      const std::size_t expectSites =
+          std::min(pageSites, shard.siteCount() - begin);
+      if (sites != expectSites)
+        throw IoError("delta shard page size disagrees with its box: " + path);
+      page.species = readPackedHex(in, sites, path);
+      prevIndex = page.index;
+      shard.dirtyPages.push_back(std::move(page));
+    }
+  } else {
+    expectKeyword(in, "occupation", path);
+    std::size_t sites = 0;
+    ok = ok && static_cast<bool>(in >> sites);
+    if (!ok) throw IoError("malformed shard: " + path);
+    if (sites != shard.siteCount())
+      throw IoError("shard occupation count disagrees with its box: " + path);
+    shard.species = readPackedHex(in, sites, path);
+  }
   return shard;
 }
 
@@ -391,6 +533,118 @@ std::vector<ShardRecord> CheckpointStore::loadShards(
   for (const EpochManifest::ShardEntry& entry : manifest.shards)
     shards.push_back(loadShard(manifest.epoch, entry));
   return shards;
+}
+
+void CheckpointStore::applyDeltaShard(ShardRecord& base,
+                                      const ShardRecord& delta) {
+  require(delta.delta, "applyDeltaShard needs a delta shard");
+  require(!base.delta, "delta shards must be applied onto materialized state");
+  require(base.rank == delta.rank && base.originCells == delta.originCells &&
+              base.extentCells == delta.extentCells,
+          "delta shard geometry disagrees with its base");
+  for (const ShardRecord::DirtyPage& page : delta.dirtyPages) {
+    const std::size_t begin =
+        static_cast<std::size_t>(page.index) *
+        static_cast<std::size_t>(SpeciesStore::kPageSites);
+    require(begin + page.species.size() <= base.species.size(),
+            "delta shard page overruns its base run");
+    std::copy(page.species.begin(), page.species.end(),
+              base.species.begin() + static_cast<std::ptrdiff_t>(begin));
+  }
+  base.rngState = delta.rngState;
+  base.vacancyOrder = delta.vacancyOrder;
+}
+
+std::vector<ShardRecord> CheckpointStore::resolveShards(
+    std::uint64_t epoch) const {
+  if (!chainValid(epoch))
+    throw IoError("checkpoint epoch " + std::to_string(epoch) +
+                  " does not resolve to a valid chain: " + dir_);
+  // Collect the chain top-down: the requested epoch first, its base
+  // next, ending at the full epoch. chainValid() already pinned every
+  // link (existence, CRCs, strictly-backwards bases, depth bound).
+  std::vector<EpochManifest> chain;
+  std::uint64_t cur = epoch;
+  for (;;) {
+    chain.push_back(loadManifest(cur));
+    if (!chain.back().isDelta()) break;
+    cur = *chain.back().baseEpoch;
+  }
+  // Materialize the full epoch, then replay deltas in ascending epoch
+  // order, matching shards by rank.
+  std::vector<ShardRecord> shards = loadShards(chain.back());
+  std::map<int, std::size_t> byRank;
+  for (std::size_t i = 0; i < shards.size(); ++i)
+    byRank[shards[i].rank] = i;
+  for (auto level = chain.rbegin() + 1; level != chain.rend(); ++level) {
+    for (const EpochManifest::ShardEntry& entry : level->shards) {
+      const ShardRecord delta = loadShard(level->epoch, entry);
+      const auto at = byRank.find(delta.rank);
+      if (at == byRank.end())
+        throw IoError("delta shard for rank " + std::to_string(delta.rank) +
+                      " has no base shard in epoch " +
+                      std::to_string(chain.back().epoch) + ": " + dir_);
+      applyDeltaShard(shards[at->second], delta);
+    }
+  }
+  return shards;
+}
+
+int CheckpointStore::gcStaleArtifacts() {
+  std::vector<std::string> tmpDirs;
+  std::vector<std::uint64_t> committed;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_directory()) continue;
+    const std::string name = it->path().filename().string();
+    std::uint64_t epoch = 0;
+    char trailing = 0;
+    const int got =
+        std::sscanf(name.c_str(), "epoch_%" SCNu64 "%c", &epoch, &trailing);
+    if (got == 1)
+      committed.push_back(epoch);
+    else if (got == 2 && name.size() > 4 &&
+             name.compare(name.size() - 4, 4, ".tmp") == 0)
+      tmpDirs.push_back(it->path().string());
+  }
+  int removed = 0;
+  for (const std::string& stage : tmpDirs) {
+    fs::remove_all(stage, ec);
+    if (!ec) ++removed;
+  }
+  // Committed epochs that fail *local* validation are unloadable by
+  // construction — torn manifest or shard. Chain-invalid but
+  // locally-sound deltas are kept: a missing base may reappear on a
+  // shared filesystem, and readers skip them regardless.
+  for (const std::uint64_t epoch : committed) {
+    if (epochComplete(epoch)) continue;
+    fs::remove_all(epochPath(epoch), ec);
+    if (!ec) ++removed;
+  }
+  if (removed > 0 && telemetry::enabled())
+    telemetry::metrics()
+        .counter("checkpoint.gc_stale_dirs")
+        .add(static_cast<std::uint64_t>(removed));
+  return removed;
+}
+
+int CheckpointStore::gcSupersededDeltas(std::uint64_t fullEpoch) {
+  int removed = 0;
+  std::error_code ec;
+  for (const std::uint64_t epoch : epochs()) {
+    if (epoch >= fullEpoch) continue;
+    bool isDelta = false;
+    try {
+      isDelta = loadManifest(epoch).isDelta();
+    } catch (const std::exception&) {
+      continue;  // torn epoch — startup GC's job, not consolidation's
+    }
+    if (!isDelta) continue;
+    fs::remove_all(epochPath(epoch), ec);
+    if (!ec) ++removed;
+  }
+  return removed;
 }
 
 LatticeState CheckpointStore::reassemble(const EpochManifest& manifest,

@@ -25,6 +25,19 @@ struct ShardRecord {
   std::vector<Vec3i> vacancyOrder;
   std::vector<std::uint8_t> species;
 
+  /// Delta shards carry only the occupation pages (SpeciesStore page
+  /// geometry over the packCellBox run) that changed since the base
+  /// epoch, instead of the full `species` run. RNG state and the vacancy
+  /// order are always carried whole — they are tiny and change every
+  /// cycle anyway.
+  struct DirtyPage {
+    std::uint32_t index = 0;            // page number within the run
+    std::vector<std::uint8_t> species;  // that page's sites, one byte each
+  };
+  bool delta = false;
+  std::uint64_t baseEpoch = 0;  // meaningful only when delta
+  std::vector<DirtyPage> dirtyPages;
+
   /// Sites the species vector must hold (2 per owned unit cell).
   std::size_t siteCount() const {
     return 2ULL * static_cast<std::size_t>(extentCells.x) * extentCells.y *
@@ -55,6 +68,21 @@ struct EpochManifest {
     std::uint64_t bytes = 0; // full file size, footer included
   };
   std::vector<ShardEntry> shards;
+
+  /// Delta chain link: set when this epoch's shards carry only dirty
+  /// pages against `baseEpoch`. `baseCrc` pins the exact base manifest
+  /// (the CRC its footer seals), so a recommitted or substituted base
+  /// breaks the chain loudly instead of silently feeding reassembly a
+  /// different state.
+  std::optional<std::uint64_t> baseEpoch;
+  std::uint32_t baseCrc = 0;
+
+  /// CRC32 of this manifest's own sealed body. Set by loadManifest() and
+  /// returned by commitEpoch(), so the next delta epoch can record its
+  /// chain link.
+  std::uint32_t selfCrc = 0;
+
+  bool isDelta() const { return baseEpoch.has_value(); }
 };
 
 /// Coordinated sharded checkpoint store (`<dir>/epoch_<N>/rank_<R>.tkc`
@@ -71,13 +99,28 @@ struct EpochManifest {
 /// Readers validate before trusting: newestCompleteEpoch() walks
 /// committed epochs newest-first and returns the first whose manifest
 /// passes its CRC footer and whose every shard exists, matches its
-/// manifest CRC and size, and parses cleanly.
+/// manifest CRC and size, and parses cleanly — and, for a delta epoch,
+/// whose whole base chain is equally sound (every link present,
+/// CRC-pinned to its child's recorded base CRC, linking strictly
+/// backwards, no deeper than maxDeltaChain()).
+///
+/// Delta epochs: an epoch may store, per rank, only the occupation
+/// pages that changed since a base epoch (plus the full RNG state and
+/// vacancy order). The manifest records the `base_epoch` chain link;
+/// resolveShards() replays base + deltas back into materialized shards.
 class CheckpointStore {
  public:
   /// Creates `dir` (and parents) if needed.
   explicit CheckpointStore(std::string dir);
 
   const std::string& dir() const { return dir_; }
+
+  /// Depth bound for delta chains (delta links per chain) used by chain
+  /// validation and resolution. Writers consolidate (write a full epoch)
+  /// before exceeding it; a reader with a smaller bound treats deeper
+  /// chains as invalid.
+  void setMaxDeltaChain(int depth);
+  int maxDeltaChain() const { return maxDeltaChain_; }
 
   std::string stagePath(std::uint64_t epoch) const;
   std::string epochPath(std::uint64_t epoch) const;
@@ -86,16 +129,18 @@ class CheckpointStore {
   /// (clearing any leftover from an aborted earlier attempt).
   void beginEpoch(std::uint64_t epoch);
 
-  /// Stages one rank's shard into the epoch's staging directory and
-  /// returns its manifest entry. Publishes `checkpoint.shard_bytes` to
-  /// telemetry.
+  /// Stages one rank's shard (full or delta — `shard.delta` selects the
+  /// format) into the epoch's staging directory and returns its manifest
+  /// entry. Publishes `checkpoint.shard_bytes` to telemetry.
   EpochManifest::ShardEntry stageShard(std::uint64_t epoch,
                                        const ShardRecord& shard);
 
   /// Phase 2: writes the manifest into the staging directory and
   /// atomically renames it over `epoch_<N>/` (replacing a previous
-  /// commit of the same epoch, e.g. a replayed cycle).
-  void commitEpoch(const EpochManifest& manifest);
+  /// commit of the same epoch, e.g. a replayed cycle). Returns the CRC32
+  /// of the manifest body — the value a child delta epoch records as its
+  /// `baseCrc` chain link.
+  std::uint32_t commitEpoch(const EpochManifest& manifest);
 
   /// Drops the staging directory of an epoch whose commit barrier
   /// failed (e.g. a rank died mid-commit).
@@ -105,24 +150,63 @@ class CheckpointStore {
   /// are never listed.
   std::vector<std::uint64_t> epochs() const;
 
-  /// Newest epoch that validates end to end, or nullopt.
+  /// Newest epoch that validates end to end — including, for delta
+  /// epochs, the whole base chain — or nullopt.
   std::optional<std::uint64_t> newestCompleteEpoch() const;
+
+  /// True when `epoch` validates end to end: manifest and shards locally
+  /// (CRC/size/parse) and, for a delta epoch, every link of its base
+  /// chain (present, locally valid, CRC-pinned, strictly backwards,
+  /// depth <= maxDeltaChain()).
+  bool chainValid(std::uint64_t epoch) const;
 
   EpochManifest loadManifest(std::uint64_t epoch) const;
   ShardRecord loadShard(std::uint64_t epoch,
                         const EpochManifest::ShardEntry& entry) const;
 
-  /// Loads every shard of `epoch` in manifest order.
+  /// Loads every shard of `epoch` in manifest order (delta shards stay
+  /// deltas; use resolveShards() for materialized state).
   std::vector<ShardRecord> loadShards(const EpochManifest& manifest) const;
+
+  /// Materializes `epoch`'s shards, replaying its base chain if it is a
+  /// delta epoch: the full base shards are loaded and every chain level's
+  /// dirty pages (plus RNG state and vacancy order) are applied in
+  /// ascending epoch order. Throws IoError on a broken chain — a torn
+  /// chain must never be reassembled into plausible-looking state.
+  std::vector<ShardRecord> resolveShards(std::uint64_t epoch) const;
+
+  /// Applies a delta shard onto its materialized base (same rank + box).
+  static void applyDeltaShard(ShardRecord& base, const ShardRecord& delta);
 
   /// Stitches shard occupations back into a full lattice state.
   static LatticeState reassemble(const EpochManifest& manifest,
                                  const std::vector<ShardRecord>& shards);
 
+  /// Startup GC: removes orphaned `epoch_<N>.tmp` staging directories (a
+  /// crash between beginEpoch and commitEpoch leaves them behind
+  /// forever) and committed epoch directories that fail *local*
+  /// validation (torn manifest or shard — unloadable by construction).
+  /// Chain-invalid but locally-sound delta epochs are kept: a missing
+  /// base may reappear on a shared filesystem, and they are skipped by
+  /// newestCompleteEpoch() regardless. Returns the number of directories
+  /// removed.
+  int gcStaleArtifacts();
+
+  /// Consolidation GC: removes committed *delta* epochs older than
+  /// `fullEpoch`. Once a fresh full epoch is committed, every older
+  /// delta resolves to an older restart point through a chain the new
+  /// full supersedes; full epochs are kept as self-contained fallbacks.
+  /// Returns the number of epochs removed.
+  int gcSupersededDeltas(std::uint64_t fullEpoch);
+
  private:
   bool epochComplete(std::uint64_t epoch) const;
+  /// Chain length in delta links (0 = full epoch), or -1 when any link
+  /// fails validation.
+  int chainDepthOrNegative(std::uint64_t epoch) const;
 
   std::string dir_;
+  int maxDeltaChain_ = 8;
 };
 
 }  // namespace tkmc

@@ -78,4 +78,10 @@ Vec3i shrinkRankGrid(Vec3i grid, int survivors) {
   return grid;
 }
 
+Vec3i growRankGrid(Vec3i grid, int survivors, int spares) {
+  require(spares >= 0, "spare rank pool cannot be negative");
+  if (survivors + spares >= grid.x * grid.y * grid.z) return grid;
+  return shrinkRankGrid(grid, survivors + spares);
+}
+
 }  // namespace tkmc

@@ -47,4 +47,14 @@ class Decomposition {
 /// result still divides `grid` (and therefore the global box) evenly.
 Vec3i shrinkRankGrid(Vec3i grid, int survivors);
 
+/// Elastic regrow policy for rank fail-stop recovery. `grid` is the rank
+/// grid of the checkpoint epoch being redistributed; with enough spare
+/// ranks to refill it (`survivors + spares >= grid volume`) the original
+/// grid is kept — replacement ranks are admitted and capacity holds.
+/// Otherwise every available rank (survivors plus whatever spares exist)
+/// is offered to shrinkRankGrid, so a partial spare pool still yields
+/// the largest grid that fits. Pure, so every survivor reaches the same
+/// answer with no extra agreement round.
+Vec3i growRankGrid(Vec3i grid, int survivors, int spares);
+
 }  // namespace tkmc

@@ -66,13 +66,17 @@ ParallelEngine::ParallelEngine(const LatticeState& initial, EnergyModel& model,
                                const Cet& cet, ParallelConfig config)
     : lattice_(initial.lattice()), cet_(cet), model_(model),
       config_(std::move(config)), interactionRadius_(0.0) {
+  sparePool_ = config_.spareRanks;
   buildFabric(initial);
   Rng master(config_.seed);
   for (int r = 0; r < rankCount(); ++r) rngs_.push_back(master.split());
   if (!config_.checkpointDir.empty()) {
     store_ = std::make_unique<CheckpointStore>(config_.checkpointDir);
+    store_->setMaxDeltaChain(config_.maxDeltaChain);
+    store_->gcStaleArtifacts();
     // Epoch 0: the pre-run restart point. Construction is a local
     // sequential operation with nothing in flight, so no vote barrier.
+    // The delta baseline starts invalid, so epoch 0 is always full.
     writeEpoch(/*barrier=*/false);
   }
 }
@@ -83,12 +87,15 @@ ParallelEngine::ParallelEngine(EnergyModel& model, const Cet& cet,
                                std::uint64_t epoch)
     : lattice_(1, 1, 1, 1.0), cet_(cet), model_(model),
       config_(std::move(config)), interactionRadius_(0.0) {
+  sparePool_ = config_.spareRanks;
   const EpochManifest manifest = store.loadManifest(epoch);
   require(manifest.tStop == config_.tStop,
           "resume tStop must match the manifest (trajectories are "
           "tStop-dependent)");
   config_.seed = manifest.seed;
-  const std::vector<ShardRecord> shards = store.loadShards(manifest);
+  // resolveShards materializes a delta epoch by replaying its base
+  // chain; for a full epoch it degenerates to loadShards.
+  const std::vector<ShardRecord> shards = store.resolveShards(epoch);
   const LatticeState restored = CheckpointStore::reassemble(manifest, shards);
   lattice_ = restored.lattice();
   buildFabric(restored);
@@ -116,8 +123,13 @@ ParallelEngine::ParallelEngine(EnergyModel& model, const Cet& cet,
   cycles_ = manifest.cycles;
   events_ = manifest.events;
   discarded_ = manifest.discarded;
-  if (!config_.checkpointDir.empty())
+  if (!config_.checkpointDir.empty()) {
     store_ = std::make_unique<CheckpointStore>(config_.checkpointDir);
+    store_->setMaxDeltaChain(config_.maxDeltaChain);
+    store_->gcStaleArtifacts();
+    // A resumed engine has no baseline: its first epoch is full, which
+    // also caps any pre-resume delta chain.
+  }
 }
 
 void ParallelEngine::buildFabric(const LatticeState& initial) {
@@ -469,6 +481,16 @@ void ParallelEngine::writeEpoch(bool barrier) {
   store_->beginEpoch(epoch);
   try {
     SimComm& comm = fabric_->comm;
+    // Delta eligibility: mode armed, a valid baseline on this very grid
+    // with room left in the chain (consolidation: the epoch that would
+    // exceed maxDeltaChain links is written full instead), and a full
+    // world — a rank missing from a delta epoch would silently pin its
+    // base-epoch state through the replay.
+    const bool delta =
+        config_.checkpointMode == CheckpointMode::kDelta && baseline_.valid &&
+        baseline_.rankGrid == fabric_->decomp.rankGrid() &&
+        baseline_.chainDepth < config_.maxDeltaChain &&
+        comm.aliveCount() == rankCount();
     EpochManifest manifest;
     manifest.epoch = epoch;
     manifest.rankGrid = fabric_->decomp.rankGrid();
@@ -481,12 +503,78 @@ void ParallelEngine::writeEpoch(bool barrier) {
     manifest.discarded = discarded_;
     manifest.tStop = config_.tStop;
     manifest.seed = config_.seed;
+    if (delta) {
+      manifest.baseEpoch = baseline_.epoch;
+      manifest.baseCrc = baseline_.manifestCrc;
+    }
+    std::vector<std::vector<std::uint32_t>> newHashes(
+        static_cast<std::size_t>(rankCount()));
+    std::size_t dirtyTotal = 0;
+    std::size_t pageTotal = 0;
     for (int r = 0; r < rankCount(); ++r) {
       if (!comm.rankAlive(r)) continue;  // a dead rank can't write a shard
-      manifest.shards.push_back(store_->stageShard(epoch, makeShard(r)));
+      ShardRecord shard = makeShard(r);
+      std::vector<std::uint32_t>& hashes =
+          newHashes[static_cast<std::size_t>(r)];
+      hashes = SpeciesStore::runPageHashes(shard.species);
+      pageTotal += hashes.size();
+      if (delta) {
+        const std::vector<std::uint32_t>& base =
+            baseline_.pageHashes[static_cast<std::size_t>(r)];
+        ShardRecord d;
+        d.rank = shard.rank;
+        d.originCells = shard.originCells;
+        d.extentCells = shard.extentCells;
+        d.rngState = shard.rngState;
+        d.vacancyOrder = std::move(shard.vacancyOrder);
+        d.delta = true;
+        d.baseEpoch = baseline_.epoch;
+        for (std::size_t p = 0; p < hashes.size(); ++p) {
+          if (p < base.size() && base[p] == hashes[p]) continue;
+          ShardRecord::DirtyPage page;
+          page.index = static_cast<std::uint32_t>(p);
+          const std::size_t begin =
+              p * static_cast<std::size_t>(SpeciesStore::kPageSites);
+          const std::size_t end =
+              std::min(begin + static_cast<std::size_t>(SpeciesStore::kPageSites),
+                       shard.species.size());
+          page.species.assign(shard.species.begin() +
+                                  static_cast<std::ptrdiff_t>(begin),
+                              shard.species.begin() +
+                                  static_cast<std::ptrdiff_t>(end));
+          d.dirtyPages.push_back(std::move(page));
+        }
+        dirtyTotal += d.dirtyPages.size();
+        manifest.shards.push_back(store_->stageShard(epoch, d));
+      } else {
+        manifest.shards.push_back(store_->stageShard(epoch, shard));
+      }
     }
+    if (delta && telemetry::enabled()) {
+      telemetry::metrics()
+          .histogram("checkpoint.delta_pages")
+          .observe(static_cast<double>(dirtyTotal));
+      if (pageTotal > 0)
+        telemetry::metrics()
+            .gauge("checkpoint.delta_ratio")
+            .set(static_cast<double>(dirtyTotal) /
+                 static_cast<double>(pageTotal));
+    }
+    // Runs only after a successful commit: the committed epoch becomes
+    // the diff base of the next one, and a fresh full epoch supersedes
+    // every older delta.
+    const auto adoptBaseline = [&](std::uint32_t manifestCrc) {
+      baseline_.valid = true;
+      baseline_.epoch = epoch;
+      baseline_.manifestCrc = manifestCrc;
+      baseline_.chainDepth = delta ? baseline_.chainDepth + 1 : 0;
+      baseline_.rankGrid = fabric_->decomp.rankGrid();
+      baseline_.pageHashes = std::move(newHashes);
+      if (!delta && config_.checkpointMode == CheckpointMode::kDelta)
+        store_->gcSupersededDeltas(epoch);
+    };
     if (!barrier) {
-      store_->commitEpoch(manifest);
+      adoptBaseline(store_->commitEpoch(manifest));
     } else {
       const int root = 0;
       commitVoteBarrier(epoch);
@@ -496,7 +584,7 @@ void ParallelEngine::writeEpoch(bool barrier) {
         require(manifest.shards.size() ==
                     static_cast<std::size_t>(rankCount()),
                 "commit barrier passed with missing shards");
-        store_->commitEpoch(manifest);
+        adoptBaseline(store_->commitEpoch(manifest));
       }
       // Commit announcement. A dead root never commits and never acks,
       // so the survivors detect it here and recover from the previous
@@ -566,6 +654,7 @@ void ParallelEngine::takeSnapshot() {
   snapshot_.cycles = cycles_;
   snapshot_.events = events_;
   snapshot_.discarded = discarded_;
+  snapshot_.baseline = baseline_;
 }
 
 void ParallelEngine::restoreSnapshot() {
@@ -576,6 +665,7 @@ void ParallelEngine::restoreSnapshot() {
   cycles_ = snapshot_.cycles;
   events_ = snapshot_.events;
   discarded_ = snapshot_.discarded;
+  baseline_ = snapshot_.baseline;
   for (auto& changes : pendingChanges_) changes.clear();
   fabric_->comm.resetAllChannels();
 }
@@ -591,26 +681,52 @@ void ParallelEngine::recoverFromRankFailure(const RankFailure& failure) {
                       std::string(failure.what()) +
                           " (no complete checkpoint epoch to recover from)");
   const EpochManifest manifest = store_->loadManifest(*epoch);
-  const std::vector<ShardRecord> shards = store_->loadShards(manifest);
+  const std::vector<ShardRecord> shards = store_->resolveShards(*epoch);
   const LatticeState restored = CheckpointStore::reassemble(manifest, shards);
   const std::uint64_t rolledBack = cycles_ - manifest.cycles;
   recovery_.epochsRolledBack += rolledBack;
   lastRecoveryEpoch_ = manifest.epoch;
-  // Survivors deterministically agree on the reduced grid, rebuild the
-  // fabric (all ranks of the new, smaller world are alive), and reseed.
-  config_.rankGrid = shrinkRankGrid(fabric_->decomp.rankGrid(), survivors);
+  // Elastic regrow first: with spares available the survivors re-admit
+  // replacement ranks and keep the epoch's own grid; otherwise every
+  // available rank is offered to the shrink policy. Deterministic, so
+  // all survivors agree without another round.
+  config_.rankGrid = growRankGrid(manifest.rankGrid, survivors, sparePool_);
+  const int admitted = std::max(
+      0, config_.rankGrid.x * config_.rankGrid.y * config_.rankGrid.z -
+             survivors);
+  sparePool_ -= admitted;
+  if (admitted > 0) ++recovery_.growRecoveries;
   rngs_.clear();
   buildFabric(restored);
-  Rng master(recoverySeed(manifest.seed, manifest.epoch, config_.rankGrid));
-  for (int r = 0; r < rankCount(); ++r) rngs_.push_back(master.split());
+  if (config_.rankGrid == manifest.rankGrid) {
+    // The epoch's own grid (grow recovery, or a failure detected after
+    // an earlier recovery already reshaped the world to this epoch's
+    // grid): the shards carry each rank's exact RNG stream state and
+    // vacancy order, so the continuation is bit-identical to a fresh
+    // same-grid resume — and, at cadence 1, to the uninterrupted run.
+    rngs_.assign(static_cast<std::size_t>(rankCount()), Rng(0));
+    for (const ShardRecord& shard : shards) {
+      require(shard.rank >= 0 && shard.rank < rankCount(),
+              "shard rank outside the manifest grid");
+      rngs_[static_cast<std::size_t>(shard.rank)].setState(shard.rngState);
+      domains_[static_cast<std::size_t>(shard.rank)].vacancies() =
+          shard.vacancyOrder;
+    }
+  } else {
+    Rng master(recoverySeed(manifest.seed, manifest.epoch, config_.rankGrid));
+    for (int r = 0; r < rankCount(); ++r) rngs_.push_back(master.split());
+  }
   time_ = manifest.time;
   cycles_ = manifest.cycles;
   events_ = manifest.events;
   discarded_ = manifest.discarded;
+  // The recovered world diffs against nothing: its next epoch is full.
+  baseline_ = DeltaBaseline{};
   takeSnapshot();
   if (tm::enabled()) {
     tm::metrics().counter("recovery.rank_failures").inc();
     tm::metrics().counter("recovery.epochs_rolled_back").add(rolledBack);
+    if (admitted > 0) tm::metrics().counter("recovery.grow_count").inc();
     tm::metrics().histogram("recovery.detect_ms").observe(failure.detectMs());
     tm::metrics()
         .histogram("recovery.latency_seconds")

@@ -21,6 +21,13 @@ namespace tkmc {
 /// given CET can be gathered from a subdomain's extended frame.
 int requiredGhostCells(const Cet& cet);
 
+/// What each checkpoint epoch stores.
+enum class CheckpointMode {
+  kFull,   // every epoch is a self-contained full snapshot
+  kDelta,  // epochs store only pages dirty since the previous epoch,
+           // consolidating to a full epoch every maxDeltaChain links
+};
+
 /// Configuration of the parallel AKMC run.
 struct ParallelConfig {
   double temperature = 573.0;
@@ -53,6 +60,22 @@ struct ParallelConfig {
   int checkpointCadence = 1;       // cycles per epoch (with a dir set)
   double heartbeatIntervalMs = 5.0;
   double heartbeatTimeoutMs = 0.0; // 0 = fail-stop detection off
+
+  // Incremental checkpointing. In kDelta mode an epoch stores, per rank,
+  // only the occupation pages (SpeciesStore page geometry) that changed
+  // since the previous committed epoch, plus the full RNG state and
+  // vacancy order; the manifest records the base-epoch chain link. A
+  // full consolidating epoch is written whenever a chain would exceed
+  // maxDeltaChain links, after which superseded deltas are GC'd.
+  CheckpointMode checkpointMode = CheckpointMode::kFull;
+  int maxDeltaChain = 8;  // delta links per chain before consolidation
+
+  // Elastic recovery. After a detected fail-stop the engine first tries
+  // to re-admit replacement ranks from this spare pool: with enough
+  // spares the checkpoint epoch's rank grid is kept (growRankGrid) and
+  // capacity holds; otherwise the grid shrinks to fit survivors plus
+  // whatever spares remain. The pool is consumed across recoveries.
+  int spareRanks = 0;
 };
 
 /// Counters of absorbed failures (engine stats).
@@ -64,6 +87,7 @@ struct RecoveryStats {
   std::uint64_t foldRetries = 0;     // retransmissions in the fold phase
   std::uint64_t rankFailures = 0;    // fail-stops detected and survived
   std::uint64_t epochsRolledBack = 0; // cycles re-run due to shrink recovery
+  std::uint64_t growRecoveries = 0;  // recoveries that re-admitted spare ranks
 };
 
 /// Deterministic master seed of the per-rank RNG streams after a resume
@@ -89,12 +113,16 @@ std::uint64_t recoverySeed(std::uint64_t seed, std::uint64_t epoch,
 ///
 /// Fail-stop tolerance (config.checkpointDir + heartbeatTimeoutMs): when
 /// a RankFailure surfaces from a fold, ghost, or commit-barrier receive,
-/// the survivors agree on the newest complete checkpoint epoch,
-/// deterministically shrink the rank grid to fit the survivor count
-/// (shrinkRankGrid), rebuild the decomposition/comm/exchange fabric,
-/// reload the epoch's shards, reseed the RNG streams (recoverySeed), and
-/// resume — bit-identically to a fresh engine resumed from the same
-/// epoch on the same shrunken grid.
+/// the survivors agree on the newest complete checkpoint epoch and first
+/// try to *grow* back: with spare ranks available (config.spareRanks)
+/// replacements are admitted and the epoch's rank grid is kept
+/// (growRankGrid); otherwise the grid deterministically shrinks to fit
+/// survivors plus remaining spares (shrinkRankGrid). Either way the
+/// decomposition/comm/exchange fabric is rebuilt and the epoch's shards
+/// are redistributed. On the epoch's own grid the shard RNG streams and
+/// vacancy orders are restored exactly; on a different grid the streams
+/// reseed via recoverySeed(). Both paths resume bit-identically to a
+/// fresh engine resumed from the same epoch on the same grid.
 class ParallelEngine {
  public:
   /// `model` must support VET evaluation. `initial` provides the global
@@ -155,6 +183,9 @@ class ParallelEngine {
   /// Epoch the last shrink recovery resumed from (0 before any).
   std::uint64_t lastRecoveryEpoch() const { return lastRecoveryEpoch_; }
 
+  /// Replacement ranks still available for grow recovery.
+  int spareRanksRemaining() const { return sparePool_; }
+
   /// Publishes engine progress, recovery counters, and comm statistics
   /// as gauges in the global telemetry registry. Called automatically at
   /// the end of every runCycle() while telemetry is enabled; exposed so
@@ -167,6 +198,19 @@ class ParallelEngine {
     Species species;
   };
 
+  /// What the last committed epoch looked like, for delta diffing. Must
+  /// roll back with the cycle snapshot: a replayed cycle recommits its
+  /// epoch, and the diff has to run against the epoch *before* it — a
+  /// baseline of the epoch itself would emit an empty self-delta.
+  struct DeltaBaseline {
+    bool valid = false;          // false => next epoch is a full snapshot
+    std::uint64_t epoch = 0;
+    std::uint32_t manifestCrc = 0;  // chain pin for the next delta child
+    int chainDepth = 0;          // delta links since the last full epoch
+    Vec3i rankGrid{};
+    std::vector<std::vector<std::uint32_t>> pageHashes;  // per rank
+  };
+
   struct Snapshot {
     std::vector<Subdomain> domains;
     std::vector<std::array<std::uint64_t, 4>> rngStates;
@@ -174,6 +218,7 @@ class ParallelEngine {
     std::uint64_t cycles = 0;
     std::uint64_t events = 0;
     std::uint64_t discarded = 0;
+    DeltaBaseline baseline;
   };
 
   /// The rebuildable communication fabric. Shrink recovery replaces the
@@ -228,6 +273,8 @@ class ParallelEngine {
   double interactionRadius_;  // angstrom, for stale-rate invalidation
   std::int64_t expectedVacancies_ = 0;  // conservation monitor baseline
   std::uint64_t lastRecoveryEpoch_ = 0;
+  int sparePool_ = 0;  // replacement ranks not yet consumed by recoveries
+  DeltaBaseline baseline_;
   Snapshot snapshot_;
   RecoveryStats recovery_;
 };

@@ -71,5 +71,31 @@ TEST(Decomposition, NeighborRanksWrap) {
   EXPECT_EQ(d.neighborRank(0, {1, 1, 1}), 7);
 }
 
+TEST(GrowRankGrid, EnoughSparesKeepTheOriginalGrid) {
+  EXPECT_EQ(growRankGrid({2, 2, 1}, 3, 1), (Vec3i{2, 2, 1}));
+  EXPECT_EQ(growRankGrid({2, 2, 2}, 7, 1), (Vec3i{2, 2, 2}));
+  EXPECT_EQ(growRankGrid({2, 2, 2}, 5, 3), (Vec3i{2, 2, 2}));
+  EXPECT_EQ(growRankGrid({2, 2, 2}, 5, 9), (Vec3i{2, 2, 2}));  // surplus pool
+  EXPECT_EQ(growRankGrid({2, 2, 1}, 4, 0), (Vec3i{2, 2, 1}));  // nothing lost
+}
+
+TEST(GrowRankGrid, NoSparesDegeneratesToShrink) {
+  EXPECT_EQ(growRankGrid({2, 2, 1}, 3, 0), shrinkRankGrid({2, 2, 1}, 3));
+  EXPECT_EQ(growRankGrid({2, 2, 2}, 7, 0), shrinkRankGrid({2, 2, 2}, 7));
+  EXPECT_EQ(growRankGrid({3, 1, 1}, 2, 0), (Vec3i{1, 1, 1}));
+}
+
+TEST(GrowRankGrid, PartialPoolStillYieldsTheLargestFittingGrid) {
+  // 3 survivors of a 4x2x1 world plus 2 spares: shrink must fit 5
+  // available ranks, not just the survivors.
+  EXPECT_EQ(growRankGrid({4, 2, 1}, 3, 2), (Vec3i{2, 2, 1}));
+  EXPECT_EQ(growRankGrid({4, 2, 1}, 3, 0), (Vec3i{1, 2, 1}));
+  EXPECT_EQ(growRankGrid({2, 2, 2}, 3, 1), shrinkRankGrid({2, 2, 2}, 4));
+}
+
+TEST(GrowRankGrid, NegativeSparePoolThrows) {
+  EXPECT_THROW((void)growRankGrid({2, 2, 1}, 3, -1), Error);
+}
+
 }  // namespace
 }  // namespace tkmc

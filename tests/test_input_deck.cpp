@@ -104,6 +104,29 @@ heartbeat_timeout_ms 10
   EXPECT_THROW(parse("heartbeat_timeout_ms -1"), Error);
 }
 
+TEST(InputDeck, ParsesDeltaCheckpointAndSpareRankKeys) {
+  const InputDeck deck = parse(R"(
+mode parallel
+checkpoint_dir ckpt
+checkpoint_mode delta
+max_delta_chain 4
+spare_ranks 2
+)");
+  EXPECT_TRUE(deck.deltaCheckpoints());
+  EXPECT_EQ(deck.maxDeltaChain(), 4);
+  EXPECT_EQ(deck.spareRanks(), 2);
+
+  const InputDeck defaults = parse("");
+  EXPECT_FALSE(defaults.deltaCheckpoints());  // full epochs by default
+  EXPECT_EQ(defaults.maxDeltaChain(), 8);
+  EXPECT_EQ(defaults.spareRanks(), 0);
+  EXPECT_FALSE(parse("checkpoint_mode full").deltaCheckpoints());
+
+  EXPECT_THROW(parse("checkpoint_mode incremental"), Error);
+  EXPECT_THROW(parse("max_delta_chain 0"), Error);
+  EXPECT_THROW(parse("spare_ranks -1"), Error);
+}
+
 TEST(InputDeck, UnknownKeyThrows) {
   EXPECT_THROW(parse("celz 10\n"), Error);
 }

@@ -126,6 +126,53 @@ TEST(SpeciesStore, MemoryFootprintTracksMaterialization) {
   EXPECT_GT(store.bytesPerSite(), 0.24);
 }
 
+TEST(SpeciesStore, PageHashesFingerprintPagesIndependently) {
+  SpeciesStore store(3 * SpeciesStore::kPageSites);
+  const std::vector<std::uint32_t> before = store.pageHashes();
+  ASSERT_EQ(before.size(), 3u);
+  // Uniform pages of the same fill hash identically.
+  EXPECT_EQ(before[0], before[1]);
+  EXPECT_EQ(store.pageHash(0), before[0]);
+  EXPECT_TRUE(store.dirtyPages(before).empty());
+
+  store.set(SpeciesStore::kPageSites + 7, Species::kCu);
+  const std::vector<std::uint32_t> after = store.pageHashes();
+  EXPECT_EQ(after[0], before[0]);
+  EXPECT_NE(after[1], before[1]);
+  EXPECT_EQ(after[2], before[2]);
+  EXPECT_EQ(store.dirtyPages(before), (std::vector<std::int64_t>{1}));
+
+  // Reverting the change restores the original hash: fingerprints track
+  // content, not materialization history.
+  store.set(SpeciesStore::kPageSites + 7, Species::kFe);
+  EXPECT_EQ(store.pageHash(1), before[1]);
+}
+
+TEST(SpeciesStore, DirtyPagesBeyondTheBaselineAlwaysCount) {
+  SpeciesStore store(2 * SpeciesStore::kPageSites);
+  const std::vector<std::uint32_t> shortBaseline = {store.pageHash(0)};
+  EXPECT_EQ(store.dirtyPages(shortBaseline),
+            (std::vector<std::int64_t>{1}));
+}
+
+TEST(SpeciesStore, RunPageHashesMatchAnEquivalentStore) {
+  // A one-byte-per-site run (a checkpoint shard's layout) must
+  // fingerprint exactly like a SpeciesStore holding the same content —
+  // including a partial final page with slack slots.
+  const std::int64_t sites = SpeciesStore::kPageSites + 1234;
+  std::vector<std::uint8_t> run(static_cast<std::size_t>(sites), 0);
+  SpeciesStore store(sites);
+  Rng rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    const auto id = static_cast<std::int64_t>(
+        rng.uniformBelow(static_cast<std::uint64_t>(sites)));
+    const auto s = static_cast<Species>(rng.uniformBelow(3));
+    store.set(id, s);
+    run[static_cast<std::size_t>(id)] = static_cast<std::uint8_t>(s);
+  }
+  EXPECT_EQ(SpeciesStore::runPageHashes(run), store.pageHashes());
+}
+
 TEST(SpeciesStore, RandomizedAgainstDenseVector) {
   SpeciesStore store(12345);
   std::vector<Species> dense(12345, Species::kFe);

@@ -44,8 +44,9 @@ void printUsage(const char* argv0) {
                "--inject arms a fault point for chaos drills; <spec> is\n"
                "p<prob> (per-hit probability), once, or a comma list of\n"
                "1-based hit ordinals, e.g. --inject comm.rank_kill=40 or\n"
-               "--inject comm.drop=p0.01. --inject-seed picks the\n"
-               "injector's RNG stream (default 0).\n",
+               "--inject comm.drop=p0.01. `--inject list` prints every\n"
+               "registered fault point and exits. --inject-seed picks\n"
+               "the injector's RNG stream (default 0).\n",
                argv0, argv0);
 }
 
@@ -184,6 +185,10 @@ int runParallel(const InputDeck& deck, Simulation& sim) {
   pc.enableRecovery = deck.recovery();
   pc.checkpointDir = deck.checkpointDir();
   pc.checkpointCadence = deck.checkpointCadence();
+  pc.checkpointMode = deck.deltaCheckpoints() ? CheckpointMode::kDelta
+                                              : CheckpointMode::kFull;
+  pc.maxDeltaChain = deck.maxDeltaChain();
+  pc.spareRanks = deck.spareRanks();
   pc.heartbeatIntervalMs = deck.heartbeatIntervalMs();
   pc.heartbeatTimeoutMs = deck.heartbeatTimeoutMs();
 
@@ -206,11 +211,17 @@ int runParallel(const InputDeck& deck, Simulation& sim) {
               engine.rankCount(), pc.rankGrid.x, pc.rankGrid.y, pc.rankGrid.z,
               pc.tStop, pc.enableRecovery ? "on" : "off");
   if (!pc.checkpointDir.empty())
-    std::printf("coordinated checkpoints: %s, every %d cycle(s)\n",
-                pc.checkpointDir.c_str(), pc.checkpointCadence);
+    std::printf("coordinated checkpoints: %s, every %d cycle(s), %s mode%s\n",
+                pc.checkpointDir.c_str(), pc.checkpointCadence,
+                pc.checkpointMode == CheckpointMode::kDelta ? "delta" : "full",
+                pc.checkpointMode == CheckpointMode::kDelta
+                    ? (", chain <= " + std::to_string(pc.maxDeltaChain))
+                          .c_str()
+                    : "");
   if (pc.heartbeatTimeoutMs > 0)
-    std::printf("fail-stop detector: %.1f ms lease, %.1f ms poll interval\n",
-                pc.heartbeatTimeoutMs, pc.heartbeatIntervalMs);
+    std::printf("fail-stop detector: %.1f ms lease, %.1f ms poll interval, "
+                "%d spare rank(s)\n",
+                pc.heartbeatTimeoutMs, pc.heartbeatIntervalMs, pc.spareRanks);
 
   Stopwatch wall;
   std::uint64_t sinceReport = 0;
@@ -225,12 +236,16 @@ int runParallel(const InputDeck& deck, Simulation& sim) {
   reportParallel(engine, wall);
   if (engine.recoveryStats().rankFailures > 0)
     std::printf("survived %llu rank fail-stop(s): now %d ranks "
-                "(%d x %d x %d), resumed from epoch %llu\n",
+                "(%d x %d x %d), resumed from epoch %llu, %llu grow "
+                "recover(ies), %d spare(s) left\n",
                 static_cast<unsigned long long>(
                     engine.recoveryStats().rankFailures),
                 engine.comm().aliveCount(), engine.rankGrid().x,
                 engine.rankGrid().y, engine.rankGrid().z,
-                static_cast<unsigned long long>(engine.lastRecoveryEpoch()));
+                static_cast<unsigned long long>(engine.lastRecoveryEpoch()),
+                static_cast<unsigned long long>(
+                    engine.recoveryStats().growRecoveries),
+                engine.spareRanksRemaining());
   engine.publishTelemetry();
   // The facade's serial engine built the initial propensity state
   // through the vacancy cache; fold its stats (and the operator traffic
@@ -264,6 +279,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
       telemetryDir = argv[++i];
     } else if (std::strcmp(argv[i], "--inject") == 0 && i + 1 < argc) {
+      if (std::strcmp(argv[i + 1], "list") == 0) {
+        std::printf("registered fault-injection points:\n");
+        for (const FaultPointInfo& point : faultPointCatalog())
+          std::printf("  %-32s %s\n", point.name, point.where);
+        return 0;
+      }
       injections.emplace_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--inject-seed") == 0 && i + 1 < argc) {
       injectSeed = std::stoull(argv[++i]);
