@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Performance regression gate for BENCH_*.metrics.json snapshots.
+
+Compares freshly produced benchmark metrics against the committed
+baselines in bench/baselines/, metric by metric, with per-metric
+tolerance bands from tolerances.json. Metric names are flattened as
+"counters.<name>", "gauges.<name>", and "histograms.<name>.<field>".
+
+tolerances.json is an ordered list of rules; the FIRST rule whose
+fnmatch pattern matches a metric name decides its band:
+
+    [
+      {"pattern": "*seconds*", "ignore": true},
+      {"pattern": "gauges.engine.events", "rel": 0.0},
+      {"pattern": "*", "rel": 0.10, "abs": 1e-9}
+    ]
+
+A value passes when |fresh - base| <= abs + rel * |base| (missing keys
+default to 0). "ignore": true skips the metric (timings, rates).
+Metrics present in the baseline but missing from the fresh snapshot
+fail; metrics only in the fresh snapshot are reported but pass (new
+instrumentation should not break the gate — it becomes binding when
+baselines are refreshed via scripts/update_baselines.sh).
+
+Usage: bench_gate.py FRESH.json... [--baseline-dir bench/baselines]
+                                   [--tolerances FILE]
+
+Exit status 0 when every fresh file is within tolerance, 1 otherwise.
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import sys
+
+
+def flatten(doc):
+    """metrics.json -> {flat_name: number} (null values are skipped)."""
+    out = {}
+    for section in ("counters", "gauges"):
+        for name, value in doc.get(section, {}).items():
+            if isinstance(value, (int, float)):
+                out[f"{section}.{name}"] = float(value)
+    for name, hist in doc.get("histograms", {}).items():
+        if not isinstance(hist, dict):
+            continue
+        for field, value in hist.items():
+            if isinstance(value, (int, float)):
+                out[f"histograms.{name}.{field}"] = float(value)
+    return out
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def rule_for(name, rules):
+    for rule in rules:
+        if fnmatch.fnmatch(name, rule.get("pattern", "*")):
+            return rule
+    return None
+
+
+def compare(fresh_path, base_path, rules):
+    """Returns a list of failure strings (empty = pass)."""
+    failures = []
+    fresh = flatten(load_json(fresh_path))
+    base = flatten(load_json(base_path))
+
+    ignored = checked = 0
+    for name in sorted(base):
+        rule = rule_for(name, rules)
+        if rule is None:
+            failures.append(f"{name}: no tolerance rule matches")
+            continue
+        if rule.get("ignore"):
+            ignored += 1
+            continue
+        if name not in fresh:
+            failures.append(f"{name}: present in baseline, missing from fresh run")
+            continue
+        band = abs(rule.get("abs", 0.0)) + abs(rule.get("rel", 0.0)) * abs(
+            base[name]
+        )
+        drift = abs(fresh[name] - base[name])
+        checked += 1
+        if drift > band:
+            failures.append(
+                f"{name}: {fresh[name]:.6g} drifted from baseline "
+                f"{base[name]:.6g} by {drift:.6g} (allowed {band:.6g})"
+            )
+
+    new = sorted(set(fresh) - set(base))
+    if new:
+        print(
+            f"bench_gate: note: {len(new)} metric(s) not in baseline "
+            f"(e.g. {', '.join(new[:3])}) — refresh baselines to gate them"
+        )
+    print(
+        f"bench_gate: {os.path.basename(fresh_path)}: {checked} checked, "
+        f"{ignored} ignored, {len(failures)} failure(s)"
+    )
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", nargs="+", help="fresh BENCH_*.metrics.json")
+    parser.add_argument(
+        "--baseline-dir",
+        default="bench/baselines",
+        help="directory of committed baselines (matched by basename)",
+    )
+    parser.add_argument(
+        "--tolerances",
+        default=None,
+        help="tolerance rules (default: <baseline-dir>/tolerances.json)",
+    )
+    args = parser.parse_args()
+
+    tol_path = args.tolerances or os.path.join(
+        args.baseline_dir, "tolerances.json"
+    )
+    try:
+        rules = load_json(tol_path)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_gate: FAIL: cannot load tolerances {tol_path}: {e}",
+              file=sys.stderr)
+        return 1
+    if not isinstance(rules, list):
+        print(f"bench_gate: FAIL: {tol_path} must be a JSON list of rules",
+              file=sys.stderr)
+        return 1
+
+    status = 0
+    for fresh_path in args.fresh:
+        base_path = os.path.join(
+            args.baseline_dir, os.path.basename(fresh_path)
+        )
+        try:
+            failures = compare(fresh_path, base_path, rules)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_gate: FAIL: {fresh_path}: {e}", file=sys.stderr)
+            status = 1
+            continue
+        for line in failures:
+            print(f"bench_gate: FAIL: {os.path.basename(fresh_path)}: {line}",
+                  file=sys.stderr)
+        if failures:
+            status = 1
+    if status == 0:
+        print("bench_gate: OK: all benchmarks within tolerance")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,11 +31,12 @@ ITERATIONS=${1:-20}
 WATCHDOG=${2:-60}
 BUILD_DIR=${BUILD_DIR:-build}
 BIN="$BUILD_DIR/tools/tensorkmc"
+BLACKBOX="$BUILD_DIR/tools/tkmc_blackbox"
 FULL_DECK=tools/chaos_deck.tkmc
 DELTA_DECK=tools/chaos_delta_deck.tkmc
 
-if [ ! -x "$BIN" ]; then
-  echo "chaos_soak: $BIN not built (run cmake --build $BUILD_DIR first)" >&2
+if [ ! -x "$BIN" ] || [ ! -x "$BLACKBOX" ]; then
+  echo "chaos_soak: $BIN or $BLACKBOX not built (run cmake --build $BUILD_DIR first)" >&2
   exit 1
 fi
 
@@ -56,7 +57,7 @@ run_schedule() {  # label deck seed ordinal shrink|grow [extra --inject args]
   mkdir -p "$run_dir"
   local log="$run_dir/log.txt" status=0
   (cd "$run_dir" && timeout "$WATCHDOG" \
-      "$OLDPWD/$BIN" -in "$OLDPWD/$deck" \
+      "$OLDPWD/$BIN" -in "$OLDPWD/$deck" --telemetry telemetry \
       --inject comm.rank_kill="$ordinal" "$@" --inject-seed "$seed") \
       > "$log" 2>&1 || status=$?
   if [ "$status" -ne 0 ]; then
@@ -74,6 +75,18 @@ run_schedule() {  # label deck seed ordinal shrink|grow [extra --inject args]
     echo "chaos_soak: $label (ordinal $ordinal) shrank despite a spare rank" >&2
     tail -20 "$log" >&2
     fail_summary "$label" "$seed" "$ordinal" 4
+  fi
+  # Every survived kill must leave a decodable post-mortem: the engine
+  # dumps the flight recorder on RankFailure, and tkmc_blackbox must be
+  # able to merge the per-rank dumps into one causal timeline.
+  if ! ls "$run_dir"/telemetry/blackbox_rank*.bin > /dev/null 2>&1; then
+    echo "chaos_soak: $label (ordinal $ordinal) left no blackbox dumps" >&2
+    fail_summary "$label" "$seed" "$ordinal" 5
+  fi
+  if ! "$BLACKBOX" merge "$run_dir/telemetry" --tail 3 > "$run_dir/blackbox.txt" 2>&1; then
+    echo "chaos_soak: $label (ordinal $ordinal) blackbox decode FAILED" >&2
+    cat "$run_dir/blackbox.txt" >&2
+    fail_summary "$label" "$seed" "$ordinal" 6
   fi
   local epochs
   epochs=$(ls "$run_dir/chaos_ckpt" 2>/dev/null | grep -c '^epoch_' || true)

@@ -21,11 +21,19 @@ cmake --build "$BUILD_DIR" -j
 echo "==> tier-1: ctest"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j)
 
-echo "==> chaos soak: rank fail-stop drills"
+echo "==> chaos soak: rank fail-stop drills (with blackbox decode smoke)"
 scripts/chaos_soak.sh
 
-echo "==> bench gate: delta checkpoint size (cadence 1/8/64)"
+echo "==> bench gate: regenerate gated benchmarks"
 "$BUILD_DIR/bench/bench_delta_checkpoint"
+"$BUILD_DIR/bench/bench_batch_pipeline"
+"$BUILD_DIR/bench/bench_memory_footprint"
+
+echo "==> bench gate: compare against bench/baselines (scripts/bench_gate.py)"
+python3 scripts/bench_gate.py \
+  BENCH_delta_checkpoint.metrics.json \
+  BENCH_batch_pipeline.metrics.json \
+  BENCH_memory_footprint.metrics.json
 
 echo "==> sanitized: TKMC_SANITIZE=address;undefined"
 if [ -n "$SANITIZED_FILTER" ]; then

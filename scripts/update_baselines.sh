@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Refresh the committed benchmark baselines in bench/baselines/.
+#
+# Runs the gated benchmarks from the repo root (they write
+# BENCH_*.metrics.json into the current directory) and copies the fresh
+# snapshots over the baselines. Run this when a PR intentionally changes
+# a gated metric (new instrumentation, an algorithmic improvement, a
+# deliberate trade-off), eyeball `git diff bench/baselines/`, and commit
+# the new numbers together with the change that explains them — the
+# diff IS the review artifact (DESIGN.md §14).
+#
+# Usage: scripts/update_baselines.sh   (builds first; BUILD_DIR overrides)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+BASELINES=bench/baselines
+GATED="bench_batch_pipeline bench_memory_footprint bench_delta_checkpoint"
+
+cmake --build "$BUILD_DIR" -j --target $GATED
+
+mkdir -p "$BASELINES"
+for bench in $GATED; do
+  echo "==> $bench"
+  "$BUILD_DIR/bench/$bench" > /dev/null
+  name="BENCH_${bench#bench_}.metrics.json"
+  cp "$name" "$BASELINES/$name"
+done
+
+echo "updated: $(ls "$BASELINES" | tr '\n' ' ')"
+echo "review with: git diff $BASELINES"

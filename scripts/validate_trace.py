@@ -6,10 +6,18 @@ every event carries the required fields, and that duration events are
 balanced: every 'B' has a matching 'E' on the same (pid, tid) track, in
 LIFO order, with monotonically non-decreasing timestamps.
 
-Usage: validate_trace.py trace.json [--require-span NAME ...]
+Flow events ('s' start / 'f' end, the cross-rank message arrows) are
+validated too: every flow event needs a numeric 'id', a flow may not
+start twice under the same (name, id), an 'f' must match an open 's',
+and every flow opened must be closed by the end of the trace (the
+exporter synthesizes closes for in-flight messages, so an unmatched
+flow is a real bug) unless --allow-unmatched-flows is given.
 
-Exit status 0 when the trace is valid (and every --require-span name is
-present), 1 otherwise.
+Usage: validate_trace.py trace.json [--require-span NAME ...]
+                                    [--require-flow NAME ...]
+
+Exit status 0 when the trace is valid (and every --require-span /
+--require-flow name is present), 1 otherwise.
 """
 
 import argparse
@@ -31,6 +39,18 @@ def main():
         default=[],
         metavar="NAME",
         help="require at least one complete span with this exact name",
+    )
+    parser.add_argument(
+        "--require-flow",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require at least one complete flow (s+f pair) with this name",
+    )
+    parser.add_argument(
+        "--allow-unmatched-flows",
+        action="store_true",
+        help="tolerate flows opened but never closed (in-flight messages)",
     )
     args = parser.parse_args()
 
@@ -54,6 +74,9 @@ def main():
     last_ts = {}  # (pid, tid) -> ts
     completed = set()
     span_count = 0
+    open_flows = {}  # (name, id) -> event index of the 's'
+    completed_flows = set()
+    flow_count = 0
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             return fail(f"event {i} is not an object")
@@ -89,8 +112,32 @@ def main():
                 )
             completed.add(name)
             span_count += 1
-        elif ph == "i":
+        elif ph in ("i", "t"):
             pass  # instant events need no pairing
+        elif ph in ("s", "f"):
+            flow_id = ev.get("id")
+            if not isinstance(flow_id, int):
+                return fail(
+                    f"event {i} ({name!r}): flow event without a numeric 'id'"
+                )
+            key = (name, flow_id)
+            if ph == "s":
+                if key in open_flows:
+                    return fail(
+                        f"event {i}: flow {name!r} id {flow_id} started "
+                        f"twice (first at event {open_flows[key]}) — flow "
+                        f"ids must be unique"
+                    )
+                open_flows[key] = i
+            else:
+                if key not in open_flows:
+                    return fail(
+                        f"event {i}: flow end for {name!r} id {flow_id} "
+                        f"with no matching start"
+                    )
+                del open_flows[key]
+                completed_flows.add(name)
+                flow_count += 1
         else:
             return fail(f"event {i} ({name!r}) has unsupported phase {ph!r}")
 
@@ -99,15 +146,30 @@ def main():
             names = ", ".join(repr(n) for n, _ in stack)
             return fail(f"track {track} ends with unclosed spans: {names}")
 
+    if open_flows and not args.allow_unmatched_flows:
+        samples = ", ".join(
+            f"{name!r} id {fid}" for (name, fid) in sorted(open_flows)[:5]
+        )
+        return fail(
+            f"{len(open_flows)} flow(s) started but never ended: {samples}"
+        )
+
     missing = [n for n in args.require_span if n not in completed]
     if missing:
         return fail(
             "required spans absent from trace: " + ", ".join(repr(n) for n in missing)
         )
+    missing_flows = [n for n in args.require_flow if n not in completed_flows]
+    if missing_flows:
+        return fail(
+            "required flows absent from trace: "
+            + ", ".join(repr(n) for n in missing_flows)
+        )
 
     print(
         f"validate_trace: OK: {len(events)} events, {span_count} complete "
-        f"spans, {len(completed)} distinct span names"
+        f"spans, {len(completed)} distinct span names, {flow_count} complete "
+        f"flows, {len(completed_flows)} distinct flow names"
     )
     return 0
 

@@ -1,6 +1,7 @@
 #include "common/fault_injection.hpp"
 
 #include "common/error.hpp"
+#include "common/telemetry/flight_recorder.hpp"
 
 namespace tkmc {
 namespace {
@@ -115,7 +116,15 @@ FaultScope::~FaultScope() { g_active = previous_; }
 FaultInjector* activeFaultInjector() { return g_active; }
 
 bool faultFires(const char* point) {
-  return g_active != nullptr && g_active->shouldFire(point);
+  if (g_active == nullptr || !g_active->shouldFire(point)) return false;
+  // Blackbox trail: a post-mortem must show which injected fault tripped
+  // first, before its downstream damage surfaces. The rank is unknown at
+  // this layer, so the trip lands on ring 0; the hash reverses through
+  // faultPointCatalog() in tools/tkmc_blackbox.
+  telemetry::FlightRecorder::global().record(
+      0, telemetry::BlackboxEventType::kFaultInjected, 0,
+      telemetry::fnv1a64(point), g_active->fireCount(point));
+  return true;
 }
 
 const std::vector<FaultPointInfo>& faultPointCatalog() {
@@ -132,6 +141,9 @@ const std::vector<FaultPointInfo>& faultPointCatalog() {
        "SimComm::send(): fail-stops the sending rank mid-protocol"},
       {"engine.cycle",
        "ParallelEngine cycle start: trips a transient invariant error"},
+      {"telemetry.write_tear",
+       "telemetry writeFileAtomic(): crashes after a partial temp-file "
+       "write, before the rename"},
   };
   return kCatalog;
 }

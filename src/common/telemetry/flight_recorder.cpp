@@ -1,0 +1,257 @@
+#include "common/telemetry/flight_recorder.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+
+namespace tkmc::telemetry {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x42424B54u;  // "TKBB" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+struct DumpHeader {
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::int32_t rank = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t totalRecorded = 0;
+  std::uint64_t eventCount = 0;
+};
+static_assert(sizeof(DumpHeader) == 40, "blackbox header layout is fixed");
+
+std::int64_t steadyMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const char* s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*s));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void FlightRecorder::configureRanks(int ranks) {
+  std::lock_guard<std::mutex> lock(configMutex_);
+  if (ranks > kMaxRanks) ranks = kMaxRanks;
+  const int current = ringCount_.load(std::memory_order_acquire);
+  if (ranks <= current) return;
+  for (int r = current; r < ranks; ++r)
+    rings_[static_cast<std::size_t>(r)] = std::make_unique<Ring>(capacity_);
+  if (epochMicros_ == 0) epochMicros_ = steadyMicros();
+  ringCount_.store(ranks, std::memory_order_release);
+}
+
+void FlightRecorder::setCapacity(std::size_t eventsPerRank) {
+  std::lock_guard<std::mutex> lock(configMutex_);
+  require(eventsPerRank > 0, "flight recorder needs a positive capacity");
+  capacity_ = eventsPerRank;
+}
+
+std::uint64_t FlightRecorder::lamportTick() {
+  return lamport_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void FlightRecorder::lamportObserve(std::uint64_t peerStamp) {
+  std::uint64_t cur = lamport_.load(std::memory_order_relaxed);
+  while (peerStamp > cur && !lamport_.compare_exchange_weak(
+                                cur, peerStamp, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t FlightRecorder::nowMicros() const {
+  return static_cast<std::uint64_t>(steadyMicros() - epochMicros_);
+}
+
+void FlightRecorder::record(int rank, BlackboxEventType type, std::int32_t tag,
+                            std::uint64_t a, std::uint64_t b) {
+  if (!enabled()) return;
+  const int count = ringCount_.load(std::memory_order_acquire);
+  if (rank < 0 || rank >= count) return;
+  Ring& ring = *rings_[static_cast<std::size_t>(rank)];
+  BlackboxEvent ev;
+  ev.lamport = lamportTick();
+  ev.tsMicros = nowMicros();
+  ev.type = static_cast<std::uint16_t>(type);
+  ev.rank = static_cast<std::int16_t>(rank);
+  ev.tag = tag;
+  ev.a = a;
+  ev.b = b;
+  const std::uint64_t slot = ring.head.fetch_add(1, std::memory_order_relaxed);
+  ring.slots[static_cast<std::size_t>(slot % ring.slots.size())] = ev;
+}
+
+std::uint64_t FlightRecorder::recordedTotal(int rank) const {
+  if (rank < 0 || rank >= ringCount_.load(std::memory_order_acquire)) return 0;
+  return rings_[static_cast<std::size_t>(rank)]->head.load(
+      std::memory_order_relaxed);
+}
+
+std::vector<BlackboxEvent> FlightRecorder::snapshot(int rank) const {
+  std::vector<BlackboxEvent> out;
+  if (rank < 0 || rank >= ringCount_.load(std::memory_order_acquire))
+    return out;
+  const Ring& ring = *rings_[static_cast<std::size_t>(rank)];
+  const std::uint64_t total = ring.head.load(std::memory_order_relaxed);
+  const std::uint64_t cap = ring.slots.size();
+  const std::uint64_t kept = total < cap ? total : cap;
+  out.reserve(static_cast<std::size_t>(kept));
+  for (std::uint64_t i = total - kept; i < total; ++i)
+    out.push_back(ring.slots[static_cast<std::size_t>(i % cap)]);
+  return out;
+}
+
+void FlightRecorder::setDumpDir(std::string dir) {
+  std::lock_guard<std::mutex> lock(configMutex_);
+  dumpDir_ = std::move(dir);
+}
+
+void FlightRecorder::writeDump(const std::string& path, int rank,
+                               std::uint64_t capacity,
+                               std::uint64_t totalRecorded,
+                               const std::vector<BlackboxEvent>& events) {
+  DumpHeader header;
+  header.rank = rank;
+  header.capacity = capacity;
+  header.totalRecorded = totalRecorded;
+  header.eventCount = events.size();
+  const auto* eventBytes = reinterpret_cast<const std::uint8_t*>(events.data());
+  const std::size_t eventByteCount = events.size() * sizeof(BlackboxEvent);
+  const std::uint32_t crc = crc32(eventBytes, eventByteCount);
+  // Same crash-safety idiom as checkpoint commits: a torn dump must
+  // never shadow a complete one under the final name.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    require(out.good(), "cannot open blackbox dump path: " + tmp);
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    out.write(reinterpret_cast<const char*>(eventBytes),
+              static_cast<std::streamsize>(eventByteCount));
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    require(out.good(), "failed writing blackbox dump: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec)
+    throw IoError("cannot publish blackbox dump " + path + ": " +
+                  ec.message());
+}
+
+int FlightRecorder::dumpAll() const noexcept {
+  int written = 0;
+  try {
+    std::string dir;
+    {
+      std::lock_guard<std::mutex> lock(configMutex_);
+      dir = dumpDir_;
+    }
+    if (dir.empty()) return 0;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) return 0;
+    const int count = ringCount_.load(std::memory_order_acquire);
+    for (int r = 0; r < count; ++r) {
+      const std::string path =
+          (std::filesystem::path(dir) /
+           ("blackbox_rank" + std::to_string(r) + ".bin"))
+              .string();
+      writeDump(path, r, rings_[static_cast<std::size_t>(r)]->slots.size(),
+                recordedTotal(r), snapshot(r));
+      ++written;
+    }
+  } catch (...) {
+    // A blackbox dump runs on failure paths; it must never mask the
+    // original error. Whatever was written before the throw stands.
+  }
+  return written;
+}
+
+int FlightRecorder::dumpIncident(const char* reason) noexcept {
+  const int count = ringCount_.load(std::memory_order_acquire);
+  for (int r = 0; r < count; ++r)
+    record(r, BlackboxEventType::kDump, 0, fnv1a64(reason));
+  return dumpAll();
+}
+
+void FlightRecorder::reset() {
+  std::lock_guard<std::mutex> lock(configMutex_);
+  ringCount_.store(0, std::memory_order_release);
+  for (auto& ring : rings_) ring.reset();
+  lamport_.store(0, std::memory_order_relaxed);
+  epochMicros_ = steadyMicros();
+}
+
+FlightRecorder::Dump FlightRecorder::readDump(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) throw IoError("cannot open blackbox dump: " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.size() < sizeof(DumpHeader) + sizeof(std::uint32_t))
+    throw IoError("blackbox dump truncated: " + path);
+  DumpHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (header.magic != kMagic)
+    throw IoError("not a blackbox dump (bad magic): " + path);
+  if (header.version != kVersion)
+    throw IoError("unsupported blackbox dump version " +
+                  std::to_string(header.version) + ": " + path);
+  const std::size_t eventByteCount =
+      static_cast<std::size_t>(header.eventCount) * sizeof(BlackboxEvent);
+  if (bytes.size() != sizeof(header) + eventByteCount + sizeof(std::uint32_t))
+    throw IoError("blackbox dump size does not match its header: " + path);
+  std::uint32_t storedCrc = 0;
+  std::memcpy(&storedCrc, bytes.data() + sizeof(header) + eventByteCount,
+              sizeof(storedCrc));
+  const auto* eventBytes =
+      reinterpret_cast<const std::uint8_t*>(bytes.data() + sizeof(header));
+  if (crc32(eventBytes, eventByteCount) != storedCrc)
+    throw IoError("blackbox dump failed its CRC32 check: " + path);
+  Dump dump;
+  dump.rank = header.rank;
+  dump.capacity = header.capacity;
+  dump.totalRecorded = header.totalRecorded;
+  dump.events.resize(static_cast<std::size_t>(header.eventCount));
+  std::memcpy(dump.events.data(), eventBytes, eventByteCount);
+  return dump;
+}
+
+const char* FlightRecorder::typeName(BlackboxEventType type) {
+  switch (type) {
+    case BlackboxEventType::kMarker: return "marker";
+    case BlackboxEventType::kKmcEvent: return "kmc_event";
+    case BlackboxEventType::kPropensityRefresh: return "propensity_refresh";
+    case BlackboxEventType::kCommSend: return "comm_send";
+    case BlackboxEventType::kCommRecv: return "comm_recv";
+    case BlackboxEventType::kCommError: return "comm_error";
+    case BlackboxEventType::kCheckpointStage: return "checkpoint_stage";
+    case BlackboxEventType::kCommitEpoch: return "commit_epoch";
+    case BlackboxEventType::kRankKilled: return "rank_killed";
+    case BlackboxEventType::kLeaseExpired: return "lease_expired";
+    case BlackboxEventType::kRankFailureDetected: return "rank_failure";
+    case BlackboxEventType::kRecovery: return "recovery";
+    case BlackboxEventType::kRollback: return "rollback";
+    case BlackboxEventType::kInvariantTrip: return "invariant_trip";
+    case BlackboxEventType::kFaultInjected: return "fault_injected";
+    case BlackboxEventType::kCycle: return "cycle";
+    case BlackboxEventType::kDump: return "dump";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+}  // namespace tkmc::telemetry

@@ -1,0 +1,169 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tkmc::telemetry {
+
+/// Event kinds the flight recorder understands. Values are part of the
+/// on-disk blackbox format (tools/tkmc_blackbox decodes them by value),
+/// so append only — never renumber.
+enum class BlackboxEventType : std::uint16_t {
+  kMarker = 0,             // free-form marker; a/b caller-defined
+  kKmcEvent = 1,           // committed hop: tag=sector, a=event ordinal, b=direction
+  kPropensityRefresh = 2,  // batched refresh: tag=sector, a=batch size
+  kCommSend = 3,           // tag=message tag, a=frame seq, b=payload bytes
+  kCommRecv = 4,           // tag=message tag, a=frame seq, b=sender lamport
+  kCommError = 5,          // receive failure: tag=tag, a=frame seq,
+                           //                  b=1 sequence gap / 2 bad CRC
+  kCheckpointStage = 6,    // shard staged: tag=1 delta/0 full, a=epoch, b=bytes
+  kCommitEpoch = 7,        // epoch committed: tag=1 delta/0 full, a=epoch, b=crc
+  kRankKilled = 8,         // fail-stop: a=victim rank
+  kLeaseExpired = 9,       // detector verdict: tag=tag waited on, a=dead rank,
+                           //                   b=detection latency (ms)
+  kRankFailureDetected = 10,  // engine saw RankFailure: a=rank, b=detect ms
+  kRecovery = 11,          // recovery done: tag=1 grow/0 shrink, a=epoch,
+                           //                b=cycles rolled back
+  kRollback = 12,          // cycle rollback/replay: tag=attempt, a=cycle
+  kInvariantTrip = 13,     // invariant monitor fired: a=cycle
+  kFaultInjected = 14,     // armed fault fired: a=fnv1a64(point name), b=hit#
+  kCycle = 15,             // cycle boundary: tag=sector, a=cycle number
+  kDump = 16,              // dump trigger marker: a=fnv1a64(reason)
+};
+
+/// One flight-recorder entry. POD with fixed layout: the blackbox dump
+/// writes these structs raw, so the size is pinned by a static_assert.
+struct BlackboxEvent {
+  std::uint64_t lamport = 0;   // per-process Lamport stamp (causal order)
+  std::uint64_t tsMicros = 0;  // wall micros since the recorder epoch
+  std::uint16_t type = 0;      // BlackboxEventType
+  std::int16_t rank = 0;       // simulated rank the event belongs to
+  std::int32_t tag = 0;        // event-type-specific discriminator
+  std::uint64_t a = 0;         // event-type-specific payloads
+  std::uint64_t b = 0;
+};
+static_assert(sizeof(BlackboxEvent) == 40, "blackbox dump layout is fixed");
+
+/// FNV-1a of a C string; used to reference names (fault points, dump
+/// reasons) from fixed-size binary events. tools/tkmc_blackbox reverses
+/// known hashes through the fault-point catalog.
+std::uint64_t fnv1a64(const char* s);
+
+/// Per-rank flight recorder ("blackbox"): a fixed-size ring of binary
+/// events that is always on — independent of telemetry::enabled() — and
+/// cheap enough to leave armed in production runs. record() is lock-free
+/// (one relaxed fetch_add on the ring head plus a 40-byte slot store)
+/// and never allocates; all allocation happens in configureRanks().
+///
+/// Every record ticks a process-wide Lamport clock; comm receive paths
+/// fold the sender's stamp in via lamportObserve(), so merging per-rank
+/// dumps by (lamport, ts) yields a causally ordered cross-rank timeline.
+///
+/// Dumps: setDumpDir() arms a destination; dumpIncident() (called on
+/// RankFailure, invariant trips, and fatal signals) and dumpAll() write
+/// one `blackbox_rank<R>.bin` per configured rank — newest-first rings
+/// flattened oldest-to-newest, CRC-sealed, via temp-file + atomic
+/// rename. readDump() decodes a file back (shared by tools and tests).
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 8192;  // events per rank
+  static constexpr int kMaxRanks = 512;
+
+  /// Ensures rings exist for ranks [0, ranks). Grows only; existing
+  /// rings (and their contents) are kept. Not safe concurrently with
+  /// record() for the *new* ranks — call during engine construction.
+  void configureRanks(int ranks);
+  int rankCount() const { return ringCount_.load(std::memory_order_acquire); }
+
+  /// Ring size for rings created by future configureRanks() calls.
+  void setCapacity(std::size_t eventsPerRank);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Appends one event to `rank`'s ring (wrapping over the oldest entry
+  /// when full) and stamps it with the next Lamport tick. Out-of-range
+  /// ranks and a disabled recorder are silent no-ops.
+  void record(int rank, BlackboxEventType type, std::int32_t tag = 0,
+              std::uint64_t a = 0, std::uint64_t b = 0);
+
+  /// Lamport clock: tick() for local/send events (returns the stamp to
+  /// put on the wire), observe() folds a received stamp in so the next
+  /// local tick orders after the send.
+  std::uint64_t lamportTick();
+  void lamportObserve(std::uint64_t peerStamp);
+  std::uint64_t lamportNow() const {
+    return lamport_.load(std::memory_order_relaxed);
+  }
+
+  /// Total events ever recorded for `rank` (>= ring size once wrapped).
+  std::uint64_t recordedTotal(int rank) const;
+
+  /// Ring contents oldest-to-newest (at most the ring capacity).
+  std::vector<BlackboxEvent> snapshot(int rank) const;
+
+  /// Arms incident dumps into `dir` (empty disarms). Created on demand.
+  void setDumpDir(std::string dir);
+  const std::string& dumpDir() const { return dumpDir_; }
+
+  /// Writes `blackbox_rank<R>.bin` for every configured rank into the
+  /// armed dump directory. Returns files written (0 when disarmed or no
+  /// rings). Never throws: a blackbox dump runs on failure paths and
+  /// must not mask the original error.
+  int dumpAll() const noexcept;
+
+  /// Records a kDump marker naming `reason`, then dumpAll().
+  int dumpIncident(const char* reason) noexcept;
+
+  /// Drops every ring and the Lamport clock; keeps enabled/dump-dir
+  /// arming. Test isolation.
+  void reset();
+
+  /// A decoded blackbox file.
+  struct Dump {
+    int rank = 0;
+    std::uint64_t capacity = 0;
+    std::uint64_t totalRecorded = 0;
+    std::vector<BlackboxEvent> events;  // oldest-to-newest
+  };
+
+  /// Writes one dump file (temp + atomic rename). Exposed so tests can
+  /// hand-build dumps; dumpAll() goes through this too.
+  static void writeDump(const std::string& path, int rank,
+                        std::uint64_t capacity, std::uint64_t totalRecorded,
+                        const std::vector<BlackboxEvent>& events);
+
+  /// Decodes a blackbox file; throws IoError on a bad magic, version,
+  /// truncation, or CRC mismatch.
+  static Dump readDump(const std::string& path);
+
+  static const char* typeName(BlackboxEventType type);
+
+  /// The process-wide recorder every instrumented path records into.
+  static FlightRecorder& global();
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap) : slots(cap) {}
+    std::vector<BlackboxEvent> slots;
+    std::atomic<std::uint64_t> head{0};  // total recorded; slot = head % cap
+  };
+
+  std::uint64_t nowMicros() const;
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> lamport_{0};
+  std::atomic<int> ringCount_{0};
+  std::array<std::unique_ptr<Ring>, kMaxRanks> rings_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::string dumpDir_;
+  std::int64_t epochMicros_ = 0;  // steady-clock origin of tsMicros
+  mutable std::mutex configMutex_;  // guards configureRanks/reset/dump dir
+};
+
+}  // namespace tkmc::telemetry

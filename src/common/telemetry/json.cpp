@@ -3,8 +3,11 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 
 namespace tkmc::telemetry {
 
@@ -215,6 +218,31 @@ const JsonValue* JsonValue::find(const std::string& key) const {
 
 JsonValue JsonValue::parse(const std::string& text) {
   return Parser(text).parseDocument();
+}
+
+void writeFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) throw IoError("cannot open telemetry path: " + tmp);
+    if (faultFires("telemetry.write_tear")) {
+      // Simulated crash mid-dump: half the content reaches the temp
+      // file, the rename never happens, and the previous `path` (if
+      // any) must survive untouched.
+      out.write(content.data(),
+                static_cast<std::streamsize>(content.size() / 2));
+      out.flush();
+      throw IoError("injected telemetry write tear: " + tmp);
+    }
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out << "\n";
+    if (!out.good()) throw IoError("failed writing telemetry file: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec)
+    throw IoError("cannot publish telemetry file " + path + ": " +
+                  ec.message());
 }
 
 }  // namespace tkmc::telemetry

@@ -20,6 +20,7 @@ void setEnabled(bool on) { gEnabled.store(on, std::memory_order_relaxed); }
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1),
+      bucketMin_(bounds_.size() + 1), bucketMax_(bounds_.size() + 1),
       min_(std::numeric_limits<double>::infinity()),
       max_(-std::numeric_limits<double>::infinity()) {
   require(!bounds_.empty(), "histogram needs at least one bucket bound");
@@ -27,6 +28,12 @@ Histogram::Histogram(std::vector<double> bounds)
               std::adjacent_find(bounds_.begin(), bounds_.end()) ==
                   bounds_.end(),
           "histogram bounds must be strictly ascending");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    bucketMin_[i].store(std::numeric_limits<double>::infinity(),
+                        std::memory_order_relaxed);
+    bucketMax_[i].store(-std::numeric_limits<double>::infinity(),
+                        std::memory_order_relaxed);
+  }
 }
 
 void Histogram::observe(double v) {
@@ -43,6 +50,14 @@ void Histogram::observe(double v) {
   cur = max_.load(std::memory_order_relaxed);
   while (v > cur &&
          !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = bucketMin_[idx].load(std::memory_order_relaxed);
+  while (v < cur && !bucketMin_[idx].compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+  cur = bucketMax_[idx].load(std::memory_order_relaxed);
+  while (v > cur && !bucketMax_[idx].compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
   }
 }
 
@@ -70,7 +85,15 @@ double Histogram::percentile(double p) const {
     hi = std::min(hi, hiN);
     if (hi < lo) hi = lo;
     const double fraction = std::clamp((target - cum) / inBucket, 0.0, 1.0);
-    return lo + fraction * (hi - lo);
+    double value = lo + fraction * (hi - lo);
+    // Never report a value the bucket did not observe: a bucket whose
+    // configured edges dwarf its data (e.g. integer counts in default
+    // time buckets, where all-zero samples sit in (-inf, 1e-6]) would
+    // otherwise interpolate into the empty part of the range.
+    const double bMin = bucketMin_[i].load(std::memory_order_relaxed);
+    const double bMax = bucketMax_[i].load(std::memory_order_relaxed);
+    if (bMin <= bMax) value = std::clamp(value, bMin, bMax);
+    return value;
   }
   return hiN;
 }
@@ -183,10 +206,7 @@ std::string MetricsRegistry::toJson() const {
 }
 
 void MetricsRegistry::writeJson(const std::string& path) const {
-  std::ofstream out(path);
-  require(out.good(), "cannot open metrics snapshot path: " + path);
-  out << toJson() << "\n";
-  require(out.good(), "failed writing metrics snapshot: " + path);
+  writeFileAtomic(path, toJson());
 }
 
 void MetricsRegistry::reset() {

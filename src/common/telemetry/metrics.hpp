@@ -75,7 +75,11 @@ class Gauge {
 /// land in the implicit overflow bucket. percentile() interpolates
 /// linearly inside the selected bucket (Prometheus histogram_quantile
 /// style), using the observed min/max to tighten the first and overflow
-/// buckets, so exact-bound observations report exact percentiles.
+/// buckets, so exact-bound observations report exact percentiles. The
+/// result is additionally clamped into the selected bucket's *observed*
+/// value range, so a quantile can never fall outside [min, max] of the
+/// data that actually landed there — integer counts observed into
+/// default time buckets used to report p50 ~ 1e-6 for all-zero samples.
 class Histogram {
  public:
   /// `bounds` must be non-empty and strictly ascending.
@@ -114,6 +118,10 @@ class Histogram {
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  // Observed value range per bucket (+inf/-inf while empty): pins
+  // percentile interpolation to values that actually occurred.
+  std::vector<std::atomic<double>> bucketMin_;
+  std::vector<std::atomic<double>> bucketMax_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_;

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/telemetry/flight_recorder.hpp"
 #include "common/telemetry/metrics.hpp"
 #include "common/telemetry/tracer.hpp"
 
@@ -19,6 +20,11 @@ namespace tkmc::telemetry {
 /// Convenience: metrics().counter("x").inc() etc.
 inline MetricsRegistry& metrics() { return MetricsRegistry::global(); }
 inline Tracer& tracer() { return Tracer::global(); }
+
+/// Always-on per-rank flight recorder (independent of enabled(); see
+/// flight_recorder.hpp). resetAll() deliberately leaves it untouched so a
+/// post-mortem dump can still cover events from before a bench reset.
+inline FlightRecorder& flightRecorder() { return FlightRecorder::global(); }
 
 /// Writes `<dir>/trace.json` (Chrome trace events) and
 /// `<dir>/metrics.json` (flat metrics snapshot), creating `dir` first.

@@ -51,6 +51,28 @@ void Tracer::instant(const char* name, int tid) {
   events_.push_back({name, 'i', ts, tid});
 }
 
+void Tracer::flowBegin(const char* name, std::uint64_t id, int tid) {
+  if (!enabled()) return;
+  const std::uint64_t ts = nowMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back({name, 's', ts, tid, id});
+}
+
+void Tracer::flowEnd(const char* name, std::uint64_t id, int tid) {
+  if (!enabled()) return;
+  const std::uint64_t ts = nowMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back({name, 'f', ts, tid, id});
+}
+
 std::size_t Tracer::eventCount() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return events_.size();
@@ -78,15 +100,23 @@ std::string Tracer::toJson() const {
   bool first = true;
   std::uint64_t lastTs = 0;
   // Dropped events (buffer at capacity) can orphan a 'B'; track the open
-  // spans so the export can close them and stay balanced.
+  // spans so the export can close them and stay balanced. Flows get the
+  // same treatment keyed by (name, id): an 'f' whose 's' was dropped is
+  // skipped, and flows still open at export (in-flight messages) are
+  // closed on the sender's lane.
   std::map<int, std::vector<const std::string*>> open;
+  std::map<std::pair<std::string, std::uint64_t>, int> openFlows;
   auto emit = [&](const std::string& name, char phase, std::uint64_t ts,
-                  int tid) {
+                  int tid, std::uint64_t id) {
     if (!first) out << ",";
     first = false;
     out << "{\"name\":\"" << escapeJson(name) << "\",\"cat\":\"tkmc\",\"ph\":\""
         << phase << "\",\"ts\":" << ts << ",\"pid\":1,\"tid\":" << tid;
     if (phase == 'i') out << ",\"s\":\"t\"";
+    if (phase == 's' || phase == 'f') {
+      out << ",\"id\":" << id;
+      if (phase == 'f') out << ",\"bp\":\"e\"";
+    }
     out << "}";
   };
   for (const TraceEvent& e : events_) {
@@ -97,24 +127,30 @@ std::string Tracer::toJson() const {
       auto& stack = open[e.tid];
       if (stack.empty()) continue;  // orphaned end (its begin was dropped)
       stack.pop_back();
+    } else if (e.phase == 's') {
+      openFlows[{e.name, e.id}] = e.tid;
+    } else if (e.phase == 'f') {
+      const auto it = openFlows.find({e.name, e.id});
+      if (it == openFlows.end()) continue;  // start was dropped at capacity
+      openFlows.erase(it);
     }
-    emit(e.name, e.phase, e.tsMicros, e.tid);
+    emit(e.name, e.phase, e.tsMicros, e.tid, e.id);
   }
   for (auto& [tid, stack] : open) {
     while (!stack.empty()) {
-      emit(*stack.back(), 'E', lastTs, tid);
+      emit(*stack.back(), 'E', lastTs, tid, 0);
       stack.pop_back();
     }
+  }
+  for (const auto& [key, tid] : openFlows) {
+    emit(key.first, 'f', lastTs, tid, key.second);
   }
   out << "],\"displayTimeUnit\":\"ms\"}";
   return out.str();
 }
 
 void Tracer::writeJson(const std::string& path) const {
-  std::ofstream out(path);
-  require(out.good(), "cannot open trace path: " + path);
-  out << toJson() << "\n";
-  require(out.good(), "failed writing trace: " + path);
+  writeFileAtomic(path, toJson());
 }
 
 void Tracer::reset() {

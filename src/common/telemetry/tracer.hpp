@@ -11,12 +11,13 @@
 namespace tkmc::telemetry {
 
 /// One Chrome trace event. `phase` follows the trace-event format:
-/// 'B' begin, 'E' end, 'i' instant.
+/// 'B' begin, 'E' end, 'i' instant, 's' flow start, 'f' flow end.
 struct TraceEvent {
   std::string name;
   char phase = 'i';
   std::uint64_t tsMicros = 0;  // microseconds since the tracer epoch
   int tid = 0;                 // lane; engines use the rank id
+  std::uint64_t id = 0;        // flow binding id ('s'/'f' only)
 };
 
 /// Collects nested spans and exports them as Chrome trace-event JSON
@@ -37,6 +38,17 @@ class Tracer {
   void begin(const char* name, int tid = 0);
   void end(const char* name, int tid = 0);
   void instant(const char* name, int tid = 0);
+
+  // Flow events: a start on the sender's lane and an end on the
+  // receiver's lane bound by (cat, name, id) render as an arrow between
+  // the two lanes in Perfetto. SimComm stamps message sends with the
+  // process-wide Lamport clock and uses that stamp as the flow id —
+  // globally unique even across ARQ channel resets, unlike the per-
+  // channel sequence numbers. The exporter skips an 'f' whose 's' was
+  // dropped at capacity and synthesizes ends for flows still open at
+  // export (in-flight messages), mirroring the span balancing.
+  void flowBegin(const char* name, std::uint64_t id, int tid = 0);
+  void flowEnd(const char* name, std::uint64_t id, int tid = 0);
 
   std::size_t eventCount() const;
   std::uint64_t dropped() const;

@@ -12,6 +12,7 @@ SerialEngine::SerialEngine(LatticeState& state, EnergyModel& model,
       rng_(config.seed), cache_(cet, state.lattice()) {
   require(!state.vacancies().empty(),
           "AKMC needs at least one vacancy to evolve");
+  telemetry::flightRecorder().configureRanks(1);
   if (config_.useVacancyCache) {
     require(model.supportsVet(),
             "vacancy cache requires a VET-capable energy backend");
@@ -57,6 +58,9 @@ void SerialEngine::refreshDirty() {
           .histogram("kmc.batch_size",
                      telemetry::Histogram::batchSizeBounds())
           .observe(static_cast<double>(dirtyScratch_.size()));
+    telemetry::flightRecorder().record(
+        0, telemetry::BlackboxEventType::kPropensityRefresh, 0,
+        dirtyScratch_.size());
     return;
   }
   for (int v = 0; v < n; ++v) {
@@ -121,6 +125,9 @@ SerialEngine::StepResult SerialEngine::step() {
 
   time_ += dt;
   ++steps_;
+  telemetry::flightRecorder().record(
+      0, telemetry::BlackboxEventType::kKmcEvent, 0, steps_,
+      static_cast<std::uint64_t>(direction));
   result.advanced = true;
   result.dt = dt;
   result.from = from;

@@ -126,12 +126,18 @@ void GhostExchange::receiveSlabs(int rank, std::vector<Subdomain>& domains,
           // receiver polling until its lease expires.
           const SimComm::PeerVerdict verdict =
               comm_.pollPeer(source, waitStart);
-          if (verdict == SimComm::PeerVerdict::kFailed)
+          if (verdict == SimComm::PeerVerdict::kFailed) {
+            const double detectMs = comm_.nowMs() - comm_.lastBeatMs(source);
+            telemetry::flightRecorder().record(
+                rank, telemetry::BlackboxEventType::kLeaseExpired, tag,
+                static_cast<std::uint64_t>(source),
+                static_cast<std::uint64_t>(detectMs));
             throw RankFailure(
-                source, comm_.nowMs() - comm_.lastBeatMs(source),
+                source, detectMs,
                 "rank " + std::to_string(source) +
                     " fail-stop: ghost slab lease expired on tag " +
                     std::to_string(tag));
+          }
           if (attempt >= maxAttempts_ &&
               verdict == SimComm::PeerVerdict::kAlive)
             throw;

@@ -244,6 +244,9 @@ void ParallelEngine::runSector(int rank, int sector) {
             .histogram("engine.batch_size",
                        telemetry::Histogram::batchSizeBounds())
             .observe(static_cast<double>(staleIdx.size()));
+      telemetry::flightRecorder().record(
+          rank, telemetry::BlackboxEventType::kPropensityRefresh, sector,
+          staleIdx.size());
     }
     double total = 0.0;
     for (std::size_t v = 0; v < sd.vacancies().size(); ++v) {
@@ -300,6 +303,9 @@ void ParallelEngine::runSector(int rank, int sector) {
     changes.push_back({from, migrating});
     changes.push_back({to, Species::kVacancy});
     ++events_;
+    telemetry::flightRecorder().record(
+        rank, telemetry::BlackboxEventType::kKmcEvent, sector, events_,
+        static_cast<std::uint64_t>(direction));
 
     // Vacancy list maintenance.
     if (sd.owns(to)) {
@@ -346,11 +352,17 @@ std::vector<std::uint8_t> ParallelEngine::receiveReliable(
         // attempt bound applies; only a truly silent peer keeps the
         // receiver polling until its lease expires.
         const SimComm::PeerVerdict verdict = comm.pollPeer(from, waitStart);
-        if (verdict == SimComm::PeerVerdict::kFailed)
-          throw RankFailure(from, comm.nowMs() - comm.lastBeatMs(from),
+        if (verdict == SimComm::PeerVerdict::kFailed) {
+          const double detectMs = comm.nowMs() - comm.lastBeatMs(from);
+          telemetry::flightRecorder().record(
+              rank, telemetry::BlackboxEventType::kLeaseExpired, tag,
+              static_cast<std::uint64_t>(from),
+              static_cast<std::uint64_t>(detectMs));
+          throw RankFailure(from, detectMs,
                             "rank " + std::to_string(from) + " fail-stop: " +
                                 what + " lease expired on tag " +
                                 std::to_string(tag));
+        }
         if (attempt >= config_.commMaxAttempts &&
             verdict == SimComm::PeerVerdict::kAlive)
           throw;
@@ -549,6 +561,9 @@ void ParallelEngine::writeEpoch(bool barrier) {
       } else {
         manifest.shards.push_back(store_->stageShard(epoch, shard));
       }
+      telemetry::flightRecorder().record(
+          r, telemetry::BlackboxEventType::kCheckpointStage, delta ? 1 : 0,
+          epoch, manifest.shards.back().bytes);
     }
     if (delta && telemetry::enabled()) {
       telemetry::metrics()
@@ -564,6 +579,9 @@ void ParallelEngine::writeEpoch(bool barrier) {
     // the diff base of the next one, and a fresh full epoch supersedes
     // every older delta.
     const auto adoptBaseline = [&](std::uint32_t manifestCrc) {
+      telemetry::flightRecorder().record(
+          0, telemetry::BlackboxEventType::kCommitEpoch, delta ? 1 : 0, epoch,
+          manifestCrc);
       baseline_.valid = true;
       baseline_.epoch = epoch;
       baseline_.manifestCrc = manifestCrc;
@@ -612,6 +630,10 @@ void ParallelEngine::executeCycle() {
     throw InvariantError("injected engine-cycle fault");
   const int sector = static_cast<int>(cycles_ % 8);
   TKMC_SPAN(kCycleSpanName[sector]);
+  for (int r = 0; r < rankCount(); ++r)
+    if (fabric_->comm.rankAlive(r))
+      telemetry::flightRecorder().record(
+          r, telemetry::BlackboxEventType::kCycle, sector, cycles_);
   {
     TKMC_SPAN("engine.sectors");
     for (int r = 0; r < rankCount(); ++r) {
@@ -632,6 +654,9 @@ void ParallelEngine::executeCycle() {
 void ParallelEngine::verifyInvariants() {
   if (vacancyCount() != expectedVacancies_) {
     ++recovery_.invariantTrips;
+    telemetry::flightRecorder().record(
+        0, telemetry::BlackboxEventType::kInvariantTrip, 0, cycles_);
+    telemetry::flightRecorder().dumpIncident("invariant_trip");
     throw InvariantError("vacancy conservation violated after cycle " +
                          std::to_string(cycles_) + ": expected " +
                          std::to_string(expectedVacancies_) + ", counted " +
@@ -641,6 +666,9 @@ void ParallelEngine::verifyInvariants() {
       cycles_ % static_cast<std::uint64_t>(config_.invariantCadence) == 0 &&
       !ghostsConsistent()) {
     ++recovery_.invariantTrips;
+    telemetry::flightRecorder().record(
+        0, telemetry::BlackboxEventType::kInvariantTrip, 1, cycles_);
+    telemetry::flightRecorder().dumpIncident("invariant_trip");
     throw InvariantError("ghost shells inconsistent after cycle " +
                          std::to_string(cycles_));
   }
@@ -723,6 +751,9 @@ void ParallelEngine::recoverFromRankFailure(const RankFailure& failure) {
   // The recovered world diffs against nothing: its next epoch is full.
   baseline_ = DeltaBaseline{};
   takeSnapshot();
+  tm::flightRecorder().record(0, tm::BlackboxEventType::kRecovery,
+                              admitted > 0 ? 1 : 0, manifest.epoch,
+                              rolledBack);
   if (tm::enabled()) {
     tm::metrics().counter("recovery.rank_failures").inc();
     tm::metrics().counter("recovery.epochs_rolled_back").add(rolledBack);
@@ -771,6 +802,13 @@ void ParallelEngine::runCycle() {
       if (!store_) throw;
       ++recovery_.rankFailures;
       tm::tracer().instant("engine.rank_failure");
+      tm::flightRecorder().record(
+          failure.rank(), tm::BlackboxEventType::kRankFailureDetected, 0,
+          static_cast<std::uint64_t>(failure.rank()),
+          static_cast<std::uint64_t>(failure.detectMs()));
+      // Dump the blackboxes *before* recovery rebuilds the world, so the
+      // post-mortem shows the state the failure was detected in.
+      tm::flightRecorder().dumpIncident("rank_failure");
       recoverFromRankFailure(failure);
       attempt = 0;
       continue;
@@ -786,6 +824,8 @@ void ParallelEngine::runCycle() {
     // does not recur deterministically on the replay.
     ++recovery_.rollbacks;
     tm::tracer().instant("engine.rollback");
+    tm::flightRecorder().record(0, tm::BlackboxEventType::kRollback, attempt,
+                                cycles_);
     TKMC_SPAN("engine.rollback_restore");
     restoreSnapshot();
   }

@@ -5,13 +5,27 @@
 #include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
+#include "common/telemetry/telemetry.hpp"
 
 namespace tkmc {
 namespace {
 
+namespace tm = telemetry;
+
 std::string channelName(int from, int to, int tag) {
   return "(" + std::to_string(from) + " -> " + std::to_string(to) +
          ", tag " + std::to_string(tag) + ")";
+}
+
+// Flow-event name per message class so the trace UI groups arrows by
+// protocol. Tag values match the engine's channel map (DESIGN.md §14):
+// fold 50, commit votes 60/61, ghost-exchange slabs >= 100.
+const char* flowName(int tag) {
+  if (tag == 50) return "flow.fold";
+  if (tag == 60) return "flow.vote";
+  if (tag == 61) return "flow.commit";
+  if (tag >= 100) return "flow.ghost";
+  return "flow.msg";
 }
 
 }  // namespace
@@ -21,6 +35,7 @@ SimComm::SimComm(int ranks)
                             true),
       beats_(ranks > 0 ? ranks : 1, 0.0) {
   require(ranks > 0, "communicator needs at least one rank");
+  tm::flightRecorder().configureRanks(ranks);
 }
 
 void SimComm::send(int from, int to, int tag,
@@ -44,7 +59,10 @@ void SimComm::send(int from, int to, int tag,
   Frame frame;
   frame.seq = nextSendSeq_[key]++;
   frame.crc = crc32(payload.data(), payload.size());
+  frame.lamport = tm::flightRecorder().lamportTick();
   frame.payload = std::move(payload);
+  tm::flightRecorder().record(from, tm::BlackboxEventType::kCommSend, tag,
+                              frame.seq, frame.payload.size());
   // Injectable link failures. Corruption happens after framing so the
   // CRC no longer matches; an empty payload corrupts the checksum field
   // itself (same detection path).
@@ -57,6 +75,9 @@ void SimComm::send(int from, int to, int tag,
   const bool dropped = faultFires("comm.drop");
   const bool duplicated = faultFires("comm.duplicate");
   if (dropped) return;  // seq already advanced -> receiver sees the gap
+  // Flow start only for frames that actually enter the mailbox — a
+  // dropped frame must not leave a dangling arrow in the trace.
+  tm::tracer().flowBegin(flowName(tag), frame.lamport, from);
   auto& box = mailboxes_[key];
   if (duplicated) box.push_back(frame);
   box.push_back(std::move(frame));
@@ -87,9 +108,16 @@ std::vector<std::uint8_t> SimComm::receive(int to, int from, int tag) {
   Frame frame = std::move(it->second.front());
   it->second.pop_front();
   if (it->second.empty()) mailboxes_.erase(it);
+  // The frame did cross the link (even if it now fails validation):
+  // fold the sender's Lamport stamp in and close its flow arrow, so
+  // causality and the trace stay intact on every outcome below.
+  tm::flightRecorder().lamportObserve(frame.lamport);
+  tm::tracer().flowEnd(flowName(tag), frame.lamport, to);
   if (frame.seq > expected) {
     const std::uint64_t wanted = expected;
     expected = frame.seq + 1;
+    tm::flightRecorder().record(to, tm::BlackboxEventType::kCommError, tag,
+                                frame.seq, 1 /* sequence gap */);
     throw CommError("message lost on " + channelName(from, to, tag) +
                     ": expected seq " + std::to_string(wanted) + ", got seq " +
                     std::to_string(frame.seq));
@@ -97,9 +125,13 @@ std::vector<std::uint8_t> SimComm::receive(int to, int from, int tag) {
   expected = frame.seq + 1;
   if (crc32(frame.payload.data(), frame.payload.size()) != frame.crc) {
     ++crcFailures_;
+    tm::flightRecorder().record(to, tm::BlackboxEventType::kCommError, tag,
+                                frame.seq, 2 /* CRC mismatch */);
     throw CommError("message corrupt on " + channelName(from, to, tag) +
                     ": payload failed CRC32 framing check");
   }
+  tm::flightRecorder().record(to, tm::BlackboxEventType::kCommRecv, tag,
+                              frame.seq, frame.lamport);
   return std::move(frame.payload);
 }
 
@@ -160,6 +192,9 @@ void SimComm::resetAllChannels() {
 
 void SimComm::killRank(int rank) {
   require(rank >= 0 && rank < ranks_, "rank out of range");
+  if (alive_[static_cast<std::size_t>(rank)])
+    tm::flightRecorder().record(rank, tm::BlackboxEventType::kRankKilled, 0,
+                                static_cast<std::uint64_t>(rank));
   alive_[static_cast<std::size_t>(rank)] = false;
 }
 

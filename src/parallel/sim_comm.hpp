@@ -144,6 +144,12 @@ class SimComm {
   struct Frame {
     std::uint64_t seq = 0;
     std::uint32_t crc = 0;
+    // Sender's Lamport stamp at send time. The receive side folds it into
+    // its own clock (lamportObserve), so per-rank flight-recorder dumps
+    // merge into a causally ordered timeline; it doubles as the flow id
+    // binding send/recv trace events (globally unique, unlike seq, which
+    // resets per channel on ARQ retries).
+    std::uint64_t lamport = 0;
     std::vector<std::uint8_t> payload;
   };
 

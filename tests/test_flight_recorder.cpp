@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "common/rng.hpp"
+#include "common/telemetry/telemetry.hpp"
+#include "kmc/eam_energy_model.hpp"
+#include "parallel/parallel_engine.hpp"
+
+namespace tkmc {
+namespace {
+
+namespace tm = telemetry;
+using tm::BlackboxEvent;
+using tm::BlackboxEventType;
+using tm::FlightRecorder;
+
+std::string tempDir(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+// --- Ring semantics ----------------------------------------------------
+
+TEST(FlightRecorder, RingWrapsKeepingTheNewestCapacityEvents) {
+  FlightRecorder rec;
+  rec.setCapacity(16);
+  rec.configureRanks(1);
+  for (int i = 0; i < 40; ++i)
+    rec.record(0, BlackboxEventType::kMarker, i, static_cast<std::uint64_t>(i));
+  EXPECT_EQ(rec.recordedTotal(0), 40u);
+  const std::vector<BlackboxEvent> events = rec.snapshot(0);
+  ASSERT_EQ(events.size(), 16u);
+  // Oldest-to-newest: the surviving events are 24..39.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, 24 + i);
+    EXPECT_EQ(events[i].tag, static_cast<std::int32_t>(24 + i));
+    EXPECT_EQ(events[i].rank, 0);
+  }
+}
+
+TEST(FlightRecorder, SnapshotBeforeWrapReturnsOnlyRecordedEvents) {
+  FlightRecorder rec;
+  rec.setCapacity(16);
+  rec.configureRanks(1);
+  for (int i = 0; i < 5; ++i) rec.record(0, BlackboxEventType::kCycle, i);
+  EXPECT_EQ(rec.recordedTotal(0), 5u);
+  EXPECT_EQ(rec.snapshot(0).size(), 5u);
+}
+
+TEST(FlightRecorder, LamportStampsAreStrictlyMonotonePerProcess) {
+  FlightRecorder rec;
+  rec.setCapacity(64);
+  rec.configureRanks(2);
+  for (int i = 0; i < 30; ++i)
+    rec.record(i % 2, BlackboxEventType::kMarker, i);
+  for (int rank = 0; rank < 2; ++rank) {
+    const auto events = rec.snapshot(rank);
+    for (std::size_t i = 1; i < events.size(); ++i)
+      EXPECT_GT(events[i].lamport, events[i - 1].lamport) << "rank " << rank;
+  }
+}
+
+TEST(FlightRecorder, LamportObserveFoldsPeerStampsIn) {
+  FlightRecorder rec;
+  const std::uint64_t first = rec.lamportTick();
+  EXPECT_EQ(first, 1u);
+  rec.lamportObserve(100);  // a message from a peer far ahead
+  EXPECT_EQ(rec.lamportTick(), 101u);
+  rec.lamportObserve(5);  // stale stamps never rewind the clock
+  EXPECT_EQ(rec.lamportTick(), 102u);
+}
+
+TEST(FlightRecorder, DisabledRecorderAndOutOfRangeRanksAreNoOps) {
+  FlightRecorder rec;
+  rec.setCapacity(8);
+  rec.configureRanks(1);
+  rec.setEnabled(false);
+  rec.record(0, BlackboxEventType::kMarker);
+  EXPECT_EQ(rec.recordedTotal(0), 0u);
+  rec.setEnabled(true);
+  rec.record(7, BlackboxEventType::kMarker);  // ring 7 was never configured
+  rec.record(-1, BlackboxEventType::kMarker);
+  EXPECT_EQ(rec.recordedTotal(0), 0u);
+  EXPECT_EQ(rec.rankCount(), 1);
+}
+
+TEST(FlightRecorder, ConfigureRanksGrowsWithoutDroppingExistingRings) {
+  FlightRecorder rec;
+  rec.setCapacity(8);
+  rec.configureRanks(1);
+  rec.record(0, BlackboxEventType::kMarker, 0, 42);
+  rec.configureRanks(4);
+  EXPECT_EQ(rec.rankCount(), 4);
+  ASSERT_EQ(rec.snapshot(0).size(), 1u);
+  EXPECT_EQ(rec.snapshot(0)[0].a, 42u);
+}
+
+// --- Dump file round-trip ----------------------------------------------
+
+TEST(FlightRecorder, DumpRoundTripsThroughTheBinaryFormat) {
+  const std::string dir = tempDir("tkmc_blackbox_roundtrip");
+  FlightRecorder rec;
+  rec.setCapacity(32);
+  rec.configureRanks(2);
+  for (int i = 0; i < 50; ++i)
+    rec.record(i % 2, BlackboxEventType::kKmcEvent, i % 8,
+               static_cast<std::uint64_t>(i), 3);
+  rec.setDumpDir(dir);
+  EXPECT_EQ(rec.dumpAll(), 2);
+
+  for (int rank = 0; rank < 2; ++rank) {
+    const std::string path =
+        dir + "/blackbox_rank" + std::to_string(rank) + ".bin";
+    const FlightRecorder::Dump dump = FlightRecorder::readDump(path);
+    EXPECT_EQ(dump.rank, rank);
+    EXPECT_EQ(dump.capacity, 32u);
+    EXPECT_EQ(dump.totalRecorded, 25u);
+    const auto expected = rec.snapshot(rank);
+    ASSERT_EQ(dump.events.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(dump.events[i].lamport, expected[i].lamport);
+      EXPECT_EQ(dump.events[i].a, expected[i].a);
+      EXPECT_EQ(dump.events[i].type, expected[i].type);
+    }
+  }
+}
+
+TEST(FlightRecorder, DumpAllWithoutAnArmedDirectoryWritesNothing) {
+  FlightRecorder rec;
+  rec.setCapacity(8);
+  rec.configureRanks(1);
+  rec.record(0, BlackboxEventType::kMarker);
+  EXPECT_EQ(rec.dumpAll(), 0);
+}
+
+TEST(FlightRecorder, CorruptedDumpFailsTheCrcCheck) {
+  const std::string dir = tempDir("tkmc_blackbox_corrupt");
+  std::vector<BlackboxEvent> events(3);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    events[i].lamport = i + 1;
+    events[i].a = 7 * i;
+  }
+  const std::string path = dir + "/blackbox_rank0.bin";
+  std::filesystem::create_directories(dir);
+  FlightRecorder::writeDump(path, 0, 8, 3, events);
+  ASSERT_NO_THROW((void)FlightRecorder::readDump(path));
+
+  // Flip one payload byte in the middle: the CRC footer must catch it.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(60);
+    char byte = 0;
+    f.seekg(60);
+    f.read(&byte, 1);
+    byte ^= 0x40;
+    f.seekp(60);
+    f.write(&byte, 1);
+  }
+  EXPECT_THROW((void)FlightRecorder::readDump(path), IoError);
+
+  // Truncation must fail too, not decode a partial ring.
+  FlightRecorder::writeDump(path, 0, 8, 3, events);
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 9);
+  EXPECT_THROW((void)FlightRecorder::readDump(path), IoError);
+}
+
+TEST(FlightRecorder, DumpIncidentAppendsAReasonMarkerToEveryRing) {
+  const std::string dir = tempDir("tkmc_blackbox_incident");
+  FlightRecorder rec;
+  rec.setCapacity(8);
+  rec.configureRanks(2);
+  rec.record(0, BlackboxEventType::kMarker);
+  rec.setDumpDir(dir);
+  EXPECT_EQ(rec.dumpIncident("on_demand"), 2);
+  for (int rank = 0; rank < 2; ++rank) {
+    const auto dump = FlightRecorder::readDump(
+        dir + "/blackbox_rank" + std::to_string(rank) + ".bin");
+    ASSERT_FALSE(dump.events.empty());
+    const BlackboxEvent& last = dump.events.back();
+    EXPECT_EQ(last.type,
+              static_cast<std::uint16_t>(BlackboxEventType::kDump));
+    EXPECT_EQ(last.a, tm::fnv1a64("on_demand"));
+  }
+}
+
+TEST(FlightRecorder, Fnv1a64MatchesTheReferenceVectors) {
+  EXPECT_EQ(tm::fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(tm::fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(FlightRecorder, TypeNamesCoverTheEnum) {
+  EXPECT_STREQ(FlightRecorder::typeName(BlackboxEventType::kKmcEvent),
+               "kmc_event");
+  EXPECT_STREQ(FlightRecorder::typeName(BlackboxEventType::kDump), "dump");
+  EXPECT_STREQ(FlightRecorder::typeName(BlackboxEventType::kRankKilled),
+               "rank_killed");
+}
+
+// --- Dump on rank failure (end-to-end) ---------------------------------
+
+constexpr double kCutoff = 4.0;
+
+struct ParallelWorld {
+  ParallelWorld(std::uint64_t seed, int cells = 16, int vacancies = 6)
+      : cet(2.87, kCutoff), net(cet), eam(kCutoff),
+        lattice(cells, cells, cells, 2.87), state(lattice) {
+    Rng rng(seed);
+    state.randomAlloy(0.12, vacancies, rng);
+  }
+
+  Cet cet;
+  Net net;
+  EamPotential eam;
+  BccLattice lattice;
+  LatticeState state;
+};
+
+TEST(FlightRecorder, RankFailureDumpsADecodablePostMortem) {
+  // The engine instruments the GLOBAL recorder: arm its dump dir, kill a
+  // rank mid-protocol, and require that recovery left one decodable
+  // blackbox per rank with the failure chain (lease expiry -> detection
+  // -> dump marker) on record.
+  const std::string ckptDir = tempDir("tkmc_blackbox_failstop_ckpt");
+  const std::string dumpDir = tempDir("tkmc_blackbox_failstop_dump");
+  FlightRecorder& rec = tm::flightRecorder();
+  rec.reset();
+  const std::string previousDir = rec.dumpDir();
+  rec.setDumpDir(dumpDir);
+
+  ParallelWorld w(35);
+  EamEnergyModel model(w.cet, w.net, w.eam);
+  ParallelConfig cfg;
+  cfg.seed = 45;
+  cfg.tStop = 5e-8;
+  cfg.rankGrid = {2, 2, 1};
+  cfg.checkpointDir = ckptDir;
+  cfg.checkpointCadence = 1;
+  cfg.heartbeatIntervalMs = 5.0;
+  cfg.heartbeatTimeoutMs = 20.0;
+  ParallelEngine engine(w.state, model, w.cet, cfg);
+  {
+    FaultInjector inj(14);
+    inj.armSchedule("comm.rank_kill", {10});
+    FaultScope scope(inj);
+    for (int c = 0; c < 3; ++c) engine.runCycle();
+  }
+  ASSERT_EQ(engine.recoveryStats().rankFailures, 1u);
+
+  int decoded = 0;
+  bool sawFailure = false, sawDumpMarker = false, sawLeaseExpiry = false;
+  for (int rank = 0; rank < 4; ++rank) {
+    const std::string path =
+        dumpDir + "/blackbox_rank" + std::to_string(rank) + ".bin";
+    ASSERT_TRUE(std::filesystem::exists(path)) << path;
+    const FlightRecorder::Dump dump = FlightRecorder::readDump(path);
+    ++decoded;
+    for (const BlackboxEvent& e : dump.events) {
+      const auto type = static_cast<BlackboxEventType>(e.type);
+      if (type == BlackboxEventType::kRankFailureDetected) sawFailure = true;
+      if (type == BlackboxEventType::kLeaseExpired) sawLeaseExpiry = true;
+      if (type == BlackboxEventType::kDump &&
+          e.a == tm::fnv1a64("rank_failure"))
+        sawDumpMarker = true;
+    }
+  }
+  EXPECT_EQ(decoded, 4);
+  EXPECT_TRUE(sawLeaseExpiry);
+  EXPECT_TRUE(sawFailure);
+  EXPECT_TRUE(sawDumpMarker);
+
+  rec.setDumpDir(previousDir);
+  rec.reset();
+}
+
+}  // namespace
+}  // namespace tkmc

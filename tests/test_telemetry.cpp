@@ -7,10 +7,13 @@
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <new>
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "common/telemetry/json.hpp"
 #include "common/telemetry/telemetry.hpp"
 #include "parallel/coordinated_checkpoint.hpp"
@@ -84,6 +87,27 @@ TEST(Histogram, OverflowBucketUsesObservedMax) {
   EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
   EXPECT_GE(h.percentile(50), 10.0);
   EXPECT_LE(h.percentile(50), 100.0);
+}
+
+TEST(Histogram, QuantilesStayWithinTheObservedRange) {
+  // Regression: checkpoint.delta_pages uses the default time-scale
+  // bounds but observes small integer page counts. Interpolating inside
+  // a sub-microsecond bucket reported p50 = 8.3e-07 for a series whose
+  // median sample was exactly 0. A quantile must never leave the
+  // observed [min, max] of the bucket it lands in.
+  ScopedEnable on;
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("checkpoint.delta_pages");
+  for (int i = 0; i < 9; ++i) h.observe(0.0);
+  for (double v : {1.0, 1.0, 1.0, 2.0, 3.0, 3.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 15u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);  // 9 of 15 samples are zero
+  EXPECT_DOUBLE_EQ(h.percentile(95), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 3.0);
+  for (double p : {1.0, 10.0, 25.0, 75.0, 90.0, 100.0}) {
+    EXPECT_GE(h.percentile(p), 0.0) << "p" << p;
+    EXPECT_LE(h.percentile(p), 3.0) << "p" << p;
+  }
 }
 
 TEST(Histogram, EmptyReportsZero) {
@@ -173,6 +197,74 @@ TEST(Tracer, CapacityDropsAreCountedAndExportStaysBalanced) {
   // The exporter appends synthetic 'E' events for the still-open spans.
   EXPECT_EQ(begins, 2);
   EXPECT_EQ(ends, 2);
+}
+
+TEST(Tracer, FlowEventsExportAsMatchedArrowPairs) {
+  ScopedEnable on;
+  Tracer t;
+  t.flowBegin("flow.fold", 7, 0);
+  t.flowEnd("flow.fold", 7, 1);
+  t.flowBegin("flow.ghost", 9, 2);  // never finished: close synthesized
+  t.flowEnd("flow.msg", 11, 3);     // orphan finish: must be skipped
+
+  const JsonValue doc = JsonValue::parse(t.toJson());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int starts = 0;
+  int finishes = 0;
+  for (const JsonValue& e : events->array) {
+    const std::string& ph = e.find("ph")->str;
+    if (ph != "s" && ph != "f") continue;
+    EXPECT_NE(e.find("name")->str, "flow.msg") << "orphan finish exported";
+    const JsonValue* id = e.find("id");
+    ASSERT_NE(id, nullptr);
+    EXPECT_TRUE(id->number == 7.0 || id->number == 9.0);
+    if (ph == "s") ++starts;
+    if (ph == "f") {
+      ++finishes;
+      // Binding point "enclosing slice" is what draws the arrow to the
+      // event under the finish, not just to the track.
+      ASSERT_NE(e.find("bp"), nullptr);
+      EXPECT_EQ(e.find("bp")->str, "e");
+    }
+  }
+  EXPECT_EQ(starts, 2);
+  EXPECT_EQ(finishes, 2);  // matched fold + synthesized ghost close
+}
+
+TEST(Telemetry, WriteAllTearLeavesThePreviousSnapshotIntact) {
+  // writeAll() goes through writeFileAtomic (temp + rename): a crash
+  // mid-write — simulated by the telemetry.write_tear fault point —
+  // must never tear a previously published metrics.json.
+  resetAll();
+  ScopedEnable on;
+  const auto dir = std::filesystem::temp_directory_path() / "tkmc_tm_tear";
+  std::filesystem::remove_all(dir);
+  metrics().counter("tear.marker").inc();
+  writeAll(dir.string());
+
+  const auto readFile = [&] {
+    std::ifstream in(dir / "metrics.json");
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  const JsonValue first = JsonValue::parse(readFile());
+  EXPECT_DOUBLE_EQ(first.find("counters")->find("tear.marker")->number, 1.0);
+
+  metrics().counter("tear.marker").inc();  // would publish 2
+  FaultInjector inj(7);
+  // writeAll writes trace.json first, metrics.json second: hit ordinal 2
+  // tears the metrics write after its temp file is half-written.
+  inj.armSchedule("telemetry.write_tear", {2});
+  FaultScope scope(inj);
+  EXPECT_THROW(writeAll(dir.string()), IoError);
+  EXPECT_EQ(inj.triggerCount("telemetry.write_tear"), 1u);
+
+  // The published file is still the complete previous snapshot.
+  const JsonValue after = JsonValue::parse(readFile());
+  EXPECT_DOUBLE_EQ(after.find("counters")->find("tear.marker")->number, 1.0);
+  std::filesystem::remove_all(dir);
+  resetAll();
 }
 
 TEST(Telemetry, DisabledPathAllocatesNothing) {

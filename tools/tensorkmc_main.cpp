@@ -11,6 +11,7 @@
 // trace-event format, loadable in chrome://tracing or Perfetto) plus
 // `<dir>/metrics.json` (flat snapshot) on exit.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -34,13 +35,17 @@ namespace {
 
 void printUsage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s -in <deck> [--telemetry <dir>]\n"
+               "usage: %s -in <deck> [--telemetry <dir>] [--blackbox-dump]\n"
                "          [--inject <point>=<spec>]... [--inject-seed <n>]\n"
                "       %s --help\n\n"
                "Runs a TensorKMC AKMC simulation described by a key-value\n"
                "input deck (see tools/sample_input.tkmc for the format).\n"
                "--telemetry records metrics + tracing spans and writes\n"
                "<dir>/trace.json and <dir>/metrics.json on exit.\n"
+               "The per-rank flight recorder is always on; it dumps\n"
+               "<dir>/blackbox_rank<R>.bin on rank failures, invariant\n"
+               "trips, and fatal signals (decode with tkmc_blackbox).\n"
+               "--blackbox-dump also writes the dumps on normal exit.\n"
                "--inject arms a fault point for chaos drills; <spec> is\n"
                "p<prob> (per-hit probability), once, or a comma list of\n"
                "1-based hit ordinals, e.g. --inject comm.rank_kill=40 or\n"
@@ -48,6 +53,20 @@ void printUsage(const char* argv0) {
                "registered fault point and exits. --inject-seed picks\n"
                "the injector's RNG stream (default 0).\n",
                argv0, argv0);
+}
+
+// Fatal-signal path: flush the flight recorder, then let the default
+// handler produce the usual core/termination. Only async-signal-unsafe
+// in ways that no longer matter — the process is already dying.
+void blackboxSignalHandler(int sig) {
+  telemetry::flightRecorder().dumpIncident("fatal_signal");
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void installBlackboxSignalHandlers() {
+  for (const int sig : {SIGSEGV, SIGABRT, SIGFPE, SIGBUS, SIGILL})
+    std::signal(sig, blackboxSignalHandler);
 }
 
 /// Parses one --inject argument ("point=spec") into `injector`.
@@ -273,11 +292,14 @@ int main(int argc, char** argv) {
   std::string telemetryDir;
   std::vector<std::string> injections;
   std::uint64_t injectSeed = 0;
+  bool blackboxOnExit = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-in") == 0 && i + 1 < argc) {
       deckPath = argv[++i];
     } else if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
       telemetryDir = argv[++i];
+    } else if (std::strcmp(argv[i], "--blackbox-dump") == 0) {
+      blackboxOnExit = true;
     } else if (std::strcmp(argv[i], "--inject") == 0 && i + 1 < argc) {
       if (std::strcmp(argv[i + 1], "list") == 0) {
         std::printf("registered fault-injection points:\n");
@@ -312,6 +334,11 @@ int main(int argc, char** argv) {
       telemetry::setEnabled(true);
       std::printf("telemetry: recording to %s\n", telemetryDir.c_str());
     }
+    // Blackbox dumps land next to the telemetry output (or in a default
+    // directory without --telemetry) when an incident fires mid-run.
+    telemetry::flightRecorder().setDumpDir(
+        telemetryDir.empty() ? "tkmc_blackbox" : telemetryDir);
+    installBlackboxSignalHandlers();
 
     FaultInjector injector(injectSeed);
     std::unique_ptr<FaultScope> faultScope;
@@ -363,6 +390,11 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(
                       telemetry::tracer().dropped()),
                   telemetryDir.c_str());
+    }
+    if (blackboxOnExit) {
+      const int dumped = telemetry::flightRecorder().dumpAll();
+      std::printf("blackbox: wrote %d dump(s) to %s\n", dumped,
+                  telemetry::flightRecorder().dumpDir().c_str());
     }
     return status;
   } catch (const std::exception& e) {

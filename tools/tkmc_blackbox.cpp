@@ -1,0 +1,206 @@
+// Blackbox post-mortem decoder.
+//
+// The flight recorder dumps one `blackbox_rank<R>.bin` per rank when a
+// run hits a rank failure, an invariant trip, or a fatal signal (see
+// src/common/telemetry/flight_recorder.hpp for the format).
+//
+//   tkmc_blackbox decode <file> [--tail N]
+//     prints one dump, oldest to newest.
+//   tkmc_blackbox merge <dir> [--tail N]
+//     decodes every blackbox_rank*.bin in <dir> and prints one timeline
+//     ordered by (lamport, timestamp, rank) — the Lamport stamps carry
+//     the cross-rank send/receive causality, so the merged view shows
+//     what each rank knew when.
+//
+// Exit status: 0 on success, 1 on any unreadable/corrupt dump (CI uses
+// this as the decode smoke check after chaos soaks).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.hpp"
+#include "common/telemetry/flight_recorder.hpp"
+
+using tkmc::telemetry::BlackboxEvent;
+using tkmc::telemetry::BlackboxEventType;
+using tkmc::telemetry::FlightRecorder;
+using tkmc::telemetry::fnv1a64;
+
+namespace {
+
+// Hashes the recorder may have stored in `a` (fault points and dump
+// reasons), reversed for display. Unknown hashes print as hex.
+const std::map<std::uint64_t, std::string>& knownHashes() {
+  static const std::map<std::uint64_t, std::string> kKnown = [] {
+    std::map<std::uint64_t, std::string> m;
+    for (const tkmc::FaultPointInfo& p : tkmc::faultPointCatalog())
+      m[fnv1a64(p.name)] = p.name;
+    for (const char* reason :
+         {"rank_failure", "invariant_trip", "fatal_signal", "on_demand"})
+      m[fnv1a64(reason)] = reason;
+    return m;
+  }();
+  return kKnown;
+}
+
+std::string hashName(std::uint64_t h) {
+  const auto it = knownHashes().find(h);
+  if (it != knownHashes().end()) return it->second;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+void printEvent(const BlackboxEvent& e) {
+  const auto type = static_cast<BlackboxEventType>(e.type);
+  std::printf("  %8llu  %10llu us  rank %2d  %-18s",
+              static_cast<unsigned long long>(e.lamport),
+              static_cast<unsigned long long>(e.tsMicros), e.rank,
+              FlightRecorder::typeName(type));
+  switch (type) {
+    case BlackboxEventType::kFaultInjected:
+      std::printf("  point=%s fire#%llu", hashName(e.a).c_str(),
+                  static_cast<unsigned long long>(e.b));
+      break;
+    case BlackboxEventType::kDump:
+      std::printf("  reason=%s", hashName(e.a).c_str());
+      break;
+    default:
+      std::printf("  tag=%d a=%llu b=%llu", e.tag,
+                  static_cast<unsigned long long>(e.a),
+                  static_cast<unsigned long long>(e.b));
+  }
+  std::printf("\n");
+}
+
+/// Per-ring sanity: Lamport stamps must be strictly increasing within a
+/// single rank's dump (each record ticks the clock). A violation means
+/// the dump is interleaved or the format drifted.
+bool lamportMonotone(const FlightRecorder::Dump& dump) {
+  for (std::size_t i = 1; i < dump.events.size(); ++i)
+    if (dump.events[i].lamport <= dump.events[i - 1].lamport) return false;
+  return true;
+}
+
+int decodeOne(const std::string& path, std::size_t tail) {
+  FlightRecorder::Dump dump;
+  try {
+    dump = FlightRecorder::readDump(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("%s: rank %d, %zu event(s) kept of %llu recorded "
+              "(ring capacity %llu)\n",
+              path.c_str(), dump.rank, dump.events.size(),
+              static_cast<unsigned long long>(dump.totalRecorded),
+              static_cast<unsigned long long>(dump.capacity));
+  if (!lamportMonotone(dump)) {
+    std::fprintf(stderr,
+                 "error: %s: Lamport stamps are not strictly increasing\n",
+                 path.c_str());
+    return 1;
+  }
+  const std::size_t skip =
+      tail > 0 && dump.events.size() > tail ? dump.events.size() - tail : 0;
+  if (skip > 0) std::printf("  ... %zu earlier event(s) elided\n", skip);
+  for (std::size_t i = skip; i < dump.events.size(); ++i)
+    printEvent(dump.events[i]);
+  return 0;
+}
+
+int mergeDir(const std::string& dir, std::size_t tail) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("blackbox_rank", 0) == 0 &&
+        name.size() > 4 && name.substr(name.size() - 4) == ".bin")
+      files.push_back(entry.path().string());
+  }
+  if (ec) {
+    std::fprintf(stderr, "error: cannot read %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "error: no blackbox_rank*.bin files in %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<BlackboxEvent> merged;
+  for (const std::string& path : files) {
+    FlightRecorder::Dump dump;
+    try {
+      dump = FlightRecorder::readDump(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    if (!lamportMonotone(dump)) {
+      std::fprintf(stderr,
+                   "error: %s: Lamport stamps are not strictly increasing\n",
+                   path.c_str());
+      return 1;
+    }
+    merged.insert(merged.end(), dump.events.begin(), dump.events.end());
+  }
+  // Lamport first (causal order across ranks), wall time and rank as
+  // tie-breakers for a deterministic listing.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const BlackboxEvent& x, const BlackboxEvent& y) {
+                     if (x.lamport != y.lamport) return x.lamport < y.lamport;
+                     if (x.tsMicros != y.tsMicros)
+                       return x.tsMicros < y.tsMicros;
+                     return x.rank < y.rank;
+                   });
+  std::printf("merged timeline: %zu event(s) from %zu rank dump(s) in %s\n",
+              merged.size(), files.size(), dir.c_str());
+  const std::size_t skip =
+      tail > 0 && merged.size() > tail ? merged.size() - tail : 0;
+  if (skip > 0) std::printf("  ... %zu earlier event(s) elided\n", skip);
+  for (std::size_t i = skip; i < merged.size(); ++i) printEvent(merged[i]);
+  return 0;
+}
+
+void printUsage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s decode <dump.bin> [--tail N]\n"
+               "       %s merge <dir> [--tail N]\n\n"
+               "Decodes flight-recorder blackbox dumps written by the\n"
+               "tensorkmc driver (blackbox_rank<R>.bin). `merge` combines\n"
+               "every rank dump in <dir> into one causally ordered\n"
+               "timeline via the recorded Lamport stamps.\n",
+               argv0, argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    printUsage(argv[0]);
+    return 2;
+  }
+  const std::string command = argv[1];
+  const std::string target = argv[2];
+  std::size_t tail = 0;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tail") == 0 && i + 1 < argc) {
+      tail = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else {
+      printUsage(argv[0]);
+      return 2;
+    }
+  }
+  if (command == "decode") return decodeOne(target, tail);
+  if (command == "merge") return mergeDir(target, tail);
+  printUsage(argv[0]);
+  return 2;
+}
