@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # One-command PR gate: the tier-1 verify (default build + full ctest
-# suite) followed by the sanitized configuration
-# (scripts/run_sanitized.sh: ASan+UBSan build, fault-tolerance suite).
-# Exits non-zero the moment either configuration fails, so both gate
-# every PR.
+# suite) followed by the sanitized configurations
+# (scripts/run_sanitized.sh: ASan+UBSan over the fault-tolerance suite,
+# then a ThreadSanitizer smoke over the threaded-backend and concurrent-
+# singleton tests). Exits non-zero the moment any configuration fails,
+# so all of them gate every PR.
 #
 # Usage:
 #   scripts/ci.sh            # tier-1 + sanitized fault-tolerance suite
@@ -28,12 +29,14 @@ echo "==> bench gate: regenerate gated benchmarks"
 "$BUILD_DIR/bench/bench_delta_checkpoint"
 "$BUILD_DIR/bench/bench_batch_pipeline"
 "$BUILD_DIR/bench/bench_memory_footprint"
+"$BUILD_DIR/bench/bench_threaded_scaling"
 
 echo "==> bench gate: compare against bench/baselines (scripts/bench_gate.py)"
 python3 scripts/bench_gate.py \
   BENCH_delta_checkpoint.metrics.json \
   BENCH_batch_pipeline.metrics.json \
-  BENCH_memory_footprint.metrics.json
+  BENCH_memory_footprint.metrics.json \
+  BENCH_threaded_scaling.metrics.json
 
 echo "==> sanitized: TKMC_SANITIZE=address;undefined"
 if [ -n "$SANITIZED_FILTER" ]; then
@@ -41,5 +44,9 @@ if [ -n "$SANITIZED_FILTER" ]; then
 else
   scripts/run_sanitized.sh
 fi
+
+echo "==> sanitized: TKMC_SANITIZE=thread (threaded backend smoke)"
+TKMC_SANITIZE=thread scripts/run_sanitized.sh \
+  "threaded_engine|sim_comm|fault_injection|flight_recorder|telemetry"
 
 echo "==> ci.sh: all gates passed"

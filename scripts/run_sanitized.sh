@@ -1,28 +1,38 @@
 #!/usr/bin/env bash
-# Builds the tree under AddressSanitizer + UndefinedBehaviorSanitizer and
-# runs the fault-tolerance test suite there (the failure paths exercised
-# by fault injection are exactly where memory bugs like to hide).
+# Builds the tree under a sanitizer configuration and runs the
+# fault-tolerance test suite there (the failure paths exercised by fault
+# injection are exactly where memory bugs like to hide).
 #
-# Usage:
-#   scripts/run_sanitized.sh          # fault-tolerance tests only
-#   scripts/run_sanitized.sh all      # the whole ctest suite
-#   scripts/run_sanitized.sh <regex>  # custom ctest -R filter
+# The sanitizer set comes from TKMC_SANITIZE (semicolon-separated, the
+# same list CMake consumes) and defaults to ASan+UBSan. Each flavor gets
+# its own build directory so switching sets never mixes cached flags:
+#
+#   scripts/run_sanitized.sh                        # asan+ubsan, FT suite
+#   scripts/run_sanitized.sh all                    # asan+ubsan, whole suite
+#   TKMC_SANITIZE=thread scripts/run_sanitized.sh   # TSan, FT suite
+#   scripts/run_sanitized.sh <regex>                # custom ctest -R filter
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${BUILD_DIR:-build-sanitized}
-FILTER=${1:-"fault_injection|checkpoint|sim_comm|ghost_exchange|parallel_engine|rank_failure"}
+SANITIZERS=${TKMC_SANITIZE:-"address;undefined"}
+FLAVOR=$(echo "$SANITIZERS" | tr ';,' '--')
+BUILD_DIR=${BUILD_DIR:-build-sanitized/$FLAVOR}
+FILTER=${1:-"fault_injection|checkpoint|sim_comm|ghost_exchange|parallel_engine|rank_failure|threaded_engine"}
 
+echo "==> sanitized build: TKMC_SANITIZE=$SANITIZERS ($BUILD_DIR)"
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DTKMC_SANITIZE="address;undefined" \
+  -DTKMC_SANITIZE="$SANITIZERS" \
   -DTKMC_BUILD_BENCH=OFF \
   -DTKMC_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j
 
 cd "$BUILD_DIR"
+# Note: ctest's bare `-j` greedily consumes the next argument, which
+# used to swallow `-R` and silently run the whole suite; always pass an
+# explicit parallel level.
 if [ "$FILTER" = "all" ]; then
-  ctest --output-on-failure -j
+  ctest --output-on-failure -j "$(nproc)"
 else
-  ctest --output-on-failure -j -R "$FILTER"
+  ctest --output-on-failure -j "$(nproc)" -R "$FILTER"
 fi

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -23,6 +24,21 @@ namespace tkmc {
 /// and arming always fails at the same hits, which makes failure-path
 /// tests reproducible.
 ///
+/// Thread safety: every method is mutex-guarded, so concurrently probed
+/// points (the threaded execution backend's rank threads all pass
+/// through SimComm::send) count hits and draw without data races. Note
+/// that in the default *global-stream* mode the hit ordinals of a point
+/// probed from several threads depend on scheduling, so armSchedule()
+/// reproduces exactly only when the point is probed from one thread at
+/// a time (or the run is sequential). For interleaving-independent
+/// reproduction under the threaded backend, setChannelStreams(true)
+/// switches keyed probes — faultFires(point, key), where SimComm passes
+/// the (from, to, tag) channel key — to one deterministically derived
+/// RNG stream and hit counter *per key*: which (channel, per-channel
+/// ordinal) pairs fire is then a pure function of (seed, point, key),
+/// independent of thread interleaving. In channel-stream mode schedule
+/// ordinals are interpreted per key.
+///
 /// The registered fault points are enumerated by faultPointCatalog()
 /// (printed by `tensorkmc --inject list`; see DESIGN.md "Fault
 /// tolerance").
@@ -34,7 +50,8 @@ class FaultInjector {
   void armProbability(const std::string& point, double probability);
 
   /// Arms `point` to fire exactly on the given 1-based hit ordinals
-  /// (counted from the point's first-ever hit), once each.
+  /// (counted from the point's first-ever hit), once each. In
+  /// channel-stream mode ordinals count per channel key instead.
   void armSchedule(const std::string& point, std::vector<std::uint64_t> hits);
 
   /// Arms `point` to fire on its next hit only.
@@ -52,9 +69,20 @@ class FaultInjector {
   /// reset() between cases to get seed-fresh, order-independent firing.
   void reset();
 
+  /// Per-channel deterministic streams for keyed probes (see class
+  /// comment). Off by default: keyed probes then share the point's
+  /// global stream and ordinal counter, bit-identical to the historical
+  /// behaviour.
+  void setChannelStreams(bool on);
+  bool channelStreams() const;
+
   /// Registers a hit of `point`; true when the armed fault fires.
   /// Unarmed points count hits but never fire.
   bool shouldFire(const std::string& point);
+
+  /// Keyed probe: in channel-stream mode, draws from the (point, key)
+  /// stream; otherwise identical to shouldFire(point).
+  bool shouldFire(const std::string& point, std::uint64_t key);
 
   std::uint64_t hitCount(const std::string& point) const;
   std::uint64_t fireCount(const std::string& point) const;
@@ -78,17 +106,26 @@ class FaultInjector {
   std::vector<std::string> firedPoints() const;
 
  private:
+  struct KeyState {
+    Rng rng{0};
+    std::uint64_t hits = 0;
+  };
+
   struct Point {
     double probability = 0.0;
     std::set<std::uint64_t> schedule;  // 1-based hit ordinals
     Rng rng{0};
     std::uint64_t hits = 0;
     std::uint64_t fires = 0;
+    std::map<std::uint64_t, KeyState> keys;  // channel-stream mode only
   };
 
-  Point& point(const std::string& name);
+  Point& pointLocked(const std::string& name);
+  bool fireLocked(Point& p);
 
   std::uint64_t seed_;
+  bool channelStreams_ = false;
+  mutable std::mutex mutex_;
   std::map<std::string, Point> points_;
 };
 
@@ -113,6 +150,11 @@ FaultInjector* activeFaultInjector();
 /// Fault-point probe used by production code: counts a hit and returns
 /// true when an armed fault fires; always false with no active injector.
 bool faultFires(const char* point);
+
+/// Keyed probe (channel-capable call sites pass a stable stream key;
+/// SimComm uses channelKey(from, to, tag)). Identical to faultFires()
+/// unless the active injector runs channel streams.
+bool faultFires(const char* point, std::uint64_t key);
 
 /// One registered fault-injection point: its arming name and the place
 /// in the code that probes it.

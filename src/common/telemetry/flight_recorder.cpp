@@ -88,8 +88,18 @@ void FlightRecorder::record(int rank, BlackboxEventType type, std::int32_t tag,
   ev.tag = tag;
   ev.a = a;
   ev.b = b;
-  const std::uint64_t slot = ring.head.fetch_add(1, std::memory_order_relaxed);
-  ring.slots[static_cast<std::size_t>(slot % ring.slots.size())] = ev;
+  std::array<std::uint64_t, 5> words;
+  static_assert(sizeof(ev) == sizeof(words), "event packs into slot words");
+  std::memcpy(words.data(), &ev, sizeof(ev));
+  // Seqlock publish: claim an absolute index, store the payload words,
+  // then seal with stamp = index + 1 (release). Readers that catch the
+  // slot mid-write see a stamp that does not match the index they are
+  // scanning and skip it.
+  const std::uint64_t index = ring.head.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring.slots[static_cast<std::size_t>(index % ring.slots.size())];
+  for (std::size_t w = 0; w < words.size(); ++w)
+    slot.words[w].store(words[w], std::memory_order_relaxed);
+  slot.stamp.store(index + 1, std::memory_order_release);
 }
 
 std::uint64_t FlightRecorder::recordedTotal(int rank) const {
@@ -103,12 +113,27 @@ std::vector<BlackboxEvent> FlightRecorder::snapshot(int rank) const {
   if (rank < 0 || rank >= ringCount_.load(std::memory_order_acquire))
     return out;
   const Ring& ring = *rings_[static_cast<std::size_t>(rank)];
-  const std::uint64_t total = ring.head.load(std::memory_order_relaxed);
+  const std::uint64_t total = ring.head.load(std::memory_order_acquire);
   const std::uint64_t cap = ring.slots.size();
   const std::uint64_t kept = total < cap ? total : cap;
   out.reserve(static_cast<std::size_t>(kept));
-  for (std::uint64_t i = total - kept; i < total; ++i)
-    out.push_back(ring.slots[static_cast<std::size_t>(i % cap)]);
+  for (std::uint64_t i = total - kept; i < total; ++i) {
+    const Slot& slot = ring.slots[static_cast<std::size_t>(i % cap)];
+    // Seqlock read: the stamp must name this exact absolute index both
+    // before and after the copy, else the slot is mid-append (or already
+    // overwritten by a lap) and is skipped. Concurrent appends therefore
+    // cost at most their own entry, never a torn one.
+    const std::uint64_t before = slot.stamp.load(std::memory_order_acquire);
+    if (before != i + 1) continue;
+    std::array<std::uint64_t, 5> words;
+    for (std::size_t w = 0; w < words.size(); ++w)
+      words[w] = slot.words[w].load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.stamp.load(std::memory_order_relaxed) != i + 1) continue;
+    BlackboxEvent ev;
+    std::memcpy(static_cast<void*>(&ev), words.data(), sizeof(ev));
+    out.push_back(ev);
+  }
   return out;
 }
 

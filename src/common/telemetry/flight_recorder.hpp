@@ -57,8 +57,17 @@ std::uint64_t fnv1a64(const char* s);
 /// Per-rank flight recorder ("blackbox"): a fixed-size ring of binary
 /// events that is always on — independent of telemetry::enabled() — and
 /// cheap enough to leave armed in production runs. record() is lock-free
-/// (one relaxed fetch_add on the ring head plus a 40-byte slot store)
-/// and never allocates; all allocation happens in configureRanks().
+/// (one relaxed fetch_add on the ring head plus five relaxed word
+/// stores sealed by a release stamp) and never allocates; all
+/// allocation happens in configureRanks().
+///
+/// Concurrency: each slot is a seqlock — the writer claims an absolute
+/// index via the head counter, publishes the payload words, then stores
+/// stamp = index + 1 with release ordering. snapshot() (and therefore
+/// dumpAll()/dumpIncident()) validates the stamp before and after
+/// copying a slot and skips entries that are mid-append, so a dump
+/// taken while rank threads are recording is still a decodable,
+/// CRC-sealed TKBB file containing only fully published events.
 ///
 /// Every record ticks a process-wide Lamport clock; comm receive paths
 /// fold the sender's stamp in via lamportObserve(), so merging per-rank
@@ -148,9 +157,18 @@ class FlightRecorder {
   static FlightRecorder& global();
 
  private:
+  /// One seqlock-protected ring slot. The payload is stored as five
+  /// relaxed atomic words (BlackboxEvent is exactly 40 bytes, pinned
+  /// above); `stamp` holds absolute-slot-index + 1 once the words are
+  /// fully published, 0 while the slot has never completed a write.
+  struct Slot {
+    std::atomic<std::uint64_t> stamp{0};
+    std::array<std::atomic<std::uint64_t>, 5> words{};
+  };
+
   struct Ring {
     explicit Ring(std::size_t cap) : slots(cap) {}
-    std::vector<BlackboxEvent> slots;
+    std::vector<Slot> slots;
     std::atomic<std::uint64_t> head{0};  // total recorded; slot = head % cap
   };
 

@@ -149,6 +149,8 @@ void InputDeck::apply(const std::string& key, const std::string& value) {
     require(tStop_ > 0, "input deck: t_stop > 0");
   } else if (key == "recovery") {
     recovery_ = parseSwitch(key, value);
+  } else if (key == "threaded") {
+    threaded_ = parseSwitch(key, value);
   } else if (key == "checkpoint_dir") {
     checkpointDir_ = value;
   } else if (key == "checkpoint_cadence") {

@@ -44,6 +44,9 @@ namespace tkmc {
 ///   rank_grid <x,y,z>           parallel rank decomposition (2,2,2);
 ///                               single-rank axes are legal (flat grids)
 ///   t_stop <float>              parallel sync interval, seconds (2e-8)
+///   threaded on|off             one OS thread per rank instead of the
+///                               sequential in-process driver; same
+///                               trajectory bit-for-bit (off)
 ///   recovery on|off             parallel rollback/replay (on)
 ///   checkpoint_dir <path>       coordinated sharded checkpoints (off)
 ///   checkpoint_cadence <int>    cycles per checkpoint epoch (1)
@@ -81,6 +84,7 @@ class InputDeck {
   // Parallel-engine settings (mode parallel).
   bool parallelMode() const { return parallelMode_; }
   Vec3i rankGrid() const { return rankGrid_; }
+  bool threaded() const { return threaded_; }
   double tStop() const { return tStop_; }
   bool recovery() const { return recovery_; }
   const std::string& checkpointDir() const { return checkpointDir_; }
@@ -112,6 +116,7 @@ class InputDeck {
   std::string checkpointRead_;
   bool parallelMode_ = false;
   Vec3i rankGrid_{2, 2, 2};
+  bool threaded_ = false;
   double tStop_ = 2e-8;
   bool recovery_ = true;
   std::string checkpointDir_;

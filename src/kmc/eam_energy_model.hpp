@@ -26,6 +26,11 @@ class EamEnergyModel : public EnergyModel {
 
   bool supportsVet() const override { return true; }
 
+  // Evaluation only reads the pair/density tables built in the
+  // constructor; no mutable scratch, so rank threads may batch through
+  // this backend concurrently.
+  bool concurrentDispatchSafe() const override { return true; }
+
   const char* name() const override { return "eam-tet"; }
 
  private:

@@ -57,6 +57,14 @@ class EnergyModel {
     return energies;
   }
 
+  /// True when stateEnergies*/stateEnergiesBatch may be called from
+  /// several threads at once (the threaded parallel backend dispatches
+  /// one propensity batch per rank thread). Backends whose evaluation
+  /// is a pure read of immutable tables opt in; anything with mutable
+  /// scratch, device queues, or shared accumulators keeps the default
+  /// and is serialized behind the engine's model mutex instead.
+  virtual bool concurrentDispatchSafe() const { return false; }
+
   /// Human-readable backend name for logs and benches.
   virtual const char* name() const = 0;
 };

@@ -27,11 +27,18 @@ void setAxis(Vec3i& v, int axis, int value) {
 }  // namespace
 
 GhostExchange::GhostExchange(const Decomposition& decomp, SimComm& comm)
-    : decomp_(decomp), comm_(comm) {
+    : decomp_(decomp), comm_(comm),
+      slabBuffers_(static_cast<std::size_t>(decomp.rankCount()) * 6) {
   // Axes decomposed across at least two ranks exchange slabs; an axis
   // with a single rank carries no ghost shell at all (the subdomain
   // already spans the whole period there), so flat grids like 2x2x1 are
   // legal and that axis's stage is simply skipped.
+}
+
+std::vector<std::uint8_t>& GhostExchange::slabBuffer(int rank, int axis,
+                                                     int dir) {
+  return slabBuffers_[static_cast<std::size_t>(rank) * 6 +
+                      static_cast<std::size_t>(axis) * 2 + (dir > 0 ? 1 : 0)];
 }
 
 GhostExchange::Box GhostExchange::sendBox(const Subdomain& sd, int axis,
@@ -89,8 +96,13 @@ void GhostExchange::sendSlabs(int rank, Subdomain& sd, int axis) {
     setAxis(dirVec, axis, dir);
     const int neighbor = decomp_.neighborRank(rank, dirVec);
     const Box box = sendBox(sd, axis, dir);
+    // Buffer the packed slab for ARQ: a retransmission must not re-read
+    // the sender's live species store, which another rank thread may be
+    // unpacking into by then (the 2-bit pages share words across sites).
+    std::vector<std::uint8_t>& buffer = slabBuffer(rank, axis, dir);
+    buffer = sd.packCellBox(box.lo, box.hi);
     comm_.send(rank, neighbor, kTagBase + axis * 2 + (dir > 0 ? 1 : 0),
-               sd.packCellBox(box.lo, box.hi));
+               buffer);
   }
 }
 
@@ -114,10 +126,9 @@ void GhostExchange::receiveSlabs(int rank, std::vector<Subdomain>& domains,
         break;
       } catch (const CommError&) {
         // Purge the failed channel so the retransmission gets a fresh
-        // sequence number, then re-pack the slab from the sender. The
-        // send box reads only owned cells along the stage axis while
-        // receives write only ghost cells along it, so the re-packed
-        // slab is bit-identical to the original.
+        // sequence number, then resend on the sender's behalf from the
+        // payload the sender buffered at pack time — bit-identical to
+        // the original, with no read of the sender's live store.
         comm_.resetChannel(source, rank, tag);
         if (comm_.leaseEnabled()) {
           // A resend from a live sender renews its lease, so from the
@@ -144,11 +155,9 @@ void GhostExchange::receiveSlabs(int rank, std::vector<Subdomain>& domains,
         } else if (attempt >= maxAttempts_) {
           throw;
         }
-        ++retries_;
+        retries_.fetch_add(1, std::memory_order_relaxed);
         telemetry::tracer().instant("ghost.retry", rank);
-        Subdomain& src = domains[static_cast<std::size_t>(source)];
-        const Box srcBox = sendBox(src, axis, dir);
-        comm_.send(source, rank, tag, src.packCellBox(srcBox.lo, srcBox.hi));
+        comm_.send(source, rank, tag, slabBuffer(source, axis, dir));
       }
     }
   }
@@ -159,7 +168,8 @@ void GhostExchange::setMaxAttempts(int attempts) {
   maxAttempts_ = attempts;
 }
 
-void GhostExchange::exchangeAll(std::vector<Subdomain>& domains) {
+void GhostExchange::exchangeAll(std::vector<Subdomain>& domains,
+                                RankTeam* team) {
   require(static_cast<int>(domains.size()) == decomp_.rankCount(),
           "one subdomain per rank required");
   TKMC_SPAN("engine.ghost_exchange");
@@ -167,6 +177,21 @@ void GhostExchange::exchangeAll(std::vector<Subdomain>& domains) {
     // Single-rank axes carry no ghost shell: nothing to exchange.
     if (axisOf(decomp_.rankGrid(), axis) < 2) continue;
     TKMC_SPAN(kAxisSpanName[axis]);
+    if (team != nullptr) {
+      // Concurrent halves with a barrier between: every alive rank
+      // packs and posts its slabs, then every alive rank unpacks into
+      // its own ghost shell — same bulk-synchronous schedule, real
+      // thread-parallel execution.
+      team->run([&](int r) {
+        if (!comm_.rankAlive(r)) return;
+        sendSlabs(r, domains[static_cast<std::size_t>(r)], axis);
+      });
+      team->run([&](int r) {
+        if (!comm_.rankAlive(r)) return;
+        receiveSlabs(r, domains, axis);
+      });
+      continue;
+    }
     for (int r = 0; r < decomp_.rankCount(); ++r) {
       if (!comm_.rankAlive(r)) continue;
       sendSlabs(r, domains[static_cast<std::size_t>(r)], axis);

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "parallel/decomposition.hpp"
+#include "parallel/rank_team.hpp"
 #include "parallel/sim_comm.hpp"
 #include "parallel/subdomain.hpp"
 
@@ -18,41 +20,53 @@ namespace tkmc {
 /// shell (the subdomain spans its whole period) and its stage is
 /// skipped, which makes flat rank grids such as 2x2x1 legal.
 ///
-/// The driver is bulk-synchronous: sendGhostSlabs() for every rank, then
-/// receiveGhostSlabs() for every rank, per axis. Ranks marked fail-stop
-/// in the communicator are skipped on both sides.
+/// The driver is bulk-synchronous: sendSlabs() for every rank, then
+/// receiveSlabs() for every rank, per axis. With a RankTeam supplied,
+/// each half-stage fans out across the rank threads — every send slab
+/// of an axis packs and posts concurrently, then every receive unpacks
+/// concurrently. The barrier between the halves means receives only
+/// ever write their *own* subdomain's ghost cells while no other thread
+/// touches that storage, so the packed 2-bit species pages need no
+/// per-site synchronization. Ranks marked fail-stop in the communicator
+/// are skipped on both sides.
 ///
 /// A CRC or sequence failure detected by SimComm's framing triggers
 /// per-slab retransmission (ARQ): the receiver purges the failed
-/// channel and the sender re-packs and re-sends just that slab, up to
-/// maxAttempts() times, before the CommError surfaces to the engine.
-/// Re-packing mid-stage is safe because a stage's send boxes read only
-/// owned cells along the stage axis while its receives write only ghost
-/// cells along it — disjoint regions, so the retransmitted slab is
-/// bit-identical to the original. retries() counts the absorbed
-/// failures. With the communicator's heartbeat lease armed, a channel
-/// that stays silent past the lease timeout raises RankFailure for the
-/// silent sender instead of a retryable CommError.
+/// channel and re-sends, on the sender's behalf, the slab payload the
+/// sender buffered at pack time — bit-identical to the original, and
+/// free of cross-thread reads of the sender's live species store. Up to
+/// maxAttempts() tries before the CommError surfaces to the engine.
+/// retries() counts the absorbed failures. With the communicator's
+/// heartbeat lease armed, a channel that stays silent past the lease
+/// timeout raises RankFailure for the silent sender instead of a
+/// retryable CommError.
 class GhostExchange {
  public:
   GhostExchange(const Decomposition& decomp, SimComm& comm);
 
   /// Runs the full three-stage exchange across all subdomains (driver
   /// convenience; `domains[r]` belongs to rank r), retransmitting slabs
-  /// whose frames fail message-integrity checks.
-  void exchangeAll(std::vector<Subdomain>& domains);
+  /// whose frames fail message-integrity checks. With a team, each
+  /// half-stage runs one job per rank thread.
+  void exchangeAll(std::vector<Subdomain>& domains, RankTeam* team = nullptr);
 
   /// Bounds the delivery attempts per slab (>= 1).
   void setMaxAttempts(int attempts);
   int maxAttempts() const { return maxAttempts_; }
 
   /// Slab retransmissions after a detected integrity failure.
-  std::uint64_t retries() const { return retries_; }
+  std::uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Axis: 0 = x, 1 = y, 2 = z (exchange order is 2, 1, 0).
   void sendSlabs(int rank, Subdomain& sd, int axis);
   void receiveSlabs(int rank, std::vector<Subdomain>& domains, int axis);
+
+  // Outbound slab payload buffered at pack time, indexed by
+  // (rank, axis, direction); the ARQ resend source.
+  std::vector<std::uint8_t>& slabBuffer(int rank, int axis, int dir);
 
   // Cell box (extended-frame coordinates) of the slab sent toward
   // direction `dir` (+1/-1) along `axis`, given which axes are complete.
@@ -66,7 +80,8 @@ class GhostExchange {
   const Decomposition& decomp_;
   SimComm& comm_;
   int maxAttempts_ = 4;
-  std::uint64_t retries_ = 0;
+  std::atomic<std::uint64_t> retries_{0};
+  std::vector<std::vector<std::uint8_t>> slabBuffers_;  // rank x axis x dir
 };
 
 }  // namespace tkmc

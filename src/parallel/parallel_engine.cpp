@@ -168,6 +168,9 @@ void ParallelEngine::buildFabric(const LatticeState& initial) {
     domains_.back().loadFrom(initial);
   }
   pendingChanges_.assign(static_cast<std::size_t>(rankCount()), {});
+  cycleEvents_.assign(static_cast<std::size_t>(rankCount()), 0);
+  cycleDiscarded_.assign(static_cast<std::size_t>(rankCount()), 0);
+  rankEventOrdinals_.assign(static_cast<std::size_t>(rankCount()), 0);
   // Rates become stale within the vacancy-system radius of a changed site.
   interactionRadius_ = (maxComp + 2) * lattice_.latticeConstant() / 2.0;
   expectedVacancies_ = vacancyCount();
@@ -175,6 +178,12 @@ void ParallelEngine::buildFabric(const LatticeState& initial) {
   if (config_.heartbeatTimeoutMs > 0.0)
     fabric_->comm.setLease(config_.heartbeatIntervalMs,
                            config_.heartbeatTimeoutMs);
+  // The team is rebuilt with the fabric: recovery can change the rank
+  // count, and the old team's threads are parked between phases, so
+  // destroying it here is a plain join.
+  team_.reset();
+  if (config_.threaded)
+    team_ = std::make_unique<RankTeam>(rankCount());
 }
 
 Vec3i ParallelEngine::localCell(int rank, Vec3i p) const {
@@ -232,8 +241,16 @@ void ParallelEngine::runSector(int rank, int sector) {
     if (!staleIdx.empty()) {
       staleVetPtrs.reserve(staleVets.size());
       for (Vet& vet : staleVets) staleVetPtrs.push_back(&vet);
-      const auto energies =
-          model_.stateEnergiesBatch(staleVetPtrs, kNumJumpDirections);
+      std::vector<std::vector<double>> energies;
+      if (team_ && !model_.concurrentDispatchSafe()) {
+        // Rank threads share one backend instance; backends with
+        // mutable scratch are serialized (energies are pure functions
+        // of the VETs, so serialization cannot change the trajectory).
+        std::lock_guard<std::mutex> lock(modelMutex_);
+        energies = model_.stateEnergiesBatch(staleVetPtrs, kNumJumpDirections);
+      } else {
+        energies = model_.stateEnergiesBatch(staleVetPtrs, kNumJumpDirections);
+      }
       for (std::size_t i = 0; i < staleIdx.size(); ++i) {
         rates[staleIdx[i]] =
             computeRates(staleVets[i], energies[i], config_.temperature);
@@ -287,7 +304,7 @@ void ParallelEngine::runSector(int rank, int sector) {
     const double dt = residenceTime(rng.uniformOpenLeft(), total);
     if (tLocal + dt > config_.tStop) {
       // Event beyond the window: discard and stop (Shim-Amar rule).
-      ++discarded_;
+      ++cycleDiscarded_[static_cast<std::size_t>(rank)];
       break;
     }
     tLocal += dt;
@@ -302,9 +319,13 @@ void ParallelEngine::runSector(int rank, int sector) {
     sd.set(to, Species::kVacancy);
     changes.push_back({from, migrating});
     changes.push_back({to, Species::kVacancy});
-    ++events_;
+    ++cycleEvents_[static_cast<std::size_t>(rank)];
+    // Blackbox payload is the rank's own event ordinal: a global one
+    // would depend on which rank thread got there first.
+    const std::uint64_t ordinal =
+        ++rankEventOrdinals_[static_cast<std::size_t>(rank)];
     telemetry::flightRecorder().record(
-        rank, telemetry::BlackboxEventType::kKmcEvent, sector, events_,
+        rank, telemetry::BlackboxEventType::kKmcEvent, sector, ordinal,
         static_cast<std::uint64_t>(direction));
 
     // Vacancy list maintenance.
@@ -335,7 +356,7 @@ void ParallelEngine::runSector(int rank, int sector) {
 
 std::vector<std::uint8_t> ParallelEngine::receiveReliable(
     int rank, int from, int tag, const std::vector<std::uint8_t>& resend,
-    std::uint64_t& retryCounter, const char* what) {
+    std::atomic<std::uint64_t>& retryCounter, const char* what) {
   SimComm& comm = fabric_->comm;
   const double waitStart = comm.nowMs();
   for (int attempt = 1;; ++attempt) {
@@ -369,7 +390,7 @@ std::vector<std::uint8_t> ParallelEngine::receiveReliable(
       } else if (attempt >= config_.commMaxAttempts) {
         throw;
       }
-      ++retryCounter;
+      retryCounter.fetch_add(1, std::memory_order_relaxed);
       comm.send(from, rank, tag, resend);
     }
   }
@@ -379,15 +400,27 @@ void ParallelEngine::foldChanges() {
   TKMC_SPAN("engine.fold");
   SimComm& comm = fabric_->comm;
   const auto ranks = static_cast<std::size_t>(rankCount());
+  constexpr std::size_t kStride = 3 * sizeof(std::int32_t) + 1;
+  // The fold is four bulk-synchronous phases, each expressed as one job
+  // per rank: serialize, transmit, collect, apply. The threaded backend
+  // dispatches each phase across the rank threads with a barrier in
+  // between; sequential mode drives the identical jobs in rank order,
+  // so both backends produce the same channel traffic and the same
+  // owner-side application order (inbound is indexed by source rank,
+  // not arrival order).
+  std::vector<std::vector<std::vector<std::uint8_t>>> outbound(
+      ranks, std::vector<std::vector<std::uint8_t>>(ranks));
+  std::vector<std::vector<std::vector<std::uint8_t>>> inbound(
+      ranks, std::vector<std::vector<std::uint8_t>>(ranks));
+
   // Phase 1: serialize boundary modifications per (source, owner) pair.
   // The buffers outlive the sends so a failed delivery can be
   // retransmitted verbatim.
-  std::vector<std::vector<std::vector<std::uint8_t>>> outbound(
-      ranks, std::vector<std::vector<std::uint8_t>>(ranks));
-  for (std::size_t r = 0; r < ranks; ++r) {
+  const auto serialize = [&](int rank) {
+    const auto r = static_cast<std::size_t>(rank);
     for (const Change& c : pendingChanges_[r]) {
       const int owner = fabric_->decomp.ownerOfSite(c.site);
-      if (owner == static_cast<int>(r)) continue;
+      if (owner == rank) continue;
       auto& buf = outbound[r][static_cast<std::size_t>(owner)];
       const std::int32_t coords[3] = {c.site.x, c.site.y, c.site.z};
       const std::size_t at = buf.size();
@@ -395,16 +428,17 @@ void ParallelEngine::foldChanges() {
       std::memcpy(buf.data() + at, coords, sizeof(coords));
       buf[at + sizeof(coords)] = static_cast<std::uint8_t>(c.species);
     }
-  }
+  };
   // Phase 2: transmit. Every rank sends exactly one fold message to
   // every rank (possibly empty), so the receive side knows exactly what
   // to expect on each channel. A dead rank's sends silently no-op
   // (fail-stop), which is what the receive side's lease protocol
   // eventually detects.
-  for (std::size_t r = 0; r < ranks; ++r)
+  const auto transmit = [&](int rank) {
+    const auto r = static_cast<std::size_t>(rank);
     for (std::size_t to = 0; to < ranks; ++to)
-      comm.send(static_cast<int>(r), static_cast<int>(to), kTagFold,
-                outbound[r][to]);
+      comm.send(rank, static_cast<int>(to), kTagFold, outbound[r][to]);
+  };
   // Phase 3: collect and validate every payload before applying any of
   // them. Fold application mutates vacancy lists and is not idempotent,
   // so a failed receive must not leave a half-applied fold behind; with
@@ -413,24 +447,24 @@ void ParallelEngine::foldChanges() {
   // Only the acting (receiving) rank's liveness is consulted — a
   // receiver must keep waiting on a silent source for the failure
   // detector to do its job.
-  constexpr std::size_t kStride = 3 * sizeof(std::int32_t) + 1;
-  std::vector<std::vector<std::vector<std::uint8_t>>> inbound(
-      ranks, std::vector<std::vector<std::uint8_t>>(ranks));
-  for (std::size_t r = 0; r < ranks; ++r) {
-    if (!comm.rankAlive(static_cast<int>(r))) continue;
+  const auto collect = [&](int rank) {
+    if (!comm.rankAlive(rank)) return;
+    const auto r = static_cast<std::size_t>(rank);
     for (std::size_t from = 0; from < ranks; ++from) {
       inbound[r][from] =
-          receiveReliable(static_cast<int>(r), static_cast<int>(from),
-                          kTagFold, outbound[from][r], recovery_.foldRetries,
-                          "fold");
+          receiveReliable(rank, static_cast<int>(from), kTagFold,
+                          outbound[from][r], foldRetries_, "fold");
       if (inbound[r][from].size() % kStride != 0)
         throw CommError("malformed fold payload from rank " +
-                        std::to_string(from) + " to rank " + std::to_string(r));
+                        std::to_string(from) + " to rank " +
+                        std::to_string(rank));
     }
-  }
-  // Phase 4: owners apply the folded changes.
-  for (std::size_t r = 0; r < ranks; ++r) {
-    if (!comm.rankAlive(static_cast<int>(r))) continue;
+  };
+  // Phase 4: owners apply the folded changes (each rank writes only its
+  // own subdomain, in source-rank order).
+  const auto apply = [&](int rank) {
+    if (!comm.rankAlive(rank)) return;
+    const auto r = static_cast<std::size_t>(rank);
     Subdomain& sd = domains_[r];
     for (std::size_t from = 0; from < ranks; ++from) {
       const auto& payload = inbound[r][from];
@@ -448,6 +482,18 @@ void ParallelEngine::foldChanges() {
       }
     }
     pendingChanges_[r].clear();
+  };
+
+  if (team_) {
+    team_->run(serialize);
+    team_->run(transmit);
+    team_->run(collect);
+    team_->run(apply);
+  } else {
+    for (std::size_t r = 0; r < ranks; ++r) serialize(static_cast<int>(r));
+    for (std::size_t r = 0; r < ranks; ++r) transmit(static_cast<int>(r));
+    for (std::size_t r = 0; r < ranks; ++r) collect(static_cast<int>(r));
+    for (std::size_t r = 0; r < ranks; ++r) apply(static_cast<int>(r));
   }
 }
 
@@ -483,7 +529,7 @@ void ParallelEngine::commitVoteBarrier(std::uint64_t epoch) {
   if (!comm.rankAlive(root)) return;
   for (int r = 0; r < rankCount(); ++r)
     if (r != root)
-      (void)receiveReliable(root, r, kTagVote, token, recovery_.foldRetries,
+      (void)receiveReliable(root, r, kTagVote, token, foldRetries_,
                             "commit vote");
 }
 
@@ -614,8 +660,8 @@ void ParallelEngine::writeEpoch(bool barrier) {
         if (r != root) comm.send(root, r, kTagCommit, token);
       for (int r = 0; r < rankCount(); ++r)
         if (r != root && comm.rankAlive(r))
-          (void)receiveReliable(r, root, kTagCommit, token,
-                                recovery_.foldRetries, "commit ack");
+          (void)receiveReliable(r, root, kTagCommit, token, foldRetries_,
+                                "commit ack");
     }
   } catch (...) {
     // Harmless after a successful commit (the staging directory is
@@ -634,16 +680,35 @@ void ParallelEngine::executeCycle() {
     if (fabric_->comm.rankAlive(r))
       telemetry::flightRecorder().record(
           r, telemetry::BlackboxEventType::kCycle, sector, cycles_);
+  std::fill(cycleEvents_.begin(), cycleEvents_.end(), 0);
+  std::fill(cycleDiscarded_.begin(), cycleDiscarded_.end(), 0);
   {
     TKMC_SPAN("engine.sectors");
-    for (int r = 0; r < rankCount(); ++r) {
-      if (!fabric_->comm.rankAlive(r)) continue;
-      TKMC_SPAN_TID("engine.sector", r);
-      runSector(r, sector);
+    if (team_) {
+      // One job per rank thread; sector geometry guarantees the
+      // concurrently active regions cannot interact, and each job
+      // touches only its rank's subdomain, RNG stream, and counters.
+      team_->run([&](int r) {
+        if (!fabric_->comm.rankAlive(r)) return;
+        TKMC_SPAN_TID("engine.sector", r);
+        runSector(r, sector);
+      });
+    } else {
+      for (int r = 0; r < rankCount(); ++r) {
+        if (!fabric_->comm.rankAlive(r)) continue;
+        TKMC_SPAN_TID("engine.sector", r);
+        runSector(r, sector);
+      }
     }
   }
+  // Rank-order reduction: totals are independent of which thread
+  // finished first, so threaded and sequential runs agree bit-for-bit.
+  for (std::size_t r = 0; r < cycleEvents_.size(); ++r) {
+    events_ += cycleEvents_[r];
+    discarded_ += cycleDiscarded_[r];
+  }
   foldChanges();
-  fabric_->exchange.exchangeAll(domains_);
+  fabric_->exchange.exchangeAll(domains_, team_.get());
   time_ += config_.tStop;
   ++cycles_;
   if (store_ && config_.checkpointCadence > 0 &&
@@ -834,6 +899,7 @@ void ParallelEngine::runCycle() {
 RecoveryStats ParallelEngine::recoveryStats() const {
   RecoveryStats stats = recovery_;
   stats.ghostRetries = fabric_->exchange.retries();
+  stats.foldRetries = foldRetries_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,7 @@
 #include "parallel/coordinated_checkpoint.hpp"
 #include "parallel/decomposition.hpp"
 #include "parallel/ghost_exchange.hpp"
+#include "parallel/rank_team.hpp"
 #include "parallel/sim_comm.hpp"
 #include "parallel/subdomain.hpp"
 #include "tabulation/cet.hpp"
@@ -34,6 +37,15 @@ struct ParallelConfig {
   double tStop = 2e-8;   // synchronization interval (paper Sec. 4.4)
   std::uint64_t seed = 99;
   Vec3i rankGrid{2, 2, 2};
+
+  // Execution backend. false: ranks are driven sequentially in-process
+  // (the historical runtime). true: one OS thread per rank (RankTeam)
+  // executes the sector windows, fold serialize/send/receive/apply, and
+  // per-axis ghost halves concurrently, with a barrier between phases.
+  // The bulk-synchronous schedule, per-rank RNG streams, and
+  // rank-ordered reductions make a fault-free threaded trajectory
+  // bit-identical to the sequential one for the same deck + seed.
+  bool threaded = false;
 
   // Fault tolerance. With recovery enabled the engine snapshots its
   // state (subdomains + RNG streams + clocks) at each sync boundary and,
@@ -250,9 +262,11 @@ class ParallelEngine {
   ShardRecord makeShard(int rank) const;
   void commitVoteBarrier(std::uint64_t epoch);
   /// Lease-aware ARQ receive shared by fold and commit-barrier traffic.
+  /// The retry counter is atomic because fold receives of different
+  /// ranks run concurrently in the threaded backend.
   std::vector<std::uint8_t> receiveReliable(
       int rank, int from, int tag, const std::vector<std::uint8_t>& resend,
-      std::uint64_t& retryCounter, const char* what);
+      std::atomic<std::uint64_t>& retryCounter, const char* what);
   void recoverFromRankFailure(const RankFailure& failure);
   Vec3i localCell(int rank, Vec3i wrappedCoord) const;
   bool inSector(int rank, Vec3i wrappedCoord, int sector) const;
@@ -266,6 +280,21 @@ class ParallelEngine {
   std::vector<Subdomain> domains_;
   std::vector<Rng> rngs_;
   std::vector<std::vector<Change>> pendingChanges_;  // per rank, this cycle
+  // Rank threads (threaded backend only; null in sequential mode).
+  // Rebuilt with the fabric: the team size tracks the live rank count.
+  std::unique_ptr<RankTeam> team_;
+  // Serializes propensity batches through backends whose evaluation is
+  // not safe to call from several rank threads at once.
+  std::mutex modelMutex_;
+  // Per-rank per-cycle counters, summed into events_/discarded_ in rank
+  // order at the sync boundary — identical totals to the historical
+  // shared increments, but free of cross-thread races.
+  std::vector<std::uint64_t> cycleEvents_;
+  std::vector<std::uint64_t> cycleDiscarded_;
+  // Per-rank lifetime event ordinal for blackbox kKmcEvent records (a
+  // global ordinal would depend on thread interleaving).
+  std::vector<std::uint64_t> rankEventOrdinals_;
+  std::atomic<std::uint64_t> foldRetries_{0};
   double time_ = 0.0;
   std::uint64_t cycles_ = 0;
   std::uint64_t events_ = 0;

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tkmc {
+
+/// Persistent pool of one OS thread per simulated rank.
+///
+/// The threaded execution backend keeps the engine's bulk-synchronous
+/// structure: the driver thread decomposes each cycle into phases
+/// (sector windows, fold serialize/send/receive/apply, per-axis ghost
+/// send/receive) and dispatches each phase to every rank's thread via
+/// run(). run() is a barrier — it returns only after every rank thread
+/// has finished the phase — so a phase never observes another phase's
+/// writes mid-flight, and the cross-phase data handoffs (outbound fold
+/// buffers, packed ghost slabs) are ordered by the pool's internal
+/// mutex without any per-payload synchronization.
+///
+/// Exceptions: a phase body that throws on rank r is captured; after
+/// the barrier, run() rethrows the *lowest-failing-rank* exception.
+/// The choice is deterministic (independent of thread scheduling), and
+/// it is safe to discard the other ranks' errors because every engine
+/// error path (CommError, InvariantError, RankFailure) rolls the whole
+/// cycle back to the last sync boundary anyway.
+///
+/// Threads are created once and parked between phases (condvar), so a
+/// cycle costs wakeups, not thread spawns. Destruction joins everyone.
+class RankTeam {
+ public:
+  explicit RankTeam(int ranks);
+  ~RankTeam();
+
+  RankTeam(const RankTeam&) = delete;
+  RankTeam& operator=(const RankTeam&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs job(rank) on every rank's thread and waits for all of them
+  /// (barrier). Rethrows the lowest rank's exception, if any.
+  void run(const std::function<void(int)>& job);
+
+ private:
+  void workerLoop(int rank);
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool stopping_ = false;
+  std::vector<std::exception_ptr> errors_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace tkmc

@@ -38,18 +38,30 @@ SimComm::SimComm(int ranks)
   tm::flightRecorder().configureRanks(ranks);
 }
 
+std::uint64_t SimComm::channelKey(int from, int to, int tag) {
+  // Ranks are < kMaxRanks (512) and tags < 2^20, so the fields pack
+  // without collision; +1 keeps rank 0 distinguishable from "no field".
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from + 1))
+          << 40) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(to + 1))
+          << 20) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+}
+
 void SimComm::send(int from, int to, int tag,
                    std::vector<std::uint8_t> payload) {
   require(from >= 0 && from < ranks_ && to >= 0 && to < ranks_,
           "rank out of range");
+  const std::uint64_t key64 = channelKey(from, to, tag);
+  std::lock_guard<std::mutex> lock(mutex_);
   // A dead rank sends nothing — not even a lease renewal. Its peers see
   // pure silence on the channel, which is what the heartbeat detector
   // classifies.
   if (!alive_[static_cast<std::size_t>(from)]) return;
   // Fail-stop injection: the sending rank crashes *before* this frame
   // leaves, so at least one peer is left waiting on the channel.
-  if (faultFires("comm.rank_kill")) {
-    killRank(from);
+  if (faultFires("comm.rank_kill", key64)) {
+    killRankLocked(from);
     return;
   }
   beats_.beat(from, nowMs_);
@@ -66,14 +78,14 @@ void SimComm::send(int from, int to, int tag,
   // Injectable link failures. Corruption happens after framing so the
   // CRC no longer matches; an empty payload corrupts the checksum field
   // itself (same detection path).
-  if (faultFires("comm.corrupt")) {
+  if (faultFires("comm.corrupt", key64)) {
     if (frame.payload.empty())
       frame.crc ^= 1u;
     else
       frame.payload[frame.payload.size() / 2] ^= 0x20u;
   }
-  const bool dropped = faultFires("comm.drop");
-  const bool duplicated = faultFires("comm.duplicate");
+  const bool dropped = faultFires("comm.drop", key64);
+  const bool duplicated = faultFires("comm.duplicate", key64);
   if (dropped) return;  // seq already advanced -> receiver sees the gap
   // Flow start only for frames that actually enter the mailbox — a
   // dropped frame must not leave a dangling arrow in the trace.
@@ -83,12 +95,12 @@ void SimComm::send(int from, int to, int tag,
   box.push_back(std::move(frame));
 }
 
-std::uint64_t SimComm::expectedSeq(const Key& key) const {
+std::uint64_t SimComm::expectedSeqLocked(const Key& key) const {
   const auto it = nextRecvSeq_.find(key);
   return it == nextRecvSeq_.end() ? 0 : it->second;
 }
 
-std::vector<std::uint8_t> SimComm::receive(int to, int from, int tag) {
+std::vector<std::uint8_t> SimComm::receiveLocked(int to, int from, int tag) {
   const Key key{from, to, tag};
   std::uint64_t& expected = nextRecvSeq_[key];
   auto it = mailboxes_.find(key);
@@ -135,20 +147,30 @@ std::vector<std::uint8_t> SimComm::receive(int to, int from, int tag) {
   return std::move(frame.payload);
 }
 
-bool SimComm::hasMessage(int to, int from, int tag) const {
-  const Key key{from, to, tag};
+std::vector<std::uint8_t> SimComm::receive(int to, int from, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return receiveLocked(to, from, tag);
+}
+
+bool SimComm::hasMessageLocked(const Key& key) const {
   const auto it = mailboxes_.find(key);
   if (it == mailboxes_.end() || it->second.empty()) return false;
   // Per-channel sequence numbers are monotone, so the newest frame
   // decides whether anything undelivered remains.
-  return it->second.back().seq >= expectedSeq(key);
+  return it->second.back().seq >= expectedSeqLocked(key);
+}
+
+bool SimComm::hasMessage(int to, int from, int tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hasMessageLocked(Key{from, to, tag});
 }
 
 int SimComm::pendingCount(int to, int tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   int count = 0;
   for (const auto& [key, queue] : mailboxes_) {
     if (key.to != to || key.tag != tag) continue;
-    const std::uint64_t expected = expectedSeq(key);
+    const std::uint64_t expected = expectedSeqLocked(key);
     for (const Frame& f : queue)
       if (f.seq >= expected) ++count;
   }
@@ -157,15 +179,17 @@ int SimComm::pendingCount(int to, int tag) const {
 
 std::vector<std::pair<int, std::vector<std::uint8_t>>> SimComm::receiveAll(
     int to, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::pair<int, std::vector<std::uint8_t>>> result;
   for (int from = 0; from < ranks_; ++from) {
-    while (hasMessage(to, from, tag))
-      result.emplace_back(from, receive(to, from, tag));
+    while (hasMessageLocked(Key{from, to, tag}))
+      result.emplace_back(from, receiveLocked(to, from, tag));
   }
   return result;
 }
 
 void SimComm::resetChannel(int from, int to, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const Key key{from, to, tag};
   mailboxes_.erase(key);
   nextSendSeq_.erase(key);
@@ -173,6 +197,7 @@ void SimComm::resetChannel(int from, int to, int tag) {
 }
 
 void SimComm::resetChannels(int tagLo, int tagHi) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto inRange = [&](const Key& k) {
     return k.tag >= tagLo && k.tag < tagHi;
   };
@@ -185,12 +210,13 @@ void SimComm::resetChannels(int tagLo, int tagHi) {
 }
 
 void SimComm::resetAllChannels() {
+  std::lock_guard<std::mutex> lock(mutex_);
   mailboxes_.clear();
   nextSendSeq_.clear();
   nextRecvSeq_.clear();
 }
 
-void SimComm::killRank(int rank) {
+void SimComm::killRankLocked(int rank) {
   require(rank >= 0 && rank < ranks_, "rank out of range");
   if (alive_[static_cast<std::size_t>(rank)])
     tm::flightRecorder().record(rank, tm::BlackboxEventType::kRankKilled, 0,
@@ -198,12 +224,19 @@ void SimComm::killRank(int rank) {
   alive_[static_cast<std::size_t>(rank)] = false;
 }
 
+void SimComm::killRank(int rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  killRankLocked(rank);
+}
+
 bool SimComm::rankAlive(int rank) const {
   require(rank >= 0 && rank < ranks_, "rank out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
   return alive_[static_cast<std::size_t>(rank)];
 }
 
 int SimComm::aliveCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   int count = 0;
   for (int r = 0; r < ranks_; ++r)
     if (alive_[static_cast<std::size_t>(r)]) ++count;
@@ -211,6 +244,7 @@ int SimComm::aliveCount() const {
 }
 
 std::vector<int> SimComm::aliveRanks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<int> ranks;
   for (int r = 0; r < ranks_; ++r)
     if (alive_[static_cast<std::size_t>(r)]) ranks.push_back(r);
@@ -219,24 +253,62 @@ std::vector<int> SimComm::aliveRanks() const {
 
 void SimComm::setLease(double intervalMs, double timeoutMs) {
   require(intervalMs > 0.0, "lease poll interval must be positive");
+  std::lock_guard<std::mutex> lock(mutex_);
   leaseIntervalMs_ = intervalMs;
   leaseTimeoutMs_ = timeoutMs;
   beats_.setTimeoutMs(timeoutMs);
 }
 
+double SimComm::nowMs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nowMs_;
+}
+
+void SimComm::tick(double ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  nowMs_ += ms;
+}
+
+double SimComm::lastBeatMs(int rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return beats_.lastBeatMs(rank);
+}
+
 SimComm::PeerVerdict SimComm::pollPeer(int from, double waitStartMs) {
   require(from >= 0 && from < ranks_, "rank out of range");
   require(leaseEnabled(), "pollPeer needs an armed lease (setLease)");
+  std::lock_guard<std::mutex> lock(mutex_);
   nowMs_ += leaseIntervalMs_;
   if (beats_.expired(from, nowMs_)) {
-    killRank(from);
+    killRankLocked(from);
     return PeerVerdict::kFailed;
   }
   return beats_.lastBeatMs(from) >= waitStartMs ? PeerVerdict::kAlive
                                                 : PeerVerdict::kSilent;
 }
 
+std::uint64_t SimComm::totalBytesSent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytesSent_;
+}
+
+std::uint64_t SimComm::totalMessagesSent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return messagesSent_;
+}
+
+std::uint64_t SimComm::crcFailures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crcFailures_;
+}
+
+std::uint64_t SimComm::duplicatesDropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return duplicatesDropped_;
+}
+
 void SimComm::resetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
   bytesSent_ = 0;
   messagesSent_ = 0;
   crcFailures_ = 0;

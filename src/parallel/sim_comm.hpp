@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "parallel/heartbeat.hpp"
@@ -11,11 +12,21 @@ namespace tkmc {
 
 /// In-process message-passing runtime standing in for swmpi.
 ///
-/// Ranks are driven sequentially by the engine (bulk-synchronous phases),
-/// so communication is mailbox-based: a phase posts sends, the next phase
-/// receives. Messages between a (source, destination, tag) triple are
-/// FIFO. Byte and message counters feed the scaling model's communication
+/// Ranks are driven in bulk-synchronous phases by the engine — either
+/// sequentially (the in-process backend) or by one OS thread per rank
+/// (the threaded backend, ParallelConfig::threaded). Communication is
+/// mailbox-based: a phase posts sends, the next phase receives.
+/// Messages between a (source, destination, tag) triple are FIFO. Byte
+/// and message counters feed the scaling model's communication
 /// calibration.
+///
+/// Thread safety: every public method is safe to call concurrently —
+/// one mutex orders all mailbox, sequence, liveness, and lease state.
+/// The engine's phase barriers guarantee each channel still has exactly
+/// one sender and one receiver *within* a phase, so per-channel FIFO
+/// and sequence-number semantics are identical to the sequential
+/// runtime; the mutex only arbitrates different channels touching the
+/// shared maps at once and makes the counters race-free.
 ///
 /// Every message is framed with a per-channel sequence number and a
 /// CRC32 of the payload, so the receive side detects the three classic
@@ -26,7 +37,10 @@ namespace tkmc {
 ///     silently and counted in duplicatesDropped().
 /// The fault points "comm.drop", "comm.corrupt", and "comm.duplicate"
 /// (see common/fault_injection.hpp) inject exactly those failures at
-/// send time. Retry protocols (GhostExchange, the engine's cycle
+/// send time; each probe passes the channel key (from, to, tag), so an
+/// injector in channel-stream mode fires independently per channel and
+/// a seeded chaos run reproduces identically regardless of thread
+/// interleaving. Retry protocols (GhostExchange, the engine's cycle
 /// rollback) call resetChannels()/resetAllChannels() before re-sending
 /// so stale frames and sequence state cannot leak across attempts.
 ///
@@ -45,6 +59,11 @@ class SimComm {
   explicit SimComm(int ranks);
 
   int rankCount() const { return ranks_; }
+
+  /// Stable 64-bit key of a (from, to, tag) channel; the fault-probe
+  /// key SimComm passes to faultFires() so channel-stream injectors
+  /// derive one deterministic RNG stream per channel.
+  static std::uint64_t channelKey(int from, int to, int tag);
 
   /// Posts a message. Payload bytes are owned by the mailbox until
   /// received.
@@ -101,11 +120,11 @@ class SimComm {
 
   /// Logical clock (milliseconds). Advances only via tick()/pollPeer(),
   /// so detection latency is deterministic.
-  double nowMs() const { return nowMs_; }
-  void tick(double ms) { nowMs_ += ms; }
+  double nowMs() const;
+  void tick(double ms);
 
   /// Last lease renewal of `rank` (logical ms; 0 until its first send).
-  double lastBeatMs(int rank) const { return beats_.lastBeatMs(rank); }
+  double lastBeatMs(int rank) const;
 
   enum class PeerVerdict {
     kAlive,   // renewed its lease since the receiver started waiting
@@ -120,13 +139,13 @@ class SimComm {
   /// Requires an armed lease.
   PeerVerdict pollPeer(int from, double waitStartMs);
 
-  std::uint64_t totalBytesSent() const { return bytesSent_; }
-  std::uint64_t totalMessagesSent() const { return messagesSent_; }
+  std::uint64_t totalBytesSent() const;
+  std::uint64_t totalMessagesSent() const;
   /// Frames rejected because the payload CRC did not match.
-  std::uint64_t crcFailures() const { return crcFailures_; }
+  std::uint64_t crcFailures() const;
   /// Frames discarded because their sequence number was already
   /// delivered (duplicate detection).
-  std::uint64_t duplicatesDropped() const { return duplicatesDropped_; }
+  std::uint64_t duplicatesDropped() const;
   void resetStats();
 
  private:
@@ -153,9 +172,14 @@ class SimComm {
     std::vector<std::uint8_t> payload;
   };
 
-  std::uint64_t expectedSeq(const Key& key) const;
+  // Unlocked internals; callers hold mutex_.
+  std::uint64_t expectedSeqLocked(const Key& key) const;
+  bool hasMessageLocked(const Key& key) const;
+  std::vector<std::uint8_t> receiveLocked(int to, int from, int tag);
+  void killRankLocked(int rank);
 
   int ranks_;
+  mutable std::mutex mutex_;
   std::map<Key, std::deque<Frame>> mailboxes_;
   std::map<Key, std::uint64_t> nextSendSeq_;
   std::map<Key, std::uint64_t> nextRecvSeq_;

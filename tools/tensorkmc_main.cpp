@@ -201,6 +201,7 @@ int runParallel(const InputDeck& deck, Simulation& sim) {
   pc.tStop = deck.tStop();
   pc.seed = deck.simulationConfig().seed ^ 0x9a11e1ULL;
   pc.rankGrid = deck.rankGrid();
+  pc.threaded = deck.threaded();
   pc.enableRecovery = deck.recovery();
   pc.checkpointDir = deck.checkpointDir();
   pc.checkpointCadence = deck.checkpointCadence();
