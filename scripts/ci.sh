@@ -25,18 +25,34 @@ echo "==> tier-1: ctest"
 echo "==> chaos soak: rank fail-stop drills (with blackbox decode smoke)"
 scripts/chaos_soak.sh
 
+echo "==> trap/detrap workload: examples/trap_detrap.tkmc under a rank kill"
+TRAP_WORK=$(mktemp -d "${TMPDIR:-/tmp}/tkmc_trap.XXXXXX")
+trap 'rm -rf "$TRAP_WORK"' EXIT
+(cd "$TRAP_WORK" && timeout 120 "$OLDPWD/$BUILD_DIR/tools/tensorkmc" \
+    -in "$OLDPWD/examples/trap_detrap.tkmc" \
+    --inject comm.rank_kill=40 --inject-seed 7) > "$TRAP_WORK/log.txt" 2>&1
+grep -q "event catalog: trap_detrap" "$TRAP_WORK/log.txt"
+grep -q "survived 1 rank fail-stop" "$TRAP_WORK/log.txt" || {
+  echo "ci.sh: trap_detrap deck did not survive the injected kill" >&2
+  tail -20 "$TRAP_WORK/log.txt" >&2
+  exit 1
+}
+echo "    trap_detrap survived the kill and resumed from its checkpoint"
+
 echo "==> bench gate: regenerate gated benchmarks"
 "$BUILD_DIR/bench/bench_delta_checkpoint"
 "$BUILD_DIR/bench/bench_batch_pipeline"
 "$BUILD_DIR/bench/bench_memory_footprint"
 "$BUILD_DIR/bench/bench_threaded_scaling"
+"$BUILD_DIR/bench/bench_fig11_serial"
 
 echo "==> bench gate: compare against bench/baselines (scripts/bench_gate.py)"
 python3 scripts/bench_gate.py \
   BENCH_delta_checkpoint.metrics.json \
   BENCH_batch_pipeline.metrics.json \
   BENCH_memory_footprint.metrics.json \
-  BENCH_threaded_scaling.metrics.json
+  BENCH_threaded_scaling.metrics.json \
+  BENCH_fig11_serial.metrics.json
 
 echo "==> sanitized: TKMC_SANITIZE=address;undefined"
 if [ -n "$SANITIZED_FILTER" ]; then
@@ -48,5 +64,18 @@ fi
 echo "==> sanitized: TKMC_SANITIZE=thread (threaded backend smoke)"
 TKMC_SANITIZE=thread scripts/run_sanitized.sh \
   "threaded_engine|sim_comm|fault_injection|flight_recorder|telemetry"
+
+echo "==> sanitized: trap/detrap deck on the TSan-built CLI"
+TSAN_BIN=build-sanitized/thread/tools/tensorkmc
+TRAP_TSAN=$(mktemp -d "${TMPDIR:-/tmp}/tkmc_trap_tsan.XXXXXX")
+(cd "$TRAP_TSAN" && timeout 300 "$OLDPWD/$TSAN_BIN" \
+    -in "$OLDPWD/examples/trap_detrap.tkmc") > "$TRAP_TSAN/log.txt" 2>&1 || {
+  echo "ci.sh: trap_detrap deck failed under TSan" >&2
+  tail -30 "$TRAP_TSAN/log.txt" >&2
+  rm -rf "$TRAP_TSAN"
+  exit 1
+}
+rm -rf "$TRAP_TSAN"
+echo "    trap_detrap threaded run clean under TSan"
 
 echo "==> ci.sh: all gates passed"

@@ -206,6 +206,9 @@ bool faultFires(const char* point, std::uint64_t key) {
 
 const std::vector<FaultPointInfo>& faultPointCatalog() {
   static const std::vector<FaultPointInfo> kCatalog = {
+      {"catalog.rate_nan",
+       "EventCatalog::evaluateChecked(): corrupts one evaluated propensity "
+       "to NaN"},
       {"checkpoint.corrupt_write",
        "serial saveCheckpoint(): flips a byte in the checkpoint body"},
       {"checkpoint.shard_corrupt_write",

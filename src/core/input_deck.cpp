@@ -103,6 +103,27 @@ void InputDeck::apply(const std::string& key, const std::string& value) {
     config_.trainStructures = static_cast<int>(parseInt(key, value));
   } else if (key == "train_epochs") {
     config_.trainEpochs = static_cast<int>(parseInt(key, value));
+  } else if (key == "event_catalog") {
+    if (value != "vacancy_hop" && value != "trap_detrap")
+      throw Error("input deck: event_catalog must be vacancy_hop or "
+                  "trap_detrap, got '" + value + "'");
+    config_.eventCatalog.name = value;
+  } else if (key == "trap_fraction") {
+    config_.eventCatalog.trapFraction = parseDouble(key, value);
+    require(config_.eventCatalog.trapFraction >= 0 &&
+                config_.eventCatalog.trapFraction < 1,
+            "input deck: trap_fraction in [0, 1)");
+  } else if (key == "trap_binding") {
+    config_.eventCatalog.trapBinding = parseDouble(key, value);
+    require(config_.eventCatalog.trapBinding >= 0,
+            "input deck: trap_binding >= 0");
+  } else if (key == "trap_seed") {
+    config_.eventCatalog.trapSeed =
+        static_cast<std::uint64_t>(parseInt(key, value));
+  } else if (key == "sink_planes") {
+    config_.eventCatalog.sinkPlanes = static_cast<int>(parseInt(key, value));
+    require(config_.eventCatalog.sinkPlanes >= 0,
+            "input deck: sink_planes >= 0");
   } else if (key == "use_cache") {
     config_.useVacancyCache = parseSwitch(key, value);
   } else if (key == "use_tree") {

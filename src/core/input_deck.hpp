@@ -32,6 +32,16 @@ namespace tkmc {
 ///   train_epochs <int>          self-training epochs (60)
 ///   use_cache on|off            vacancy cache (on)
 ///   use_tree on|off             tree propensity selection (on)
+///   event_catalog <name>        vacancy_hop | trap_detrap (vacancy_hop);
+///                               selects the event-type catalog both
+///                               engines dispatch through
+///   trap_fraction <float>       trap_detrap: seeded fraction of sites
+///                               that trap vacancies (0.05)
+///   trap_binding <float>        trap_detrap: binding energy added to
+///                               every escape barrier, eV (0.25)
+///   trap_seed <uint>            trap_detrap: trap-placement stream (1234)
+///   sink_planes <int>           trap_detrap: absorbing unit-cell layers
+///                               at z = 0 (1)
 ///   t_end <float>               simulated seconds (1e-6)
 ///   max_steps <int>             event cap (unlimited)
 ///   report_interval <int>       events between progress reports (1000)

@@ -84,7 +84,9 @@ Simulation::Simulation(SimulationConfig config) : config_(config) {
   kc.useVacancyCache = config.useVacancyCache;
   kc.useTree = config.useTree;
   kc.tEnd = 1e300;  // run() sets the horizon per call
-  engine_ = std::make_unique<SerialEngine>(*state_, *model_, *cet_, kc);
+  catalog_ = makeEventCatalog(config.eventCatalog);
+  engine_ = std::make_unique<SerialEngine>(*state_, *model_, *cet_, kc,
+                                           catalog_.get());
 }
 
 Simulation::~Simulation() = default;

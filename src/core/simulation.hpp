@@ -49,6 +49,11 @@ struct SimulationConfig {
   bool useVacancyCache = true;
   bool useTree = true;
 
+  // Event catalog (deck key `event_catalog` plus the trap/detrap
+  // parameters). The default vacancy_hop spec reproduces the historical
+  // hardcoded physics bit-for-bit.
+  EventCatalogSpec eventCatalog;
+
   // Fault tolerance. When checkpointInterval > 0 and checkpointPath is
   // set, run() writes a restartable checkpoint every that many events
   // (atomic v2 format, previous file rotated to .bak). When
@@ -129,6 +134,7 @@ class Simulation {
   std::unique_ptr<EamPotential> eam_;
   std::unique_ptr<Network> network_;
   std::unique_ptr<EnergyModel> model_;
+  std::unique_ptr<EventCatalog> catalog_;  // outlives engine_ (declared first)
   std::unique_ptr<SerialEngine> engine_;
 };
 

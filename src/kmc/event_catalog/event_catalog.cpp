@@ -1,0 +1,36 @@
+#include "kmc/event_catalog/event_catalog.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "kmc/event_catalog/trap_detrap_catalog.hpp"
+#include "kmc/event_catalog/vacancy_hop_catalog.hpp"
+
+namespace tkmc {
+
+JumpRates EventCatalog::evaluateChecked(int type, const Vet& vet,
+                                        const std::vector<double>& energies,
+                                        double temperature) const {
+  JumpRates rates = evaluate(type, vet, energies, temperature);
+  if (faultFires("catalog.rate_nan"))
+    rates.total = std::numeric_limits<double>::quiet_NaN();
+  return rates;
+}
+
+std::unique_ptr<EventCatalog> makeEventCatalog(const EventCatalogSpec& spec) {
+  if (spec.name == "vacancy_hop") return std::make_unique<VacancyHopCatalog>();
+  if (spec.name == "trap_detrap")
+    return std::make_unique<TrapDetrapCatalog>(spec.trapFraction,
+                                               spec.trapBinding,
+                                               spec.sinkPlanes, spec.trapSeed);
+  throw Error("unknown event catalog '" + spec.name +
+              "' (known: vacancy_hop, trap_detrap)");
+}
+
+const EventCatalog& defaultEventCatalog() {
+  static const VacancyHopCatalog kDefault;
+  return kDefault;
+}
+
+}  // namespace tkmc

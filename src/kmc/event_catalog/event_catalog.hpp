@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kmc/rate_calculator.hpp"
+#include "lattice/bcc_lattice.hpp"
+#include "tabulation/vet.hpp"
+
+namespace tkmc {
+
+/// One event type of a catalog: a family of transitions sharing a rate
+/// law and a candidate geometry. `siteClassMask` names the site classes
+/// the type applies to (bit c set = active sites of class c can fire
+/// it); a class covered by no type is Markov-absorbing — a vacancy that
+/// reaches it contributes zero propensity and stays pinned.
+struct EventTypeInfo {
+  int id = 0;
+  const char* name = "hop";       // stable: telemetry + manifest friendly
+  int arity = kNumJumpDirections; // candidate transitions per active site
+  std::uint32_t siteClassMask = 1u;
+};
+
+/// Pluggable transition catalog of the AKMC engines.
+///
+/// A catalog owns the event-type enumeration, classifies active sites
+/// into site classes, evaluates per-candidate rates (delegating to the
+/// EnergyModel's state energies for hop-shaped events), and defines how
+/// a chosen candidate is applied (the target-site offset). Both engines
+/// and the propensity layer dispatch through this interface instead of
+/// assuming the eight hardcoded BCC vacancy hops; `VacancyHopCatalog`
+/// reproduces the historical physics bit-for-bit.
+///
+/// Every shipped event type is hop-shaped: candidate k exchanges the
+/// active vacancy with the site at `candidateOffset(type, k)`, so the
+/// hop/fold/cache machinery of the engines is shared across catalogs.
+class EventCatalog {
+ public:
+  virtual ~EventCatalog() = default;
+
+  /// Stable registry name (deck key `event_catalog`, manifest record).
+  virtual const char* name() const = 0;
+
+  virtual int typeCount() const = 0;
+  virtual const EventTypeInfo& typeInfo(int type) const = 0;
+
+  /// Number of site classes the catalog distinguishes.
+  virtual int classCount() const { return 1; }
+
+  /// Class of the active site at `wrappedCenter` (pure function of the
+  /// wrapped coordinate, so serial and parallel engines agree without
+  /// sharing state).
+  virtual int siteClass(const BccLattice& lattice, Vec3i wrappedCenter) const {
+    (void)lattice;
+    (void)wrappedCenter;
+    return 0;
+  }
+
+  /// Candidate rates of one (type, active site). `vet` is the gathered
+  /// vacancy environment, `energies` the stateEnergies() output
+  /// [E_i, E_f(0..arity-1)] for the same environment.
+  virtual JumpRates evaluate(int type, const Vet& vet,
+                             const std::vector<double>& energies,
+                             double temperature) const = 0;
+
+  /// Target-site offset of candidate k (applied as vacancy exchange).
+  virtual Vec3i candidateOffset(int type, int k) const {
+    (void)type;
+    return BccLattice::firstNeighborOffsets()[static_cast<std::size_t>(k)];
+  }
+
+  /// True when `type` applies to active sites of `siteClass`.
+  bool typeApplies(int type, int siteClass) const {
+    return (typeInfo(type).siteClassMask & (1u << siteClass)) != 0u;
+  }
+
+  /// evaluate() plus the `catalog.rate_nan` fault probe: an armed
+  /// injector corrupts the evaluated propensity to NaN here, which the
+  /// engine-side guards must turn into a typed InvariantError instead of
+  /// a silently poisoned trajectory. Engines call this, not evaluate().
+  JumpRates evaluateChecked(int type, const Vet& vet,
+                            const std::vector<double>& energies,
+                            double temperature) const;
+};
+
+/// Deck-level catalog selection plus the trap/detrap parameters (unused
+/// by catalogs that do not consume them).
+struct EventCatalogSpec {
+  std::string name = "vacancy_hop";
+
+  // trap_detrap: a seeded `trapFraction` of the bulk sites are traps
+  // (escape barriers raised by `trapBinding` eV), and the lowest
+  // `sinkPlanes` unit-cell layers in z form an absorbing sink slab.
+  double trapFraction = 0.05;
+  double trapBinding = 0.25;      // eV added to every escape barrier
+  int sinkPlanes = 1;             // unit-cell-thick absorbing slab at z = 0
+  std::uint64_t trapSeed = 1234;  // trap-placement stream
+};
+
+/// Builds a catalog from its deck spec. Throws tkmc::Error on an unknown
+/// name or invalid parameters.
+std::unique_ptr<EventCatalog> makeEventCatalog(const EventCatalogSpec& spec);
+
+/// The process-wide default catalog (the historical Fe-Cu vacancy-hop
+/// physics); engines fall back to it when no catalog is supplied.
+const EventCatalog& defaultEventCatalog();
+
+}  // namespace tkmc

@@ -1,0 +1,61 @@
+#include "kmc/event_catalog/trap_detrap_catalog.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace tkmc {
+
+TrapDetrapCatalog::TrapDetrapCatalog(double trapFraction, double bindingEnergy,
+                                     int sinkPlanes, std::uint64_t trapSeed)
+    : trapFraction_(trapFraction), bindingEnergy_(bindingEnergy),
+      sinkPlanes_(sinkPlanes), trapSeed_(trapSeed) {
+  require(trapFraction_ >= 0.0 && trapFraction_ < 1.0,
+          "trap_fraction must be in [0, 1)");
+  require(bindingEnergy_ >= 0.0, "trap_binding must be non-negative");
+  require(sinkPlanes_ >= 0, "sink_planes must be non-negative");
+}
+
+const EventTypeInfo& TrapDetrapCatalog::typeInfo(int type) const {
+  // kSink appears in no mask: the sink slab is absorbing.
+  static const EventTypeInfo kTypes[2] = {
+      {0, "hop", kNumJumpDirections, 1u << kBulk},
+      {1, "detrap", kNumJumpDirections, 1u << kTrap},
+  };
+  require(type >= 0 && type < 2, "trap_detrap catalog has two event types");
+  return kTypes[static_cast<std::size_t>(type)];
+}
+
+int TrapDetrapCatalog::siteClass(const BccLattice& lattice,
+                                 Vec3i wrappedCenter) const {
+  if (wrappedCenter.z < 2 * sinkPlanes_) return kSink;
+  // Trap placement: a pure hash of (seed, site), so every rank — and a
+  // resumed run — classifies identically without shared state.
+  (void)lattice;
+  std::uint64_t h = trapSeed_;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(wrappedCenter.x));
+  h = SplitMix64(h).next();
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(wrappedCenter.y));
+  h = SplitMix64(h).next();
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(wrappedCenter.z));
+  h = SplitMix64(h).next();
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0, 1)
+  return u < trapFraction_ ? kTrap : kBulk;
+}
+
+JumpRates TrapDetrapCatalog::evaluate(int type, const Vet& vet,
+                                      const std::vector<double>& energies,
+                                      double temperature) const {
+  require(type >= 0 && type < 2, "trap_detrap catalog has two event types");
+  const JumpRates rates = computeRates(vet, energies, temperature);
+  if (type == 0 || bindingEnergy_ == 0.0) return rates;
+  // Detrap: every escape barrier gains the binding energy. Barriers are
+  // non-negative before the shift, so the scaling is exactly
+  // exp(-(barrier + Eb) / kT).
+  return scaleRates(rates,
+                    std::exp(-bindingEnergy_ / (kBoltzmannEv * temperature)));
+}
+
+}  // namespace tkmc

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "kmc/event_catalog/event_catalog.hpp"
+
+namespace tkmc {
+
+/// Trap/detrap catalog with an absorbing-sink site class — the
+/// hydrogen-retention-style workload of ROADMAP item 4 (Saito et al.'s
+/// dKMC trap/detrap events, sinks as grain-boundary analogues), run on
+/// the existing Fe-Cu energetics.
+///
+/// Site classes of the active (vacancy) site:
+///   kBulk — ordinary lattice; fires type 0 "hop" (standard rates).
+///   kTrap — a seeded `trapFraction` of sites; fires type 1 "detrap":
+///           every escape barrier is raised by the binding energy, so
+///           rates are the standard ones scaled by exp(-Eb / kT).
+///   kSink — the lowest `sinkPlanes` unit-cell layers in z. Covered by
+///           no event type: a vacancy reaching the slab contributes zero
+///           propensity and stays pinned (Markov-absorbing), which keeps
+///           the engines' vacancy-conservation invariants intact.
+class TrapDetrapCatalog final : public EventCatalog {
+ public:
+  enum SiteClassId { kBulk = 0, kTrap = 1, kSink = 2 };
+
+  TrapDetrapCatalog(double trapFraction, double bindingEnergy, int sinkPlanes,
+                    std::uint64_t trapSeed);
+
+  const char* name() const override { return "trap_detrap"; }
+  int typeCount() const override { return 2; }
+  const EventTypeInfo& typeInfo(int type) const override;
+  int classCount() const override { return 3; }
+
+  int siteClass(const BccLattice& lattice, Vec3i wrappedCenter) const override;
+
+  JumpRates evaluate(int type, const Vet& vet,
+                     const std::vector<double>& energies,
+                     double temperature) const override;
+
+  double trapFraction() const { return trapFraction_; }
+  double bindingEnergy() const { return bindingEnergy_; }
+
+ private:
+  double trapFraction_;
+  double bindingEnergy_;  // eV
+  int sinkPlanes_;        // unit cells; doubled-coordinate z < 2 * sinkPlanes_
+  std::uint64_t trapSeed_;
+};
+
+}  // namespace tkmc

@@ -1,0 +1,20 @@
+#include "kmc/event_catalog/vacancy_hop_catalog.hpp"
+
+#include "common/error.hpp"
+
+namespace tkmc {
+
+const EventTypeInfo& VacancyHopCatalog::typeInfo(int type) const {
+  static const EventTypeInfo kHop{0, "hop", kNumJumpDirections, 1u};
+  require(type == 0, "vacancy_hop catalog has exactly one event type");
+  return kHop;
+}
+
+JumpRates VacancyHopCatalog::evaluate(int type, const Vet& vet,
+                                      const std::vector<double>& energies,
+                                      double temperature) const {
+  require(type == 0, "vacancy_hop catalog has exactly one event type");
+  return computeRates(vet, energies, temperature);
+}
+
+}  // namespace tkmc

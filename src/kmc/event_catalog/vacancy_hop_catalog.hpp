@@ -1,0 +1,23 @@
+#pragma once
+
+#include "kmc/event_catalog/event_catalog.hpp"
+
+namespace tkmc {
+
+/// The historical TensorKMC event model: one event type, the eight BCC
+/// first-neighbor vacancy hops, rates straight from computeRates()
+/// (Eqs. 1-2). Trajectories through this catalog are bit-identical to
+/// the pre-catalog hardcoded path in serial, parallel, and threaded
+/// modes — pinned by tests/test_event_catalog.cpp.
+class VacancyHopCatalog final : public EventCatalog {
+ public:
+  const char* name() const override { return "vacancy_hop"; }
+  int typeCount() const override { return 1; }
+  const EventTypeInfo& typeInfo(int type) const override;
+
+  JumpRates evaluate(int type, const Vet& vet,
+                     const std::vector<double>& energies,
+                     double temperature) const override;
+};
+
+}  // namespace tkmc

@@ -6,40 +6,55 @@ namespace tkmc {
 
 PropensityTree::PropensityTree(int leaves) { resize(leaves); }
 
-void PropensityTree::resize(int leaves) {
+void PropensityTree::resizeForest(int types, int leaves) {
+  require(types >= 1, "type count must be positive");
   require(leaves >= 0, "leaf count must be non-negative");
+  types_ = types;
   leaves_ = leaves;
   base_ = 1;
   while (base_ < leaves) base_ <<= 1;
   if (leaves == 0) base_ = 1;
-  nodes_.assign(static_cast<std::size_t>(2 * base_), 0.0);
+  nodes_.assign(static_cast<std::size_t>(types_) *
+                    static_cast<std::size_t>(2 * base_),
+                0.0);
 }
 
-void PropensityTree::update(int index, double value) {
+void PropensityTree::updateTyped(int type, int index, double value) {
+  require(type >= 0 && type < types_, "event type out of range");
   require(index >= 0 && index < leaves_, "leaf index out of range");
   ++updates_;
+  const std::size_t b = block(type);
   std::size_t node = static_cast<std::size_t>(base_ + index);
-  nodes_[node] = value;
+  nodes_[b + node] = value;
   while (node > 1) {
     node >>= 1;
-    nodes_[node] = nodes_[2 * node] + nodes_[2 * node + 1];
+    nodes_[b + node] = nodes_[b + 2 * node] + nodes_[b + 2 * node + 1];
   }
 }
 
-double PropensityTree::leaf(int index) const {
+double PropensityTree::leafTyped(int type, int index) const {
+  require(type >= 0 && type < types_, "event type out of range");
   require(index >= 0 && index < leaves_, "leaf index out of range");
-  return nodes_[static_cast<std::size_t>(base_ + index)];
+  return nodes_[block(type) + static_cast<std::size_t>(base_ + index)];
 }
 
-double PropensityTree::total() const { return nodes_.size() > 1 ? nodes_[1] : 0.0; }
+double PropensityTree::typeTotal(int type) const {
+  require(type >= 0 && type < types_, "event type out of range");
+  return nodes_.size() > 1 ? nodes_[block(type) + 1] : 0.0;
+}
 
-int PropensityTree::select(double target) const {
-  require(leaves_ > 0, "cannot select from an empty tree");
-  require(target >= 0.0, "selection target must be non-negative");
-  ++selects_;
+double PropensityTree::total() const {
+  if (nodes_.size() <= 1) return 0.0;
+  double sum = 0.0;
+  for (int t = 0; t < types_; ++t) sum += nodes_[block(t) + 1];
+  return sum;
+}
+
+int PropensityTree::selectInSubtree(int type, double target) const {
+  const std::size_t b = block(type);
   std::size_t node = 1;
   while (node < static_cast<std::size_t>(base_)) {
-    const double left = nodes_[2 * node];
+    const double left = nodes_[b + 2 * node];
     if (target < left) {
       node = 2 * node;
     } else {
@@ -48,31 +63,74 @@ int PropensityTree::select(double target) const {
     }
   }
   int index = static_cast<int>(node) - base_;
-  // Guard against target == total() (can happen at the fp boundary):
-  // walk back to the last non-empty leaf.
+  // Guard against target == subtree total (can happen at the fp
+  // boundary): walk back to the last non-empty leaf.
   if (index >= leaves_) index = leaves_ - 1;
-  while (index > 0 && nodes_[static_cast<std::size_t>(base_ + index)] == 0.0)
+  while (index > 0 &&
+         nodes_[b + static_cast<std::size_t>(base_ + index)] == 0.0)
     --index;
   return index;
 }
 
-int PropensityTree::selectLinear(double target) const {
+PropensityTree::Pick PropensityTree::selectTyped(double target) const {
+  require(leaves_ > 0, "cannot select from an empty tree");
+  require(target >= 0.0, "selection target must be non-negative");
+  ++selects_;
+  // Pick the type whose cumulative band holds `target`, left to right.
+  double before = 0.0;
+  int type = -1;
+  for (int t = 0; t < types_; ++t) {
+    const double tt = typeTotal(t);
+    if (target < before + tt) {
+      type = t;
+      break;
+    }
+    before += tt;
+  }
+  if (type < 0) {
+    // target fell past the last band (fp boundary, target == total()):
+    // walk back to the last type with any propensity and hand its
+    // subtree the residue relative to the band start — with one type
+    // this passes `target` through unchanged, so the subtree's own
+    // walk-back reproduces the historical single-tree behavior exactly.
+    type = types_ - 1;
+    while (type > 0 && typeTotal(type) == 0.0) --type;
+    before = 0.0;
+    for (int t = 0; t < type; ++t) before += typeTotal(t);
+  }
+  return {type, selectInSubtree(type, target - before)};
+}
+
+PropensityTree::Pick PropensityTree::selectLinearTyped(double target) const {
   require(leaves_ > 0, "cannot select from an empty tree");
   require(target >= 0.0, "selection target must be non-negative");
   ++selects_;
   double cumulative = 0.0;
-  for (int i = 0; i < leaves_; ++i) {
-    cumulative += nodes_[static_cast<std::size_t>(base_ + i)];
-    if (target < cumulative) return i;
+  for (int t = 0; t < types_; ++t) {
+    const std::size_t b = block(t);
+    for (int i = 0; i < leaves_; ++i) {
+      cumulative += nodes_[b + static_cast<std::size_t>(base_ + i)];
+      if (target < cumulative) return {t, i};
+    }
   }
   // target fell beyond the last cumulative due to rounding (the fp
-  // boundary target == total()); walk back from the last leaf to the
-  // last non-empty one, exactly as select() does, so both paths land on
-  // the same vacancy and consume the RNG stream identically.
+  // boundary target == total()); walk back from the last leaf of the
+  // last type across empty leaves — crossing type boundaries if whole
+  // trailing subtrees are empty — exactly mirroring selectTyped(), so
+  // both paths land on the same event and consume the RNG stream
+  // identically.
+  int type = types_ - 1;
   int index = leaves_ - 1;
-  while (index > 0 && nodes_[static_cast<std::size_t>(base_ + index)] == 0.0)
-    --index;
-  return index;
+  while ((type > 0 || index > 0) &&
+         nodes_[block(type) + static_cast<std::size_t>(base_ + index)] == 0.0) {
+    if (index > 0) {
+      --index;
+    } else {
+      --type;
+      index = leaves_ - 1;
+    }
+  }
+  return {type, index};
 }
 
 }  // namespace tkmc

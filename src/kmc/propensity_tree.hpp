@@ -5,51 +5,99 @@
 
 namespace tkmc {
 
-/// Binary sum tree over per-vacancy total propensities — the paper's
-/// "tree strategy for propensity update" (Sec. 4.4).
+/// Binary sum trees over per-site total propensities — the paper's
+/// "tree strategy for propensity update" (Sec. 4.4), extended to a
+/// forest of per-event-type subtrees under one root.
 ///
-/// update() is O(log n) and select() walks the tree in O(log n), against
-/// the O(n) linear alternative kept for the ablation bench. Internal node
-/// values are always recomputed as the sum of their two children, so the
-/// stored partial sums are a pure function of the leaf values regardless
-/// of update order — a property the bit-identical trajectory tests rely
-/// on.
+/// Each event type owns an identical power-of-two subtree over the same
+/// leaf count; the root total is the sum of the subtree roots. Selection
+/// first picks a type by cumulative subtree totals, then walks that
+/// type's subtree — so heterogeneous catalogs pay update cost only in
+/// the subtrees whose rates actually changed, and a quiet event class
+/// costs nothing per step. With a single type the forest arithmetic
+/// degenerates exactly to the historical single tree (same partial sums,
+/// same fp-boundary walk-backs), which the bit-identical trajectory
+/// tests rely on.
+///
+/// update() is O(log n) and select() walks one subtree in O(log n),
+/// against the O(n) linear alternative kept for the ablation bench.
+/// Internal node values are always recomputed as the sum of their two
+/// children, so the stored partial sums are a pure function of the leaf
+/// values regardless of update order.
 class PropensityTree {
  public:
   explicit PropensityTree(int leaves = 0);
 
-  /// Re-sizes to `leaves` leaves, all zero.
-  void resize(int leaves);
+  /// A selected (event type, leaf) pair.
+  struct Pick {
+    int type = 0;
+    int index = 0;
+  };
+
+  /// Re-sizes to a single-type tree of `leaves` leaves, all zero.
+  void resize(int leaves) { resizeForest(1, leaves); }
+
+  /// Re-sizes to `types` per-event-type subtrees of `leaves` leaves
+  /// each, all zero.
+  void resizeForest(int types, int leaves);
 
   int leafCount() const { return leaves_; }
+  int typeCount() const { return types_; }
 
-  /// Sets leaf `index` and repairs the path to the root.
-  void update(int index, double value);
+  /// Sets leaf `index` of the single-type tree (type 0).
+  void update(int index, double value) { updateTyped(0, index, value); }
 
-  double leaf(int index) const;
+  /// Sets leaf `index` of type `type`'s subtree and repairs the path to
+  /// that subtree's root.
+  void updateTyped(int type, int index, double value);
 
-  /// Total propensity (root value).
+  double leaf(int index) const { return leafTyped(0, index); }
+  double leafTyped(int type, int index) const;
+
+  /// Total propensity (sum of the subtree roots).
   double total() const;
 
-  /// Finds the leaf containing cumulative position `target` in
-  /// [0, total()). Deterministic left-to-right walk.
-  int select(double target) const;
+  /// Root propensity of one type's subtree.
+  double typeTotal(int type) const;
 
-  /// Linear-scan equivalent over the same leaves (ablation baseline).
-  int selectLinear(double target) const;
+  /// Single-type select: the leaf containing cumulative position
+  /// `target` in [0, total()). Deterministic left-to-right walk.
+  int select(double target) const { return selectTyped(target).index; }
+
+  /// Forest select: picks the type whose cumulative band contains
+  /// `target` (left-to-right over type ids), then the leaf within that
+  /// type's subtree. At the fp boundary (target == total()) it walks
+  /// back to the last type with a non-zero subtree, then relies on the
+  /// subtree's own last-non-empty-leaf walk-back — the exact historical
+  /// behavior when only one type exists.
+  Pick selectTyped(double target) const;
+
+  /// Linear-scan equivalent (ablation baseline): type-major cumulative
+  /// walk over the same leaves, with the same boundary walk-back.
+  int selectLinear(double target) const {
+    return selectLinearTyped(target).index;
+  }
+  Pick selectLinearTyped(double target) const;
 
   // Lifetime operation counters (telemetry snapshot feed); they survive
   // resize() so a trajectory's totals accumulate across restores.
   std::uint64_t updateCount() const { return updates_; }
   std::uint64_t selectCount() const { return selects_; }
 
-  /// Bytes held by the heap array (memory snapshot feed).
+  /// Bytes held by the heap arrays (memory snapshot feed).
   std::size_t memoryBytes() const { return nodes_.size() * sizeof(double); }
 
  private:
+  /// First heap slot of type `t`'s subtree block (1-indexed inside).
+  std::size_t block(int t) const {
+    return static_cast<std::size_t>(t) * static_cast<std::size_t>(2 * base_);
+  }
+  int selectInSubtree(int type, double target) const;
+
   int leaves_ = 0;
-  int base_ = 0;                // first leaf slot (power-of-two layout)
-  std::vector<double> nodes_;   // 1-indexed heap layout
+  int types_ = 1;
+  int base_ = 0;  // first leaf slot within a subtree (power-of-two layout)
+  std::vector<double> nodes_;  // per-type 1-indexed heap blocks
   std::uint64_t updates_ = 0;
   mutable std::uint64_t selects_ = 0;  // select() is logically const
 };

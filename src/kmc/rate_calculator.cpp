@@ -31,6 +31,15 @@ JumpRates computeRates(const Vet& vet, const std::vector<double>& energies,
   return rates;
 }
 
+JumpRates scaleRates(const JumpRates& rates, double factor) {
+  require(factor >= 0.0, "rate scale factor must be non-negative");
+  JumpRates scaled;
+  for (std::size_t k = 0; k < rates.rate.size(); ++k)
+    scaled.rate[k] = rates.rate[k] * factor;
+  for (double r : scaled.rate) scaled.total += r;
+  return scaled;
+}
+
 double residenceTime(double r, double totalPropensity) {
   require(r > 0.0 && r <= 1.0, "residence-time draw must be in (0, 1]");
   require(totalPropensity > 0.0, "total propensity must be positive");

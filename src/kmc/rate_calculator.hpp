@@ -25,6 +25,12 @@ struct JumpRates {
 JumpRates computeRates(const Vet& vet, const std::vector<double>& energies,
                        double temperature);
 
+/// Uniformly scales every candidate rate (and the total) by `factor`.
+/// Event catalogs use this for barrier shifts that apply to a whole
+/// site class: adding E to every non-negative barrier multiplies every
+/// rate by exp(-E / kT) exactly.
+JumpRates scaleRates(const JumpRates& rates, double factor);
+
 /// Residence-time increment of Eq. (3): dt = -ln(r) / totalPropensity,
 /// with r in (0, 1].
 double residenceTime(double r, double totalPropensity);

@@ -1,25 +1,50 @@
 #include "kmc/serial_engine.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 #include "common/telemetry/telemetry.hpp"
 
 namespace tkmc {
 
+namespace {
+
+// TKMC_SPAN stores the name pointer, so span names must be static. The
+// per-type refresh spans draw from this fixed table (types beyond the
+// table share the last slot; shipped catalogs have at most two types).
+const char* refreshSpanName(int type) {
+  static const char* const kNames[] = {
+      "kmc.refresh.type0", "kmc.refresh.type1", "kmc.refresh.type2",
+      "kmc.refresh.type3plus"};
+  return kNames[type < 3 ? type : 3];
+}
+
+}  // namespace
+
 SerialEngine::SerialEngine(LatticeState& state, EnergyModel& model,
-                           const Cet& cet, KmcConfig config)
+                           const Cet& cet, KmcConfig config,
+                           const EventCatalog* catalog)
     : state_(state), model_(model), cet_(cet), config_(config),
+      catalog_(catalog ? catalog : &defaultEventCatalog()),
       rng_(config.seed), cache_(cet, state.lattice()) {
   require(!state.vacancies().empty(),
           "AKMC needs at least one vacancy to evolve");
+  require(catalog_->typeCount() >= 1,
+          "event catalog must define at least one event type");
   telemetry::flightRecorder().configureRanks(1);
+  cache_.setCatalog(catalog_);
   if (config_.useVacancyCache) {
     require(model.supportsVet(),
             "vacancy cache requires a VET-capable energy backend");
   }
   const int n = static_cast<int>(state.vacancies().size());
-  rates_.resize(static_cast<std::size_t>(n));
-  tree_.resize(n);
+  resizePropensities(n);
+  eventsByType_.assign(static_cast<std::size_t>(catalog_->typeCount()), 0);
+  eventTypeMetricNames_.clear();
+  for (int t = 0; t < catalog_->typeCount(); ++t)
+    eventTypeMetricNames_.push_back(std::string("kmc.events.by_type.") +
+                                    catalog_->typeInfo(t).name);
   if (config_.useVacancyCache) {
     cache_.rebuild(state);
   } else {
@@ -27,14 +52,47 @@ SerialEngine::SerialEngine(LatticeState& state, EnergyModel& model,
   }
 }
 
+void SerialEngine::resizePropensities(int vacancies) {
+  const int types = catalog_->typeCount();
+  rates_.assign(static_cast<std::size_t>(types),
+                std::vector<JumpRates>(static_cast<std::size_t>(vacancies)));
+  tree_.resizeForest(types, vacancies);
+}
+
+const JumpRates& SerialEngine::evaluateInto(int type, int v, int siteClass,
+                                            const Vet& vet,
+                                            const std::vector<double>& energies) {
+  JumpRates& slot =
+      rates_[static_cast<std::size_t>(type)][static_cast<std::size_t>(v)];
+  if (!catalog_->typeApplies(type, siteClass)) {
+    slot = JumpRates{};
+    return slot;
+  }
+  slot = catalog_->evaluateChecked(type, vet, energies, config_.temperature);
+  if (!std::isfinite(slot.total) || slot.total < 0.0) {
+    telemetry::flightRecorder().record(
+        0, telemetry::BlackboxEventType::kInvariantTrip, 0, steps_,
+        static_cast<std::uint64_t>(type));
+    throw InvariantError(
+        std::string("non-finite or negative propensity from event type '") +
+        catalog_->typeInfo(type).name + "' of catalog '" + catalog_->name() +
+        "' at vacancy " + std::to_string(v) + " (total " +
+        std::to_string(slot.total) + ")");
+  }
+  return slot;
+}
+
 void SerialEngine::refreshDirty() {
   const int n = static_cast<int>(state_.vacancies().size());
+  const int types = catalog_->typeCount();
   if (config_.useVacancyCache) {
     // Collect every dirty system first, then evaluate them all in one
     // backend dispatch so an accelerator backend amortizes kernel
     // launches and weight movement over the batch. Index order is
     // ascending, matching the old per-system loop, and the batch API
     // guarantees bit-identical energies, so trajectories are unchanged.
+    // Every shipped event type is hop-shaped over the same environment,
+    // so one state-energy batch serves all per-type evaluations.
     dirtyScratch_.clear();
     vetScratch_.clear();
     for (int v = 0; v < n; ++v) {
@@ -46,12 +104,17 @@ void SerialEngine::refreshDirty() {
     const auto energies =
         model_.stateEnergiesBatch(vetScratch_, kNumJumpDirections);
     for (std::size_t i = 0; i < dirtyScratch_.size(); ++i) {
-      const int v = dirtyScratch_[i];
-      rates_[static_cast<std::size_t>(v)] =
-          computeRates(cache_.vet(v), energies[i], config_.temperature);
-      cache_.clearDirty(v);
-      tree_.update(v, rates_[static_cast<std::size_t>(v)].total);
+      cache_.clearDirty(dirtyScratch_[i]);
       ++energyEvals_;
+    }
+    for (int t = 0; t < types; ++t) {
+      TKMC_SPAN(refreshSpanName(t));
+      for (std::size_t i = 0; i < dirtyScratch_.size(); ++i) {
+        const int v = dirtyScratch_[i];
+        const JumpRates& jr = evaluateInto(t, v, cache_.siteClass(v),
+                                           cache_.vet(v), energies[i]);
+        tree_.updateTyped(t, v, jr.total);
+      }
     }
     if (telemetry::enabled())
       telemetry::metrics()
@@ -71,10 +134,12 @@ void SerialEngine::refreshDirty() {
     // Rates need the migrating species per direction; build a one-shot
     // VET view for that lookup (geometry only, species from lattice).
     Vet vet = Vet::gather(cet_, state_, center);
-    rates_[static_cast<std::size_t>(v)] =
-        computeRates(vet, energies, config_.temperature);
+    const int siteClass = catalog_->siteClass(state_.lattice(), center);
+    for (int t = 0; t < types; ++t) {
+      const JumpRates& jr = evaluateInto(t, v, siteClass, vet, energies);
+      tree_.updateTyped(t, v, jr.total);
+    }
     dirtyNoCache_[static_cast<std::size_t>(v)] = false;
-    tree_.update(v, rates_[static_cast<std::size_t>(v)].total);
     ++energyEvals_;
   }
 }
@@ -91,16 +156,22 @@ SerialEngine::StepResult SerialEngine::step() {
   const double total = tree_.total();
   if (total <= 0.0) return result;
 
-  // Draw order is fixed (vacancy, direction, time) so that engines with
-  // different caching strategies consume the stream identically.
+  // Draw order is fixed (event, direction, time) so that engines with
+  // different caching strategies consume the stream identically. With a
+  // single-type catalog the forest select degenerates exactly to the
+  // historical per-vacancy tree walk.
   const double u1 = rng_.uniform();
-  const int v = config_.useTree ? tree_.select(u1 * total)
-                                : tree_.selectLinear(u1 * total);
-  const JumpRates& jr = rates_[static_cast<std::size_t>(v)];
+  const PropensityTree::Pick pick = config_.useTree
+                                        ? tree_.selectTyped(u1 * total)
+                                        : tree_.selectLinearTyped(u1 * total);
+  const int v = pick.index;
+  const JumpRates& jr =
+      rates_[static_cast<std::size_t>(pick.type)][static_cast<std::size_t>(v)];
+  const int arity = catalog_->typeInfo(pick.type).arity;
   const double u2 = rng_.uniform();
   double target = u2 * jr.total;
   int direction = 0;
-  for (; direction < kNumJumpDirections - 1; ++direction) {
+  for (; direction < arity - 1; ++direction) {
     target -= jr.rate[static_cast<std::size_t>(direction)];
     if (target < 0.0) break;
   }
@@ -112,7 +183,7 @@ SerialEngine::StepResult SerialEngine::step() {
   const Vec3i from = state_.lattice().wrap(
       state_.vacancies()[static_cast<std::size_t>(v)]);
   const Vec3i to = state_.lattice().wrap(
-      from + BccLattice::firstNeighborOffsets()[static_cast<std::size_t>(direction)]);
+      from + catalog_->candidateOffset(pick.type, direction));
   state_.hopVacancy(from, to);
 
   if (config_.useVacancyCache) {
@@ -125,6 +196,7 @@ SerialEngine::StepResult SerialEngine::step() {
 
   time_ += dt;
   ++steps_;
+  ++eventsByType_[static_cast<std::size_t>(pick.type)];
   telemetry::flightRecorder().record(
       0, telemetry::BlackboxEventType::kKmcEvent, 0, steps_,
       static_cast<std::uint64_t>(direction));
@@ -134,6 +206,7 @@ SerialEngine::StepResult SerialEngine::step() {
   result.to = to;
   result.vacancyIndex = v;
   result.direction = direction;
+  result.eventType = pick.type;
   if (instrumented)
     telemetry::metrics().histogram("kmc.step_seconds").observe(watch.seconds());
   if (observer_) observer_(*this, result);
@@ -147,8 +220,7 @@ void SerialEngine::restore(const Checkpoint& cp) {
   // Propensities and the vacancy cache derive from the (restored)
   // lattice; rebuild them from scratch.
   const int n = static_cast<int>(state_.vacancies().size());
-  rates_.assign(static_cast<std::size_t>(n), JumpRates{});
-  tree_.resize(n);
+  resizePropensities(n);
   if (config_.useVacancyCache) {
     cache_.rebuild(state_);
   } else {
@@ -177,6 +249,9 @@ void SerialEngine::publishTelemetry() const {
   reg.gauge("kmc.total_propensity").set(tree_.total());
   reg.gauge("kmc.tree.updates").set(static_cast<double>(tree_.updateCount()));
   reg.gauge("kmc.tree.selects").set(static_cast<double>(tree_.selectCount()));
+  for (std::size_t t = 0; t < eventTypeMetricNames_.size(); ++t)
+    reg.gauge(eventTypeMetricNames_[t])
+        .set(static_cast<double>(eventsByType_[t]));
   if (config_.useVacancyCache) {
     reg.gauge("kmc.cache.hits").set(static_cast<double>(cache_.hitCount()));
     reg.gauge("kmc.cache.misses").set(static_cast<double>(cache_.missCount()));

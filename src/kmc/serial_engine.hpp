@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "kmc/energy_model.hpp"
+#include "kmc/event_catalog/event_catalog.hpp"
 #include "kmc/propensity_tree.hpp"
 #include "kmc/rate_calculator.hpp"
 #include "kmc/vacancy_cache.hpp"
@@ -26,17 +28,24 @@ struct KmcConfig {
 
 /// Serial AKMC engine (paper Sec. 2.1 flow with the Sec. 3 innovations).
 ///
-/// Per step: refresh propensities of dirty vacancy systems, select a
-/// vacancy from the propensity tree and a jump direction within it, draw
-/// the residence-time increment (Eq. 3), apply the hop, and propagate the
-/// change through the vacancy cache. With the cache disabled every
-/// vacancy system is re-gathered and re-evaluated each step — the
-/// reference configuration of the Fig. 8 validation, which must produce a
+/// Per step: refresh propensities of dirty vacancy systems for every
+/// event type of the catalog, select an (event type, vacancy) from the
+/// propensity forest and a candidate within it, draw the residence-time
+/// increment (Eq. 3), apply the exchange, and propagate the change
+/// through the vacancy cache. With the cache disabled every vacancy
+/// system is re-gathered and re-evaluated each step — the reference
+/// configuration of the Fig. 8 validation, which must produce a
 /// bit-identical trajectory.
+///
+/// All physics dispatches through the EventCatalog: with the default
+/// VacancyHopCatalog (one type) the engine reproduces the historical
+/// hardcoded eight-hop trajectories bit-for-bit.
 class SerialEngine {
  public:
+  /// `catalog` must outlive the engine; null selects the process-wide
+  /// default (the historical vacancy-hop physics).
   SerialEngine(LatticeState& state, EnergyModel& model, const Cet& cet,
-               KmcConfig config);
+               KmcConfig config, const EventCatalog* catalog = nullptr);
 
   struct StepResult {
     bool advanced = false;  // false when no event is possible
@@ -45,6 +54,7 @@ class SerialEngine {
     Vec3i to{};
     int vacancyIndex = -1;
     int direction = -1;
+    int eventType = -1;
   };
 
   /// Executes one KMC event.
@@ -63,6 +73,12 @@ class SerialEngine {
   std::uint64_t steps() const { return steps_; }
   const LatticeState& state() const { return state_; }
   double totalPropensity() const { return tree_.total(); }
+  const EventCatalog& catalog() const { return *catalog_; }
+
+  /// Committed events per catalog event type (index = type id).
+  const std::vector<std::uint64_t>& eventsByType() const {
+    return eventsByType_;
+  }
 
   /// Instrumentation: energy-backend invocations (propensity refreshes).
   std::uint64_t energyEvaluations() const { return energyEvals_; }
@@ -70,9 +86,9 @@ class SerialEngine {
   const PropensityTree& tree() const { return tree_; }
 
   /// Publishes the engine's cumulative counters (steps, energy
-  /// evaluations, cache hit/miss/eviction rates, tree operation counts,
-  /// propensity total) as gauges in the global telemetry registry.
-  /// No-op while telemetry is disabled.
+  /// evaluations, per-event-type counts, cache hit/miss/eviction rates,
+  /// tree operation counts, propensity total) as metrics in the global
+  /// telemetry registry. No-op while telemetry is disabled.
   void publishTelemetry() const;
 
   /// Engine-side checkpoint state: together with the lattice occupation
@@ -91,14 +107,24 @@ class SerialEngine {
 
  private:
   void refreshDirty();
+  void resizePropensities(int vacancies);
+  /// Evaluates one (type, vacancy) propensity row — zero when the type
+  /// does not apply to the site's class — and rejects non-finite or
+  /// negative totals with a typed InvariantError (flight-recorder
+  /// breadcrumb included), so a poisoned rate cannot silently corrupt
+  /// the trajectory.
+  const JumpRates& evaluateInto(int type, int v, int siteClass,
+                                const Vet& vet,
+                                const std::vector<double>& energies);
 
   LatticeState& state_;
   EnergyModel& model_;
   const Cet& cet_;
   KmcConfig config_;
+  const EventCatalog* catalog_;
   Rng rng_;
   VacancyCache cache_;
-  std::vector<JumpRates> rates_;
+  std::vector<std::vector<JumpRates>> rates_;  // [event type][vacancy]
   std::vector<bool> dirtyNoCache_;  // refresh flags when cache disabled
   std::vector<int> dirtyScratch_;   // dirty indices of one batched refresh
   std::vector<Vet*> vetScratch_;    // their cached VETs, same order
@@ -106,6 +132,8 @@ class SerialEngine {
   double time_ = 0.0;
   std::uint64_t steps_ = 0;
   std::uint64_t energyEvals_ = 0;
+  std::vector<std::uint64_t> eventsByType_;
+  std::vector<std::string> eventTypeMetricNames_;  // kmc.events.by_type.*
   std::function<void(const SerialEngine&, const StepResult&)> observer_;
 };
 

@@ -1,11 +1,16 @@
 #include "kmc/vacancy_cache.hpp"
 
 #include "common/error.hpp"
+#include "kmc/event_catalog/event_catalog.hpp"
 
 namespace tkmc {
 
 VacancyCache::VacancyCache(const Cet& cet, const BccLattice& lattice)
     : cet_(cet), lattice_(lattice) {}
+
+int VacancyCache::classify(Vec3i center) const {
+  return catalog_ ? catalog_->siteClass(lattice_, center) : 0;
+}
 
 void VacancyCache::rebuild(const LatticeState& state) {
   evictions_ += entries_.size();
@@ -15,6 +20,7 @@ void VacancyCache::rebuild(const LatticeState& state) {
     Entry e;
     e.center = state.lattice().wrap(v);
     e.vet = Vet::gather(cet_, state, e.center);
+    e.siteClass = classify(e.center);
     e.dirty = true;
     entries_.push_back(std::move(e));
     ++gathers_;
@@ -34,6 +40,7 @@ void VacancyCache::applyHop(const LatticeState& state, int vacIndex,
       // The hopped vacancy's whole neighbourhood shifted: re-gather.
       e.center = toW;
       e.vet = Vet::gather(cet_, state, e.center);
+      e.siteClass = classify(e.center);
       e.dirty = true;
       ++gathers_;
       ++misses_;

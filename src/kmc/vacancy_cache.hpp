@@ -9,6 +9,8 @@
 
 namespace tkmc {
 
+class EventCatalog;
+
 /// Vacancy-cache mechanism (paper Sec. 3.2).
 ///
 /// Instead of the OpenKMC "cache all" strategy (per-atom property arrays
@@ -22,6 +24,13 @@ class VacancyCache {
  public:
   VacancyCache(const Cet& cet, const BccLattice& lattice);
 
+  /// Attaches the event catalog whose siteClass() classifies cached
+  /// centers. Site classes are a pure function of the (wrapped) center,
+  /// so they are cached alongside the VET and refreshed only when a
+  /// vacancy moves — not on every propensity refresh. Null (the default)
+  /// classifies everything as class 0.
+  void setCatalog(const EventCatalog* catalog) { catalog_ = catalog; }
+
   /// Discards everything and gathers a VET for every vacancy of `state`.
   /// All entries start dirty.
   void rebuild(const LatticeState& state);
@@ -31,6 +40,10 @@ class VacancyCache {
   Vet& vet(int index) { return entries_[static_cast<std::size_t>(index)].vet; }
   Vec3i center(int index) const {
     return entries_[static_cast<std::size_t>(index)].center;
+  }
+  /// Cached catalog site class of the entry's center (0 if no catalog).
+  int siteClass(int index) const {
+    return entries_[static_cast<std::size_t>(index)].siteClass;
   }
 
   bool isDirty(int index) const {
@@ -79,11 +92,15 @@ class VacancyCache {
   struct Entry {
     Vec3i center;  // wrapped vacancy coordinate
     Vet vet;
+    int siteClass = 0;
     bool dirty = true;
   };
 
+  int classify(Vec3i center) const;
+
   const Cet& cet_;
   const BccLattice& lattice_;
+  const EventCatalog* catalog_ = nullptr;
   std::vector<Entry> entries_;
   std::uint64_t gathers_ = 0;  // all full gathers (rebuild + applyHop)
   std::uint64_t misses_ = 0;   // steady-state re-gathers only (applyHop)

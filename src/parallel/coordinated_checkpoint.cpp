@@ -271,6 +271,14 @@ std::uint32_t CheckpointStore::commitEpoch(const EpochManifest& manifest) {
   body += line;
   std::snprintf(line, sizeof(line), "seed %" PRIu64 "\n", manifest.seed);
   body += line;
+  // The default catalog is omitted so vacancy_hop manifests stay byte
+  // identical to the pre-catalog format (and old readers still parse
+  // them); any other catalog is recorded for resume validation.
+  if (manifest.catalog != "vacancy_hop") {
+    std::snprintf(line, sizeof(line), "catalog %s\n",
+                  manifest.catalog.c_str());
+    body += line;
+  }
   std::snprintf(line, sizeof(line), "shards %zu\n", manifest.shards.size());
   body += line;
   for (const EpochManifest::ShardEntry& s : manifest.shards) {
@@ -415,7 +423,17 @@ EpochManifest CheckpointStore::loadManifest(std::uint64_t epoch) const {
   ok = ok && static_cast<bool>(in >> m.tStop);
   expectKeyword(in, "seed", path);
   ok = ok && static_cast<bool>(in >> m.seed);
-  expectKeyword(in, "shards", path);
+  // Optional catalog record (absent = the default vacancy_hop, keeping
+  // pre-catalog manifests loadable).
+  std::string keyword;
+  ok = ok && static_cast<bool>(in >> keyword);
+  if (ok && keyword == "catalog") {
+    ok = static_cast<bool>(in >> m.catalog) && !m.catalog.empty();
+    ok = ok && static_cast<bool>(in >> keyword);
+  }
+  if (!ok || keyword != "shards")
+    throw IoError("malformed checkpoint file (expected 'shards', got '" +
+                  keyword + "'): " + path);
   std::size_t shardCount = 0;
   ok = ok && static_cast<bool>(in >> shardCount) && shardCount < (1ULL << 20);
   for (std::size_t i = 0; ok && i < shardCount; ++i) {

@@ -62,6 +62,13 @@ struct EpochManifest {
   double tStop = 0.0;
   std::uint64_t seed = 0;
 
+  /// Event catalog the writing engine ran (trajectories are
+  /// catalog-dependent, so resume validates it). The default name is
+  /// omitted from the on-disk format: vacancy_hop manifests stay byte
+  /// identical to pre-catalog builds, and old manifests load as
+  /// vacancy_hop.
+  std::string catalog = "vacancy_hop";
+
   struct ShardEntry {
     std::string file;        // relative to the epoch directory
     std::uint32_t crc = 0;   // CRC32 of the shard body (matches its footer)

@@ -65,7 +65,8 @@ std::uint64_t recoverySeed(std::uint64_t seed, std::uint64_t epoch,
 ParallelEngine::ParallelEngine(const LatticeState& initial, EnergyModel& model,
                                const Cet& cet, ParallelConfig config)
     : lattice_(initial.lattice()), cet_(cet), model_(model),
-      config_(std::move(config)), interactionRadius_(0.0) {
+      config_(std::move(config)), catalog_(makeEventCatalog(config_.catalog)),
+      interactionRadius_(0.0) {
   sparePool_ = config_.spareRanks;
   buildFabric(initial);
   Rng master(config_.seed);
@@ -86,12 +87,17 @@ ParallelEngine::ParallelEngine(EnergyModel& model, const Cet& cet,
                                const CheckpointStore& store,
                                std::uint64_t epoch)
     : lattice_(1, 1, 1, 1.0), cet_(cet), model_(model),
-      config_(std::move(config)), interactionRadius_(0.0) {
+      config_(std::move(config)), catalog_(makeEventCatalog(config_.catalog)),
+      interactionRadius_(0.0) {
   sparePool_ = config_.spareRanks;
   const EpochManifest manifest = store.loadManifest(epoch);
   require(manifest.tStop == config_.tStop,
           "resume tStop must match the manifest (trajectories are "
           "tStop-dependent)");
+  require(manifest.catalog == catalog_->name(),
+          "resume event catalog '" + std::string(catalog_->name()) +
+              "' does not match the manifest's '" + manifest.catalog +
+              "' (trajectories are catalog-dependent)");
   config_.seed = manifest.seed;
   // resolveShards materializes a delta epoch by replaying its base
   // chain; for a full epoch it degenerates to loadShards.
@@ -171,6 +177,17 @@ void ParallelEngine::buildFabric(const LatticeState& initial) {
   cycleEvents_.assign(static_cast<std::size_t>(rankCount()), 0);
   cycleDiscarded_.assign(static_cast<std::size_t>(rankCount()), 0);
   rankEventOrdinals_.assign(static_cast<std::size_t>(rankCount()), 0);
+  const auto types = static_cast<std::size_t>(catalog_->typeCount());
+  cycleEventsByType_.assign(static_cast<std::size_t>(rankCount()),
+                            std::vector<std::uint64_t>(types, 0));
+  // Per-type lifetime counts restart with the fabric: a recovered epoch's
+  // manifest records only the aggregate event total, so the breakdown
+  // counts events committed since construction or the last recovery.
+  eventsByType_.assign(types, 0);
+  eventTypeMetricNames_.clear();
+  for (int t = 0; t < catalog_->typeCount(); ++t)
+    eventTypeMetricNames_.push_back(std::string("engine.events.by_type.") +
+                                    catalog_->typeInfo(t).name);
   // Rates become stale within the vacancy-system radius of a changed site.
   interactionRadius_ = (maxComp + 2) * lattice_.latticeConstant() / 2.0;
   expectedVacancies_ = vacancyCount();
@@ -211,13 +228,28 @@ void ParallelEngine::runSector(int rank, int sector) {
   Subdomain& sd = domains_[static_cast<std::size_t>(rank)];
   Rng& rng = rngs_[static_cast<std::size_t>(rank)];
   auto& changes = pendingChanges_[static_cast<std::size_t>(rank)];
+  const int types = catalog_->typeCount();
 
-  // Per-vacancy rates, refreshed lazily via stale flags.
-  std::vector<JumpRates> rates(sd.vacancies().size());
-  std::vector<bool> stale(sd.vacancies().size(), true);
-  std::vector<bool> active(sd.vacancies().size());
-  for (std::size_t v = 0; v < sd.vacancies().size(); ++v)
+  // Per-(event type, vacancy) rates, refreshed lazily via stale flags.
+  // Site classes are a pure function of the wrapped center, cached here
+  // and refreshed only when a vacancy moves. A class covered by no type
+  // (e.g. the trap_detrap sink slab) contributes zero propensity and is
+  // excluded from refresh batches entirely.
+  const auto vacancyCountNow = sd.vacancies().size();
+  std::vector<std::vector<JumpRates>> rates(
+      static_cast<std::size_t>(types), std::vector<JumpRates>(vacancyCountNow));
+  std::vector<bool> stale(vacancyCountNow, true);
+  std::vector<bool> active(vacancyCountNow);
+  std::vector<int> siteClass(vacancyCountNow);
+  const auto anyTypeApplies = [&](int cls) {
+    for (int t = 0; t < types; ++t)
+      if (catalog_->typeApplies(t, cls)) return true;
+    return false;
+  };
+  for (std::size_t v = 0; v < vacancyCountNow; ++v) {
     active[v] = inSector(rank, sd.vacancies()[v], sector);
+    siteClass[v] = catalog_->siteClass(lattice_, lattice_.wrap(sd.vacancies()[v]));
+  }
 
   // Batched-refresh scratch, reused across the window's iterations.
   std::vector<std::size_t> staleIdx;
@@ -229,12 +261,21 @@ void ParallelEngine::runSector(int rank, int sector) {
     // Collect every stale active system, then refresh them in a single
     // backend dispatch. Gather order is ascending v, the same order the
     // old per-system loop used, and batched energies are bit-identical,
-    // so the RNG stream is consumed onto the same events.
+    // so the RNG stream is consumed onto the same events. One
+    // state-energy batch serves every event type (all shipped types are
+    // hop-shaped over the same environment).
     staleIdx.clear();
     staleVets.clear();
     staleVetPtrs.clear();
     for (std::size_t v = 0; v < sd.vacancies().size(); ++v) {
       if (!active[v] || !stale[v]) continue;
+      if (!anyTypeApplies(siteClass[v])) {
+        // Absorbing class: zero every type's row without an energy eval.
+        for (int t = 0; t < types; ++t)
+          rates[static_cast<std::size_t>(t)][v] = JumpRates{};
+        stale[v] = false;
+        continue;
+      }
       staleIdx.push_back(v);
       staleVets.push_back(gatherVet(cet_, sd, sd.vacancies()[v]));
     }
@@ -252,9 +293,29 @@ void ParallelEngine::runSector(int rank, int sector) {
         energies = model_.stateEnergiesBatch(staleVetPtrs, kNumJumpDirections);
       }
       for (std::size_t i = 0; i < staleIdx.size(); ++i) {
-        rates[staleIdx[i]] =
-            computeRates(staleVets[i], energies[i], config_.temperature);
-        stale[staleIdx[i]] = false;
+        const std::size_t v = staleIdx[i];
+        for (int t = 0; t < types; ++t) {
+          JumpRates& slot = rates[static_cast<std::size_t>(t)][v];
+          if (!catalog_->typeApplies(t, siteClass[v])) {
+            slot = JumpRates{};
+            continue;
+          }
+          slot = catalog_->evaluateChecked(t, staleVets[i], energies[i],
+                                           config_.temperature);
+          if (!std::isfinite(slot.total) || slot.total < 0.0) {
+            telemetry::flightRecorder().record(
+                rank, telemetry::BlackboxEventType::kInvariantTrip, sector,
+                cycles_, static_cast<std::uint64_t>(t));
+            telemetry::flightRecorder().dumpIncident("propensity_poisoned");
+            throw InvariantError(
+                std::string(
+                    "non-finite or negative propensity from event type '") +
+                catalog_->typeInfo(t).name + "' of catalog '" +
+                catalog_->name() + "' on rank " + std::to_string(rank) +
+                " (total " + std::to_string(slot.total) + ")");
+          }
+        }
+        stale[v] = false;
       }
       if (telemetry::enabled())
         telemetry::metrics()
@@ -265,10 +326,17 @@ void ParallelEngine::runSector(int rank, int sector) {
           rank, telemetry::BlackboxEventType::kPropensityRefresh, sector,
           staleIdx.size());
     }
+    // Total and selection scan share the same type-major summation
+    // order, so the chosen event is exactly the one the cumulative sum
+    // crossed; with one type both degenerate to the historical site
+    // scan bit-for-bit.
     double total = 0.0;
-    for (std::size_t v = 0; v < sd.vacancies().size(); ++v) {
-      if (!active[v]) continue;
-      total += rates[v].total;
+    for (int t = 0; t < types; ++t) {
+      const auto& typeRates = rates[static_cast<std::size_t>(t)];
+      for (std::size_t v = 0; v < sd.vacancies().size(); ++v) {
+        if (!active[v]) continue;
+        total += typeRates[v].total;
+      }
     }
     if (!std::isfinite(total) || total < 0.0)
       throw InvariantError("propensity sum insane in sector window: " +
@@ -277,24 +345,47 @@ void ParallelEngine::runSector(int rank, int sector) {
 
     const double u1 = rng.uniform();
     double target = u1 * total;
+    int chosenType = 0;
     std::size_t chosen = 0;
     bool found = false;
-    for (std::size_t v = 0; v < sd.vacancies().size(); ++v) {
-      if (!active[v]) continue;
-      chosen = v;
-      target -= rates[v].total;
-      if (target < 0.0) {
-        found = true;
-        break;
+    for (int t = 0; t < types && !found; ++t) {
+      const auto& typeRates = rates[static_cast<std::size_t>(t)];
+      for (std::size_t v = 0; v < sd.vacancies().size(); ++v) {
+        if (!active[v]) continue;
+        chosenType = t;
+        chosen = v;
+        target -= typeRates[v].total;
+        if (target < 0.0) {
+          found = true;
+          break;
+        }
       }
     }
     require(found || target < 1e-9 * total, "event selection overflow");
+    if (!found) {
+      // fp boundary (u1 * total landed past the cumulative sum): walk
+      // back to the last active event with non-zero propensity, so a
+      // zero-rate tail slot — e.g. an inapplicable (type, site) pair —
+      // can never be executed.
+      for (int t = types - 1; t >= 0 && !found; --t) {
+        const auto& typeRates = rates[static_cast<std::size_t>(t)];
+        for (std::size_t v = sd.vacancies().size(); v-- > 0;) {
+          if (!active[v] || typeRates[v].total <= 0.0) continue;
+          chosenType = t;
+          chosen = v;
+          found = true;
+          break;
+        }
+      }
+      require(found, "no feasible event despite positive propensity");
+    }
 
-    const JumpRates& jr = rates[chosen];
+    const JumpRates& jr = rates[static_cast<std::size_t>(chosenType)][chosen];
+    const int arity = catalog_->typeInfo(chosenType).arity;
     const double u2 = rng.uniform();
     double dirTarget = u2 * jr.total;
     int direction = 0;
-    for (; direction < kNumJumpDirections - 1; ++direction) {
+    for (; direction < arity - 1; ++direction) {
       dirTarget -= jr.rate[static_cast<std::size_t>(direction)];
       if (dirTarget < 0.0) break;
     }
@@ -310,9 +401,8 @@ void ParallelEngine::runSector(int rank, int sector) {
     tLocal += dt;
 
     const Vec3i from = lattice_.wrap(sd.vacancies()[chosen]);
-    const Vec3i to = lattice_.wrap(
-        from +
-        BccLattice::firstNeighborOffsets()[static_cast<std::size_t>(direction)]);
+    const Vec3i to =
+        lattice_.wrap(from + catalog_->candidateOffset(chosenType, direction));
     const Species migrating = sd.at(to);
     require(migrating != Species::kVacancy, "parallel hop into a vacancy");
     sd.set(from, migrating);
@@ -320,6 +410,8 @@ void ParallelEngine::runSector(int rank, int sector) {
     changes.push_back({from, migrating});
     changes.push_back({to, Species::kVacancy});
     ++cycleEvents_[static_cast<std::size_t>(rank)];
+    ++cycleEventsByType_[static_cast<std::size_t>(rank)]
+                        [static_cast<std::size_t>(chosenType)];
     // Blackbox payload is the rank's own event ordinal: a global one
     // would depend on which rank thread got there first.
     const std::uint64_t ordinal =
@@ -332,12 +424,19 @@ void ParallelEngine::runSector(int rank, int sector) {
     if (sd.owns(to)) {
       sd.vacancies()[chosen] = to;
       active[chosen] = inSector(rank, to, sector);
+      siteClass[chosen] = catalog_->siteClass(lattice_, to);
     } else {
       sd.vacancies().erase(sd.vacancies().begin() +
                            static_cast<std::ptrdiff_t>(chosen));
-      rates.erase(rates.begin() + static_cast<std::ptrdiff_t>(chosen));
+      for (int t = 0; t < types; ++t) {
+        auto& typeRates = rates[static_cast<std::size_t>(t)];
+        typeRates.erase(typeRates.begin() +
+                        static_cast<std::ptrdiff_t>(chosen));
+      }
       stale.erase(stale.begin() + static_cast<std::ptrdiff_t>(chosen));
       active.erase(active.begin() + static_cast<std::ptrdiff_t>(chosen));
+      siteClass.erase(siteClass.begin() +
+                      static_cast<std::ptrdiff_t>(chosen));
     }
 
     // Invalidate rates of vacancies near the changed sites.
@@ -561,6 +660,7 @@ void ParallelEngine::writeEpoch(bool barrier) {
     manifest.discarded = discarded_;
     manifest.tStop = config_.tStop;
     manifest.seed = config_.seed;
+    manifest.catalog = catalog_->name();
     if (delta) {
       manifest.baseEpoch = baseline_.epoch;
       manifest.baseCrc = baseline_.manifestCrc;
@@ -682,6 +782,8 @@ void ParallelEngine::executeCycle() {
           r, telemetry::BlackboxEventType::kCycle, sector, cycles_);
   std::fill(cycleEvents_.begin(), cycleEvents_.end(), 0);
   std::fill(cycleDiscarded_.begin(), cycleDiscarded_.end(), 0);
+  for (auto& perType : cycleEventsByType_)
+    std::fill(perType.begin(), perType.end(), 0);
   {
     TKMC_SPAN("engine.sectors");
     if (team_) {
@@ -706,6 +808,8 @@ void ParallelEngine::executeCycle() {
   for (std::size_t r = 0; r < cycleEvents_.size(); ++r) {
     events_ += cycleEvents_[r];
     discarded_ += cycleDiscarded_[r];
+    for (std::size_t t = 0; t < eventsByType_.size(); ++t)
+      eventsByType_[t] += cycleEventsByType_[r][t];
   }
   foldChanges();
   fabric_->exchange.exchangeAll(domains_, team_.get());
@@ -747,6 +851,7 @@ void ParallelEngine::takeSnapshot() {
   snapshot_.cycles = cycles_;
   snapshot_.events = events_;
   snapshot_.discarded = discarded_;
+  snapshot_.eventsByType = eventsByType_;
   snapshot_.baseline = baseline_;
 }
 
@@ -758,6 +863,7 @@ void ParallelEngine::restoreSnapshot() {
   cycles_ = snapshot_.cycles;
   events_ = snapshot_.events;
   discarded_ = snapshot_.discarded;
+  eventsByType_ = snapshot_.eventsByType;
   baseline_ = snapshot_.baseline;
   for (auto& changes : pendingChanges_) changes.clear();
   fabric_->comm.resetAllChannels();
@@ -911,6 +1017,9 @@ void ParallelEngine::publishTelemetry() const {
   reg.gauge("engine.time_seconds").set(time_);
   reg.gauge("engine.events").set(static_cast<double>(events_));
   reg.gauge("engine.discarded_events").set(static_cast<double>(discarded_));
+  for (std::size_t t = 0; t < eventTypeMetricNames_.size(); ++t)
+    reg.gauge(eventTypeMetricNames_[t])
+        .set(static_cast<double>(eventsByType_[t]));
   reg.gauge("engine.ranks").set(static_cast<double>(rankCount()));
   reg.gauge("engine.alive_ranks")
       .set(static_cast<double>(fabric_->comm.aliveCount()));

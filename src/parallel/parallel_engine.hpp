@@ -9,6 +9,7 @@
 
 #include "common/rng.hpp"
 #include "kmc/energy_model.hpp"
+#include "kmc/event_catalog/event_catalog.hpp"
 #include "kmc/rate_calculator.hpp"
 #include "parallel/coordinated_checkpoint.hpp"
 #include "parallel/decomposition.hpp"
@@ -37,6 +38,13 @@ struct ParallelConfig {
   double tStop = 2e-8;   // synchronization interval (paper Sec. 4.4)
   std::uint64_t seed = 99;
   Vec3i rankGrid{2, 2, 2};
+
+  // Event catalog selection (deck key `event_catalog` + trap/detrap
+  // parameters). The engine owns the catalog it builds from this spec;
+  // the name is recorded in every checkpoint manifest and validated on
+  // resume — a trajectory is only meaningful under the catalog that
+  // produced it.
+  EventCatalogSpec catalog;
 
   // Execution backend. false: ranks are driven sequentially in-process
   // (the historical runtime). true: one OS thread per rank (RankTeam)
@@ -168,6 +176,12 @@ class ParallelEngine {
   std::uint64_t cycles() const { return cycles_; }
   std::uint64_t totalEvents() const { return events_; }
   std::uint64_t discardedEvents() const { return discarded_; }
+  const EventCatalog& catalog() const { return *catalog_; }
+  /// Committed events per catalog event type (index = type id), summed
+  /// across ranks in rank order at each sync boundary.
+  const std::vector<std::uint64_t>& eventsByType() const {
+    return eventsByType_;
+  }
   int rankCount() const { return fabric_->decomp.rankCount(); }
   Vec3i rankGrid() const { return fabric_->decomp.rankGrid(); }
   const SimComm& comm() const { return fabric_->comm; }
@@ -230,6 +244,7 @@ class ParallelEngine {
     std::uint64_t cycles = 0;
     std::uint64_t events = 0;
     std::uint64_t discarded = 0;
+    std::vector<std::uint64_t> eventsByType;
     DeltaBaseline baseline;
   };
 
@@ -275,6 +290,7 @@ class ParallelEngine {
   const Cet& cet_;
   EnergyModel& model_;
   ParallelConfig config_;
+  std::unique_ptr<EventCatalog> catalog_;
   std::unique_ptr<Fabric> fabric_;
   std::unique_ptr<CheckpointStore> store_;
   std::vector<Subdomain> domains_;
@@ -291,6 +307,9 @@ class ParallelEngine {
   // shared increments, but free of cross-thread races.
   std::vector<std::uint64_t> cycleEvents_;
   std::vector<std::uint64_t> cycleDiscarded_;
+  std::vector<std::vector<std::uint64_t>> cycleEventsByType_;  // [rank][type]
+  std::vector<std::uint64_t> eventsByType_;  // lifetime, rank-order summed
+  std::vector<std::string> eventTypeMetricNames_;  // engine.events.by_type.*
   // Per-rank lifetime event ordinal for blackbox kKmcEvent records (a
   // global ordinal would depend on thread interleaving).
   std::vector<std::uint64_t> rankEventOrdinals_;

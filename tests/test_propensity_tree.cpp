@@ -161,5 +161,125 @@ TEST(PropensityTree, InvalidAccessThrows) {
   EXPECT_THROW(empty.select(0.0), Error);
 }
 
+TEST(PropensityForest, TotalsSumPerTypeSubtrees) {
+  PropensityTree tree;
+  tree.resizeForest(3, 4);
+  EXPECT_EQ(tree.typeCount(), 3);
+  EXPECT_EQ(tree.leafCount(), 4);
+  tree.updateTyped(0, 0, 1.0);
+  tree.updateTyped(0, 3, 2.0);
+  tree.updateTyped(1, 1, 4.0);
+  tree.updateTyped(2, 2, 8.0);
+  EXPECT_DOUBLE_EQ(tree.typeTotal(0), 3.0);
+  EXPECT_DOUBLE_EQ(tree.typeTotal(1), 4.0);
+  EXPECT_DOUBLE_EQ(tree.typeTotal(2), 8.0);
+  EXPECT_DOUBLE_EQ(tree.total(), 15.0);
+  EXPECT_DOUBLE_EQ(tree.leafTyped(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(tree.leafTyped(1, 3), 0.0);
+}
+
+TEST(PropensityForest, SelectTypedPicksCumulativeTypeBands) {
+  PropensityTree tree;
+  tree.resizeForest(2, 3);
+  tree.updateTyped(0, 0, 1.0);
+  tree.updateTyped(0, 2, 2.0);  // type 0 band: [0, 3)
+  tree.updateTyped(1, 1, 4.0);  // type 1 band: [3, 7)
+  const PropensityTree::Pick a = tree.selectTyped(0.5);
+  EXPECT_EQ(a.type, 0);
+  EXPECT_EQ(a.index, 0);
+  const PropensityTree::Pick b = tree.selectTyped(2.999);
+  EXPECT_EQ(b.type, 0);
+  EXPECT_EQ(b.index, 2);
+  const PropensityTree::Pick c = tree.selectTyped(3.0);
+  EXPECT_EQ(c.type, 1);
+  EXPECT_EQ(c.index, 1);
+  const PropensityTree::Pick d = tree.selectTyped(6.999);
+  EXPECT_EQ(d.type, 1);
+  EXPECT_EQ(d.index, 1);
+}
+
+TEST(PropensityForest, BoundaryWalksBackOverEmptyTrailingSubtrees) {
+  // target == total() with empty trailing subtrees must walk back to
+  // the last type with propensity — and within it, the last non-empty
+  // leaf — in both the tree walk and the linear scan.
+  PropensityTree tree;
+  tree.resizeForest(3, 3);
+  tree.updateTyped(0, 0, 1.0);
+  tree.updateTyped(1, 1, 2.0);
+  // type 2 stays empty; leaf (1, 2) stays a zero tail inside type 1.
+  const double total = tree.total();
+  const PropensityTree::Pick walk = tree.selectTyped(total);
+  EXPECT_EQ(walk.type, 1);
+  EXPECT_EQ(walk.index, 1);
+  const PropensityTree::Pick linear = tree.selectLinearTyped(total);
+  EXPECT_EQ(linear.type, walk.type);
+  EXPECT_EQ(linear.index, walk.index);
+}
+
+TEST(PropensityForest, SelectTypedAgreesWithLinearTyped) {
+  Rng rng(92);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int types = 1 + static_cast<int>(rng.uniformBelow(4));
+    const int n = 1 + static_cast<int>(rng.uniformBelow(20));
+    PropensityTree tree;
+    tree.resizeForest(types, n);
+    for (int t = 0; t < types; ++t)
+      for (int i = 0; i < n; ++i) {
+        const double v = rng.uniform() < 0.4 ? 0.0 : rng.uniform() * 10;
+        tree.updateTyped(t, i, v);
+      }
+    if (tree.total() <= 0.0) continue;
+    for (int q = 0; q < 100; ++q) {
+      const double target = rng.uniform() * tree.total();
+      const PropensityTree::Pick a = tree.selectTyped(target);
+      const PropensityTree::Pick b = tree.selectLinearTyped(target);
+      EXPECT_EQ(a.type, b.type) << "types=" << types << " target=" << target;
+      EXPECT_EQ(a.index, b.index) << "types=" << types << " target=" << target;
+    }
+    // The fp boundary draw must also agree.
+    const PropensityTree::Pick a = tree.selectTyped(tree.total());
+    const PropensityTree::Pick b = tree.selectLinearTyped(tree.total());
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_GT(tree.leafTyped(a.type, a.index), 0.0);
+  }
+}
+
+TEST(PropensityForest, SingleTypeForestMatchesLegacySelect) {
+  // The bit-identity of the catalog refactor rests on the one-type
+  // forest degenerating exactly to the historical single tree.
+  Rng rng(93);
+  PropensityTree forest;
+  forest.resizeForest(1, 11);
+  PropensityTree legacy(11);
+  for (int i = 0; i < 11; ++i) {
+    const double v = rng.uniform() < 0.3 ? 0.0 : rng.uniform() * 5;
+    forest.updateTyped(0, i, v);
+    legacy.update(i, v);
+  }
+  EXPECT_EQ(forest.total(), legacy.total());
+  for (int q = 0; q < 200; ++q) {
+    const double target = rng.uniform() * legacy.total();
+    const PropensityTree::Pick pick = forest.selectTyped(target);
+    EXPECT_EQ(pick.type, 0);
+    EXPECT_EQ(pick.index, legacy.select(target));
+    EXPECT_EQ(forest.selectLinearTyped(target).index,
+              legacy.selectLinear(target));
+  }
+}
+
+TEST(PropensityForest, ResizeForestValidatesAndClears) {
+  PropensityTree tree(4);
+  tree.update(1, 3.0);
+  tree.resizeForest(2, 6);
+  EXPECT_EQ(tree.typeCount(), 2);
+  EXPECT_EQ(tree.leafCount(), 6);
+  EXPECT_DOUBLE_EQ(tree.total(), 0.0);
+  EXPECT_THROW(tree.resizeForest(0, 4), Error);
+  EXPECT_THROW(tree.updateTyped(2, 0, 1.0), Error);
+  EXPECT_THROW(tree.updateTyped(-1, 0, 1.0), Error);
+  EXPECT_THROW(tree.leafTyped(2, 0), Error);
+}
+
 }  // namespace
 }  // namespace tkmc

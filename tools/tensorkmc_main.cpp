@@ -201,6 +201,7 @@ int runParallel(const InputDeck& deck, Simulation& sim) {
   pc.tStop = deck.tStop();
   pc.seed = deck.simulationConfig().seed ^ 0x9a11e1ULL;
   pc.rankGrid = deck.rankGrid();
+  pc.catalog = deck.simulationConfig().eventCatalog;
   pc.threaded = deck.threaded();
   pc.enableRecovery = deck.recovery();
   pc.checkpointDir = deck.checkpointDir();
@@ -330,6 +331,13 @@ int main(int argc, char** argv) {
                 config.potential == SimulationConfig::Potential::kNnp ? "NNP"
                                                                       : "EAM",
                 config.temperature);
+    if (config.eventCatalog.name != "vacancy_hop")
+      std::printf("event catalog: %s (trap_fraction %.3g, trap_binding "
+                  "%.3g eV, sink_planes %d)\n",
+                  config.eventCatalog.name.c_str(),
+                  config.eventCatalog.trapFraction,
+                  config.eventCatalog.trapBinding,
+                  config.eventCatalog.sinkPlanes);
 
     if (!telemetryDir.empty()) {
       telemetry::setEnabled(true);
