@@ -13,11 +13,14 @@
 // Acceptance: at cadence 1 the mean delta epoch is <= 10% of a full
 // epoch, with consolidation bounding the chain at max_delta_chain links.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "common/table_writer.hpp"
 #include "common/telemetry/telemetry.hpp"
@@ -109,6 +112,55 @@ CadenceStats runCadence(int cadence, int cycles) {
   return stats;
 }
 
+// Paired wall measurement for the remote ShardStreamer: the same
+// cadence-1 delta run with and without a remote mirror attached. The
+// streamer copies on its own thread, so the visible cost is only the
+// enqueue + lag bookkeeping in afterCommit plus disk contention — the
+// gate (bench/baselines/tolerances.json) holds the fraction near zero.
+constexpr int kOverheadCycles = 48;
+
+double timedDeltaRun(bool withRemote) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (withRemote ? "tkmc_bench_stream_l" : "tkmc_bench_plain_l");
+  const auto remote =
+      std::filesystem::temp_directory_path() / "tkmc_bench_stream_r";
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(remote);
+
+  Cet cet(2.87, kCutoff);
+  Net net(cet);
+  EamPotential eam(kCutoff);
+  BccLattice lattice(kCells, kCells, kCells, 2.87);
+  LatticeState state(lattice);
+  Rng rng(4242);
+  state.randomAlloy(0.03, kVacancies, rng);
+  EamEnergyModel model(cet, net, eam);
+
+  ParallelConfig cfg;
+  cfg.seed = 7;
+  cfg.tStop = 5e-8;
+  cfg.rankGrid = {2, 2, 1};
+  cfg.checkpointDir = dir.string();
+  cfg.checkpointCadence = 1;
+  cfg.checkpointMode = CheckpointMode::kDelta;
+  cfg.maxDeltaChain = 8;
+  if (withRemote) {
+    cfg.remoteDir = remote.string();
+    cfg.remoteMaxLagEpochs = 64;  // measure streaming, not throttling
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    ParallelEngine engine(state, model, cet, cfg);
+    for (int c = 0; c < kOverheadCycles; ++c) engine.runCycle();
+    if (withRemote) engine.shardStreamer()->drain();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(remote);
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
 }  // namespace
 
 int main() {
@@ -149,12 +201,44 @@ int main() {
     if (s.deltaEpochs == 0) accepted = false;  // delta path never engaged
   }
 
+  // Remote streamer overhead: min-of-3 paired runs so scheduler noise
+  // in either arm does not manufacture (or mask) a regression. The
+  // remote arm also populates the checkpoint.remote_lag histogram and
+  // checkpoint.remote_lag_epochs gauge that the bench gate tracks.
+  double tLocal = 1e300, tRemote = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    tLocal = std::min(tLocal, timedDeltaRun(/*withRemote=*/false));
+    tRemote = std::min(tRemote, timedDeltaRun(/*withRemote=*/true));
+  }
+  const double overheadFrac =
+      tLocal > 0.0 ? std::max(0.0, (tRemote - tLocal) / tLocal) : 0.0;
+  reg.gauge("bench.delta_ckpt.streamer_overhead_frac").set(overheadFrac);
+  reg.gauge("bench.delta_ckpt.wall_local_seconds").set(tLocal);
+  reg.gauge("bench.delta_ckpt.wall_remote_seconds").set(tRemote);
+
+  // With a second core the worker's copies overlap the engine and the
+  // 5% bar is the real claim; on one core every copied byte serializes
+  // with KMC compute, so only an order-of-magnitude bar (a wedged or
+  // accidentally synchronous streamer) is measurable.
+  const int hostCores =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  reg.gauge("bench.delta_ckpt.streamer_host_cores")
+      .set(static_cast<double>(hostCores));
+  const double overheadBar = hostCores >= 2 ? 0.05 : 0.5;
+  if (overheadFrac > overheadBar) accepted = false;
+
   std::printf("Delta checkpoint size — %d^3 cells (%d sites, 2x2x1 ranks), "
               "%lld vacancies, max_delta_chain 8\n",
               kCells, 2 * kCells * kCells * kCells,
               static_cast<long long>(kVacancies));
   out.print();
-  std::printf("\ncadence-1 acceptance (mean delta <= 10%% of full): %s\n",
+  std::printf("\nremote streamer overhead: %.2f%% of wall "
+              "(%.3f s local, %.3f s streaming, %d cycles, min of 3; "
+              "bar <= %.0f%% at %d host core(s))\n",
+              overheadFrac * 100.0, tLocal, tRemote, kOverheadCycles,
+              overheadBar * 100.0, hostCores);
+  std::printf("acceptance (mean cadence-1 delta <= 10%% of full AND "
+              "streamer overhead within bar): %s\n",
               accepted ? "PASS" : "FAIL");
 
   reg.gauge("bench.delta_ckpt.accept_ok").set(accepted ? 1.0 : 0.0);

@@ -16,6 +16,16 @@
 #   C. kills aimed inside the consolidating full epoch's two-phase commit
 #      (the delta-GC window), where a torn consolidation would strand
 #      readers on a superseded chain.
+#   D. remote node-loss schedules (tools/chaos_remote_deck.tkmc): each
+#      run streams its epochs to a remote shard store, survives a kill,
+#      and then loses local shards outright (one rank's shard from every
+#      epoch, or the whole newest epoch directory). The follow-up resume
+#      (tools/chaos_remote_resume_deck.tkmc) must heal from the remote
+#      copy and stay bit-identical to a resume from an intact local tree.
+#
+# Every run that commits checkpoints also passes `tkmc_shardctl verify`
+# (local + remote CRC audit against manifests and placement maps) as a
+# post-run invariant.
 #
 # On the first failing schedule the summary line reports its label, seed,
 # ordinal, and exit code, and the script exits with that code.
@@ -32,11 +42,14 @@ WATCHDOG=${2:-60}
 BUILD_DIR=${BUILD_DIR:-build}
 BIN="$BUILD_DIR/tools/tensorkmc"
 BLACKBOX="$BUILD_DIR/tools/tkmc_blackbox"
+SHARDCTL="$BUILD_DIR/tools/tkmc_shardctl"
 FULL_DECK=tools/chaos_deck.tkmc
 DELTA_DECK=tools/chaos_delta_deck.tkmc
+REMOTE_DECK=tools/chaos_remote_deck.tkmc
+REMOTE_RESUME_DECK=tools/chaos_remote_resume_deck.tkmc
 
-if [ ! -x "$BIN" ] || [ ! -x "$BLACKBOX" ]; then
-  echo "chaos_soak: $BIN or $BLACKBOX not built (run cmake --build $BUILD_DIR first)" >&2
+if [ ! -x "$BIN" ] || [ ! -x "$BLACKBOX" ] || [ ! -x "$SHARDCTL" ]; then
+  echo "chaos_soak: $BIN, $BLACKBOX or $SHARDCTL not built (run cmake --build $BUILD_DIR first)" >&2
   exit 1
 fi
 
@@ -88,6 +101,18 @@ run_schedule() {  # label deck seed ordinal shrink|grow [extra --inject args]
     cat "$run_dir/blackbox.txt" >&2
     fail_summary "$label" "$seed" "$ordinal" 6
   fi
+  # Post-run invariant: every committed epoch — local and, when the run
+  # streamed one, remote — must pass the shardctl CRC audit.
+  if [ -d "$run_dir/chaos_ckpt" ]; then
+    local remote_args=()
+    [ -d "$run_dir/remote_ckpt" ] && remote_args=(--remote "$run_dir/remote_ckpt")
+    if ! "$SHARDCTL" verify "$run_dir/chaos_ckpt" ${remote_args[@]+"${remote_args[@]}"} \
+        > "$run_dir/shardctl.txt" 2>&1; then
+      echo "chaos_soak: $label (ordinal $ordinal) shardctl verify FAILED" >&2
+      cat "$run_dir/shardctl.txt" >&2
+      fail_summary "$label" "$seed" "$ordinal" 7
+    fi
+  fi
   local epochs
   epochs=$(ls "$run_dir/chaos_ckpt" 2>/dev/null | grep -c '^epoch_' || true)
   echo "    $label: ordinal $ordinal survived ($epochs epochs committed)"
@@ -125,5 +150,77 @@ for ordinal in 147 148 149 150 151 152; do
       "$ordinal" grow
 done
 
+echo "==> phase D: $ITERATIONS remote node-loss schedules"
+for i in $(seq 1 "$ITERATIONS"); do
+  ordinal=$((3 + (i * 41) % 110))
+  seed=$((300 + i))
+  run_schedule "remote_$i" "$REMOTE_DECK" "$seed" "$ordinal" grow
+  run_dir="$WORK/remote_$i"
+  # The kill-surviving run must have mirrored every epoch it committed.
+  if ! grep -q "remote streaming: .* 0 given up" "$run_dir/log.txt"; then
+    echo "chaos_soak: remote_$i gave up streaming epochs" >&2
+    grep "remote streaming" "$run_dir/log.txt" >&2 || true
+    fail_summary "remote_$i" "$seed" "$ordinal" 8
+  fi
+  # Twin trees: a keeps the local checkpoints intact; b suffers the node
+  # loss — even iterations lose one rank's shard from every epoch, odd
+  # iterations lose the whole newest epoch directory.
+  for t in a b; do
+    mkdir -p "$run_dir/$t"
+    cp -r "$run_dir/chaos_ckpt" "$run_dir/$t/chaos_ckpt"
+    cp -r "$run_dir/remote_ckpt" "$run_dir/$t/remote_ckpt"
+  done
+  if [ $((i % 2)) -eq 0 ]; then
+    rm -f "$run_dir/b/chaos_ckpt"/epoch_*/"rank_$((i % 4)).tkc"
+  else
+    newest=$(ls "$run_dir/b/chaos_ckpt" | grep '^epoch_' | sort -t_ -k2 -n | tail -1)
+    rm -rf "$run_dir/b/chaos_ckpt/$newest"
+  fi
+  for t in a b; do
+    status=0
+    (cd "$run_dir/$t" && timeout "$WATCHDOG" \
+        "$OLDPWD/$BIN" -in "$OLDPWD/$REMOTE_RESUME_DECK") \
+        > "$run_dir/$t/log.txt" 2>&1 || status=$?
+    if [ "$status" -ne 0 ]; then
+      echo "chaos_soak: remote_$i resume ($t) FAILED (exit $status)" >&2
+      tail -20 "$run_dir/$t/log.txt" >&2
+      fail_summary "remote_${i}_resume_$t" "$seed" "$ordinal" "$status"
+    fi
+    if ! grep -q "resumed from checkpoint epoch" "$run_dir/$t/log.txt"; then
+      echo "chaos_soak: remote_$i resume ($t) started fresh instead of resuming" >&2
+      tail -20 "$run_dir/$t/log.txt" >&2
+      fail_summary "remote_${i}_resume_$t" "$seed" "$ordinal" 9
+    fi
+    if ! "$SHARDCTL" verify "$run_dir/$t/chaos_ckpt" --remote "$run_dir/$t/remote_ckpt" \
+        > "$run_dir/$t/shardctl.txt" 2>&1; then
+      echo "chaos_soak: remote_$i resume ($t) shardctl verify FAILED" >&2
+      cat "$run_dir/$t/shardctl.txt" >&2
+      fail_summary "remote_${i}_resume_$t" "$seed" "$ordinal" 10
+    fi
+  done
+  # The damaged twin must have pulled the lost shards from the remote
+  # copy, and from there on be indistinguishable from the intact twin:
+  # identical trajectory (wall time stripped) and a bit-identical
+  # checkpoint tree.
+  if ! grep -q "remote store: healed" "$run_dir/b/log.txt"; then
+    echo "chaos_soak: remote_$i damaged twin resumed without a remote heal" >&2
+    tail -20 "$run_dir/b/log.txt" >&2
+    fail_summary "remote_${i}_heal" "$seed" "$ordinal" 11
+  fi
+  a_done=$(grep '^done:' "$run_dir/a/log.txt" | sed 's/, [0-9.]* s wall//')
+  b_done=$(grep '^done:' "$run_dir/b/log.txt" | sed 's/, [0-9.]* s wall//')
+  if [ -z "$a_done" ] || [ "$a_done" != "$b_done" ]; then
+    echo "chaos_soak: remote_$i twins diverged: a='$a_done' b='$b_done'" >&2
+    fail_summary "remote_${i}_divergence" "$seed" "$ordinal" 12
+  fi
+  if ! diff -r "$run_dir/a/chaos_ckpt" "$run_dir/b/chaos_ckpt" > /dev/null; then
+    echo "chaos_soak: remote_$i healed tree is not bit-identical to the intact tree" >&2
+    diff -r "$run_dir/a/chaos_ckpt" "$run_dir/b/chaos_ckpt" | head -10 >&2
+    fail_summary "remote_${i}_tree_diff" "$seed" "$ordinal" 13
+  fi
+  echo "    remote_$i: node-loss resume healed and matched bit-identically"
+done
+
 echo "==> chaos soak: summary: all $TOTAL schedules survived" \
-     "($ITERATIONS full-epoch, 6 delta-cadence, 6 consolidation kills)"
+     "($ITERATIONS full-epoch, 6 delta-cadence, 6 consolidation kills," \
+     "$ITERATIONS remote node-loss)"

@@ -63,7 +63,7 @@ fi
 
 echo "==> sanitized: TKMC_SANITIZE=thread (threaded backend smoke)"
 TKMC_SANITIZE=thread scripts/run_sanitized.sh \
-  "threaded_engine|sim_comm|fault_injection|flight_recorder|telemetry"
+  "threaded_engine|sim_comm|fault_injection|flight_recorder|telemetry|remote_store|retry"
 
 echo "==> sanitized: trap/detrap deck on the TSan-built CLI"
 TSAN_BIN=build-sanitized/thread/tools/tensorkmc
@@ -77,5 +77,38 @@ TRAP_TSAN=$(mktemp -d "${TMPDIR:-/tmp}/tkmc_trap_tsan.XXXXXX")
 }
 rm -rf "$TRAP_TSAN"
 echo "    trap_detrap threaded run clean under TSan"
+
+echo "==> sanitized: remote node-loss recovery drill on the TSan-built CLI"
+# The ShardStreamer worker runs concurrently with commits, recovery, and
+# the fault injector; this drill exercises the whole stream -> node loss
+# -> remote heal -> resume path with TSan watching the handoffs.
+REMOTE_TSAN=$(mktemp -d "${TMPDIR:-/tmp}/tkmc_remote_tsan.XXXXXX")
+(cd "$REMOTE_TSAN" && timeout 300 "$OLDPWD/$TSAN_BIN" \
+    -in "$OLDPWD/tools/chaos_remote_deck.tkmc" \
+    --inject comm.rank_kill=44 --inject-seed 11) \
+    > "$REMOTE_TSAN/log.txt" 2>&1 || {
+  echo "ci.sh: remote chaos deck failed under TSan" >&2
+  tail -30 "$REMOTE_TSAN/log.txt" >&2
+  rm -rf "$REMOTE_TSAN"
+  exit 1
+}
+grep -q "survived 1 rank fail-stop" "$REMOTE_TSAN/log.txt"
+rm -f "$REMOTE_TSAN"/chaos_ckpt/epoch_*/rank_1.tkc  # simulated node loss
+(cd "$REMOTE_TSAN" && timeout 300 "$OLDPWD/$TSAN_BIN" \
+    -in "$OLDPWD/tools/chaos_remote_resume_deck.tkmc") \
+    > "$REMOTE_TSAN/resume_log.txt" 2>&1 || {
+  echo "ci.sh: remote recovery resume failed under TSan" >&2
+  tail -30 "$REMOTE_TSAN/resume_log.txt" >&2
+  rm -rf "$REMOTE_TSAN"
+  exit 1
+}
+grep -q "remote store: healed" "$REMOTE_TSAN/resume_log.txt" || {
+  echo "ci.sh: TSan resume did not heal from the remote copy" >&2
+  tail -20 "$REMOTE_TSAN/resume_log.txt" >&2
+  rm -rf "$REMOTE_TSAN"
+  exit 1
+}
+rm -rf "$REMOTE_TSAN"
+echo "    remote node-loss recovery drill clean under TSan"
 
 echo "==> ci.sh: all gates passed"

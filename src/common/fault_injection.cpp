@@ -221,6 +221,17 @@ const std::vector<FaultPointInfo>& faultPointCatalog() {
        "SimComm::send(): fail-stops the sending rank mid-protocol"},
       {"engine.cycle",
        "ParallelEngine cycle start: trips a transient invariant error"},
+      {"remote.get_fail",
+       "RemoteShardStore::get(): fails a fetch during remote heal"},
+      {"remote.put_fail",
+       "RemoteShardStore::put(): fails a streamed copy (drives streamer "
+       "retry/backoff and give-up)"},
+      {"remote.slow",
+       "RemoteShardStore::put(): stalls the copy ~10 ms (drives remote "
+       "lag and commit throttling)"},
+      {"remote.torn_copy",
+       "RemoteShardStore::put(): writes only half the object (a "
+       "half-streamed remote epoch)"},
       {"telemetry.write_tear",
        "telemetry writeFileAtomic(): crashes after a partial temp-file "
        "write, before the rename"},

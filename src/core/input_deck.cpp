@@ -198,6 +198,19 @@ void InputDeck::apply(const std::string& key, const std::string& value) {
   } else if (key == "heartbeat_timeout_ms") {
     heartbeatTimeoutMs_ = parseDouble(key, value);
     require(heartbeatTimeoutMs_ >= 0, "input deck: heartbeat_timeout_ms >= 0");
+  } else if (key == "remote_dir") {
+    remoteDir_ = value;
+  } else if (key == "remote_rate_mbps") {
+    remoteRateMbps_ = parseDouble(key, value);
+    require(remoteRateMbps_ >= 0, "input deck: remote_rate_mbps >= 0");
+  } else if (key == "remote_max_lag_epochs") {
+    remoteMaxLagEpochs_ = static_cast<int>(parseInt(key, value));
+    require(remoteMaxLagEpochs_ >= 1, "input deck: remote_max_lag_epochs >= 1");
+  } else if (key == "remote_retries") {
+    remoteRetries_ = static_cast<int>(parseInt(key, value));
+    require(remoteRetries_ >= 1, "input deck: remote_retries >= 1");
+  } else if (key == "resume") {
+    resume_ = parseSwitch(key, value);
   } else {
     throw Error("input deck: unknown key '" + key + "'");
   }

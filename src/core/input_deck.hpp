@@ -69,6 +69,18 @@ namespace tkmc {
 ///   heartbeat_interval_ms <f>   failure-detector poll interval (5.0)
 ///   heartbeat_timeout_ms <f>    lease timeout; 0 disables fail-stop
 ///                               detection (0)
+///   remote_dir <path>           stream committed epochs to a remote
+///                               shard store at this directory (off)
+///   remote_rate_mbps <f>        remote copy bandwidth cap, MB/s;
+///                               0 = unthrottled (0)
+///   remote_max_lag_epochs <int> epochs the streamer may fall behind
+///                               before commits throttle (8)
+///   remote_retries <int>        put attempts per remote object before
+///                               the epoch is given up (5)
+///   resume on|off               resume from the newest complete epoch
+///                               in checkpoint_dir, healing from
+///                               remote_dir when shards are missing
+///                               locally (off)
 class InputDeck {
  public:
   /// Parses a deck from a stream. Throws tkmc::Error on malformed lines,
@@ -104,6 +116,11 @@ class InputDeck {
   int spareRanks() const { return spareRanks_; }
   double heartbeatIntervalMs() const { return heartbeatIntervalMs_; }
   double heartbeatTimeoutMs() const { return heartbeatTimeoutMs_; }
+  const std::string& remoteDir() const { return remoteDir_; }
+  double remoteRateMbps() const { return remoteRateMbps_; }
+  int remoteMaxLagEpochs() const { return remoteMaxLagEpochs_; }
+  int remoteRetries() const { return remoteRetries_; }
+  bool resume() const { return resume_; }
 
   /// True when the deck set `key` explicitly.
   bool has(const std::string& key) const { return raw_.count(key) > 0; }
@@ -136,6 +153,11 @@ class InputDeck {
   int spareRanks_ = 0;
   double heartbeatIntervalMs_ = 5.0;
   double heartbeatTimeoutMs_ = 0.0;
+  std::string remoteDir_;
+  double remoteRateMbps_ = 0.0;
+  int remoteMaxLagEpochs_ = 8;
+  int remoteRetries_ = 5;
+  bool resume_ = false;
 };
 
 }  // namespace tkmc

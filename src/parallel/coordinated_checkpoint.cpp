@@ -14,6 +14,7 @@
 #include "common/telemetry/telemetry.hpp"
 #include "kmc/checkpoint.hpp"
 #include "lattice/species_store.hpp"
+#include "parallel/remote_store.hpp"
 
 namespace tkmc {
 namespace {
@@ -324,12 +325,93 @@ std::vector<std::uint64_t> CheckpointStore::epochs() const {
   return found;
 }
 
-bool CheckpointStore::epochComplete(std::uint64_t epoch) const {
+bool CheckpointStore::epochCompleteLocal(std::uint64_t epoch) const {
   try {
-    const EpochManifest manifest = loadManifest(epoch);
+    const EpochManifest manifest = loadManifestLocal(epoch);
     for (const EpochManifest::ShardEntry& entry : manifest.shards)
       (void)loadShard(epoch, entry);
     return !manifest.shards.empty();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool CheckpointStore::epochComplete(std::uint64_t epoch) const {
+  if (epochCompleteLocal(epoch)) return true;
+  // A locally torn or missing epoch — a shard that died with its node —
+  // gets one shot at a verified remote heal before being judged.
+  return tryHealFromRemote(epoch) && epochCompleteLocal(epoch);
+}
+
+void CheckpointStore::attachRemote(std::shared_ptr<RemoteShardStore> remote) {
+  remote_ = std::move(remote);
+}
+
+std::vector<std::uint64_t> CheckpointStore::remoteEpochs() const {
+  std::vector<std::uint64_t> found;
+  if (!remote_) return found;
+  try {
+    for (const std::string& name : remote_->listEpochs()) {
+      std::uint64_t epoch = 0;
+      char trailing = 0;
+      if (std::sscanf(name.c_str(), "epoch_%" SCNu64 "%c", &epoch,
+                      &trailing) == 1)
+        found.push_back(epoch);
+    }
+  } catch (const std::exception&) {
+    found.clear();  // an unreachable remote degrades to local-only
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+bool CheckpointStore::tryHealFromRemote(std::uint64_t epoch) const {
+  if (!remote_) return false;
+  const std::string epochDir = "epoch_" + std::to_string(epoch);
+  try {
+    // The placement map is the remote commit marker: absent or torn
+    // means the copy is half streamed and must not be trusted.
+    const PlacementMap placement = parsePlacement(
+        remote_->get(epochDir, kPlacementFile), remote_->describe() + "/" +
+                                                    epochDir);
+    if (placement.epoch != epoch || placement.rows.empty()) return false;
+    // Fetch every file and verify it against its placement pin before
+    // touching the local tree — a torn object refuses the whole heal,
+    // and recovery falls back to an older epoch.
+    std::vector<std::pair<std::string, std::string>> files;
+    for (const PlacementMap::Row& row : placement.rows) {
+      std::string contents = remote_->get(epochDir, row.file);
+      if (contents.size() != row.bytes ||
+          crc32(contents.data(), contents.size()) != row.crc)
+        return false;
+      files.emplace_back(row.file, std::move(contents));
+    }
+    // Stage, then swap over the broken local directory in one rename —
+    // the same crash discipline as commitEpoch.
+    const std::string stage = epochPath(epoch) + ".heal.tmp";
+    std::error_code ec;
+    fs::remove_all(stage, ec);
+    fs::create_directories(stage, ec);
+    if (ec) return false;
+    for (const auto& [name, contents] : files) {
+      std::FILE* f = std::fopen((stage + "/" + name).c_str(), "wb");
+      if (f == nullptr) return false;
+      const bool ok =
+          std::fwrite(contents.data(), 1, contents.size(), f) ==
+          contents.size();
+      if (std::fclose(f) != 0 || !ok) return false;
+    }
+    fs::remove_all(epochPath(epoch), ec);
+    fs::rename(stage, epochPath(epoch), ec);
+    if (ec) return false;
+    remoteHeals_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+      telemetry::metrics().counter("remote.heals").add(1);
+      telemetry::metrics()
+          .counter("remote.fetches")
+          .add(static_cast<std::uint64_t>(files.size()));
+    }
+    return true;
   } catch (const std::exception&) {
     return false;
   }
@@ -375,13 +457,52 @@ bool CheckpointStore::chainValid(std::uint64_t epoch) const {
 }
 
 std::optional<std::uint64_t> CheckpointStore::newestCompleteEpoch() const {
-  const std::vector<std::uint64_t> all = epochs();
+  // Candidates are the union of local and remote epochs: an epoch whose
+  // local directory died with its node is still a restart point when
+  // the remote copy heals (chainValid -> epochComplete pulls it back).
+  std::vector<std::uint64_t> all = epochs();
+  const std::vector<std::uint64_t> remote = remoteEpochs();
+  all.insert(all.end(), remote.begin(), remote.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
   for (auto it = all.rbegin(); it != all.rend(); ++it)
     if (chainValid(*it)) return *it;
   return std::nullopt;
 }
 
+CheckpointStore::ResolvedEpoch CheckpointStore::loadNewestResolvable() const {
+  std::vector<std::uint64_t> all = epochs();
+  const std::vector<std::uint64_t> remote = remoteEpochs();
+  all.insert(all.end(), remote.begin(), remote.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    if (!chainValid(*it)) continue;
+    try {
+      ResolvedEpoch out;
+      out.epoch = *it;
+      out.manifest = loadManifest(*it);
+      out.shards = resolveShards(*it);
+      return out;
+    } catch (const IoError&) {
+      // Yanked between validation and load (base GC'd mid-recovery, a
+      // remote copy torn under us) — fall back to the next older epoch.
+      continue;
+    }
+  }
+  throw IoError("no checkpoint epoch resolves end to end: " + dir_);
+}
+
 EpochManifest CheckpointStore::loadManifest(std::uint64_t epoch) const {
+  try {
+    return loadManifestLocal(epoch);
+  } catch (const IoError&) {
+    if (!tryHealFromRemote(epoch)) throw;
+    return loadManifestLocal(epoch);
+  }
+}
+
+EpochManifest CheckpointStore::loadManifestLocal(std::uint64_t epoch) const {
   const std::string path = epochPath(epoch) + "/" + kManifestName;
   std::uint32_t selfCrc = 0;
   const std::string body =
@@ -632,9 +753,11 @@ int CheckpointStore::gcStaleArtifacts() {
     if (!ec) ++removed;
   }
   // Committed epochs that fail *local* validation are unloadable by
-  // construction — torn manifest or shard. Chain-invalid but
-  // locally-sound deltas are kept: a missing base may reappear on a
-  // shared filesystem, and readers skip them regardless.
+  // construction — torn manifest or shard. With a remote attached,
+  // epochComplete() first tries a verified heal, so an epoch with a
+  // sound remote copy is repaired here rather than removed.
+  // Chain-invalid but locally-sound deltas are kept: a missing base may
+  // reappear on a shared filesystem, and readers skip them regardless.
   for (const std::uint64_t epoch : committed) {
     if (epochComplete(epoch)) continue;
     fs::remove_all(epochPath(epoch), ec);

@@ -1,13 +1,19 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "lattice/lattice_state.hpp"
 #include "lattice/vec3.hpp"
+
+namespace tkmc {
+class RemoteShardStore;
+}
 
 namespace tkmc {
 
@@ -157,9 +163,44 @@ class CheckpointStore {
   /// are never listed.
   std::vector<std::uint64_t> epochs() const;
 
+  /// Attaches a remote mirror (fed by a ShardStreamer). From then on,
+  /// an epoch that fails *local* validation is transparently healed:
+  /// its files are fetched from the remote copy, verified against the
+  /// remote placement map (per-file CRC + size), staged, and swapped
+  /// over the broken local directory — so a shard that died with its
+  /// node is recovered instead of forcing an older restart point.
+  /// newestCompleteEpoch() also considers epochs that exist only
+  /// remotely. The store never writes to the remote; streaming is the
+  /// ShardStreamer's job.
+  void attachRemote(std::shared_ptr<RemoteShardStore> remote);
+  const RemoteShardStore* remote() const { return remote_.get(); }
+
+  /// Epochs healed from the remote copy since construction.
+  std::uint64_t remoteHeals() const {
+    return remoteHeals_.load(std::memory_order_relaxed);
+  }
+
   /// Newest epoch that validates end to end — including, for delta
-  /// epochs, the whole base chain — or nullopt.
+  /// epochs, the whole base chain — or nullopt. With a remote attached,
+  /// locally-broken or locally-missing epochs are healed from the
+  /// remote copy before being judged.
   std::optional<std::uint64_t> newestCompleteEpoch() const;
+
+  /// One fully materialized restart point: the epoch, its manifest, and
+  /// its resolved (chain-replayed) shards.
+  struct ResolvedEpoch {
+    std::uint64_t epoch = 0;
+    EpochManifest manifest;
+    std::vector<ShardRecord> shards;
+  };
+
+  /// Walks validating epochs newest-first and returns the first that
+  /// actually *loads* end to end. Tolerates epochs yanked between
+  /// validation and load — a base directory GC'd mid-recovery, a torn
+  /// or half-streamed remote copy — by falling back epoch-by-epoch to
+  /// the next older restart point instead of raising a terminal
+  /// IoError. Throws IoError only when no epoch resolves at all.
+  ResolvedEpoch loadNewestResolvable() const;
 
   /// True when `epoch` validates end to end: manifest and shards locally
   /// (CRC/size/parse) and, for a delta epoch, every link of its base
@@ -208,12 +249,23 @@ class CheckpointStore {
 
  private:
   bool epochComplete(std::uint64_t epoch) const;
+  bool epochCompleteLocal(std::uint64_t epoch) const;
+  EpochManifest loadManifestLocal(std::uint64_t epoch) const;
+  /// Fetch+verify+swap one epoch from the remote copy; false when there
+  /// is no remote, no valid placement map, or any file fails its
+  /// placement CRC/size pin (torn or half-streamed copies are refused
+  /// whole — recovery then falls back to an older epoch).
+  bool tryHealFromRemote(std::uint64_t epoch) const;
+  /// Epoch numbers present in the remote store (complete or not).
+  std::vector<std::uint64_t> remoteEpochs() const;
   /// Chain length in delta links (0 = full epoch), or -1 when any link
   /// fails validation.
   int chainDepthOrNegative(std::uint64_t epoch) const;
 
   std::string dir_;
   int maxDeltaChain_ = 8;
+  std::shared_ptr<RemoteShardStore> remote_;
+  mutable std::atomic<std::uint64_t> remoteHeals_{0};
 };
 
 }  // namespace tkmc

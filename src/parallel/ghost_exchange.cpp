@@ -1,6 +1,7 @@
 #include "parallel/ghost_exchange.hpp"
 
 #include "common/error.hpp"
+#include "common/retry.hpp"
 #include "common/telemetry/telemetry.hpp"
 
 namespace tkmc {
@@ -119,7 +120,15 @@ void GhostExchange::receiveSlabs(int rank, std::vector<Subdomain>& domains,
     const int tag = kTagBase + axis * 2 + (dir > 0 ? 1 : 0);
     const Box box = recvBox(sd, axis, dir);
     const double waitStart = comm_.nowMs();
-    for (int attempt = 1;; ++attempt) {
+    // Give-up bookkeeping via the shared RetryPolicy (src/common/retry).
+    // Backoff stays zero: ARQ retransmission runs inside the
+    // deterministic logical clock, so only the attempt bound is reused
+    // here — the checkpoint ShardStreamer uses the same policy with
+    // real exponential delays.
+    RetrySchedule arq(RetryPolicy{maxAttempts_, /*baseDelayMs=*/0.0,
+                                  /*multiplier=*/1.0, /*maxDelayMs=*/0.0,
+                                  /*jitterFrac=*/0.0});
+    for (;;) {
       try {
         const auto payload = comm_.receive(rank, source, tag);
         sd.unpackCellBox(box.lo, box.hi, payload);
@@ -130,6 +139,7 @@ void GhostExchange::receiveSlabs(int rank, std::vector<Subdomain>& domains,
         // payload the sender buffered at pack time — bit-identical to
         // the original, with no read of the sender's live store.
         comm_.resetChannel(source, rank, tag);
+        arq.recordFailure();
         if (comm_.leaseEnabled()) {
           // A resend from a live sender renews its lease, so from the
           // second attempt on a live peer polls kAlive and the normal
@@ -149,10 +159,9 @@ void GhostExchange::receiveSlabs(int rank, std::vector<Subdomain>& domains,
                     " fail-stop: ghost slab lease expired on tag " +
                     std::to_string(tag));
           }
-          if (attempt >= maxAttempts_ &&
-              verdict == SimComm::PeerVerdict::kAlive)
+          if (arq.exhausted() && verdict == SimComm::PeerVerdict::kAlive)
             throw;
-        } else if (attempt >= maxAttempts_) {
+        } else if (arq.exhausted()) {
           throw;
         }
         retries_.fetch_add(1, std::memory_order_relaxed);

@@ -74,6 +74,7 @@ ParallelEngine::ParallelEngine(const LatticeState& initial, EnergyModel& model,
   if (!config_.checkpointDir.empty()) {
     store_ = std::make_unique<CheckpointStore>(config_.checkpointDir);
     store_->setMaxDeltaChain(config_.maxDeltaChain);
+    setupRemote();
     store_->gcStaleArtifacts();
     // Epoch 0: the pre-run restart point. Construction is a local
     // sequential operation with nothing in flight, so no vote barrier.
@@ -132,9 +133,49 @@ ParallelEngine::ParallelEngine(EnergyModel& model, const Cet& cet,
   if (!config_.checkpointDir.empty()) {
     store_ = std::make_unique<CheckpointStore>(config_.checkpointDir);
     store_->setMaxDeltaChain(config_.maxDeltaChain);
+    setupRemote();
     store_->gcStaleArtifacts();
     // A resumed engine has no baseline: its first epoch is full, which
     // also caps any pre-resume delta chain.
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  // Flush the streaming queue so a clean shutdown leaves the remote
+  // mirror complete. Bounded: an epoch whose remote keeps failing gives
+  // up after its retry budget, so the queue always drains.
+  if (streamer_) streamer_->drain();
+}
+
+void ParallelEngine::setupRemote() {
+  if (config_.remoteDir.empty()) return;
+  remote_ = std::make_shared<DirRemoteStore>(config_.remoteDir);
+  store_->attachRemote(remote_);
+  ShardStreamer::Config sc;
+  sc.rateMbps = config_.remoteRateMbps;
+  sc.retry.maxAttempts = std::max(1, config_.remoteRetries);
+  sc.jitterSeed = config_.seed;
+  streamer_ = std::make_unique<ShardStreamer>(store_->dir(), remote_, sc);
+}
+
+void ParallelEngine::afterCommit(std::uint64_t epoch) {
+  if (!streamer_) return;
+  streamer_->enqueue(epoch);
+  const int lag = streamer_->lagEpochs();
+  if (telemetry::enabled()) {
+    telemetry::metrics().gauge("checkpoint.remote_lag_epochs").set(
+        static_cast<double>(lag));
+    telemetry::metrics().histogram("checkpoint.remote_lag").observe(
+        static_cast<double>(lag));
+  }
+  if (lag > config_.remoteMaxLagEpochs) {
+    // Throttle instead of losing epochs: a bounded wait for the
+    // streamer to catch up. Local commits already succeeded; a remote
+    // that stays dead exhausts each epoch's retry budget and the queue
+    // drains regardless, so this can never wedge the run.
+    if (telemetry::enabled())
+      telemetry::metrics().counter("checkpoint.remote_throttles").add(1);
+    streamer_->waitForLag(config_.remoteMaxLagEpochs, 60000.0);
   }
 }
 
@@ -736,6 +777,7 @@ void ParallelEngine::writeEpoch(bool barrier) {
       baseline_.pageHashes = std::move(newHashes);
       if (!delta && config_.checkpointMode == CheckpointMode::kDelta)
         store_->gcSupersededDeltas(epoch);
+      afterCommit(epoch);
     };
     if (!barrier) {
       adoptBaseline(store_->commitEpoch(manifest));
@@ -874,13 +916,20 @@ void ParallelEngine::recoverFromRankFailure(const RankFailure& failure) {
   Stopwatch watch;
   const int survivors = fabric_->comm.aliveCount();
   require(survivors >= 1, "no survivors left to recover with");
-  const std::optional<std::uint64_t> epoch = store_->newestCompleteEpoch();
-  if (!epoch)
+  // loadNewestResolvable tolerates restart points yanked between
+  // validation and load (a delta base GC'd mid-recovery, a torn remote
+  // copy) by falling back epoch-by-epoch — and, with a remote store
+  // attached, heals epochs whose local shards died with their node.
+  CheckpointStore::ResolvedEpoch resolved;
+  try {
+    resolved = store_->loadNewestResolvable();
+  } catch (const IoError&) {
     throw RankFailure(failure.rank(), failure.detectMs(),
                       std::string(failure.what()) +
                           " (no complete checkpoint epoch to recover from)");
-  const EpochManifest manifest = store_->loadManifest(*epoch);
-  const std::vector<ShardRecord> shards = store_->resolveShards(*epoch);
+  }
+  const EpochManifest manifest = std::move(resolved.manifest);
+  const std::vector<ShardRecord> shards = std::move(resolved.shards);
   const LatticeState restored = CheckpointStore::reassemble(manifest, shards);
   const std::uint64_t rolledBack = cycles_ - manifest.cycles;
   recovery_.epochsRolledBack += rolledBack;

@@ -13,6 +13,7 @@
 #include "kmc/rate_calculator.hpp"
 #include "parallel/coordinated_checkpoint.hpp"
 #include "parallel/decomposition.hpp"
+#include "parallel/remote_store.hpp"
 #include "parallel/ghost_exchange.hpp"
 #include "parallel/rank_team.hpp"
 #include "parallel/sim_comm.hpp"
@@ -96,6 +97,21 @@ struct ParallelConfig {
   // capacity holds; otherwise the grid shrinks to fit survivors plus
   // whatever spares remain. The pool is consumed across recoveries.
   int spareRanks = 0;
+
+  // Remote shard streaming (node-loss tolerance). A non-empty remoteDir
+  // arms a ShardStreamer: every committed epoch is copied in the
+  // background to a RemoteShardStore (a second directory tree today) and
+  // recovery can pull an epoch whose local shards died with their node.
+  // remoteRateMbps caps the copy bandwidth in MB/s (0 = unthrottled).
+  // When the streamer falls more than remoteMaxLagEpochs epochs behind,
+  // the commit path throttles (a bounded wait for the queue to drain)
+  // instead of dropping epochs; a dead remote can still never wedge a
+  // commit because each epoch gives up after remoteRetries put attempts
+  // per object (capped exponential backoff + jitter between attempts).
+  std::string remoteDir;
+  double remoteRateMbps = 0.0;
+  int remoteMaxLagEpochs = 8;
+  int remoteRetries = 5;
 };
 
 /// Counters of absorbed failures (engine stats).
@@ -160,6 +176,11 @@ class ParallelEngine {
   ParallelEngine(EnergyModel& model, const Cet& cet, ParallelConfig config,
                  const CheckpointStore& store, std::uint64_t epoch);
 
+  /// Drains the remote shard streamer (bounded — streamed epochs that
+  /// keep failing give up), so a clean shutdown leaves the remote
+  /// mirror complete.
+  ~ParallelEngine();
+
   /// Executes one sector window plus synchronization. With recovery
   /// enabled, a cycle that trips an injected fault or an invariant
   /// monitor is rolled back to the last sync boundary and replayed (up
@@ -205,6 +226,9 @@ class ParallelEngine {
 
   /// The checkpoint store, or nullptr when checkpointing is off.
   const CheckpointStore* checkpointStore() const { return store_.get(); }
+
+  /// The remote shard streamer, or nullptr when remoteDir is empty.
+  const ShardStreamer* shardStreamer() const { return streamer_.get(); }
 
   /// Epoch the last shrink recovery resumed from (0 before any).
   std::uint64_t lastRecoveryEpoch() const { return lastRecoveryEpoch_; }
@@ -274,6 +298,12 @@ class ParallelEngine {
   /// atomically publishes epoch `cycles_`. `barrier` is false only for
   /// the construction-time epoch (single-threaded, nothing in flight).
   void writeEpoch(bool barrier);
+  /// Arms the remote store + streamer when both checkpointDir and
+  /// remoteDir are configured; called from both constructors.
+  void setupRemote();
+  /// Post-commit hook: queues the epoch for streaming, publishes the
+  /// remote-lag gauge, and throttles (bounded) past the lag cap.
+  void afterCommit(std::uint64_t epoch);
   ShardRecord makeShard(int rank) const;
   void commitVoteBarrier(std::uint64_t epoch);
   /// Lease-aware ARQ receive shared by fold and commit-barrier traffic.
@@ -293,6 +323,8 @@ class ParallelEngine {
   std::unique_ptr<EventCatalog> catalog_;
   std::unique_ptr<Fabric> fabric_;
   std::unique_ptr<CheckpointStore> store_;
+  std::shared_ptr<RemoteShardStore> remote_;
+  std::unique_ptr<ShardStreamer> streamer_;
   std::vector<Subdomain> domains_;
   std::vector<Rng> rngs_;
   std::vector<std::vector<Change>> pendingChanges_;  // per rank, this cycle

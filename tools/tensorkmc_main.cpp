@@ -76,6 +76,16 @@ void armInjection(FaultInjector& injector, const std::string& arg) {
           "--inject needs <point>=<spec>, got '" + arg + "'");
   const std::string point = arg.substr(0, eq);
   const std::string spec = arg.substr(eq + 1);
+  // An unknown point name must fail loudly: a typo that silently arms
+  // nothing turns a chaos drill into a false green.
+  bool known = false;
+  for (const FaultPointInfo& info : faultPointCatalog())
+    if (point == info.name) {
+      known = true;
+      break;
+    }
+  require(known, "--inject: unknown fault point '" + point +
+                     "' (run --inject list for the catalog)");
   if (spec == "once") {
     injector.armOnce(point);
   } else if (spec.size() > 1 && spec[0] == 'p') {
@@ -212,6 +222,10 @@ int runParallel(const InputDeck& deck, Simulation& sim) {
   pc.spareRanks = deck.spareRanks();
   pc.heartbeatIntervalMs = deck.heartbeatIntervalMs();
   pc.heartbeatTimeoutMs = deck.heartbeatTimeoutMs();
+  pc.remoteDir = deck.remoteDir();
+  pc.remoteRateMbps = deck.remoteRateMbps();
+  pc.remoteMaxLagEpochs = deck.remoteMaxLagEpochs();
+  pc.remoteRetries = deck.remoteRetries();
 
   // The NNP backend runs through the simulated CPE grid here — the
   // paper's production pipeline — so operator traffic and LDM
@@ -226,7 +240,42 @@ int runParallel(const InputDeck& deck, Simulation& sim) {
                 "(big-fusion backend)\n");
   }
 
-  ParallelEngine engine(sim.state(), *model, sim.cet(), pc);
+  // `resume on`: restart from the newest complete epoch in
+  // checkpoint_dir. With a remote_dir configured the probe store heals
+  // epochs whose local shards are missing or torn from the remote copy
+  // (placement-map CRC-verified), so a run whose node died — local
+  // shards and all — restarts from the streamed copy.
+  std::unique_ptr<ParallelEngine> resumedEngine;
+  if (deck.resume() && !pc.checkpointDir.empty()) {
+    CheckpointStore probe(pc.checkpointDir);
+    probe.setMaxDeltaChain(pc.maxDeltaChain);
+    std::shared_ptr<RemoteShardStore> probeRemote;
+    if (!pc.remoteDir.empty()) {
+      probeRemote = std::make_shared<DirRemoteStore>(pc.remoteDir);
+      probe.attachRemote(probeRemote);
+    }
+    const std::optional<std::uint64_t> epoch = probe.newestCompleteEpoch();
+    if (epoch) {
+      resumedEngine = std::make_unique<ParallelEngine>(*model, sim.cet(), pc,
+                                                       probe, *epoch);
+      if (probe.remoteHeals() > 0)
+        std::printf("remote store: healed %llu epoch(s) from %s\n",
+                    static_cast<unsigned long long>(probe.remoteHeals()),
+                    pc.remoteDir.c_str());
+      std::printf("resumed from checkpoint epoch %llu at t = %.4e s\n",
+                  static_cast<unsigned long long>(*epoch),
+                  resumedEngine->time());
+    } else {
+      std::printf("resume requested but %s has no complete epoch; "
+                  "starting fresh\n",
+                  pc.checkpointDir.c_str());
+    }
+  }
+  std::unique_ptr<ParallelEngine> freshEngine;
+  if (!resumedEngine)
+    freshEngine =
+        std::make_unique<ParallelEngine>(sim.state(), *model, sim.cet(), pc);
+  ParallelEngine& engine = resumedEngine ? *resumedEngine : *freshEngine;
   std::printf("parallel mode: %d ranks (%d x %d x %d), t_stop %.2e s, "
               "recovery %s\n",
               engine.rankCount(), pc.rankGrid.x, pc.rankGrid.y, pc.rankGrid.z,
@@ -243,6 +292,14 @@ int runParallel(const InputDeck& deck, Simulation& sim) {
     std::printf("fail-stop detector: %.1f ms lease, %.1f ms poll interval, "
                 "%d spare rank(s)\n",
                 pc.heartbeatTimeoutMs, pc.heartbeatIntervalMs, pc.spareRanks);
+  if (!pc.checkpointDir.empty() && !pc.remoteDir.empty())
+    std::printf("remote shard store: %s (rate %s MB/s, lag cap %d epoch(s), "
+                "%d put attempt(s) per object)\n",
+                pc.remoteDir.c_str(),
+                pc.remoteRateMbps > 0
+                    ? std::to_string(pc.remoteRateMbps).c_str()
+                    : "unlimited",
+                pc.remoteMaxLagEpochs, pc.remoteRetries);
 
   Stopwatch wall;
   std::uint64_t sinceReport = 0;
@@ -267,6 +324,19 @@ int runParallel(const InputDeck& deck, Simulation& sim) {
                 static_cast<unsigned long long>(
                     engine.recoveryStats().growRecoveries),
                 engine.spareRanksRemaining());
+  if (engine.shardStreamer() != nullptr) {
+    // Flush before reporting so the numbers cover the whole run (the
+    // destructor would drain anyway, but after the summary prints).
+    engine.shardStreamer()->drain();
+    std::printf("remote streaming: %llu epoch(s) streamed, %llu retr(ies), "
+                "%llu given up\n",
+                static_cast<unsigned long long>(
+                    engine.shardStreamer()->epochsStreamed()),
+                static_cast<unsigned long long>(
+                    engine.shardStreamer()->retries()),
+                static_cast<unsigned long long>(
+                    engine.shardStreamer()->gaveUp()));
+  }
   engine.publishTelemetry();
   // The facade's serial engine built the initial propensity state
   // through the vacancy cache; fold its stats (and the operator traffic

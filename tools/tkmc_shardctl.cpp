@@ -1,0 +1,195 @@
+// tkmc_shardctl: checkpoint shard-store inspector.
+//
+//   tkmc_shardctl ls     <ckpt_dir> [--remote <dir>]
+//   tkmc_shardctl verify <ckpt_dir> [--remote <dir>] [--max-delta-chain N]
+//
+// `ls` prints a placement report: every local epoch (mode, shard count,
+// bytes, chain verdict) and every remote epoch (committed via its
+// placement map, or still in flight). `verify` additionally fetches and
+// CRC-checks every object — each local shard against its manifest entry
+// and each remote file against its placement row — and exits non-zero
+// on any mismatch or torn committed epoch. A remote epoch without a
+// placement map is "in flight" (the streamer may still be copying), not
+// an error; chaos soaks run verify after the fact, when in-flight
+// epochs have drained.
+//
+// The local store is opened WITHOUT a remote attachment on purpose:
+// verify must report local damage, not quietly heal it.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "parallel/coordinated_checkpoint.hpp"
+#include "parallel/remote_store.hpp"
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: tkmc_shardctl <ls|verify> <ckpt_dir> [--remote <dir>]\n"
+               "                     [--max-delta-chain N]\n");
+}
+
+struct Options {
+  bool verify = false;
+  std::string localDir;
+  std::string remoteDir;
+  int maxDeltaChain = 8;
+};
+
+/// Walks the local store. Returns the number of broken epochs found
+/// (torn manifest/shard, or failed chain validation).
+int reportLocal(const tkmc::CheckpointStore& store, bool verify) {
+  int broken = 0;
+  const std::vector<std::uint64_t> epochs = store.epochs();
+  if (epochs.empty()) {
+    std::printf("local  %s: no committed epochs\n", store.dir().c_str());
+    return 0;
+  }
+  for (const std::uint64_t epoch : epochs) {
+    try {
+      const tkmc::EpochManifest manifest = store.loadManifest(epoch);
+      std::uint64_t bytes = 0;
+      for (const auto& entry : manifest.shards) {
+        bytes += entry.bytes;
+        if (verify) store.loadShard(epoch, entry);  // throws on CRC/size/parse
+      }
+      const bool chainOk = store.chainValid(epoch);
+      std::printf("local  epoch_%" PRIu64 "  %-5s  %zu shard(s)  %8" PRIu64
+                  " B  chain %s\n",
+                  epoch, manifest.isDelta() ? "delta" : "full",
+                  manifest.shards.size(), bytes, chainOk ? "ok" : "BROKEN");
+      if (!chainOk) ++broken;
+    } catch (const tkmc::IoError& e) {
+      std::printf("local  epoch_%" PRIu64 "  TORN: %s\n", epoch, e.what());
+      ++broken;
+    }
+  }
+  return broken;
+}
+
+/// Walks the remote tree. Returns the number of committed remote epochs
+/// that fail verification (torn placement map, or a file missing /
+/// wrong size / wrong CRC against its placement row). Epochs without a
+/// placement map are reported as in flight and never counted.
+int reportRemote(const tkmc::RemoteShardStore& remote, bool verify) {
+  int broken = 0;
+  const std::vector<std::string> epochDirs = remote.listEpochs();
+  if (epochDirs.empty()) {
+    std::printf("remote %s: no epochs\n", remote.describe().c_str());
+    return 0;
+  }
+  for (const std::string& epochDir : epochDirs) {
+    if (!remote.stat(epochDir, tkmc::kPlacementFile)) {
+      std::printf("remote %s  in flight (no placement map)\n",
+                  epochDir.c_str());
+      continue;
+    }
+    try {
+      const tkmc::PlacementMap placement = tkmc::parsePlacement(
+          remote.get(epochDir, tkmc::kPlacementFile),
+          remote.describe() + "/" + epochDir + "/" + tkmc::kPlacementFile);
+      std::uint64_t bytes = 0;
+      int bad = 0;
+      for (const auto& row : placement.rows) {
+        bytes += row.bytes;
+        if (verify) {
+          std::string contents;
+          try {
+            contents = remote.get(epochDir, row.file);
+          } catch (const tkmc::IoError&) {
+            std::printf("remote %s/%s  MISSING (placement row %s)\n",
+                        epochDir.c_str(), row.file.c_str(),
+                        row.location.c_str());
+            ++bad;
+            continue;
+          }
+          if (contents.size() != row.bytes ||
+              tkmc::crc32(contents.data(), contents.size()) != row.crc) {
+            std::printf("remote %s/%s  CRC/SIZE MISMATCH (%zu B vs %" PRIu64
+                        " B expected)\n",
+                        epochDir.c_str(), row.file.c_str(), contents.size(),
+                        row.bytes);
+            ++bad;
+          }
+        } else if (!remote.stat(epochDir, row.file)) {
+          std::printf("remote %s/%s  MISSING\n", epochDir.c_str(),
+                      row.file.c_str());
+          ++bad;
+        }
+      }
+      std::printf("remote %s  committed  %zu file(s)  %8" PRIu64 " B  %s\n",
+                  epochDir.c_str(), placement.rows.size(), bytes,
+                  bad == 0 ? (verify ? "verified" : "present") : "BROKEN");
+      if (bad > 0) ++broken;
+    } catch (const tkmc::IoError& e) {
+      std::printf("remote %s  TORN placement map: %s\n", epochDir.c_str(),
+                  e.what());
+      ++broken;
+    }
+  }
+  return broken;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (argc < 3) {
+    usage(stderr);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "verify") {
+    opt.verify = true;
+  } else if (cmd != "ls") {
+    std::fprintf(stderr, "tkmc_shardctl: unknown subcommand '%s'\n",
+                 cmd.c_str());
+    usage(stderr);
+    return 2;
+  }
+  opt.localDir = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--remote" && i + 1 < argc) {
+      opt.remoteDir = argv[++i];
+    } else if (arg == "--max-delta-chain" && i + 1 < argc) {
+      opt.maxDeltaChain = std::atoi(argv[++i]);
+      if (opt.maxDeltaChain < 1) {
+        std::fprintf(stderr, "tkmc_shardctl: --max-delta-chain needs >= 1\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "tkmc_shardctl: unknown argument '%s'\n",
+                   arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  try {
+    tkmc::CheckpointStore store(opt.localDir);
+    store.setMaxDeltaChain(opt.maxDeltaChain);
+    int broken = reportLocal(store, opt.verify);
+    if (!opt.remoteDir.empty()) {
+      const tkmc::DirRemoteStore remote(opt.remoteDir);
+      broken += reportRemote(remote, opt.verify);
+    }
+    if (broken > 0) {
+      std::printf("%s: %d broken epoch(s)\n", opt.verify ? "verify" : "ls",
+                  broken);
+      return 1;
+    }
+    std::printf("%s: all epochs sound\n", opt.verify ? "verify" : "ls");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tkmc_shardctl: %s\n", e.what());
+    return 1;
+  }
+}
